@@ -1,0 +1,110 @@
+"""Ablation — the paper's two related-work baselines, made executable.
+
+1. **Branch address cache** (Yeh, Marr & Patt [11]): matches the scalar
+   two-level accuracy but needs ``2^k - 1`` PHT lookups and exponential
+   BAC entries for ``k`` branches per cycle, versus the blocked PHT's
+   single lookup (Section 2's motivation).
+2. **Two-block-ahead** (Seznec et al. [8]): accuracy comparable to the
+   select-table scheme without misselects, but with the serialized
+   tag-match dependency the paper criticises — one bubble per pair erases
+   the dual-block advantage.
+"""
+
+from repro.core import (
+    DualBlockEngine,
+    EngineConfig,
+    TwoBlockAheadEngine,
+)
+from repro.experiments import (
+    format_table,
+    instruction_budget,
+    run_suite,
+)
+from repro.icache import CacheGeometry
+from repro.predictors import (
+    BACCost,
+    BlockedPHT,
+    ScalarPHT,
+    blocked_pht_lookups,
+    evaluate_blocked_direction,
+    evaluate_scalar_direction,
+)
+from repro.workloads import SPECINT95, load_fetch_input, load_trace
+
+
+def run_bac_comparison(budget):
+    """Accuracy parity + cost divergence, blocked PHT vs BAC."""
+    geometry = CacheGeometry.normal(8)
+    blocked_miss = blocked_cond = scalar_miss = scalar_cond = 0
+    for name in SPECINT95:
+        fi = load_fetch_input(name, geometry, budget)
+        b = evaluate_blocked_direction(fi.blocks, BlockedPHT(10, 8))
+        blocked_miss += b.mispredicts
+        blocked_cond += b.n_cond
+        s = evaluate_scalar_direction(load_trace(name, budget),
+                                      ScalarPHT(10, 8))
+        scalar_miss += s.mispredicts
+        scalar_cond += s.n_cond
+    return (blocked_miss / blocked_cond, scalar_miss / scalar_cond)
+
+
+def test_bac_vs_blocked(benchmark, record_table):
+    budget = instruction_budget()
+    blocked_rate, scalar_rate = benchmark.pedantic(
+        run_bac_comparison, args=(budget,), rounds=1, iterations=1)
+    rows = []
+    for k in (1, 2, 3, 4):
+        cost = BACCost.for_branches(k)
+        rows.append([str(k), str(cost.pht_lookups),
+                     str(blocked_pht_lookups(k)),
+                     str(cost.bac_addresses_per_entry)])
+    text = format_table(
+        ["branches/cycle", "BAC PHT lookups", "blocked lookups",
+         "BAC targets/entry"], rows)
+    text += (f"\n\nSPECint95 misprediction: blocked "
+             f"{100 * blocked_rate:.2f}% vs BAC/scalar "
+             f"{100 * scalar_rate:.2f}%")
+    record_table("ablation_bac", text)
+    benchmark.extra_info["blocked_rate"] = blocked_rate
+    benchmark.extra_info["scalar_rate"] = scalar_rate
+    # The paper's claim: same accuracy, exponential vs constant lookups.
+    assert abs(blocked_rate - scalar_rate) < 0.01
+    assert BACCost.for_branches(4).pht_lookups == 15
+    assert blocked_pht_lookups(4) == 1
+
+
+def run_two_ahead_comparison(budget):
+    geometry = CacheGeometry.normal(8)
+    config = EngineConfig(geometry=geometry, n_select_tables=8)
+    results = {}
+    for label, factory in (
+        ("select-table", lambda cfg: DualBlockEngine(cfg)),
+        ("2-ahead", lambda cfg: TwoBlockAheadEngine(cfg)),
+        ("2-ahead+serial", lambda cfg: TwoBlockAheadEngine(
+            cfg, serialization_penalty=1)),
+    ):
+        results[label] = {
+            suite: run_suite(suite, config, budget, engine_factory=factory)
+            for suite in ("int", "fp")
+        }
+    return results
+
+
+def test_two_block_ahead_vs_select_table(benchmark, record_table):
+    budget = instruction_budget()
+    results = benchmark.pedantic(run_two_ahead_comparison, args=(budget,),
+                                 rounds=1, iterations=1)
+    rows = [[label, f"{by['int'].ipc_f:.2f}", f"{by['fp'].ipc_f:.2f}"]
+            for label, by in results.items()]
+    record_table("ablation_two_ahead", format_table(
+        ["scheme", "int IPC_f", "fp IPC_f"], rows))
+    for suite in ("int", "fp"):
+        st = results["select-table"][suite].ipc_f
+        ahead = results["2-ahead"][suite].ipc_f
+        serial = results["2-ahead+serial"][suite].ipc_f
+        benchmark.extra_info[f"{suite}_select_table"] = st
+        benchmark.extra_info[f"{suite}_two_ahead"] = ahead
+        # Accuracy-comparable when timing is free...
+        assert ahead > 0.85 * st
+        # ...but the serialized dependency erases the advantage.
+        assert serial < 0.85 * st

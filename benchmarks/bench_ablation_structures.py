@@ -1,0 +1,73 @@
+"""Ablation — design choices DESIGN.md calls out.
+
+* RAS depth: a 32-entry stack (the paper's choice) versus shallower and
+  deeper stacks on the recursion-heavy ``go`` analog.
+* Per-block PHTs: the paper's per-addr variant "now becomes a per-block
+  variation" — sweeping the number of PHTs trades aliasing for capacity
+  at fixed history length.
+"""
+
+from repro.core import (
+    DualBlockEngine,
+    EngineConfig,
+    PenaltyKind,
+    SingleBlockEngine,
+)
+from repro.experiments import (
+    format_table,
+    instruction_budget,
+    run_suite,
+)
+from repro.icache import CacheGeometry
+from repro.workloads import load_fetch_input
+
+
+def run_ras_sweep(budget):
+    geometry = CacheGeometry.normal(8)
+    fi = load_fetch_input("go", geometry, budget)
+    rows = []
+    for size in (4, 8, 16, 32, 64):
+        config = EngineConfig(geometry=geometry, ras_size=size)
+        stats = SingleBlockEngine(config).run(fi)
+        rows.append((size, stats.event_counts.get(PenaltyKind.RETURN, 0),
+                     stats.ipc_f))
+    return rows
+
+
+def test_ras_depth(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(run_ras_sweep, args=(budget,), rounds=1,
+                              iterations=1)
+    record_table("ablation_ras", format_table(
+        ["RAS entries", "return mispredicts", "IPC_f"],
+        [[str(s), str(m), f"{i:.2f}"] for s, m, i in rows]))
+    mispredicts = [m for _, m, _ in rows]
+    benchmark.extra_info["mispredicts_by_size"] = mispredicts
+    # Deeper stacks never mispredict more; 32 entries suffice for go.
+    assert mispredicts == sorted(mispredicts, reverse=True)
+    assert mispredicts[-2] == mispredicts[-1]  # 32 == 64: saturated
+
+
+def run_pht_tables_sweep(budget):
+    geometry = CacheGeometry.normal(8)
+    rows = []
+    for n_tables in (1, 2, 4, 8):
+        config = EngineConfig(geometry=geometry, n_pht_tables=n_tables,
+                              n_select_tables=8)
+        agg_int = run_suite("int", config, budget,
+                            engine_factory=DualBlockEngine)
+        rows.append((n_tables, agg_int.ipc_f, agg_int.bep))
+    return rows
+
+
+def test_per_block_pht_tables(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(run_pht_tables_sweep, args=(budget,),
+                              rounds=1, iterations=1)
+    record_table("ablation_pht_tables", format_table(
+        ["# PHTs", "int IPC_f", "int BEP"],
+        [[str(n), f"{i:.2f}", f"{b:.3f}"] for n, i, b in rows]))
+    ipcs = {n: i for n, i, _ in rows}
+    benchmark.extra_info["ipc_by_tables"] = ipcs
+    # More PHTs (more total capacity) should not hurt materially.
+    assert ipcs[8] > 0.97 * ipcs[1]

@@ -1,0 +1,25 @@
+"""Figure 7 — separate BIT table size versus BEP share and IPC_f.
+
+Paper result: small BIT tables are disastrous; the BEP share of stale BIT
+information only drops below 5% near the top of the sweep.  Sizes are
+footprint-scaled (see repro.experiments.fig7).
+"""
+
+from repro.experiments import format_fig7, instruction_budget, run_fig7
+
+
+def test_fig7_bit_table_sweep(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(
+        run_fig7, kwargs={"budget": budget}, rounds=1, iterations=1)
+    record_table("fig7_bit_sweep", format_fig7(rows))
+    for suite in ("int", "fp"):
+        suite_rows = [r for r in rows if r.suite == suite]
+        shares = [r.bit_share_of_bep for r in suite_rows]
+        ipcs = [r.ipc_f for r in suite_rows]
+        benchmark.extra_info[f"{suite}_share_smallest"] = shares[0]
+        benchmark.extra_info[f"{suite}_share_largest"] = shares[-1]
+        # Shape: share falls monotonically, fetch rate rises.
+        assert shares[0] > 0.3
+        assert shares[-1] < 0.05
+        assert ipcs[-1] > ipcs[0]

@@ -1,0 +1,33 @@
+"""Figure 8 — single vs double selection across GHR lengths and ST counts.
+
+Paper result: more select tables and longer histories help; double
+selection costs roughly 10% and recovers most of it with 8 STs.
+"""
+
+from repro.experiments import format_fig8, instruction_budget, run_fig8
+
+
+def test_fig8_selection_sweep(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(
+        run_fig8, kwargs={"budget": budget}, rounds=1, iterations=1)
+    record_table("fig8_selection", format_fig8(rows))
+
+    def get(suite, selection, h, n_st):
+        for r in rows:
+            if (r.suite, r.selection, r.history_length,
+                    r.n_select_tables) == (suite, selection, h, n_st):
+                return r
+        raise AssertionError("missing row")
+
+    for suite in ("int", "fp"):
+        single = get(suite, "single", 10, 8)
+        double = get(suite, "double", 10, 8)
+        benchmark.extra_info[f"{suite}_single_10_8"] = single.ipc_f
+        benchmark.extra_info[f"{suite}_double_10_8"] = double.ipc_f
+        # Shape: single beats double; 8 STs beat 1 ST.
+        assert single.ipc_f > double.ipc_f
+        assert get(suite, "single", 10, 8).ipc_f >= \
+            get(suite, "single", 10, 1).ipc_f
+        assert get(suite, "double", 12, 8).ipc_f >= \
+            get(suite, "double", 9, 1).ipc_f

@@ -1,0 +1,32 @@
+"""Figure 9 — per-program BEP stacked by misprediction category.
+
+Paper result (two-block single-selection, self-aligned cache, 8 STs,
+10-bit GHR): conditional mispredictions are the largest BEP contribution,
+misselection the second; some fp programs do exceedingly well while some
+integer programs suffer from poor conditional prediction.
+"""
+
+from repro.core import PenaltyKind
+from repro.experiments import format_fig9, instruction_budget, run_fig9
+
+
+def test_fig9_bep_breakdown(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(
+        run_fig9, kwargs={"budget": budget}, rounds=1, iterations=1)
+    record_table("fig9_bep_breakdown", format_fig9(rows))
+
+    assert len(rows) == 18
+    totals = {}
+    for row in rows:
+        for kind, value in row.components.items():
+            totals[kind] = totals.get(kind, 0.0) + value
+    benchmark.extra_info["total_cond"] = totals[PenaltyKind.COND]
+    benchmark.extra_info["total_misselect"] = totals[PenaltyKind.MISSELECT]
+    # Shape: conditional mispredictions dominate; misselect is visible.
+    assert totals[PenaltyKind.COND] == max(totals.values())
+    assert totals[PenaltyKind.MISSELECT] > 0
+    # FP programs average a lower BEP than integer programs.
+    fp_mean = sum(r.bep for r in rows if r.suite == "fp") / 10
+    int_mean = sum(r.bep for r in rows if r.suite == "int") / 8
+    assert fp_mean < int_mean

@@ -1,0 +1,37 @@
+"""Table 5 — BTB/NLS target-array configurations (SPECint95).
+
+Paper result: misfetch penalties fall as arrays grow; near-block encoding
+roughly halves the entries needed for the same performance (~70% of
+conditional branches are near-block).
+"""
+
+from repro.experiments import (
+    format_table5,
+    instruction_budget,
+    run_table5,
+)
+
+
+def test_table5_target_arrays(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(
+        run_table5, kwargs={"budget": budget}, rounds=1, iterations=1)
+    record_table("table5_target_arrays", format_table5(rows))
+
+    def get(kind, size, near):
+        for r in rows:
+            if (r.target_kind, r.n_block_entries, r.near_block) == \
+                    (kind, size, near):
+                return r
+        raise AssertionError("missing row")
+
+    benchmark.extra_info["btb8_ipc"] = get("btb", 8, False).ipc_f
+    benchmark.extra_info["btb64_ipc"] = get("btb", 64, False).ipc_f
+    # Shape: bigger arrays fetch better...
+    assert get("btb", 64, False).ipc_f > get("btb", 8, False).ipc_f
+    # ...near-block halves the required size (8 + near ~ 16 without).
+    assert get("btb", 8, True).ipc_f >= get("btb", 16, False).ipc_f * 0.98
+    # ...and near-block cuts the immediate-misfetch share everywhere.
+    for kind, size in (("btb", 8), ("btb", 64), ("nls", 8), ("nls", 64)):
+        assert get(kind, size, True).misfetch_immediate_share <= \
+            get(kind, size, False).misfetch_immediate_share

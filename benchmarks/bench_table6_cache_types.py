@@ -1,0 +1,45 @@
+"""Table 6 — IPB and IPC_f for normal / extended / self-aligned caches.
+
+Paper result: self-aligned > extended > normal; two-block fetching beats
+single-block by ~40% (int) to ~70% (fp); the self-aligned two-block
+configuration averages over 8 IPC_f on the whole suite.
+"""
+
+from repro.experiments import (
+    format_table6,
+    instruction_budget,
+    run_table6,
+)
+
+
+def test_table6_cache_types(benchmark, record_table):
+    budget = instruction_budget()
+    rows = benchmark.pedantic(
+        run_table6, kwargs={"budget": budget}, rounds=1, iterations=1)
+    record_table("table6_cache_types", format_table6(rows))
+
+    def get(cache, suite):
+        for r in rows:
+            if (r.cache_type, r.suite) == (cache, suite):
+                return r
+        raise AssertionError("missing row")
+
+    for suite in ("int", "fp"):
+        normal = get("normal", suite)
+        extend = get("extend", suite)
+        align = get("align", suite)
+        benchmark.extra_info[f"{suite}_align_2blk"] = align.ipc_f_two_block
+        # Shape: align >= extend >= normal on IPB and two-block IPC_f.
+        assert align.ipb >= extend.ipb >= normal.ipb
+        assert align.ipc_f_two_block >= extend.ipc_f_two_block * 0.98
+        assert align.ipc_f_two_block > normal.ipc_f_two_block
+        # Two blocks always beat one.
+        for row in (normal, extend, align):
+            assert row.ipc_f_two_block > row.ipc_f_one_block
+
+    # FP gains more from dual-block fetching than int (paper: 70% vs 40%).
+    fp_gain = get("align", "fp").ipc_f_two_block / \
+        get("align", "fp").ipc_f_one_block
+    int_gain = get("align", "int").ipc_f_two_block / \
+        get("align", "int").ipc_f_one_block
+    assert fp_gain > int_gain

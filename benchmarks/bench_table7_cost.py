@@ -1,0 +1,33 @@
+"""Table 7 / Section 5 — hardware cost estimates.
+
+Paper result: single block 52 Kbits, dual-block single-select 80 Kbits,
+dual-block double-select 72 Kbits; cost grows linearly in the number of
+predicted blocks (unlike the branch-address-cache's exponential growth).
+"""
+
+from repro.experiments import (
+    format_table7,
+    run_multi_block_extrapolation,
+    run_table7,
+)
+from repro.predictors import BACCost
+
+
+def test_table7_cost_estimates(benchmark, record_table):
+    breakdowns = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+    extrapolation = run_multi_block_extrapolation(max_blocks=4)
+    bac = "\n".join(
+        f"BAC {k} branches/cycle: {BACCost.for_branches(k).pht_lookups} "
+        f"PHT lookups, {BACCost.for_branches(k).bac_entry_bits} entry bits"
+        for k in (1, 2, 3, 4))
+    record_table(
+        "table7_cost",
+        format_table7(breakdowns) + "\n\n" + format_table7(extrapolation)
+        + "\n\n" + bac)
+    totals = [round(b.total_kbits) for b in breakdowns]
+    benchmark.extra_info["totals_kbits"] = totals
+    assert totals == [52, 80, 72]
+    # Linear growth per extra predicted block (Section 5).
+    steps = [b.total_bits for b in extrapolation]
+    increments = [b - a for a, b in zip(steps, steps[1:])]
+    assert len(set(increments)) == 1

@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one paper table/figure.  Results are
+printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so the regenerated tables survive the
+run; headline numbers also land in ``benchmark.extra_info``.
+
+The per-workload instruction budget follows ``REPRO_TRACE_LEN`` (default
+120 000, the stand-in for the paper's 10^9 instructions per program).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Save a rendered table under results/ and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Design-space exploration for a fetch-unit configuration.
+
+Sweeps the knobs a fetch-unit architect controls — history length, select
+tables, target-array type/size, near-block encoding, cache organisation —
+over a chosen workload suite, and prints IPC_f next to the Section 5
+storage cost of each point, i.e. the performance-per-bit view the paper's
+cost section motivates.
+
+Usage::
+
+    python examples/design_space.py [int|fp] [instructions]
+"""
+
+import sys
+
+from repro.core import DualBlockEngine, EngineConfig
+from repro.cost import CostConfig, dual_block_single_select_cost
+from repro.experiments import format_table, run_suite
+from repro.icache import CacheGeometry
+
+
+def sweep(suite: str, budget: int):
+    rows = []
+    for history in (8, 10, 12):
+        for n_st in (1, 8):
+            for cache_name, factory in (("normal", CacheGeometry.normal),
+                                        ("align",
+                                         CacheGeometry.self_aligned)):
+                geometry = factory(8)
+                config = EngineConfig(geometry=geometry,
+                                      history_length=history,
+                                      n_select_tables=n_st)
+                agg = run_suite(suite, config, budget,
+                                engine_factory=DualBlockEngine)
+                cost = dual_block_single_select_cost(CostConfig(
+                    history_length=history, n_select_tables=n_st))
+                rows.append((history, n_st, cache_name, agg.ipc_f, agg.bep,
+                             cost.total_kbits))
+    return rows
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "int"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 80_000
+    if suite not in ("int", "fp"):
+        raise SystemExit("suite must be 'int' or 'fp'")
+
+    print(f"design space over SPEC{suite}95 analogs "
+          f"({budget} instructions each)\n")
+    rows = sweep(suite, budget)
+    table = [[str(h), str(n_st), cache, f"{ipc:.2f}", f"{bep:.3f}",
+              f"{kbits:.0f}", f"{1000 * ipc / kbits:.1f}"]
+             for h, n_st, cache, ipc, bep, kbits in rows]
+    print(format_table(
+        ["hist", "#ST", "cache", "IPC_f", "BEP", "Kbits",
+         "IPC/Mbit"], table))
+
+    best = max(rows, key=lambda r: r[3])
+    cheapest_good = min((r for r in rows if r[3] > 0.95 * best[3]),
+                        key=lambda r: r[5])
+    print(f"\nbest IPC_f     : h={best[0]}, {best[1]} STs, {best[2]} cache "
+          f"-> {best[3]:.2f} IPC_f at {best[5]:.0f} Kbits")
+    print(f"95% for less   : h={cheapest_good[0]}, {cheapest_good[1]} STs, "
+          f"{cheapest_good[2]} cache -> {cheapest_good[3]:.2f} IPC_f at "
+          f"{cheapest_good[5]:.0f} Kbits")
+
+
+if __name__ == "__main__":
+    main()

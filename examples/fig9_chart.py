@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Render Figure 9 as a textual stacked-bar chart.
+
+Regenerates the paper's per-program BEP breakdown (two-block single
+selection, self-aligned cache, 8 STs, 10-bit GHR) and draws each program
+as a horizontal bar segmented by penalty category, mirroring the figure's
+stacking order.
+
+Usage::
+
+    python examples/fig9_chart.py [instructions]
+"""
+
+import sys
+
+from repro.experiments import STACK_ORDER, run_fig9
+
+#: One letter per category, in stacking order (legend printed below).
+GLYPHS = {kind: glyph for kind, glyph in zip(STACK_ORDER, "mStifrb")}
+
+WIDTH = 60  # characters for the largest bar
+
+
+def render(rows) -> str:
+    peak = max(row.bep for row in rows) or 1.0
+    lines = []
+    for row in rows:
+        cells = []
+        for kind in STACK_ORDER:
+            n = round(row.components[kind] / peak * WIDTH)
+            cells.append(GLYPHS[kind] * n)
+        bar = "".join(cells)[:WIDTH]
+        lines.append(f"{row.program:>9s} [{row.suite}] "
+                     f"{row.bep:5.3f} |{bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    rows = run_fig9(budget=budget)
+    print("Figure 9 — branch execution penalties, two-block single "
+          "selection\n")
+    print(render(rows))
+    print("\nlegend: " + "  ".join(
+        f"{GLYPHS[kind]}={kind.value}" for kind in STACK_ORDER))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Why interpreters are hard to fetch: the ``li`` analog under the lens.
+
+The intro of the paper motivates high-bandwidth fetching with
+general-purpose codes whose basic blocks are small.  Interpreters are the
+extreme case: every bytecode ends in an indirect jump whose target changes
+constantly, defeating last-target prediction.  This example dissects the
+``li`` (Lisp interpreter) analog:
+
+* the trace's control-flow mix (heavy ``indirect`` share);
+* how the indirect misfetch penalty dominates its BEP;
+* how it compares with a loop-dominated workload (``mgrid``).
+"""
+
+from repro.core import DualBlockEngine, EngineConfig, PenaltyKind
+from repro.icache import CacheGeometry
+from repro.trace import trace_stats
+from repro.workloads import load_fetch_input, load_trace
+
+BUDGET = 120_000
+
+
+def dissect(name: str, config: EngineConfig):
+    trace = load_trace(name, BUDGET)
+    print(f"== {name} ==")
+    print(trace_stats(trace))
+    fetch_input = load_fetch_input(name, config.geometry, BUDGET)
+    stats = DualBlockEngine(config).run(fetch_input)
+    print(f"IPC_f {stats.ipc_f:.2f}, BEP {stats.bep:.3f}")
+    for kind in (PenaltyKind.MISFETCH_INDIRECT, PenaltyKind.COND,
+                 PenaltyKind.MISSELECT):
+        share = stats.bep_share(kind)
+        print(f"  {kind.value:<18s} {100 * share:5.1f}% of BEP")
+    print()
+    return stats
+
+
+def main() -> None:
+    config = EngineConfig(geometry=CacheGeometry.self_aligned(8),
+                          n_select_tables=8)
+    li = dissect("li", config)
+    mgrid = dissect("mgrid", config)
+
+    print("takeaway:")
+    print(f"  li spends {100 * li.bep_share(PenaltyKind.MISFETCH_INDIRECT):.0f}% "
+          "of its penalty cycles on indirect misfetches — the dispatch "
+          "jump's target changes with every bytecode, so a last-target "
+          "array keeps missing;")
+    print(f"  mgrid (counted loops) reaches {mgrid.ipc_f:.1f} IPC_f vs "
+          f"li's {li.ipc_f:.1f} under the identical fetch mechanism.")
+
+
+if __name__ == "__main__":
+    main()

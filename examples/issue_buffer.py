@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Feeding an N-issue core: the fetch/issue interaction of Section 4.
+
+The paper argues that when the raw two-block fetch rate exceeds the issue
+width, a small buffer lets the issue unit "receive, and average close to,
+8 instructions per request".  This example records a per-cycle delivery
+timeline from the dual-block engine and drains it through issue buffers
+of several widths, for one predictable and one branchy workload.
+
+Usage::
+
+    python examples/issue_buffer.py [instructions]
+"""
+
+import sys
+
+from repro.core import DualBlockEngine, EngineConfig
+from repro.experiments import format_table
+from repro.icache import CacheGeometry
+from repro.metrics import simulate_issue
+from repro.workloads import load_fetch_input
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    geometry = CacheGeometry.self_aligned(8)
+    config = EngineConfig(geometry=geometry, n_select_tables=8)
+
+    rows = []
+    for name in ("swim", "mgrid", "compress", "gcc"):
+        fi = load_fetch_input(name, geometry, budget)
+        stats = DualBlockEngine(config).run(fi, record_timeline=True)
+        for width in (4, 8, 16):
+            result = simulate_issue(stats.timeline, issue_width=width,
+                                    buffer_capacity=4 * width)
+            rows.append([name, f"{stats.ipc_f:.2f}", str(width),
+                         f"{result.issue_ipc:.2f}",
+                         f"{100 * result.starvation_rate:.0f}%"])
+
+    print("dual-block fetch feeding an N-issue core "
+          "(self-aligned cache, 8 STs)\n")
+    print(format_table(
+        ["workload", "raw IPC_f", "issue width", "issued IPC",
+         "starved cycles"], rows))
+    print("\nreading: when raw IPC_f > width, the buffer keeps the core "
+          "near its full width\n(the paper's 8-issue argument); branchy "
+          "codes starve the core no matter the width.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: fetch a SPEC95-analog workload with dual-block prediction.
+
+Runs the paper's headline configuration — block width 8, self-aligned
+instruction cache, dual-block single-selection prediction with 8 select
+tables and a 10-bit global history — over one workload and prints the
+fetch statistics, then contrasts it with single-block fetching.
+
+Usage::
+
+    python examples/quickstart.py [workload] [instructions]
+"""
+
+import sys
+
+from repro.core import DualBlockEngine, EngineConfig, SingleBlockEngine
+from repro.icache import CacheGeometry
+from repro.workloads import SPEC95, load_fetch_input
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
+    if workload not in SPEC95:
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"pick one of: {', '.join(SPEC95)}")
+
+    geometry = CacheGeometry.self_aligned(8)
+    config = EngineConfig(geometry=geometry, history_length=10,
+                          n_select_tables=8)
+    fetch_input = load_fetch_input(workload, geometry, budget)
+
+    print(f"workload: {workload} ({budget} instructions, "
+          f"{fetch_input.blocks.n_blocks} fetch blocks, "
+          f"IPB {fetch_input.blocks.ipb:.2f})")
+
+    print("\n-- single-block fetching (Section 2) --")
+    single = SingleBlockEngine(config).run(fetch_input)
+    print(single.summary())
+
+    print("\n-- dual-block fetching, single selection (Section 3) --")
+    dual = DualBlockEngine(config).run(fetch_input)
+    print(dual.summary())
+
+    speedup = dual.ipc_f / single.ipc_f if single.ipc_f else 0.0
+    print(f"\ndual-block speedup: {speedup:.2f}x "
+          f"({single.ipc_f:.2f} -> {dual.ipc_f:.2f} IPC_f)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Multiple Branch and Block Prediction".
+
+Wallace & Bagherzadeh, Proc. 3rd International Symposium on High
+Performance Computer Architecture (HPCA), 1997.
+
+Public API tour:
+
+* :mod:`repro.core` — the paper's contribution: blocked-PHT multiple
+  branch prediction and select-table dual-block prediction engines.
+* :mod:`repro.workloads` — 18 SPEC95-analog programs (see DESIGN.md).
+* :mod:`repro.experiments` — one runner per paper figure/table.
+* :mod:`repro.isa` / :mod:`repro.cpu` / :mod:`repro.trace` — the
+  execution substrate producing dynamic control-flow traces.
+* :mod:`repro.predictors` / :mod:`repro.targets` / :mod:`repro.icache`
+  — predictor, target-array and cache-model building blocks.
+* :mod:`repro.cost` — Section 5's hardware cost model.
+
+Quickstart::
+
+    from repro.core import DualBlockEngine, EngineConfig
+    from repro.icache import CacheGeometry
+    from repro.workloads import load_fetch_input
+
+    geometry = CacheGeometry.self_aligned(8)
+    fi = load_fetch_input("compress", geometry, max_instructions=100_000)
+    stats = DualBlockEngine(EngineConfig(geometry=geometry,
+                                         n_select_tables=8)).run(fi)
+    print(stats.summary())
+"""
+
+__version__ = "1.0.0"

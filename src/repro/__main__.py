@@ -1,0 +1,149 @@
+"""Command-line interface: regenerate paper artifacts and inspect workloads.
+
+Usage::
+
+    python -m repro fig6                 # any of fig6 fig7 fig8 fig9
+    python -m repro table5 --budget 60000    # table5 table6 table7
+    python -m repro workloads            # list the SPEC95 analogs
+    python -m repro run compress --cache align --blocks 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import DualBlockEngine, EngineConfig, SingleBlockEngine
+from .core.multi import MultiBlockEngine
+from .experiments import (
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_table5,
+    format_table6,
+    format_table7,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from .icache import CacheGeometry
+from .trace import trace_stats
+from .workloads import SPEC95, get_workload, load_fetch_input, load_trace
+
+_EXPERIMENTS = {
+    "fig6": (run_fig6, format_fig6),
+    "fig7": (run_fig7, format_fig7),
+    "fig8": (run_fig8, format_fig8),
+    "fig9": (run_fig9, format_fig9),
+    "table5": (run_table5, format_table5),
+    "table6": (run_table6, format_table6),
+}
+
+_CACHES = {
+    "normal": CacheGeometry.normal,
+    "extend": CacheGeometry.extended,
+    "align": CacheGeometry.self_aligned,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multiple Branch and Block "
+                    "Prediction' (HPCA 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in (*_EXPERIMENTS, "table7"):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        if name != "table7":
+            p.add_argument("--budget", type=int, default=None,
+                           help="instructions per workload "
+                                "(default: REPRO_TRACE_LEN or 120000)")
+
+    sub.add_parser("workloads", help="list the SPEC95-analog workloads")
+
+    p = sub.add_parser("report", help="regenerate every paper artifact "
+                                      "into one markdown file")
+    p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--output", default="report.md")
+
+    p = sub.add_parser("run", help="run one workload through a fetch "
+                                   "engine")
+    p.add_argument("workload", choices=SPEC95)
+    p.add_argument("--budget", type=int, default=120_000)
+    p.add_argument("--cache", choices=sorted(_CACHES), default="align")
+    p.add_argument("--blocks", type=int, default=2,
+                   help="blocks fetched per cycle (1, 2, or more)")
+    p.add_argument("--history", type=int, default=10)
+    p.add_argument("--select-tables", type=int, default=8)
+    p.add_argument("--selection", choices=("single", "double"),
+                   default="single")
+    p.add_argument("--target", choices=("nls", "btb"), default="nls",
+                   help="target array implementation")
+    p.add_argument("--target-entries", type=int, default=256)
+    return parser
+
+
+def _cmd_experiment(name: str, budget) -> None:
+    runner, formatter = _EXPERIMENTS[name]
+    rows = runner(budget=budget) if budget else runner()
+    print(formatter(rows))
+
+
+def _cmd_workloads() -> None:
+    for name in SPEC95:
+        w = get_workload(name)
+        print(f"{name:10s} [{w.suite:3s}] {w.description}")
+
+
+def _cmd_run(args) -> None:
+    geometry = _CACHES[args.cache](8)
+    config = EngineConfig(geometry=geometry,
+                          history_length=args.history,
+                          n_select_tables=args.select_tables,
+                          selection=args.selection,
+                          target_kind=args.target,
+                          target_entries=args.target_entries)
+    trace = load_trace(args.workload, args.budget)
+    print(trace_stats(trace))
+    fetch_input = load_fetch_input(args.workload, geometry, args.budget)
+    if args.blocks == 1:
+        engine = SingleBlockEngine(config)
+    elif args.blocks == 2:
+        engine = DualBlockEngine(config)
+    else:
+        engine = MultiBlockEngine(config, args.blocks)
+    print()
+    print(engine.run(fetch_input).summary())
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "table7":
+            print(format_table7(run_table7()))
+        elif args.command in _EXPERIMENTS:
+            _cmd_experiment(args.command, args.budget)
+        elif args.command == "workloads":
+            _cmd_workloads()
+        elif args.command == "report":
+            from .experiments.report import write_report
+
+            path = write_report(args.output, budget=args.budget,
+                                verbose=True)
+            print(f"wrote {path}")
+        elif args.command == "run":
+            _cmd_run(args)
+    except BrokenPipeError:
+        return 0  # output piped into a pager that closed early
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

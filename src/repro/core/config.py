@@ -1,0 +1,88 @@
+"""Fetch-engine configuration and input bundling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..icache.geometry import CacheGeometry
+from ..isa.program import Program, StaticCode
+from ..trace.blocks import BlockStream, segment_blocks
+from ..trace.record import Trace
+from .penalties import DOUBLE_SELECT, SINGLE_SELECT
+
+#: Target-array implementations.
+TARGET_NLS = "nls"
+TARGET_BTB = "btb"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration shared by the single- and dual-block engines.
+
+    Defaults reproduce the paper's Section 4 baseline: block width 8, one
+    global blocked PHT with a 10-bit GHR, one 1024-entry select table,
+    256-entry NLS target array, 32-entry RAS, BIT stored in the (perfect)
+    instruction cache, near-block prediction off.
+    """
+
+    geometry: CacheGeometry = field(default_factory=CacheGeometry.normal)
+    history_length: int = 10
+    n_pht_tables: int = 1
+    n_select_tables: int = 1
+    target_kind: str = TARGET_NLS
+    target_entries: int = 256
+    btb_associativity: int = 4
+    near_block: bool = False
+    ras_size: int = 32
+    bit_entries: Optional[int] = None   #: None = BIT held in the i-cache
+    selection: str = SINGLE_SELECT      #: dual engine: single or double
+    track_recovery: bool = False        #: record BBR entries (Table 4)
+    #: Section 2: "The processor should keep track of the target address
+    #: of each conditional branch that is predicted not taken. In the
+    #: case it was mispredicted, the correct block may be immediately
+    #: fetched the following cycle after branch resolution.  Otherwise,
+    #: an additional cycle is required to read the target address from
+    #: the target array."  True (paper default) = tracked; False charges
+    #: the extra cycle on every not-taken-misprediction.
+    track_not_taken_targets: bool = True
+
+    def __post_init__(self) -> None:
+        if self.history_length < 1:
+            raise ValueError("history_length must be positive")
+        if self.target_kind not in (TARGET_NLS, TARGET_BTB):
+            raise ValueError(f"unknown target_kind: {self.target_kind!r}")
+        if self.selection not in (SINGLE_SELECT, DOUBLE_SELECT):
+            raise ValueError(f"unknown selection: {self.selection!r}")
+        if self.bit_entries is not None and self.bit_entries < 1:
+            raise ValueError("bit_entries must be positive when given")
+
+
+@dataclass
+class FetchInput:
+    """Everything a fetch engine consumes for one workload.
+
+    Bundles the dynamic trace, the program's static code map (the source of
+    true BIT information) and the block segmentation under one geometry.
+    """
+
+    trace: Trace
+    static: StaticCode
+    geometry: CacheGeometry
+    blocks: BlockStream
+
+    @classmethod
+    def from_trace(cls, trace: Trace, static: StaticCode,
+                   geometry: CacheGeometry) -> "FetchInput":
+        """Segment ``trace`` under ``geometry`` and bundle."""
+        return cls(trace=trace, static=static, geometry=geometry,
+                   blocks=segment_blocks(trace, geometry))
+
+    @classmethod
+    def from_program(cls, program: Program, geometry: CacheGeometry,
+                     max_instructions: int = 10_000_000) -> "FetchInput":
+        """Execute ``program`` and bundle its trace."""
+        from ..cpu.machine import Machine
+
+        trace = Machine(program).run(max_instructions=max_instructions).trace
+        return cls.from_trace(trace, program.static_code(), geometry)

@@ -1,0 +1,132 @@
+"""Shared machinery of the single- and dual-block fetch engines.
+
+Both engines replay the correct-path block stream, compare what the
+prediction hardware would have selected against what actually happened, and
+charge Table 3 penalties at the first divergence in each block.  This module
+holds the actual-block view and the divergence/target classification all
+engines share.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.kinds import InstrKind
+from ..trace.blocks import BlockStream, EXIT_FALLTHROUGH
+from .penalties import PenaltyKind
+from .selection import BlockPrediction
+
+K_COND = int(InstrKind.COND)
+K_JUMP = int(InstrKind.JUMP)
+K_CALL = int(InstrKind.CALL)
+K_RETURN = int(InstrKind.RETURN)
+K_INDIRECT = int(InstrKind.INDIRECT)
+K_HALT = int(InstrKind.HALT)
+
+#: Divergence classes between a walk and the actual block.
+MATCH = 0        #: same exit position (or both fall through)
+EARLY_TAKEN = 1  #: a conditional predicted taken actually fell through
+LATE_TAKEN = 2   #: a taken conditional was predicted not taken
+
+
+class ActualBlock:
+    """Resolved view of one fetched block (from the trace)."""
+
+    __slots__ = ("start", "n_instr", "exit_kind", "exit_pc", "exit_target",
+                 "exit_offset", "conds")
+
+    def __init__(self, start: int, n_instr: int, exit_kind: int,
+                 exit_target: int,
+                 conds: List[Tuple[int, bool, int]]) -> None:
+        self.start = start
+        self.n_instr = n_instr
+        self.exit_kind = exit_kind
+        self.exit_target = exit_target
+        self.conds = conds  #: [(offset, taken, pc)] in block order
+        if exit_kind in (EXIT_FALLTHROUGH, K_HALT):
+            self.exit_offset: Optional[int] = None
+            self.exit_pc = -1
+        else:
+            self.exit_offset = n_instr - 1
+            self.exit_pc = start + n_instr - 1
+
+    @property
+    def has_taken_exit(self) -> bool:
+        """True when the block ended in a taken control transfer."""
+        return self.exit_offset is not None
+
+    @property
+    def outcomes(self) -> List[bool]:
+        """Actual conditional outcomes, in block order."""
+        return [taken for (_, taken, _) in self.conds]
+
+
+class BlockCursor:
+    """Sequential reader producing :class:`ActualBlock` views.
+
+    Materialises the numpy block/record arrays as Python lists once — the
+    engines' hot loops then run on plain ints.
+    """
+
+    def __init__(self, blocks: BlockStream) -> None:
+        trace = blocks.trace
+        self._t_pc = trace.pc.tolist()
+        self._t_kind = trace.kind.tolist()
+        self._t_taken = trace.taken.tolist()
+        self._t_target = trace.target.tolist()
+        self._start = blocks.start.tolist()
+        self._n_instr = blocks.n_instr.tolist()
+        self._exit_kind = blocks.exit_kind.tolist()
+        self._exit_target = blocks.exit_target.tolist()
+        self._first_rec = blocks.first_rec.tolist()
+        self._n_recs = blocks.n_recs.tolist()
+        self.n_blocks = len(self._start)
+
+    def block(self, i: int) -> ActualBlock:
+        """The ``i``-th fetched block."""
+        start = self._start[i]
+        first = self._first_rec[i]
+        conds = []
+        for r in range(first, first + self._n_recs[i]):
+            if self._t_kind[r] == K_COND:
+                conds.append((self._t_pc[r] - start, self._t_taken[r],
+                              self._t_pc[r]))
+        return ActualBlock(start, self._n_instr[i], self._exit_kind[i],
+                           self._exit_target[i], conds)
+
+
+def classify_divergence(pred: BlockPrediction,
+                        actual: ActualBlock) -> Tuple[int, Optional[int]]:
+    """First divergence between a (true-BIT) walk and the actual block.
+
+    Returns ``(MATCH|EARLY_TAKEN|LATE_TAKEN, offset)``.  With correct type
+    information the only possible disagreements are conditional-branch
+    directions, so a divergence is always at a conditional branch.
+    """
+    p = pred.exit_offset
+    a = actual.exit_offset
+    if p == a:
+        return MATCH, p
+    if p is not None and (a is None or p < a):
+        return EARLY_TAKEN, p
+    return LATE_TAKEN, a
+
+
+def target_misfetch_kind(exit_kind: int,
+                         direct_target: int) -> Optional[PenaltyKind]:
+    """Penalty category when a correctly-predicted exit's target is wrong.
+
+    Conditional branches and direct jumps/calls misfetch *immediately*
+    (the real target comes out of decode one cycle later); register-target
+    transfers misfetch *indirectly* (resolved much later).  Returns are
+    handled separately through the RAS.
+    """
+    if exit_kind == K_COND:
+        return PenaltyKind.MISFETCH_IMMEDIATE
+    if exit_kind in (K_JUMP, K_CALL):
+        if direct_target >= 0:
+            return PenaltyKind.MISFETCH_IMMEDIATE
+        return PenaltyKind.MISFETCH_INDIRECT
+    if exit_kind == K_INDIRECT:
+        return PenaltyKind.MISFETCH_INDIRECT
+    return None

@@ -1,0 +1,124 @@
+"""Misprediction penalty model — Table 3 of the paper.
+
+Penalties are cycle counts charged per misprediction event, differentiated
+by the block slot the error affects (block 1 = the pair's first block,
+block 2 = the second) and the selection scheme (single or double).
+
+The table's footnote is modelled by the engines, not here: a conditional
+branch mispredicted *taken* in block 1 costs one extra cycle when valid
+instructions after it must be re-fetched, and a conditional misprediction
+on block 2 always costs the extra cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+#: Selection schemes.
+SINGLE_SELECT = "single"
+DOUBLE_SELECT = "double"
+
+
+class PenaltyKind(enum.Enum):
+    """Misprediction categories of Table 3 (and Figure 9's breakdown)."""
+
+    COND = "mispredict"             #: conditional branch direction
+    RETURN = "return"               #: RAS target wrong
+    MISFETCH_INDIRECT = "misfetch indirect"
+    MISFETCH_IMMEDIATE = "misfetch immediate"
+    MISSELECT = "misselect"         #: select-table selector wrong
+    GHR = "ghr"                     #: select-table GHR-update bits wrong
+    BIT = "bit"                     #: stale separate-BIT-table information
+    BANK_CONFLICT = "bank conflict"
+
+
+#: (scheme, block_slot) -> {kind: cycles}; None means "cannot occur".
+_TABLE3: Dict[Tuple[str, int], Dict[PenaltyKind, Optional[int]]] = {
+    (SINGLE_SELECT, 1): {
+        PenaltyKind.COND: 5,
+        PenaltyKind.RETURN: 4,
+        PenaltyKind.MISFETCH_INDIRECT: 4,
+        PenaltyKind.MISFETCH_IMMEDIATE: 1,
+        PenaltyKind.MISSELECT: None,
+        PenaltyKind.GHR: None,
+        PenaltyKind.BIT: 1,
+        PenaltyKind.BANK_CONFLICT: 0,
+    },
+    (SINGLE_SELECT, 2): {
+        PenaltyKind.COND: 5,
+        PenaltyKind.RETURN: 5,
+        PenaltyKind.MISFETCH_INDIRECT: 5,
+        PenaltyKind.MISFETCH_IMMEDIATE: 2,
+        PenaltyKind.MISSELECT: 1,
+        PenaltyKind.GHR: 1,
+        PenaltyKind.BIT: 1,
+        PenaltyKind.BANK_CONFLICT: 1,
+    },
+    (DOUBLE_SELECT, 1): {
+        PenaltyKind.COND: 5,
+        PenaltyKind.RETURN: 4,
+        PenaltyKind.MISFETCH_INDIRECT: 4,
+        PenaltyKind.MISFETCH_IMMEDIATE: 1,
+        PenaltyKind.MISSELECT: 1,
+        PenaltyKind.GHR: 1,
+        PenaltyKind.BIT: None,
+        PenaltyKind.BANK_CONFLICT: 0,
+    },
+    (DOUBLE_SELECT, 2): {
+        PenaltyKind.COND: 5,
+        PenaltyKind.RETURN: 5,
+        PenaltyKind.MISFETCH_INDIRECT: 5,
+        PenaltyKind.MISFETCH_IMMEDIATE: 2,
+        PenaltyKind.MISSELECT: 2,
+        PenaltyKind.GHR: 2,
+        PenaltyKind.BIT: None,
+        PenaltyKind.BANK_CONFLICT: 1,
+    },
+}
+
+
+def penalty_cycles(scheme: str, block_slot: int, kind: PenaltyKind) -> int:
+    """Cycles charged for ``kind`` affecting ``block_slot`` under ``scheme``.
+
+    Raises :class:`ValueError` for combinations Table 3 marks N/A.
+    """
+    try:
+        cycles = _TABLE3[(scheme, block_slot)][kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown penalty lookup: {scheme!r}, block {block_slot}") \
+            from None
+    if cycles is None:
+        raise ValueError(
+            f"{kind} cannot occur for block {block_slot} under "
+            f"{scheme} selection")
+    return cycles
+
+
+def table3() -> Dict[Tuple[str, int], Dict[PenaltyKind, Optional[int]]]:
+    """A copy of the full penalty table (for docs/tests)."""
+    return {key: dict(val) for key, val in _TABLE3.items()}
+
+
+def penalty_cycles_slot(scheme: str, slot: int, kind: PenaltyKind) -> int:
+    """Penalty for a block in fetch slot ``slot`` of an N-wide group.
+
+    Slots 1 and 2 are Table 3 verbatim.  Beyond that (the Section 5
+    extension to >2 predicted blocks per cycle) penalties extrapolate the
+    table's +1-per-slot pattern: each later slot's verification and
+    re-fetch happen one pipeline stage later, so every penalty that grew
+    by one cycle from block 1 to block 2 keeps growing by one per slot.
+    """
+    if slot < 1:
+        raise ValueError("slot must be >= 1")
+    if slot <= 2:
+        return penalty_cycles(scheme, slot, kind)
+    base1 = _TABLE3[(scheme, 1)][kind]
+    base2 = _TABLE3[(scheme, 2)][kind]
+    if base2 is None:
+        raise ValueError(
+            f"{kind} cannot occur for block {slot} under {scheme} "
+            f"selection")
+    growth = base2 - (base1 if base1 is not None else base2 - 1)
+    return base2 + growth * (slot - 2)

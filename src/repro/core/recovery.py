@@ -1,0 +1,76 @@
+"""Bad branch recovery (BBR) entries — Table 4.
+
+Every in-flight conditional branch is assigned a recovery entry holding
+everything needed to restart fetch in the Table 3 cycle counts: the
+alternate target (the branch target when predicted not-taken; the next
+control transfer or fall-through when predicted taken), a corrected GHR, a
+replacement selector and the counter's "second chance" bit.
+
+The engines can record these entries (``EngineConfig.track_recovery``) so
+tests and examples can inspect the recovery machinery; the paper assumes
+the processor always has enough entries, and so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .selection import Selector
+
+
+@dataclass(frozen=True)
+class RecoveryEntry:
+    """One bad-branch-recovery entry (fields of Table 4).
+
+    Attributes:
+        block_slot: 1 or 2 — which block of the pair held the branch.
+        predicted_taken: the direction the PHT predicted.
+        second_chance: counter was in a strong state, so one misprediction
+            will not flip the stored prediction.
+        pht_index: entry base the prediction came from (to update on
+            resolution).
+        pht_block: optional snapshot of the whole counter block, letting
+            the PHT be repaired with one write instead of
+            read/modify/write per branch.
+        corrected_ghr: GHR value to restore on misprediction.
+        replacement_selector: selector to write into the select table when
+            the branch had no second chance.
+        alternate_target: where to fetch from if the prediction was wrong.
+    """
+
+    block_slot: int
+    predicted_taken: bool
+    second_chance: bool
+    pht_index: int
+    pht_block: Optional[Tuple[int, ...]]
+    corrected_ghr: int
+    replacement_selector: Selector
+    alternate_target: int
+
+    def bits(self, history_length: int = 10, block_width: int = 8,
+             full_address: bool = False) -> int:
+        """Storage cost of this entry per Table 4's field sizes."""
+        return recovery_entry_bits(history_length, block_width,
+                                   include_pht_block=self.pht_block
+                                   is not None,
+                                   full_address=full_address)
+
+
+def recovery_entry_bits(history_length: int = 10, block_width: int = 8,
+                        include_pht_block: bool = True,
+                        full_address: bool = False) -> int:
+    """Bit cost of one BBR entry (Table 4).
+
+    block-1-or-2 (1) + taken (1) + second chance (1) + PHT index (h) +
+    optional PHT block (2B) + corrected GHR (h) + replacement selector
+    (log2(B) + 1 + near bits, ~8) + corrected index or address (10 or 30).
+    """
+    bits = 1 + 1 + 1
+    bits += history_length              # PHT index
+    if include_pht_block:
+        bits += 2 * block_width         # PHT block (optional)
+    bits += history_length              # corrected GHR
+    bits += 8                           # replacement selector
+    bits += 30 if full_address else 10  # corrected i-cache index / address
+    return bits

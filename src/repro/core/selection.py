@@ -1,0 +1,128 @@
+"""Block-exit selection: the BIT + PHT walk and its selector encoding.
+
+"Given the starting position in the line fetched, BIT and PHT block
+information, the instruction fetch control logic uses the instruction type
+information to find the first unconditional branch or conditional branch
+predicted to be taken based on its pattern history." (Section 2)
+
+The end product of a walk is a multiplexer selection — which input supplies
+the next fetch line (Table 1's prediction sources).  That selection, as a
+compact :class:`Selector`, is exactly what the select table stores for
+second-block prediction (Section 3: "predict our prediction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..icache.geometry import CacheGeometry
+from ..isa.program import StaticCode
+from ..predictors.blocked import BlockedPHT
+from ..predictors.ghr import BlockOutcomes, pack_block_outcomes
+from ..targets.bit import BitCode, COND_CODES, encode_window
+
+#: Prediction sources (Table 1's right-hand column, collapsed).
+SRC_FALLTHROUGH = 0   #: sequential next address
+SRC_RAS = 1           #: top of return address stack
+SRC_ARRAY = 2         #: NLS/BTB target array entry
+SRC_NEAR = 3          #: near-block adder (3-bit BIT codes)
+
+#: A selector is (source, exit offset in block, near-block code) — the
+#: multiplexer control the select table stores and verifies.
+Selector = Tuple[int, Optional[int], Optional[int]]
+
+FALLTHROUGH_SELECTOR: Selector = (SRC_FALLTHROUGH, None, None)
+
+
+@dataclass(frozen=True)
+class BlockPrediction:
+    """Outcome of one BIT + PHT walk.
+
+    Attributes:
+        exit_offset: predicted exit position relative to the block start,
+            or None for fall-through at the geometry limit.
+        source: ``SRC_*`` constant naming the next-line prediction source.
+        near_code: the near-block :class:`BitCode` when ``source`` is
+            ``SRC_NEAR``.
+        outcomes: predicted directions of the conditional branches walked,
+            in block order (ending with True when the exit is a taken
+            conditional).
+    """
+
+    exit_offset: Optional[int]
+    source: int
+    near_code: Optional[BitCode]
+    outcomes: Tuple[bool, ...]
+
+    @property
+    def selector(self) -> Selector:
+        """The stored/verified multiplexer selection."""
+        return (self.source, self.exit_offset,
+                int(self.near_code) if self.near_code is not None else None)
+
+    @property
+    def ghr_payload(self) -> BlockOutcomes:
+        """Select-table GHR-update bits implied by this walk."""
+        return pack_block_outcomes(self.outcomes)
+
+
+def walk_block(codes: Sequence[BitCode], start: int, limit: int,
+               pht: BlockedPHT, pht_base: int) -> BlockPrediction:
+    """Walk ``limit`` BIT codes from ``start``, returning the prediction."""
+    outcomes = []
+    for offset in range(limit):
+        code = codes[offset]
+        if code == BitCode.NONBRANCH:
+            continue
+        if code == BitCode.RETURN:
+            return BlockPrediction(offset, SRC_RAS, None, tuple(outcomes))
+        if code == BitCode.OTHER:
+            return BlockPrediction(offset, SRC_ARRAY, None, tuple(outcomes))
+        # Conditional branch: consult the blocked pattern history.
+        position = pht.position(start + offset)
+        if pht.predicts_taken(pht_base, position):
+            outcomes.append(True)
+            if code in COND_CODES and code != BitCode.COND_LONG:
+                return BlockPrediction(offset, SRC_NEAR, code,
+                                       tuple(outcomes))
+            return BlockPrediction(offset, SRC_ARRAY, None, tuple(outcomes))
+        outcomes.append(False)
+    return BlockPrediction(None, SRC_FALLTHROUGH, None, tuple(outcomes))
+
+
+class CodeWindowCache:
+    """Per-line BIT-code cache over a program's static code map.
+
+    Lines repeat heavily in any trace; encoding each once keeps the
+    simulation hot loop cheap.  Also assembles multi-line windows for
+    self-aligned blocks.
+    """
+
+    def __init__(self, static: StaticCode, geometry: CacheGeometry,
+                 near_block: bool) -> None:
+        self._static = static
+        self._geometry = geometry
+        self._near_block = near_block
+        self._lines: Dict[int, Tuple[BitCode, ...]] = {}
+
+    def line_codes(self, line: int) -> Tuple[BitCode, ...]:
+        """True BIT codes of one full cache line."""
+        cached = self._lines.get(line)
+        if cached is None:
+            size = self._geometry.line_size
+            cached = encode_window(self._static, line * size, size, size,
+                                   self._near_block)
+            self._lines[line] = cached
+        return cached
+
+    def window(self, start: int, length: int) -> Tuple[BitCode, ...]:
+        """True BIT codes for ``length`` instructions from ``start``."""
+        size = self._geometry.line_size
+        first_line = start // size
+        offset = start % size
+        codes = self.line_codes(first_line)[offset:offset + length]
+        if len(codes) < length:  # spans into the next line (self-aligned)
+            rest = length - len(codes)
+            codes = codes + self.line_codes(first_line + 1)[:rest]
+        return codes

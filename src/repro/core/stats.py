@@ -1,0 +1,114 @@
+"""Fetch-simulation metrics: BEP, IPC_f, IPB and the penalty breakdown.
+
+The paper's two evaluation metrics (Section 4, after Yeh & Patt [13]):
+
+* **Branch execution penalty**: ``BEP = penalty cycles / branches executed``
+  (all executed control-transfer instructions).
+* **Effective fetch rate**: ``IPC_f = instructions fetched / fetch cycles``,
+  where fetch cycles are the base cycles (one per block, or one per block
+  pair in dual mode) plus every penalty cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .penalties import PenaltyKind
+
+
+@dataclass
+class FetchStats:
+    """Aggregated results of one fetch-engine run."""
+
+    n_blocks: int = 0
+    n_instructions: int = 0
+    n_branches: int = 0      #: executed control transfers (BEP denominator)
+    n_cond: int = 0          #: executed conditional branches
+    base_cycles: int = 0
+    event_counts: Dict[PenaltyKind, int] = field(default_factory=dict)
+    event_cycles: Dict[PenaltyKind, int] = field(default_factory=dict)
+    #: Per-cycle instructions delivered (stall cycles deliver 0); only
+    #: populated when an engine runs with ``record_timeline=True``.
+    #: Feed it to :func:`repro.metrics.issue.simulate_issue`.
+    timeline: Optional[List[int]] = None
+
+    def charge(self, kind: PenaltyKind, cycles: int) -> None:
+        """Record one penalty event costing ``cycles``."""
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        self.event_cycles[kind] = self.event_cycles.get(kind, 0) + cycles
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def penalty_cycles(self) -> int:
+        """Total penalty cycles across all categories."""
+        return sum(self.event_cycles.values())
+
+    @property
+    def fetch_cycles(self) -> int:
+        """Base plus penalty cycles."""
+        return self.base_cycles + self.penalty_cycles
+
+    @property
+    def ipc_f(self) -> float:
+        """Effective instruction fetch rate."""
+        return self.n_instructions / self.fetch_cycles \
+            if self.fetch_cycles else 0.0
+
+    @property
+    def bep(self) -> float:
+        """Branch execution penalty (cycles per executed branch)."""
+        return self.penalty_cycles / self.n_branches if self.n_branches \
+            else 0.0
+
+    @property
+    def ipb(self) -> float:
+        """Instructions per fetched block."""
+        return self.n_instructions / self.n_blocks if self.n_blocks else 0.0
+
+    def bep_component(self, kind: PenaltyKind) -> float:
+        """BEP contribution of one penalty category (Figure 9's stacks)."""
+        if not self.n_branches:
+            return 0.0
+        return self.event_cycles.get(kind, 0) / self.n_branches
+
+    def bep_share(self, kind: PenaltyKind) -> float:
+        """Fraction of total BEP due to ``kind`` (Table 5's %BEP columns)."""
+        total = self.penalty_cycles
+        if not total:
+            return 0.0
+        return self.event_cycles.get(kind, 0) / total
+
+    @property
+    def cond_misprediction_rate(self) -> float:
+        """Penalised conditional mispredictions per executed conditional.
+
+        Note: this counts fetch-redirecting mispredictions (at most one per
+        block); per-branch accuracy studies use
+        :mod:`repro.predictors.evaluate`.
+        """
+        if not self.n_cond:
+            return 0.0
+        return self.event_counts.get(PenaltyKind.COND, 0) / self.n_cond
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"blocks {self.n_blocks}, instructions {self.n_instructions}, "
+            f"branches {self.n_branches} (cond {self.n_cond})",
+            f"cycles: base {self.base_cycles} + penalty "
+            f"{self.penalty_cycles} = {self.fetch_cycles}",
+            f"IPB {self.ipb:.2f}   IPC_f {self.ipc_f:.2f}   "
+            f"BEP {self.bep:.3f}",
+        ]
+        for kind in PenaltyKind:
+            count = self.event_counts.get(kind, 0)
+            if count:
+                lines.append(
+                    f"  {kind.value:<18s} {count:8d} events "
+                    f"{self.event_cycles.get(kind, 0):8d} cycles "
+                    f"({100.0 * self.bep_share(kind):5.1f}% of BEP)")
+        return "\n".join(lines)

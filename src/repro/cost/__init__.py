@@ -1,0 +1,29 @@
+"""Hardware storage cost model (Section 5 / Table 7)."""
+
+from .estimates import (
+    CostBreakdown,
+    CostConfig,
+    bbr_bits,
+    bit_bits,
+    dual_block_double_select_cost,
+    dual_block_single_select_cost,
+    multi_block_cost,
+    nls_bits,
+    pht_bits,
+    select_table_bits,
+    single_block_cost,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "CostConfig",
+    "bbr_bits",
+    "bit_bits",
+    "dual_block_double_select_cost",
+    "dual_block_single_select_cost",
+    "multi_block_cost",
+    "nls_bits",
+    "pht_bits",
+    "select_table_bits",
+    "single_block_cost",
+]

@@ -1,0 +1,151 @@
+"""Hardware cost estimates — Section 5 / Table 7.
+
+Symbols (Table 7): ``B`` block width, ``h`` history register length,
+``p`` number of PHTs, ``s`` number of select tables, ``e`` NLS block
+entries, ``L`` line-index bits, ``a`` cache associativity, ``r`` BBR
+entries, ``t`` BIT block entries.
+
+The paper's worked example (32 KByte direct-mapped i-cache, B=8, h=10,
+1 PHT, 1 ST, 256 NLS entries, 1024 BIT entries, 8 BBR entries) evaluates
+to PHT 16 Kbit, ST 8 Kbit, NLS 20 Kbit, BIT 16 Kbit, BBR ~0.3 Kbit —
+52 Kbit for a single-block mechanism, 80 Kbit dual-block single-select,
+72 Kbit dual-block double-select.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.recovery import recovery_entry_bits
+
+KBIT = 1024
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Parameters of the cost model (defaults = the paper's example)."""
+
+    block_width: int = 8          # B
+    history_length: int = 10      # h
+    n_phts: int = 1               # p
+    n_select_tables: int = 1      # s
+    nls_entries: int = 256        # e
+    line_index_bits: int = 10     # L (32KB direct-mapped cache, 32B lines)
+    associativity: int = 1        # a
+    n_bbr_entries: int = 8        # r
+    bit_entries: int = 1024       # t
+
+
+def pht_bits(config: CostConfig) -> int:
+    """Blocked PHT: ``2 * B * 2**h * p`` bits."""
+    return (2 * config.block_width * (1 << config.history_length)
+            * config.n_phts)
+
+
+def select_table_bits(config: CostConfig, dual: bool = False) -> int:
+    """Select table: ~8 bits/entry (selector + GHR payload) per ST.
+
+    A dual (double-selection) ST stores both selections: twice the payload.
+    """
+    per_entry = 16 if dual else 8
+    return per_entry * (1 << config.history_length) * config.n_select_tables
+
+
+def nls_bits(config: CostConfig, dual: bool = False) -> int:
+    """NLS target array: ``e * B * L`` bits; a dual array doubles it."""
+    single = (config.nls_entries * config.block_width
+              * config.line_index_bits)
+    return 2 * single if dual else single
+
+
+def bit_bits(config: CostConfig) -> int:
+    """BIT table: 2 bits per instruction per block entry."""
+    return 2 * config.block_width * config.bit_entries
+
+
+def bbr_bits(config: CostConfig) -> int:
+    """Bad-branch-recovery storage: ``r`` entries of Table 4's fields."""
+    return config.n_bbr_entries * recovery_entry_bits(
+        config.history_length, config.block_width,
+        include_pht_block=True, full_address=False)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-table bit costs for one mechanism configuration."""
+
+    name: str
+    components: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of all component costs."""
+        return sum(self.components.values())
+
+    @property
+    def total_kbits(self) -> float:
+        """Total in Kbits (Table 7's unit)."""
+        return self.total_bits / KBIT
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for table, bits in self.components.items():
+            lines.append(f"  {table:<6s} {bits / KBIT:6.1f} Kbits")
+        lines.append(f"  {'total':<6s} {self.total_kbits:6.1f} Kbits")
+        return "\n".join(lines)
+
+
+def single_block_cost(config: CostConfig = CostConfig()) -> CostBreakdown:
+    """Section 5's single-block mechanism (PHT + NLS + BIT + BBR)."""
+    return CostBreakdown("single block", {
+        "PHT": pht_bits(config),
+        "NLS": nls_bits(config),
+        "BIT": bit_bits(config),
+        "BBR": bbr_bits(config),
+    })
+
+
+def dual_block_single_select_cost(
+        config: CostConfig = CostConfig()) -> CostBreakdown:
+    """Dual block, single selection: adds an ST and a second target array."""
+    return CostBreakdown("dual block, single select", {
+        "PHT": pht_bits(config),
+        "ST": select_table_bits(config),
+        "NLS": nls_bits(config, dual=True),
+        "BIT": bit_bits(config),
+        "BBR": bbr_bits(config),
+    })
+
+
+def dual_block_double_select_cost(
+        config: CostConfig = CostConfig()) -> CostBreakdown:
+    """Dual block, double selection: dual ST, no BIT storage at all."""
+    return CostBreakdown("dual block, double select", {
+        "PHT": pht_bits(config),
+        "ST": select_table_bits(config, dual=True),
+        "NLS": nls_bits(config, dual=True),
+        "BBR": bbr_bits(config),
+    })
+
+
+def multi_block_cost(n_blocks: int,
+                     config: CostConfig = CostConfig()) -> CostBreakdown:
+    """Extrapolation to >2 predicted blocks per cycle (Section 5).
+
+    "Another block prediction basically requires another select table and
+    target array, and another read/write port to the PHT and BIT tables."
+    Ports are not storage; the storage cost grows by one ST plus one
+    target array per extra block.
+    """
+    if n_blocks < 1:
+        raise ValueError("n_blocks must be positive")
+    components = {
+        "PHT": pht_bits(config),
+        "BIT": bit_bits(config),
+        "BBR": bbr_bits(config),
+        "NLS": nls_bits(config) * n_blocks,
+    }
+    if n_blocks > 1:
+        components["ST"] = select_table_bits(config) * (n_blocks - 1)
+    return CostBreakdown(f"{n_blocks}-block, single select", components)

@@ -1,0 +1,5 @@
+"""Functional CPU: interpreter and trace capture for the tiny ISA."""
+
+from .machine import Machine, MachineError, RunResult, run_program
+
+__all__ = ["Machine", "MachineError", "RunResult", "run_program"]

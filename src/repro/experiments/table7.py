@@ -1,0 +1,39 @@
+"""Table 7 / Section 5 — hardware cost estimates.
+
+A thin wrapper over :mod:`repro.cost` producing the paper's worked example
+(52 / 80 / 72 Kbit totals) and the >2-block extrapolation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cost import (
+    CostBreakdown,
+    CostConfig,
+    dual_block_double_select_cost,
+    dual_block_single_select_cost,
+    multi_block_cost,
+    single_block_cost,
+)
+
+
+def run_table7(config: CostConfig = CostConfig()) -> List[CostBreakdown]:
+    """The three Section 5 configurations under ``config``."""
+    return [
+        single_block_cost(config),
+        dual_block_single_select_cost(config),
+        dual_block_double_select_cost(config),
+    ]
+
+
+def run_multi_block_extrapolation(max_blocks: int = 4,
+                                  config: CostConfig = CostConfig()
+                                  ) -> List[CostBreakdown]:
+    """Storage growth when predicting 1..max_blocks blocks per cycle."""
+    return [multi_block_cost(n, config) for n in range(1, max_blocks + 1)]
+
+
+def format_table7(breakdowns: List[CostBreakdown]) -> str:
+    """Render cost breakdowns as stacked component lists."""
+    return "\n\n".join(str(b) for b in breakdowns)

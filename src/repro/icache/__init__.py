@@ -1,0 +1,13 @@
+"""Instruction-cache model: geometry (normal/extended/self-aligned), banks."""
+
+from .banks import block_lines, blocks_conflict
+from .geometry import EXTENDED, NORMAL, SELF_ALIGNED, CacheGeometry
+
+__all__ = [
+    "CacheGeometry",
+    "EXTENDED",
+    "NORMAL",
+    "SELF_ALIGNED",
+    "block_lines",
+    "blocks_conflict",
+]

@@ -1,0 +1,51 @@
+"""Bank-conflict model for multi-block fetching.
+
+"Since multiple blocks are being fetched using different cache lines, a
+multiple banked instruction cache is required.  Since two lines are fetched
+simultaneously, they may map into the same cache bank.  Should a conflict
+arise, the second line is read the next cycle."  (Section 3.3)
+
+The paper's defaults: 8 banks for normal/extended caches, 16 for the
+self-aligned cache (which reads up to four lines per pair).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .geometry import CacheGeometry
+
+
+def blocks_conflict(geometry: CacheGeometry,
+                    first_lines: Sequence[int],
+                    second_lines: Sequence[int]) -> bool:
+    """True when the two blocks' line fetches collide on a bank.
+
+    The second block stalls a cycle (Table 3: i-cache bank conflict,
+    0 for block 1 / 1 for block 2) when one of its lines needs a bank one
+    of the first block's *distinct* lines occupies, or when the second
+    block itself needs two lines on the same bank (self-aligned wrap).
+
+    A line shared by both blocks is read once and feeds both, so identical
+    lines never conflict — the common case of two fetch blocks landing in
+    the same cache line costs nothing extra.
+    """
+    first_set = set(first_lines)
+    banks_first = {geometry.bank_of_line(line) for line in first_set}
+    seen_lines = set()
+    banks_second = set()
+    for line in second_lines:
+        if line in first_set or line in seen_lines:
+            continue  # already being read this cycle
+        bank = geometry.bank_of_line(line)
+        if bank in banks_first or bank in banks_second:
+            return True
+        seen_lines.add(line)
+        banks_second.add(bank)
+    return False
+
+
+def block_lines(geometry: CacheGeometry, start: int, n_instr: int
+                ) -> Sequence[int]:
+    """Lines a block fetch reads (delegates to the geometry)."""
+    return geometry.lines_for_block(start, n_instr)

@@ -1,0 +1,22 @@
+"""Tiny load/store RISC ISA: opcodes, assembler, builder DSL, programs."""
+
+from .assembler import Assembler, AssemblyError
+from .builder import BuilderError, ProgramBuilder
+from .instructions import Instruction
+from .kinds import InstrKind, classify_op
+from .opcodes import Op, parse_register
+from .program import Program, StaticCode
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "BuilderError",
+    "Instruction",
+    "InstrKind",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "StaticCode",
+    "classify_op",
+    "parse_register",
+]

@@ -1,0 +1,303 @@
+"""Two-pass assembler for the tiny RISC ISA.
+
+The assembler accumulates instructions and labels, then resolves symbolic
+branch/jump targets to absolute instruction addresses in
+:meth:`Assembler.assemble`.  Each control-transfer mnemonic is exposed as a
+method so workload programs read like assembly listings::
+
+    asm = Assembler()
+    asm.li("r4", 0)
+    asm.label("loop")
+    asm.addi("r4", "r4", 1)
+    asm.blt("r4", "r5", "loop")
+    asm.halt()
+    program = asm.assemble(name="count")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .instructions import Instruction
+from .opcodes import (
+    COND_BRANCH_OPS,
+    DIRECT_JUMP_OPS,
+    Op,
+    parse_register,
+)
+from .program import Program
+
+
+class AssemblyError(Exception):
+    """Raised for malformed programs (duplicate/undefined labels, ...)."""
+
+
+class Assembler:
+    """Accumulates instructions and resolves labels into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._entry_label: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Core emission
+    # ------------------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        """Address of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current address."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label: {name!r}")
+        self._labels[name] = self.here
+
+    def has_label(self, name: str) -> bool:
+        """True when ``name`` has already been defined."""
+        return name in self._labels
+
+    def entry(self, name: str) -> None:
+        """Mark label ``name`` as the program entry point."""
+        self._entry_label = name
+
+    def emit(self, inst: Instruction) -> None:
+        """Append a raw :class:`Instruction`."""
+        self._instructions.append(inst)
+
+    def unique_label(self, stem: str) -> str:
+        """Return a fresh label name derived from ``stem``."""
+        n = 0
+        while f"{stem}__{n}" in self._labels:
+            n += 1
+        # Reserve it so subsequent calls with the same stem differ even
+        # before the label is placed.
+        name = f"{stem}__{n}"
+        self._labels[name] = -1
+        return name
+
+    def place(self, name: str) -> None:
+        """Place a label previously reserved by :meth:`unique_label`."""
+        if self._labels.get(name, None) != -1:
+            raise AssemblyError(f"label not reserved or already placed: {name!r}")
+        self._labels[name] = self.here
+
+    # ------------------------------------------------------------------
+    # ALU mnemonics
+    # ------------------------------------------------------------------
+
+    def _alu_rr(self, op: Op, rd, rs1, rs2) -> None:
+        self.emit(Instruction(op, rd=parse_register(rd),
+                              rs1=parse_register(rs1), rs2=parse_register(rs2)))
+
+    def _alu_ri(self, op: Op, rd, rs1, imm: int) -> None:
+        self.emit(Instruction(op, rd=parse_register(rd),
+                              rs1=parse_register(rs1), imm=int(imm)))
+
+    def add(self, rd, rs1, rs2):
+        """``rd <- rs1 + rs2``"""
+        self._alu_rr(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        """``rd <- rs1 - rs2``"""
+        self._alu_rr(Op.SUB, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        """``rd <- rs1 * rs2`` (wraps to 64 bits)"""
+        self._alu_rr(Op.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        """``rd <- rs1 / rs2`` (truncating; faults on zero)"""
+        self._alu_rr(Op.DIV, rd, rs1, rs2)
+
+    def mod(self, rd, rs1, rs2):
+        """``rd <- rs1 mod rs2`` (C semantics; faults on zero)"""
+        self._alu_rr(Op.MOD, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        """``rd <- rs1 & rs2``"""
+        self._alu_rr(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        """``rd <- rs1 | rs2``"""
+        self._alu_rr(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        """``rd <- rs1 ^ rs2``"""
+        self._alu_rr(Op.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        """``rd <- rs1 << (rs2 & 63)``"""
+        self._alu_rr(Op.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        """``rd <- rs1 >>_logical (rs2 & 63)``"""
+        self._alu_rr(Op.SRL, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        """``rd <- 1 if rs1 < rs2 else 0``"""
+        self._alu_rr(Op.SLT, rd, rs1, rs2)
+
+    def seq(self, rd, rs1, rs2):
+        """``rd <- 1 if rs1 == rs2 else 0``"""
+        self._alu_rr(Op.SEQ, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm):
+        """``rd <- rs1 + imm``"""
+        self._alu_ri(Op.ADDI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        """``rd <- rs1 & imm``"""
+        self._alu_ri(Op.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        """``rd <- rs1 | imm``"""
+        self._alu_ri(Op.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        """``rd <- rs1 ^ imm``"""
+        self._alu_ri(Op.XORI, rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm):
+        """``rd <- rs1 << (imm & 63)``"""
+        self._alu_ri(Op.SLLI, rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm):
+        """``rd <- rs1 >>_logical (imm & 63)``"""
+        self._alu_ri(Op.SRLI, rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm):
+        """``rd <- 1 if rs1 < imm else 0``"""
+        self._alu_ri(Op.SLTI, rd, rs1, imm)
+
+    def muli(self, rd, rs1, imm):
+        """``rd <- rs1 * imm`` (wraps to 64 bits)"""
+        self._alu_ri(Op.MULI, rd, rs1, imm)
+
+    def li(self, rd, imm):
+        """``rd <- imm``"""
+        self.emit(Instruction(Op.LI, rd=parse_register(rd), imm=int(imm)))
+
+    def mv(self, rd, rs1):
+        """Pseudo-op: copy ``rs1`` into ``rd``."""
+        self.addi(rd, rs1, 0)
+
+    def nop(self):
+        """No operation."""
+        self.emit(Instruction(Op.NOP))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def ld(self, rd, rs1, imm=0):
+        """``rd <- mem[rs1 + imm]``"""
+        self.emit(Instruction(Op.LD, rd=parse_register(rd),
+                              rs1=parse_register(rs1), imm=int(imm)))
+
+    def st(self, rs2, rs1, imm=0):
+        """``mem[rs1 + imm] <- rs2``"""
+        self.emit(Instruction(Op.ST, rs2=parse_register(rs2),
+                              rs1=parse_register(rs1), imm=int(imm)))
+
+    # ------------------------------------------------------------------
+    # Control transfer
+    # ------------------------------------------------------------------
+
+    def _branch(self, op: Op, rs1, rs2, target: Union[str, int]) -> None:
+        self.emit(Instruction(op, rs1=parse_register(rs1),
+                              rs2=parse_register(rs2), target=target))
+
+    def beq(self, rs1, rs2, target):
+        """Branch to ``target`` when ``rs1 == rs2``."""
+        self._branch(Op.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target):
+        """Branch to ``target`` when ``rs1 != rs2``."""
+        self._branch(Op.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target):
+        """Branch to ``target`` when ``rs1 < rs2``."""
+        self._branch(Op.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target):
+        """Branch to ``target`` when ``rs1 >= rs2``."""
+        self._branch(Op.BGE, rs1, rs2, target)
+
+    def ble(self, rs1, rs2, target):
+        """Branch to ``target`` when ``rs1 <= rs2``."""
+        self._branch(Op.BLE, rs1, rs2, target)
+
+    def bgt(self, rs1, rs2, target):
+        """Branch to ``target`` when ``rs1 > rs2``."""
+        self._branch(Op.BGT, rs1, rs2, target)
+
+    def branch(self, op: Op, rs1, rs2, target):
+        """Emit an arbitrary conditional-branch opcode."""
+        if op not in COND_BRANCH_OPS:
+            raise AssemblyError(f"not a conditional branch: {op}")
+        self._branch(op, rs1, rs2, target)
+
+    def j(self, target):
+        """Unconditional direct jump to ``target``."""
+        self.emit(Instruction(Op.J, target=target))
+
+    def jal(self, target):
+        """Direct call: jumps to ``target`` and writes PC+1 into ``ra``."""
+        self.emit(Instruction(Op.JAL, rd=1, target=target))
+
+    def jr(self, rs1):
+        """Indirect jump to the address in ``rs1``."""
+        self.emit(Instruction(Op.JR, rs1=parse_register(rs1)))
+
+    def jalr(self, rs1):
+        """Indirect call through ``rs1``; writes PC+1 into ``ra``."""
+        self.emit(Instruction(Op.JALR, rd=1, rs1=parse_register(rs1)))
+
+    def ret(self):
+        """Return through the link register (classified as a return)."""
+        self.emit(Instruction(Op.RET, rs1=1))
+
+    def halt(self):
+        """Stop execution and terminate the trace."""
+        self.emit(Instruction(Op.HALT))
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def assemble(self, data_size: int = 4096, name: str = "") -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        unplaced = [k for k, v in self._labels.items() if v < 0]
+        if unplaced:
+            raise AssemblyError(f"reserved labels never placed: {unplaced}")
+        resolved: List[Instruction] = []
+        for pc, inst in enumerate(self._instructions):
+            if inst.op in COND_BRANCH_OPS or inst.op in DIRECT_JUMP_OPS:
+                target = inst.target
+                if isinstance(target, str):
+                    if target not in self._labels:
+                        raise AssemblyError(
+                            f"undefined label {target!r} at address {pc}")
+                    addr = self._labels[target]
+                else:
+                    addr = int(target)
+                if not 0 <= addr < len(self._instructions):
+                    raise AssemblyError(
+                        f"target {addr} out of range at address {pc}")
+                resolved.append(
+                    Instruction(inst.op, rd=inst.rd, rs1=inst.rs1,
+                                rs2=inst.rs2, imm=addr, target=addr))
+            else:
+                resolved.append(inst)
+        entry = 0
+        if self._entry_label is not None:
+            if self._entry_label not in self._labels:
+                raise AssemblyError(
+                    f"undefined entry label {self._entry_label!r}")
+            entry = self._labels[self._entry_label]
+        return Program(instructions=resolved, entry=entry,
+                       data_size=data_size, labels=dict(self._labels),
+                       name=name)

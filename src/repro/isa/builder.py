@@ -1,0 +1,284 @@
+"""Structured-programming layer over the :class:`~repro.isa.assembler.Assembler`.
+
+Workload programs (the SPEC95 analogs) are written against this DSL: it
+provides functions with call/return linkage, ``while``/``if``/``for``
+constructs and a small stack, all of which lower to plain ISA instructions.
+Nothing here is visible to the predictors — they only ever see the resulting
+dynamic instruction stream.
+
+Register conventions:
+
+* ``r0``  — hardwired zero.
+* ``r1``  — ``ra``, link register (written by ``jal``/``jalr``).
+* ``r2``  — ``sp``, stack pointer (grows downward in data memory).
+* ``r3``–``r28`` — free for workload use.
+* ``r29``–``r31`` — builder scratch; clobbered by DSL constructs.
+
+Example::
+
+    b = ProgramBuilder(name="demo", data_size=1 << 14)
+    with b.function("main"):
+        b.asm.li("r4", 0)
+        with b.for_range("r5", 0, 100):
+            b.asm.add("r4", "r4", "r5")
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .assembler import Assembler, AssemblyError
+from .opcodes import CONDITION_TO_BRANCH, INVERTED_BRANCH
+from .program import Program
+
+#: Builder scratch registers (documented as clobbered by DSL constructs).
+SCRATCH0 = 29
+SCRATCH1 = 30
+SCRATCH2 = 31
+
+
+class BuilderError(Exception):
+    """Raised when DSL constructs are misused (e.g. stray ``otherwise``)."""
+
+
+class _IfElse:
+    """Handle returned by :meth:`ProgramBuilder.if_else`."""
+
+    def __init__(self, builder: "ProgramBuilder", else_label: str,
+                 end_label: str) -> None:
+        self._builder = builder
+        self._else_label = else_label
+        self._end_label = end_label
+        self._taken = False
+
+    def otherwise(self) -> None:
+        """Switch from the then-body to the else-body."""
+        if self._taken:
+            raise BuilderError("otherwise() called twice")
+        self._taken = True
+        asm = self._builder.asm
+        asm.j(self._end_label)
+        asm.place(self._else_label)
+
+    def _finish(self) -> None:
+        asm = self._builder.asm
+        if not self._taken:
+            asm.place(self._else_label)
+            # No else-body: end label coincides with else label.
+            self._builder._alias_label(self._end_label, asm.here)
+        else:
+            asm.place(self._end_label)
+
+
+class ProgramBuilder:
+    """Builds a complete program with a ``main`` function entry point."""
+
+    def __init__(self, name: str = "", data_size: int = 1 << 14,
+                 stack_words: int = 1 << 10) -> None:
+        if stack_words >= data_size:
+            raise BuilderError("stack does not fit in data memory")
+        self.asm = Assembler()
+        self.name = name
+        self.data_size = data_size
+        self._stack_top = data_size  # sp pre-decrements, so top == size
+        self._built: Optional[Program] = None
+        self._in_function = False
+        # Startup stub: set up sp, call main, halt.
+        self.asm.label("_start")
+        self.asm.entry("_start")
+        self.asm.li("sp", self._stack_top)
+        self.asm.jal("main")
+        self.asm.halt()
+
+    # ------------------------------------------------------------------
+    # Label plumbing
+    # ------------------------------------------------------------------
+
+    def _alias_label(self, name: str, addr: int) -> None:
+        """Point a reserved label at ``addr`` (used by if/else lowering)."""
+        if self.asm._labels.get(name, None) != -1:
+            raise AssemblyError(f"label not reserved: {name!r}")
+        self.asm._labels[name] = addr
+
+    # ------------------------------------------------------------------
+    # Functions and calls
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def function(self, name: str, leaf: bool = False) -> Iterator[None]:
+        """Define function ``name``.
+
+        Non-leaf functions save/restore ``ra`` on the stack so nested calls
+        work.  The body must fall through to the epilogue (use
+        :meth:`return_` for early exits).
+        """
+        if self._in_function:
+            raise BuilderError("nested function definitions are not allowed")
+        self._in_function = True
+        self.asm.label(name)
+        self._epilogue_label = self.asm.unique_label(f"{name}__epilogue")
+        self._leaf = leaf
+        if not leaf:
+            self.push("ra")
+        try:
+            yield
+        finally:
+            self.asm.place(self._epilogue_label)
+            if not leaf:
+                self.pop("ra")
+            self.asm.ret()
+            self._in_function = False
+
+    def return_(self) -> None:
+        """Early return: jump to the function epilogue."""
+        if not self._in_function:
+            raise BuilderError("return_ outside a function")
+        self.asm.j(self._epilogue_label)
+
+    def call(self, name: str) -> None:
+        """Direct call to function ``name``."""
+        self.asm.jal(name)
+
+    def call_indirect(self, reg) -> None:
+        """Indirect call through a register holding a function address."""
+        self.asm.jalr(reg)
+
+    # ------------------------------------------------------------------
+    # Stack
+    # ------------------------------------------------------------------
+
+    def push(self, reg) -> None:
+        """Push ``reg`` onto the data-memory stack."""
+        self.asm.addi("sp", "sp", -1)
+        self.asm.st(reg, "sp", 0)
+
+    def pop(self, reg) -> None:
+        """Pop the top of stack into ``reg``."""
+        self.asm.ld(reg, "sp", 0)
+        self.asm.addi("sp", "sp", 1)
+
+    # ------------------------------------------------------------------
+    # Structured control flow
+    # ------------------------------------------------------------------
+
+    def _cond_branch(self, cond: str, rs1, rs2, target: str,
+                     invert: bool) -> None:
+        try:
+            op = CONDITION_TO_BRANCH[cond]
+        except KeyError:
+            raise BuilderError(f"unknown condition {cond!r}") from None
+        if invert:
+            op = INVERTED_BRANCH[op]
+        self.asm.branch(op, rs1, rs2, target)
+
+    @contextmanager
+    def while_(self, cond: str, rs1, rs2) -> Iterator[None]:
+        """``while rs1 <cond> rs2:`` loop."""
+        top = self.asm.unique_label("while_top")
+        end = self.asm.unique_label("while_end")
+        self.asm.place(top)
+        self._cond_branch(cond, rs1, rs2, end, invert=True)
+        yield
+        self.asm.j(top)
+        self.asm.place(end)
+
+    @contextmanager
+    def do_while(self, cond: str, rs1, rs2) -> Iterator[None]:
+        """Body executes at least once; loops while the condition holds."""
+        top = self.asm.unique_label("dowhile_top")
+        self.asm.place(top)
+        yield
+        self._cond_branch(cond, rs1, rs2, top, invert=False)
+
+    @contextmanager
+    def if_(self, cond: str, rs1, rs2) -> Iterator[None]:
+        """Execute the body when ``rs1 <cond> rs2`` holds."""
+        end = self.asm.unique_label("if_end")
+        self._cond_branch(cond, rs1, rs2, end, invert=True)
+        yield
+        self.asm.place(end)
+
+    @contextmanager
+    def if_else(self, cond: str, rs1, rs2) -> Iterator[_IfElse]:
+        """``if/else``; call ``.otherwise()`` on the yielded handle."""
+        else_label = self.asm.unique_label("else")
+        end_label = self.asm.unique_label("ifelse_end")
+        self._cond_branch(cond, rs1, rs2, else_label, invert=True)
+        handle = _IfElse(self, else_label, end_label)
+        yield handle
+        handle._finish()
+
+    @contextmanager
+    def for_range(self, counter, start: int, stop: int,
+                  step: int = 1) -> Iterator[None]:
+        """Counted loop: ``for counter in range(start, stop, step)``.
+
+        Lowered in rotated (do-while) form, the way optimising compilers
+        emit counted loops: an entry guard plus a *taken* backward
+        conditional branch per iteration.  This matters for trace realism —
+        loop back-edges dominate the taken-conditional population of real
+        programs.  The bound lives in scratch register ``r31`` but is
+        reloaded every iteration, so bodies and nested loops may clobber it.
+        """
+        if step == 0:
+            raise BuilderError("zero step")
+        self.asm.li(counter, start)
+        top = self.asm.unique_label("for_top")
+        end = self.asm.unique_label("for_end")
+        self.asm.li(SCRATCH2, stop)
+        if step > 0:
+            self.asm.bge(counter, SCRATCH2, end)  # entry guard
+        else:
+            self.asm.ble(counter, SCRATCH2, end)
+        self.asm.place(top)
+        yield
+        self.asm.addi(counter, counter, step)
+        self.asm.li(SCRATCH2, stop)
+        if step > 0:
+            self.asm.blt(counter, SCRATCH2, top)  # taken back-edge
+        else:
+            self.asm.bgt(counter, SCRATCH2, top)
+        self.asm.place(end)
+
+    @contextmanager
+    def for_reg(self, counter, start: int, stop_reg) -> Iterator[None]:
+        """Counted loop with a register bound (do-while form).
+
+        The body must not clobber ``stop_reg``.
+        """
+        self.asm.li(counter, start)
+        top = self.asm.unique_label("forreg_top")
+        end = self.asm.unique_label("forreg_end")
+        self.asm.bge(counter, stop_reg, end)  # entry guard
+        self.asm.place(top)
+        yield
+        self.asm.addi(counter, counter, 1)
+        self.asm.blt(counter, stop_reg, top)  # taken back-edge
+        self.asm.place(end)
+
+    # ------------------------------------------------------------------
+    # Small code-generation helpers used across workloads
+    # ------------------------------------------------------------------
+
+    def lcg_step(self, state_reg, tmp=SCRATCH0) -> None:
+        """Advance a 31-bit linear-congruential PRNG held in ``state_reg``.
+
+        ``state = (state * 1103515245 + 12345) mod 2**31``.  Deterministic
+        pseudo-random data keeps the workloads reproducible without any
+        external input files.
+        """
+        self.asm.muli(state_reg, state_reg, 1103515245)
+        self.asm.addi(state_reg, state_reg, 12345)
+        self.asm.li(tmp, (1 << 31) - 1)
+        self.asm.and_(state_reg, state_reg, tmp)
+
+    def build(self) -> Program:
+        """Assemble and return the finished program."""
+        if not self.asm.has_label("main"):
+            raise BuilderError("program must define a 'main' function")
+        if self._built is None:
+            self._built = self.asm.assemble(data_size=self.data_size,
+                                            name=self.name)
+        return self._built

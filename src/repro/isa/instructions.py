@@ -1,0 +1,75 @@
+"""Instruction representation for the tiny RISC ISA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .opcodes import (
+    COND_BRANCH_OPS,
+    CONTROL_OPS,
+    DIRECT_JUMP_OPS,
+    INDIRECT_OPS,
+    Op,
+)
+
+#: A branch target may be a symbolic label before assembly or an absolute
+#: instruction address afterwards.
+Target = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single machine instruction.
+
+    Fields that an opcode does not use are left at their defaults; the
+    assembler validates usage.  After assembly, ``imm`` holds the absolute
+    target address for control-transfer opcodes with direct targets.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: Optional[Target] = None
+
+    @property
+    def is_control(self) -> bool:
+        """True when this instruction may redirect the PC."""
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_cond_branch(self) -> bool:
+        """True for conditional branches."""
+        return self.op in COND_BRANCH_OPS
+
+    @property
+    def is_direct_jump(self) -> bool:
+        """True for ``J``/``JAL`` (assembly-time target)."""
+        return self.op in DIRECT_JUMP_OPS
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for register-target transfers (``JR``/``JALR``/``RET``)."""
+        return self.op in INDIRECT_OPS
+
+    def __str__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.op in COND_BRANCH_OPS:
+            parts.append(f"r{self.rs1}, r{self.rs2}, {self.target!r}")
+        elif self.op in DIRECT_JUMP_OPS:
+            parts.append(f"{self.target!r}")
+        elif self.op in (Op.JR, Op.JALR):
+            parts.append(f"r{self.rs1}")
+        elif self.op is Op.LD:
+            parts.append(f"r{self.rd}, {self.imm}(r{self.rs1})")
+        elif self.op is Op.ST:
+            parts.append(f"r{self.rs2}, {self.imm}(r{self.rs1})")
+        elif self.op is Op.LI:
+            parts.append(f"r{self.rd}, {self.imm}")
+        elif self.op in (Op.RET, Op.NOP, Op.HALT):
+            pass
+        else:
+            parts.append(f"r{self.rd}, r{self.rs1}, r{self.rs2}/{self.imm}")
+        return " ".join(parts)

@@ -1,0 +1,57 @@
+"""Dynamic instruction classification shared by the tracer and predictors.
+
+The fetch-prediction hardware in the paper distinguishes instructions by how
+they can redirect the PC (Table 1).  :class:`InstrKind` is that taxonomy; it
+is used both for the *static* per-address code map (what the BIT table would
+be built from) and for the *dynamic* trace records.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .opcodes import Op
+
+
+class InstrKind(enum.IntEnum):
+    """Control-flow classification of one instruction."""
+
+    NONBRANCH = 0
+    COND = 1      #: conditional branch
+    JUMP = 2      #: direct unconditional jump
+    CALL = 3      #: direct or indirect call (pushes a return address)
+    RETURN = 4    #: return through the link register
+    INDIRECT = 5  #: indirect jump that is not a call or return
+    HALT = 6      #: end of program (terminates the trace)
+
+
+#: Kinds that transfer control when "taken".  Conditional branches transfer
+#: only when taken; the others always do.
+TRANSFER_KINDS = frozenset(
+    {InstrKind.COND, InstrKind.JUMP, InstrKind.CALL,
+     InstrKind.RETURN, InstrKind.INDIRECT}
+)
+
+#: Kinds whose target comes from a register (unknown at assembly time).
+INDIRECT_KINDS = frozenset({InstrKind.RETURN, InstrKind.INDIRECT})
+
+
+def classify_op(op: Op) -> InstrKind:
+    """Map an opcode to its :class:`InstrKind`.
+
+    ``JALR`` is classified as a call (it writes the link register), ``RET``
+    as a return, ``JR`` as a generic indirect jump.
+    """
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT):
+        return InstrKind.COND
+    if op is Op.J:
+        return InstrKind.JUMP
+    if op in (Op.JAL, Op.JALR):
+        return InstrKind.CALL
+    if op is Op.RET:
+        return InstrKind.RETURN
+    if op is Op.JR:
+        return InstrKind.INDIRECT
+    if op is Op.HALT:
+        return InstrKind.HALT
+    return InstrKind.NONBRANCH

@@ -1,0 +1,5 @@
+"""Post-processing metrics: fetch/issue interaction (Section 4)."""
+
+from .issue import IssueResult, simulate_issue
+
+__all__ = ["IssueResult", "simulate_issue"]

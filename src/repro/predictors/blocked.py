@@ -1,0 +1,93 @@
+"""The blocked Pattern History Table — the paper's core predictor structure.
+
+A conventional two-level PHT entry holds one 2-bit counter.  A *blocked* PHT
+entry holds ``block_width`` counters, one per instruction position in a fetch
+block, so a single lookup yields a prediction for every conditional branch a
+block may contain.  Cost grows linearly in the block width (Section 5), not
+exponentially as in Yeh's multi-branch lookup (see
+:mod:`repro.predictors.bac` for that baseline).
+
+Indexing follows Figure 1: ``GHR XOR block address`` (the cache-line index of
+the block's start).  Counter positions are ``address mod block_width``; for
+extended and self-aligned caches the positions simply wrap around the entry
+(Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .counters import COUNTER_INIT, counter_predicts_taken, counter_update
+
+
+class BlockedPHT:
+    """Pattern history table with one counter per block position.
+
+    Args:
+        history_length: GHR length; the table has ``2**history_length``
+            entries (the paper's default is 10 -> 1024 entries).
+        block_width: counters per entry (the paper's ``B``; default 8).
+        n_tables: number of PHTs; the low bits of the block address select
+            the table (1 in all of the paper's multi-block results).
+    """
+
+    def __init__(self, history_length: int = 10, block_width: int = 8,
+                 n_tables: int = 1) -> None:
+        if history_length < 1:
+            raise ValueError("history_length must be positive")
+        if block_width < 1:
+            raise ValueError("block_width must be positive")
+        if n_tables < 1:
+            raise ValueError("n_tables must be positive")
+        self.history_length = history_length
+        self.block_width = block_width
+        self.n_tables = n_tables
+        self.n_entries = 1 << history_length
+        self.mask = self.n_entries - 1
+        # Flat storage: table-major, then entry, then position.
+        self._counters: List[int] = (
+            [COUNTER_INIT] * (n_tables * self.n_entries * block_width))
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def index(self, ghr_value: int, block_address: int) -> int:
+        """Flat base offset of the entry for (history, block address)."""
+        table = (block_address % self.n_tables)
+        entry = (ghr_value ^ block_address) & self.mask
+        return (table * self.n_entries + entry) * self.block_width
+
+    def position(self, address: int) -> int:
+        """Counter position of an instruction address (wraps modulo B)."""
+        return address % self.block_width
+
+    # ------------------------------------------------------------------
+    # Prediction / update
+    # ------------------------------------------------------------------
+
+    def counter(self, base: int, position: int) -> int:
+        """Raw counter state at (entry base, position)."""
+        return self._counters[base + position]
+
+    def predicts_taken(self, base: int, position: int) -> bool:
+        """Direction prediction for the branch at ``position``."""
+        return counter_predicts_taken(self._counters[base + position])
+
+    def update(self, base: int, position: int, taken: bool) -> None:
+        """Train the counter at (entry base, position) with an outcome."""
+        slot = base + position
+        self._counters[slot] = counter_update(self._counters[slot], taken)
+
+    def entry(self, base: int) -> Sequence[int]:
+        """The full counter vector of one entry (for display/tests)."""
+        return tuple(self._counters[base:base + self.block_width])
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage (Table 7: ``2 * B * 2**h * p`` bits)."""
+        return 2 * self.block_width * self.n_entries * self.n_tables

@@ -1,0 +1,71 @@
+"""Two-bit up/down saturating counters.
+
+All of the paper's pattern-history state is built from the classic 2-bit
+counter: states 0 (strong not-taken) .. 3 (strong taken); predictions flip
+only after two consecutive mispredictions — the paper's "second chance".
+
+The module exposes both plain-int helpers (used in the simulation hot loops)
+and a small class for readability in tests and examples.
+"""
+
+from __future__ import annotations
+
+COUNTER_MIN = 0
+COUNTER_MAX = 3
+COUNTER_BITS = 2
+
+#: Paper default: weakly-taken initial state so cold loops predict taken.
+COUNTER_INIT = 2
+
+
+def counter_predicts_taken(state: int) -> bool:
+    """Prediction encoded by counter ``state`` (taken when >= 2)."""
+    return state >= 2
+
+
+def counter_update(state: int, taken: bool) -> int:
+    """Saturating increment on taken, decrement on not-taken."""
+    if taken:
+        return state + 1 if state < COUNTER_MAX else COUNTER_MAX
+    return state - 1 if state > COUNTER_MIN else COUNTER_MIN
+
+
+def counter_has_second_chance(state: int, taken_prediction: bool) -> bool:
+    """True when a misprediction would not yet flip the prediction.
+
+    A counter in a strong state (0 or 3) agreeing with its prediction keeps
+    predicting the same direction after one miss — the "second chance" bit
+    recorded in the paper's bad-branch-recovery entries (Table 4).
+    """
+    if taken_prediction:
+        return state == COUNTER_MAX
+    return state == COUNTER_MIN
+
+
+class SaturatingCounter:
+    """Object wrapper over the counter helpers (tests/examples)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: int = COUNTER_INIT) -> None:
+        if not COUNTER_MIN <= state <= COUNTER_MAX:
+            raise ValueError(f"counter state out of range: {state}")
+        self.state = state
+
+    @property
+    def taken(self) -> bool:
+        """Current direction prediction."""
+        return counter_predicts_taken(self.state)
+
+    @property
+    def second_chance(self) -> bool:
+        """True when one misprediction will not flip the prediction."""
+        return counter_has_second_chance(self.state, self.taken)
+
+    def update(self, taken: bool) -> "SaturatingCounter":
+        """Train with an outcome; returns self for chaining."""
+        self.state = counter_update(self.state, taken)
+        return self
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter({self.state})"

@@ -1,0 +1,115 @@
+"""Direction-accuracy evaluators (Figure 6).
+
+These run just the *conditional-branch direction* part of each scheme over a
+trace — no target arrays, penalties or cycle accounting — so history-length
+sweeps are cheap.  Accuracy is counted per executed conditional branch, the
+paper's metric ("branch misprediction rate").
+
+Both evaluators model the architectural (post-recovery) history: the GHR a
+prediction sees reflects actual prior outcomes, which is the standard
+trace-driven idealisation and matches the paper's assumption of always-
+available bad-branch-recovery entries carrying a corrected GHR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..icache.geometry import CacheGeometry
+from ..isa.kinds import InstrKind
+from ..trace.blocks import BlockStream
+from ..trace.record import Trace
+from .blocked import BlockedPHT
+from .ghr import GlobalHistory
+from .scalar import ScalarPHT
+
+
+@dataclass(frozen=True)
+class DirectionResult:
+    """Outcome of a direction-accuracy run."""
+
+    n_cond: int
+    mispredicts: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of executed conditional branches mispredicted."""
+        return self.mispredicts / self.n_cond if self.n_cond else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of conditional branches predicted correctly."""
+        return 1.0 - self.misprediction_rate
+
+
+def evaluate_scalar_direction(trace: Trace,
+                              predictor: ScalarPHT) -> DirectionResult:
+    """Per-branch two-level prediction with per-branch GHR update."""
+    ghr = GlobalHistory(predictor.history_length)
+    k_cond = int(InstrKind.COND)
+
+    pcs = trace.pc.tolist()
+    kinds = trace.kind.tolist()
+    takens = trace.taken.tolist()
+
+    n_cond = 0
+    mispredicts = 0
+    for i in range(len(pcs)):
+        if kinds[i] != k_cond:
+            continue
+        pc = pcs[i]
+        taken = takens[i]
+        n_cond += 1
+        if predictor.predicts_taken(ghr.value, pc) != taken:
+            mispredicts += 1
+        predictor.update(ghr.value, pc, taken)
+        ghr.shift_in(taken)
+    return DirectionResult(n_cond=n_cond, mispredicts=mispredicts)
+
+
+def evaluate_blocked_direction(blocks: BlockStream,
+                               pht: BlockedPHT) -> DirectionResult:
+    """Blocked-PHT prediction with per-block GHR update.
+
+    Every conditional branch in a block is predicted from the single entry
+    indexed by ``GHR XOR line(block start)``; the GHR shifts once per block
+    with all the block's outcomes.
+    """
+    geometry: CacheGeometry = blocks.geometry
+    trace = blocks.trace
+    k_cond = int(InstrKind.COND)
+    block_width = geometry.block_width
+
+    t_pc = trace.pc.tolist()
+    t_kind = trace.kind.tolist()
+    t_taken = trace.taken.tolist()
+
+    starts = blocks.start.tolist()
+    first_recs = blocks.first_rec.tolist()
+    n_recs = blocks.n_recs.tolist()
+
+    ghr = GlobalHistory(pht.history_length)
+    n_cond = 0
+    mispredicts = 0
+
+    for b in range(len(starts)):
+        first = first_recs[b]
+        count = n_recs[b]
+        if count == 0:
+            continue
+        base = pht.index(ghr.value, starts[b] // block_width)
+        outcomes = []
+        for r in range(first, first + count):
+            if t_kind[r] != k_cond:
+                continue
+            pc = t_pc[r]
+            taken = t_taken[r]
+            pos = pht.position(pc)
+            n_cond += 1
+            if pht.predicts_taken(base, pos) != taken:
+                mispredicts += 1
+            pht.update(base, pos, taken)
+            outcomes.append(taken)
+        if outcomes:
+            ghr.shift_in_block(outcomes)
+    return DirectionResult(n_cond=n_cond, mispredicts=mispredicts)

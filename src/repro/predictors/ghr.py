@@ -1,0 +1,102 @@
+"""Global history register (GHR) with per-branch and per-block updates.
+
+The paper's key twist on Yeh & Patt: instead of shifting in one outcome per
+predicted branch, the GHR is shifted once per *block* with the outcomes of
+every conditional branch the block contained ("if three branches are
+predicted not taken, not taken, taken, then the GHR is shifted to the left
+three bits and a 001 inserted").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class GlobalHistory:
+    """Fixed-length shift register of branch outcomes.
+
+    The newest outcome occupies the least-significant bit.
+    """
+
+    __slots__ = ("length", "mask", "value")
+
+    def __init__(self, length: int, value: int = 0) -> None:
+        if length < 1:
+            raise ValueError("history length must be positive")
+        self.length = length
+        self.mask = (1 << length) - 1
+        self.value = value & self.mask
+
+    def shift_in(self, taken: bool) -> None:
+        """Per-branch update (scalar two-level schemes)."""
+        self.value = ((self.value << 1) | (1 if taken else 0)) & self.mask
+
+    def shift_in_block(self, outcomes: Iterable[bool]) -> None:
+        """Per-block update: shift in every outcome, oldest first."""
+        value = self.value
+        for taken in outcomes:
+            value = (value << 1) | (1 if taken else 0)
+        self.value = value & self.mask
+
+    def index(self, address: int) -> int:
+        """Gshare-style table index: ``GHR XOR address`` (McFarling [7])."""
+        return (self.value ^ address) & self.mask
+
+    def snapshot(self) -> int:
+        """Current raw value (for recovery entries)."""
+        return self.value
+
+    def restore(self, value: int) -> None:
+        """Restore a snapshot (bad-branch recovery, Table 4)."""
+        self.value = value & self.mask
+
+    def __repr__(self) -> str:
+        return f"GlobalHistory(length={self.length}, " \
+               f"value={self.value:0{self.length}b})"
+
+
+def pack_block_outcomes(outcomes: Iterable[bool]) -> "BlockOutcomes":
+    """Summarise a block's conditional outcomes for select-table storage."""
+    n_not_taken = 0
+    ends_taken = False
+    for taken in outcomes:
+        if taken:
+            ends_taken = True
+            break
+        n_not_taken += 1
+    return BlockOutcomes(n_not_taken, ends_taken)
+
+
+class BlockOutcomes:
+    """Select-table GHR-update payload (Section 3.1).
+
+    A select-table entry cannot store the full outcome pattern cheaply; the
+    paper uses ``log2(B)`` bits for the number of not-taken branches plus one
+    bit for "ends in a taken branch" (the predicted exit) versus "fell
+    through".  Two payloads are equal exactly when they imply the same GHR
+    update, which is what the GHR-misprediction penalty checks.
+    """
+
+    __slots__ = ("n_not_taken", "ends_taken")
+
+    def __init__(self, n_not_taken: int, ends_taken: bool) -> None:
+        self.n_not_taken = n_not_taken
+        self.ends_taken = ends_taken
+
+    def apply(self, history: GlobalHistory) -> None:
+        """Perform the implied GHR update."""
+        history.shift_in_block(
+            [False] * self.n_not_taken + ([True] if self.ends_taken else []))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockOutcomes):
+            return NotImplemented
+        return (self.n_not_taken == other.n_not_taken
+                and self.ends_taken == other.ends_taken)
+
+    def __hash__(self) -> int:
+        return hash((self.n_not_taken, self.ends_taken))
+
+    def __repr__(self) -> str:
+        return f"BlockOutcomes(n_not_taken={self.n_not_taken}, " \
+               f"ends_taken={self.ends_taken})"

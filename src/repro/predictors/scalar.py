@@ -1,0 +1,74 @@
+"""Scalar two-level adaptive predictors — the Figure 6 baseline.
+
+Yeh & Patt's global two-level scheme predicts one branch per lookup and
+updates the GHR after every branch.  The paper compares its blocked PHT
+against "a per-addr PHT with 8 PHTs to give it equal size" as a blocked PHT
+with ``B = 8``: the branch address selects one of 8 scalar PHTs and the GHR
+(optionally XORed with the address, McFarling's gshare) indexes within it.
+
+This gives the scalar baseline exactly the same storage and, in gshare mode,
+the same aliasing structure as the blocked scheme — isolating the one
+variable the paper studies: per-branch versus per-block history update.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .counters import COUNTER_INIT, counter_predicts_taken, counter_update
+
+#: Index by GHR only (Yeh & Patt's GAs/per-addr style).
+INDEX_GHR = "ghr"
+#: Index by GHR XOR branch address (McFarling's gshare).
+INDEX_GSHARE = "gshare"
+
+
+class ScalarPHT:
+    """Per-address scalar two-level predictor.
+
+    Args:
+        history_length: GHR length; each PHT has ``2**history_length``
+            counters.
+        n_tables: number of PHTs; the branch address low bits pick one
+            (8 in the paper's comparison, matching a B=8 blocked PHT).
+        index_mode: ``"gshare"`` (default, mirrors the blocked scheme's
+            Figure 1 indexing) or ``"ghr"``.
+    """
+
+    def __init__(self, history_length: int = 10, n_tables: int = 8,
+                 index_mode: str = INDEX_GSHARE) -> None:
+        if history_length < 1:
+            raise ValueError("history_length must be positive")
+        if n_tables < 1:
+            raise ValueError("n_tables must be positive")
+        if index_mode not in (INDEX_GHR, INDEX_GSHARE):
+            raise ValueError(f"unknown index_mode: {index_mode!r}")
+        self.history_length = history_length
+        self.n_tables = n_tables
+        self.index_mode = index_mode
+        self.n_entries = 1 << history_length
+        self.mask = self.n_entries - 1
+        self._counters: List[int] = (
+            [COUNTER_INIT] * (n_tables * self.n_entries))
+
+    def _slot(self, ghr_value: int, pc: int) -> int:
+        table = pc % self.n_tables
+        if self.index_mode == INDEX_GSHARE:
+            entry = (ghr_value ^ (pc // self.n_tables)) & self.mask
+        else:
+            entry = ghr_value & self.mask
+        return table * self.n_entries + entry
+
+    def predicts_taken(self, ghr_value: int, pc: int) -> bool:
+        """Direction prediction for the branch at ``pc``."""
+        return counter_predicts_taken(self._counters[self._slot(ghr_value, pc)])
+
+    def update(self, ghr_value: int, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome (same index as the prediction)."""
+        slot = self._slot(ghr_value, pc)
+        self._counters[slot] = counter_update(self._counters[slot], taken)
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage: matches a blocked PHT when ``n_tables == B``."""
+        return 2 * self.n_entries * self.n_tables

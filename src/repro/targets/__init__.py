@@ -1,0 +1,29 @@
+"""Target machinery: NLS/BTB target arrays, return stack, BIT tables."""
+
+from .bit import (
+    BITTable,
+    BitCode,
+    COND_CODES,
+    NEAR_BLOCK_LINE_OFFSET,
+    encode_instruction,
+    encode_window,
+    near_block_target,
+)
+from .btb import BlockBTB, DualBTBTargetArray
+from .nls import DualNLSTargetArray, NLSTargetArray
+from .ras import ReturnAddressStack
+
+__all__ = [
+    "BITTable",
+    "BitCode",
+    "BlockBTB",
+    "COND_CODES",
+    "DualBTBTargetArray",
+    "DualNLSTargetArray",
+    "NEAR_BLOCK_LINE_OFFSET",
+    "NLSTargetArray",
+    "ReturnAddressStack",
+    "encode_instruction",
+    "encode_window",
+    "near_block_target",
+]

@@ -1,0 +1,163 @@
+"""Block Instruction Type (BIT) machinery — Table 1.
+
+"We have discovered that in superscalar fetch prediction, knowing what type
+of instructions are in a block is the most critical piece of information."
+
+Two encodings are supported:
+
+* 2-bit: non-branch / return / conditional branch / other branches.
+* 3-bit (near-block): conditional branches additionally encode a target
+  adjacent to the current line (previous, same, next, next+1), letting a
+  small adder produce the target so it never occupies the target array.
+
+BIT information may live pre-decoded in the instruction cache (always
+correct under the paper's perfect-cache assumption) or in a separate,
+possibly smaller table (Figure 7): a tag-less :class:`BITTable` whose
+aliased entries return *stale* type bits, costing one cycle when the stale
+walk disagrees with the true walk.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.kinds import InstrKind
+from ..isa.program import StaticCode
+
+
+class BitCode(enum.IntEnum):
+    """BIT type codes (3-bit encoding; the 2-bit encoding is codes 0-3)."""
+
+    NONBRANCH = 0
+    RETURN = 1
+    OTHER = 2            #: unconditional jumps, calls, indirect jumps
+    COND_LONG = 3        #: conditional, target not adjacent to this line
+    COND_PREV_LINE = 4   #: conditional, target in the previous line
+    COND_SAME_LINE = 5   #: conditional, target in this line
+    COND_NEXT_LINE = 6   #: conditional, target in the next line
+    COND_NEXT2_LINE = 7  #: conditional, target two lines ahead
+
+
+#: Codes that denote a conditional branch.
+COND_CODES = frozenset({
+    BitCode.COND_LONG, BitCode.COND_PREV_LINE, BitCode.COND_SAME_LINE,
+    BitCode.COND_NEXT_LINE, BitCode.COND_NEXT2_LINE,
+})
+
+#: Near-block codes and the line offset they encode (Table 1).
+NEAR_BLOCK_LINE_OFFSET = {
+    BitCode.COND_PREV_LINE: -1,
+    BitCode.COND_SAME_LINE: 0,
+    BitCode.COND_NEXT_LINE: 1,
+    BitCode.COND_NEXT2_LINE: 2,
+}
+
+
+def encode_instruction(kind: int, pc: int, direct_target: int,
+                       line_size: int, near_block: bool) -> BitCode:
+    """BIT code of one instruction.
+
+    Args:
+        kind: :class:`InstrKind` value from the static code map.
+        pc: instruction address.
+        direct_target: assembly-time target (-1 when indirect/absent).
+        line_size: cache-line size (for near-block distance).
+        near_block: use the 3-bit encoding.
+    """
+    if kind == int(InstrKind.COND):
+        if near_block and direct_target >= 0:
+            offset = direct_target // line_size - pc // line_size
+            code = _NEAR_BY_OFFSET.get(offset)
+            if code is not None:
+                return code
+        return BitCode.COND_LONG
+    if kind == int(InstrKind.RETURN):
+        return BitCode.RETURN
+    if kind in (int(InstrKind.JUMP), int(InstrKind.CALL),
+                int(InstrKind.INDIRECT)):
+        return BitCode.OTHER
+    return BitCode.NONBRANCH
+
+
+_NEAR_BY_OFFSET = {v: k for k, v in NEAR_BLOCK_LINE_OFFSET.items()}
+
+
+def near_block_target(code: BitCode, pc: int, line_size: int) -> int:
+    """Line-relative target computed by the near-block adder.
+
+    The adder combines the branch's line with the encoded offset; the
+    position within the line comes from the instruction's offset field once
+    decoded, so the prediction of the *line* is exact for near-block codes.
+    This model returns the target line's base address; engines compare line
+    indices for near-block branches (the paper's NLS predicts lines).
+    """
+    line = pc // line_size + NEAR_BLOCK_LINE_OFFSET[code]
+    return line * line_size
+
+
+def encode_window(static: StaticCode, start: int, length: int,
+                  line_size: int, near_block: bool) -> Tuple[BitCode, ...]:
+    """BIT codes for ``length`` instructions starting at ``start``.
+
+    Addresses past the end of the program encode as non-branch (the line
+    simply contains whatever follows; our programs end in HALT).
+    """
+    kinds = static.kind
+    targets = static.direct_target
+    n = len(static)
+    codes = []
+    for addr in range(start, start + length):
+        if addr >= n:
+            codes.append(BitCode.NONBRANCH)
+        else:
+            codes.append(encode_instruction(int(kinds[addr]), addr,
+                                            int(targets[addr]), line_size,
+                                            near_block))
+    return tuple(codes)
+
+
+class BITTable:
+    """Separate tag-less BIT table (Figure 7's subject).
+
+    Entries are indexed by line modulo the entry count and hold the type
+    bits last written for *some* line mapping there.  An access returns the
+    stored bits (stale if aliased) plus whether they belong to the requested
+    line; cold entries return all-non-branch bits, modelling uninitialised
+    type storage.
+    """
+
+    def __init__(self, n_entries: int, line_size: int = 8) -> None:
+        if n_entries < 1:
+            raise ValueError("n_entries must be positive")
+        self.n_entries = n_entries
+        self.line_size = line_size
+        self._lines: List[Optional[int]] = [None] * n_entries
+        self._codes: List[Optional[Tuple[BitCode, ...]]] = [None] * n_entries
+        self.accesses = 0
+        self.stale_hits = 0
+
+    def access(self, line: int) -> Tuple[Optional[Sequence[BitCode]], bool]:
+        """Read the entry for ``line``.
+
+        Returns ``(codes, exact)``; ``codes`` is None when the entry has
+        never been written, and ``exact`` is True when the stored bits were
+        written for this same line.
+        """
+        self.accesses += 1
+        slot = line % self.n_entries
+        exact = self._lines[slot] == line
+        if not exact and self._lines[slot] is not None:
+            self.stale_hits += 1
+        return self._codes[slot], exact
+
+    def fill(self, line: int, codes: Sequence[BitCode]) -> None:
+        """Install the correct bits for ``line`` (after the 1-cycle miss)."""
+        slot = line % self.n_entries
+        self._lines[slot] = line
+        self._codes[slot] = tuple(codes)
+
+    @property
+    def storage_bits(self) -> int:
+        """Cost per Table 7: 2 bits per instruction per entry."""
+        return 2 * self.line_size * self.n_entries

@@ -1,0 +1,72 @@
+"""Return address stack (RAS) with dual-block bypassing.
+
+A 32-entry circular stack [5].  On overflow the oldest entry is overwritten
+(classic RAS behaviour), so very deep recursion mispredicts on the way back
+out — a real effect the paper inherits from Kaeli & Emma's design.
+
+Section 3.1 describes the dual-block bypass rules, exposed here as
+:meth:`predict_for_second_block`: if the first block of a pair performs a
+call, the second block's return prediction must be the address *after* the
+call; if the first block returns, the second block needs the next-older
+stack entry; otherwise the plain top of stack is used.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReturnAddressStack:
+    """Circular return-address stack."""
+
+    def __init__(self, size: int = 32) -> None:
+        if size < 1:
+            raise ValueError("RAS size must be positive")
+        self.size = size
+        self._slots = [0] * size
+        self._top = 0      # index of the next free slot
+        self._depth = 0    # valid entries (capped at size)
+
+    def push(self, address: int) -> None:
+        """Push a return address (a call was fetched)."""
+        self._slots[self._top] = address
+        self._top = (self._top + 1) % self.size
+        if self._depth < self.size:
+            self._depth += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop and return the top entry; None when empty."""
+        if self._depth == 0:
+            return None
+        self._top = (self._top - 1) % self.size
+        self._depth -= 1
+        return self._slots[self._top]
+
+    def peek(self, depth: int = 0) -> Optional[int]:
+        """Read an entry without popping (0 = top of stack)."""
+        if depth >= self._depth:
+            return None
+        return self._slots[(self._top - 1 - depth) % self.size]
+
+    @property
+    def depth(self) -> int:
+        """Number of valid entries."""
+        return self._depth
+
+    def predict_for_second_block(self, first_block_calls: bool,
+                                 first_block_returns: bool,
+                                 first_block_return_address: int
+                                 ) -> Optional[int]:
+        """Return-target prediction for the second block of a pair.
+
+        Args:
+            first_block_calls: the pair's first block ends in a call.
+            first_block_returns: the pair's first block ends in a return.
+            first_block_return_address: address after the first block's
+                call exit (bypassed to the second block).
+        """
+        if first_block_calls:
+            return first_block_return_address
+        if first_block_returns:
+            return self.peek(1)
+        return self.peek(0)

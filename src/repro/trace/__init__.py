@@ -1,0 +1,17 @@
+"""Trace infrastructure: records, segmentation, statistics, synthesis."""
+
+from .blocks import EXIT_FALLTHROUGH, BlockStream, segment_blocks
+from .record import Trace
+from .stats import TraceStats, trace_stats
+from .synthetic import SyntheticSpec, synthetic_program
+
+__all__ = [
+    "EXIT_FALLTHROUGH",
+    "BlockStream",
+    "SyntheticSpec",
+    "Trace",
+    "TraceStats",
+    "segment_blocks",
+    "synthetic_program",
+    "trace_stats",
+]

@@ -1,0 +1,76 @@
+"""Descriptive statistics for traces and block streams.
+
+Used by tests (to validate that workloads have SPEC-like control-flow
+character) and by the examples/benchmarks when printing workload summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..isa.kinds import InstrKind
+from .record import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace."""
+
+    name: str
+    n_instructions: int
+    n_branches: int          #: executed control transfers (HALT excluded)
+    n_cond: int              #: executed conditional branches
+    cond_taken_rate: float   #: fraction of conditionals that were taken
+    branch_density: float    #: control transfers per instruction
+    avg_basic_block: float   #: instructions per *taken-transfer-delimited* run
+    kind_counts: Dict[str, int]
+
+    def __str__(self) -> str:
+        lines = [
+            f"trace {self.name or '<unnamed>'}:",
+            f"  instructions      {self.n_instructions}",
+            f"  control transfers {self.n_branches} "
+            f"({100.0 * self.branch_density:.1f}% of instructions)",
+            f"  conditionals      {self.n_cond} "
+            f"(taken {100.0 * self.cond_taken_rate:.1f}%)",
+            f"  avg run length    {self.avg_basic_block:.2f} instructions "
+            f"between taken transfers",
+        ]
+        for kind, count in sorted(self.kind_counts.items()):
+            lines.append(f"    {kind:<10s} {count}")
+        return "\n".join(lines)
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    kinds = trace.kind
+    taken = trace.taken
+    halt_mask = kinds == int(InstrKind.HALT)
+    branch_mask = ~halt_mask
+    cond_mask = kinds == int(InstrKind.COND)
+
+    n_cond = int(np.count_nonzero(cond_mask))
+    n_branches = int(np.count_nonzero(branch_mask))
+    cond_taken = int(np.count_nonzero(taken & cond_mask))
+    n_taken = int(np.count_nonzero(taken))
+
+    kind_counts = {}
+    for kind in InstrKind:
+        count = int(np.count_nonzero(kinds == int(kind)))
+        if count:
+            kind_counts[kind.name.lower()] = count
+
+    return TraceStats(
+        name=trace.name,
+        n_instructions=trace.n_instructions,
+        n_branches=n_branches,
+        n_cond=n_cond,
+        cond_taken_rate=(cond_taken / n_cond) if n_cond else 0.0,
+        branch_density=(n_branches / trace.n_instructions)
+        if trace.n_instructions else 0.0,
+        avg_basic_block=(trace.n_instructions / (n_taken + 1)),
+        kind_counts=kind_counts,
+    )

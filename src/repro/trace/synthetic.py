@@ -1,0 +1,100 @@
+"""Synthetic program generator.
+
+Builds *random but well-formed* programs with seeded pseudo-random control
+flow: nested counted loops, data-dependent conditionals over LCG data, calls
+and early returns.  Running them through the interpreter yields traces with
+tunable branch character — used by tests (including property-based tests) and
+as a lightweight stand-in when the full SPEC95-analog suite is overkill.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters for :func:`synthetic_program`.
+
+    Attributes:
+        seed: PRNG seed (determinism).
+        n_functions: helper functions generated besides ``main``.
+        loop_depth: maximum nesting of counted loops.
+        irregularity: 0..1; probability weight of data-dependent branches
+            versus counted loops (high values mimic integer codes, low
+            values floating-point codes).
+        body_ops: straight-line ALU instructions emitted per block of work
+            (controls basic-block sizes).
+        iterations: trip count scale of the generated loops.
+    """
+
+    seed: int = 0
+    n_functions: int = 3
+    loop_depth: int = 2
+    irregularity: float = 0.5
+    body_ops: int = 4
+    iterations: int = 12
+
+
+def synthetic_program(spec: SyntheticSpec = SyntheticSpec()) -> Program:
+    """Generate a deterministic pseudo-random program from ``spec``."""
+    rng = random.Random(spec.seed)
+    b = ProgramBuilder(name=f"synthetic-{spec.seed}", data_size=1 << 14)
+
+    data_regs = ["r10", "r11", "r12", "r13"]
+    state_reg = "r20"
+
+    def emit_body() -> None:
+        for _ in range(max(1, spec.body_ops + rng.randint(-1, 2))):
+            op = rng.choice(["add", "xor", "sub", "and_"])
+            dst = rng.choice(data_regs)
+            a = rng.choice(data_regs)
+            c = rng.choice(data_regs)
+            getattr(b.asm, op)(dst, a, c)
+
+    def emit_data_branch() -> None:
+        b.lcg_step(state_reg)
+        b.asm.andi("r21", state_reg, 7)
+        threshold = rng.randint(0, 7)
+        with b.if_("lt", "r21", _imm("r22", threshold)):
+            emit_body()
+
+    def _imm(reg: str, value: int) -> str:
+        b.asm.li(reg, value)
+        return reg
+
+    def emit_block(depth: int) -> None:
+        emit_body()
+        if depth <= 0:
+            return
+        if rng.random() < spec.irregularity:
+            emit_data_branch()
+        counter = f"r{4 + depth}"
+        trip = max(2, spec.iterations + rng.randint(-3, 3))
+        with b.for_range(counter, 0, trip):
+            emit_body()
+            if rng.random() < spec.irregularity:
+                emit_data_branch()
+            if depth > 1 and rng.random() < 0.6:
+                emit_block(depth - 1)
+
+    func_names = [f"helper_{i}" for i in range(spec.n_functions)]
+    for name in func_names:
+        with b.function(name):
+            emit_block(max(1, spec.loop_depth - 1))
+
+    with b.function("main"):
+        b.asm.li(state_reg, spec.seed * 2654435761 % (1 << 31) or 1)
+        for reg_index, reg in enumerate(data_regs):
+            b.asm.li(reg, reg_index + 1)
+        with b.for_range("r3", 0, max(2, spec.iterations // 2)):
+            emit_block(spec.loop_depth)
+            for name in func_names:
+                if rng.random() < 0.7:
+                    b.call(name)
+
+    return b.build()

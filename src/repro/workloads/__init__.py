@@ -1,0 +1,29 @@
+"""SPEC95-analog workload programs (see DESIGN.md for the substitution)."""
+
+from .base import REGISTRY, SUITE_FP, SUITE_INT, Workload, WorkloadRegistry
+from .registry import (
+    SPEC95,
+    SPECFP95,
+    SPECINT95,
+    clear_caches,
+    get_workload,
+    load_fetch_input,
+    load_trace,
+    workload_names,
+)
+
+__all__ = [
+    "REGISTRY",
+    "SPEC95",
+    "SPECFP95",
+    "SPECINT95",
+    "SUITE_FP",
+    "SUITE_INT",
+    "Workload",
+    "WorkloadRegistry",
+    "clear_caches",
+    "get_workload",
+    "load_fetch_input",
+    "load_trace",
+    "workload_names",
+]

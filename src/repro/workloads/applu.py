@@ -1,0 +1,82 @@
+"""``applu`` analog (SPECfp95 110.applu).
+
+The original solves coupled parabolic/elliptic PDEs with an SSOR scheme:
+lower- then upper-triangular sweeps of triple-nested loops applying small
+dense block kernels per cell.  Almost every branch is a loop bound.
+
+The analog performs forward and backward SSOR-style sweeps over a 3D
+(flattened) grid, each cell combining its three lower (or upper)
+neighbours through a fixed 3-tap kernel in fixed point.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+NX, NY, NZ = 12, 12, 8
+GRID = 0
+SIZE = NX * NY * NZ
+OUTER = 1_000_000
+
+
+@REGISTRY.register("applu", SUITE_FP,
+                   "SSOR solver: forward/backward triple-nested sweeps")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the SSOR iterations."""
+    b = ProgramBuilder(name="applu", data_size=1 << 12)
+
+    r_i = "r3"
+    r_j = "r4"
+    r_k = "r5"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_a = "r12"
+    r_c = "r13"
+
+    def index(dest, i, j, k):
+        b.asm.muli(dest, i, NY * NZ)
+        b.asm.muli(r_t1, j, NZ)
+        b.asm.add(dest, dest, r_t1)
+        b.asm.add(dest, dest, k)
+        b.asm.addi(dest, dest, GRID)
+
+    def kernel(sign: int) -> None:
+        index(r_t0, r_i, r_j, r_k)
+        b.asm.ld(r_c, r_t0, 0)
+        b.asm.muli(r_a, r_c, 4)
+        b.asm.ld(r_t1, r_t0, sign * NY * NZ)   # +-x neighbour
+        b.asm.add(r_a, r_a, r_t1)
+        b.asm.ld(r_t1, r_t0, sign * NZ)        # +-y neighbour
+        b.asm.add(r_a, r_a, r_t1)
+        b.asm.ld(r_t1, r_t0, sign * 1)         # +-z neighbour
+        b.asm.add(r_a, r_a, r_t1)
+        b.asm.muli(r_a, r_a, 5)
+        b.asm.srli(r_a, r_a, 5)
+        b.asm.st(r_a, r_t0, 0)
+
+    with b.function("forward_sweep", leaf=True):
+        with b.for_range(r_i, 1, NX):
+            with b.for_range(r_j, 1, NY):
+                with b.for_range(r_k, 1, NZ):
+                    kernel(-1)
+
+    with b.function("backward_sweep", leaf=True):
+        with b.for_range(r_i, NX - 2, -1, step=-1):
+            with b.for_range(r_j, NY - 2, -1, step=-1):
+                with b.for_range(r_k, NZ - 2, -1, step=-1):
+                    kernel(+1)
+
+    with b.function("main"):
+        seed_rng(b, 0xA991)
+        with b.for_range(r_i, 0, SIZE):
+            rand_into(b, r_t1, 1024)
+            b.asm.mv(r_t0, r_i)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            b.call("forward_sweep")
+            b.call("backward_sweep")
+
+    return b.build()

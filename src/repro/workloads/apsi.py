@@ -1,0 +1,113 @@
+"""``apsi`` analog (SPECfp95 141.apsi).
+
+The original is a mesoscale weather model: per-column vertical loops for
+temperature/wind/pollutant distribution with threshold physics (condensation
+when humidity exceeds saturation, stability tests).  Mostly counted loops
+with skewed threshold branches.
+
+The analog sweeps columns of a 2D atmosphere; each column runs an upward
+pass computing a lapse profile, a threshold test triggering a "condensation"
+adjustment arm (~15% of cells), and a downward mixing pass.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import clamp, rand_into, seed_rng
+
+COLS = 64
+LEVELS = 24
+TEMP = 0                       # temperature field
+HUM = COLS * LEVELS            # humidity field
+SAT = 2 * COLS * LEVELS        # per-level saturation threshold
+OUTER = 1_000_000
+
+
+@REGISTRY.register("apsi", SUITE_FP,
+                   "atmospheric columns with condensation thresholds")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the column sweeps."""
+    b = ProgramBuilder(name="apsi", data_size=1 << 12)
+
+    r_col = "r3"
+    r_lev = "r4"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_tmp = "r12"
+    r_hum = "r13"
+    r_sat = "r14"
+    r_base = "r15"
+
+    def cell(dest, field, base, lev):
+        b.asm.add(dest, base, lev)
+        b.asm.addi(dest, dest, field)
+
+    with b.function("column_up", leaf=True):
+        # In: r_col.  Lapse + condensation test per level.
+        b.asm.muli(r_base, r_col, LEVELS)
+        with b.for_range(r_lev, 1, LEVELS):
+            cell(r_t0, TEMP, r_base, r_lev)
+            b.asm.ld(r_tmp, r_t0, -1)
+            b.asm.addi(r_tmp, r_tmp, -6)     # lapse rate
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.add(r_tmp, r_tmp, r_t1)
+            b.asm.srli(r_tmp, r_tmp, 1)
+            b.asm.st(r_tmp, r_t0, 0)
+            cell(r_t0, HUM, r_base, r_lev)
+            b.asm.ld(r_hum, r_t0, 0)
+            b.asm.li(r_t1, SAT)
+            b.asm.add(r_t1, r_t1, r_lev)
+            b.asm.ld(r_sat, r_t1, 0)
+            # Condensation: humidity above saturation (skewed branch).
+            with b.if_("gt", r_hum, r_sat):
+                b.asm.sub(r_t1, r_hum, r_sat)
+                b.asm.srli(r_t1, r_t1, 1)
+                b.asm.sub(r_hum, r_hum, r_t1)
+                cell(r_t0, HUM, r_base, r_lev)
+                b.asm.st(r_hum, r_t0, 0)
+                # Latent heat warms the cell.
+                cell(r_t0, TEMP, r_base, r_lev)
+                b.asm.ld(r_tmp, r_t0, 0)
+                b.asm.add(r_tmp, r_tmp, r_t1)
+                b.asm.st(r_tmp, r_t0, 0)
+
+    with b.function("column_down", leaf=True):
+        # Downward mixing pass.
+        b.asm.muli(r_base, r_col, LEVELS)
+        with b.for_range(r_lev, LEVELS - 2, -1, step=-1):
+            cell(r_t0, HUM, r_base, r_lev)
+            b.asm.ld(r_hum, r_t0, 0)
+            b.asm.ld(r_t1, r_t0, 1)
+            b.asm.add(r_hum, r_hum, r_t1)
+            b.asm.srli(r_hum, r_hum, 1)
+            clamp(b, r_hum, 0, 2047)
+            b.asm.st(r_hum, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0xA951)
+        with b.for_range(r_col, 0, COLS * LEVELS):
+            rand_into(b, r_t1, 512)
+            b.asm.addi(r_t1, r_t1, 200)
+            b.asm.addi(r_t0, r_col, TEMP)
+            b.asm.st(r_t1, r_t0, 0)
+            rand_into(b, r_t1, 1024)
+            b.asm.addi(r_t0, r_col, HUM)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range(r_lev, 0, LEVELS):
+            # Saturation falls with altitude; ~15% of cells exceed it.
+            b.asm.li(r_t1, 980)
+            b.asm.muli(r_t0, r_lev, 6)
+            b.asm.sub(r_t1, r_t1, r_t0)
+            b.asm.li(r_t0, SAT)
+            b.asm.add(r_t0, r_t0, r_lev)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            with b.for_range(r_col, 0, COLS):
+                b.push(r_col)
+                b.call("column_up")
+                b.call("column_down")
+                b.pop(r_col)
+
+    return b.build()

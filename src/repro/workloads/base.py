@@ -1,0 +1,136 @@
+"""Workload abstraction and registration.
+
+A workload is a program in the tiny ISA standing in for one SPEC95 benchmark
+(the paper's input set, which we cannot run without SPARC binaries and
+Shade).  Each analog is a *real program* — hashing, searching, interpreting,
+stencil sweeps — chosen so its dynamic control flow has the character of the
+benchmark it replaces: integer codes are irregular and data-dependent,
+floating-point codes are dominated by long counted loops.
+
+Workloads are registered by module import (see :mod:`repro.workloads`); the
+registry caches built programs and executed traces per process so parameter
+sweeps do not re-run the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.program import Program
+
+SUITE_INT = "int"
+SUITE_FP = "fp"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark analog.
+
+    Attributes:
+        name: the SPEC95 program this stands in for (e.g. ``compress``).
+        suite: ``"int"`` (SPECint95) or ``"fp"`` (SPECfp95).
+        description: one line on what the analog computes and why its
+            control flow matches the original's character.
+        builder: zero-argument callable producing the program.
+    """
+
+    name: str
+    suite: str
+    description: str
+    builder: Callable[[], Program]
+
+    def build(self) -> Program:
+        """Assemble the workload program (uncached)."""
+        program = self.builder()
+        return program
+
+
+class WorkloadRegistry:
+    """Name -> workload mapping with program/trace caches."""
+
+    def __init__(self) -> None:
+        self._workloads: Dict[str, Workload] = {}
+        self._programs: Dict[str, Program] = {}
+        self._traces: Dict[Tuple[str, int], object] = {}
+
+    def register(self, name: str, suite: str,
+                 description: str) -> Callable:
+        """Decorator registering a builder function as a workload."""
+        if suite not in (SUITE_INT, SUITE_FP):
+            raise ValueError(f"unknown suite: {suite!r}")
+
+        def wrap(builder: Callable[[], Program]) -> Callable[[], Program]:
+            """Register ``builder`` under the decorator's name."""
+            if name in self._workloads:
+                raise ValueError(f"duplicate workload: {name!r}")
+            self._workloads[name] = Workload(name, suite, description,
+                                             builder)
+            return builder
+
+        return wrap
+
+    def get(self, name: str) -> Workload:
+        """Look up a workload, raising KeyError with the known names."""
+        try:
+            return self._workloads[name]
+        except KeyError:
+            known = ", ".join(sorted(self._workloads))
+            raise KeyError(f"unknown workload {name!r}; known: {known}") \
+                from None
+
+    def names(self, suite: Optional[str] = None) -> List[str]:
+        """Registered workload names, optionally filtered by suite."""
+        return sorted(n for n, w in self._workloads.items()
+                      if suite is None or w.suite == suite)
+
+    def program(self, name: str) -> Program:
+        """Build (and cache) the workload's program."""
+        if name not in self._programs:
+            self._programs[name] = self.get(name).build()
+        return self._programs[name]
+
+    def trace(self, name: str, max_instructions: int):
+        """Execute (and cache) the workload's trace.
+
+        Traces are memoised per process; when ``REPRO_TRACE_CACHE`` names
+        a directory, they are also persisted there as ``.npz`` files so
+        repeated benchmark invocations skip the interpreter entirely.
+        """
+        from ..cpu.machine import Machine
+
+        key = (name, max_instructions)
+        if key not in self._traces:
+            disk = self._disk_cache_path(name, max_instructions)
+            if disk is not None and disk.exists():
+                from ..trace.record import Trace
+
+                self._traces[key] = Trace.load(disk)
+            else:
+                program = self.program(name)
+                result = Machine(program).run(
+                    max_instructions=max_instructions)
+                self._traces[key] = result.trace
+                if disk is not None:
+                    disk.parent.mkdir(parents=True, exist_ok=True)
+                    result.trace.save(disk)
+        return self._traces[key]
+
+    @staticmethod
+    def _disk_cache_path(name: str, max_instructions: int):
+        import os
+        from pathlib import Path
+
+        root = os.environ.get("REPRO_TRACE_CACHE")
+        if not root:
+            return None
+        return Path(root) / f"{name}-{max_instructions}.npz"
+
+    def clear_caches(self) -> None:
+        """Drop cached programs and traces (tests)."""
+        self._programs.clear()
+        self._traces.clear()
+
+
+#: The process-wide registry the workload modules register into.
+REGISTRY = WorkloadRegistry()

@@ -1,0 +1,95 @@
+"""Shared code-generation helpers for the workload programs.
+
+These emit common idioms — PRNG-filled arrays, hash probes, clipping — as
+straight ISA code through the builder.  Register usage is documented per
+helper; callers own any registers not listed as clobbered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+
+#: Conventional registers used across workloads (documented, not enforced).
+RNG = "r20"          #: LCG state register
+TMP0, TMP1, TMP2 = "r21", "r22", "r23"
+
+
+def seed_rng(b: ProgramBuilder, seed: int) -> None:
+    """Initialise the LCG state register."""
+    b.asm.li(RNG, seed & ((1 << 31) - 1) or 1)
+
+
+def rand_into(b: ProgramBuilder, dest, modulus: int = 0) -> None:
+    """Advance the LCG and leave a value in ``dest``.
+
+    With ``modulus`` > 0 the value is reduced to ``[0, modulus)`` — by
+    masking when the modulus is a power of two, by ``MOD`` otherwise.
+    Clobbers the RNG scratch register.
+    """
+    b.lcg_step(RNG)
+    b.asm.srli(dest, RNG, 13)  # high-ish bits are better distributed
+    if modulus > 0:
+        if modulus & (modulus - 1) == 0:
+            b.asm.andi(dest, dest, modulus - 1)
+        else:
+            b.asm.li(TMP0, modulus)
+            b.asm.mod(dest, dest, TMP0)
+
+
+def fill_array(b: ProgramBuilder, base: int, length: int, counter,
+               value, modulus: int = 0) -> None:
+    """Fill ``mem[base : base+length]`` with pseudo-random values.
+
+    ``counter`` and ``value`` are caller-provided registers (clobbered).
+    """
+    with b.for_range(counter, 0, length):
+        rand_into(b, value, modulus)
+        b.asm.li(TMP1, base)
+        b.asm.add(TMP1, TMP1, counter)
+        b.asm.st(value, TMP1, 0)
+
+
+def clamp(b: ProgramBuilder, reg, low: int, high: int) -> None:
+    """Clamp ``reg`` into [low, high] with two conditional branches."""
+    b.asm.li(TMP0, low)
+    with b.if_("lt", reg, TMP0):
+        b.asm.mv(reg, TMP0)
+    b.asm.li(TMP0, high)
+    with b.if_("gt", reg, TMP0):
+        b.asm.mv(reg, TMP0)
+
+
+def hash_combine(b: ProgramBuilder, dest, a, c, table_bits: int) -> None:
+    """``dest = ((a * 31 + c) xor (a >> 7)) mod 2**table_bits``."""
+    b.asm.muli(dest, a, 31)
+    b.asm.add(dest, dest, c)
+    b.asm.srli(TMP0, a, 7)
+    b.asm.xor(dest, dest, TMP0)
+    b.asm.andi(dest, dest, (1 << table_bits) - 1)
+
+
+def build_two_pass(make: Callable[[ProgramBuilder, Dict[str, int]], None],
+                   name: str, data_size: int = 1 << 15) -> Program:
+    """Build a program that needs its own label addresses as constants.
+
+    Workloads with indirect dispatch (interpreters building jump tables of
+    handler addresses) cannot know label addresses while emitting code.
+    ``make`` is invoked twice: first with an empty address map (every
+    lookup yields 0) to learn the layout, then with the real addresses.
+    Both passes must emit the same instruction count — true by construction
+    since only ``li`` immediates change.
+    """
+    probe = ProgramBuilder(name=name, data_size=data_size)
+    make(probe, {})
+    labels = probe.build().labels
+    addresses: Dict[str, int] = dict(labels)
+    final = ProgramBuilder(name=name, data_size=data_size)
+    make(final, addresses)
+    program = final.build()
+    if len(program) != len(probe.build()):
+        raise AssertionError(
+            f"two-pass build of {name!r} changed the instruction count")
+    return program

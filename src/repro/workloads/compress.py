@@ -1,0 +1,134 @@
+"""``compress`` analog (SPECint95 129.compress).
+
+The original is LZW compression: a tight loop hashing (prefix, char) pairs
+into a dictionary with open addressing.  Its branch character comes from
+data-dependent hash hits/misses and probe-chain lengths over skewed input.
+
+The analog implements the same structure: a skewed pseudo-random symbol
+stream, an open-addressed dictionary keyed by (prefix, symbol), hit/miss/
+collision branches per input symbol, emitted codes, and periodic dictionary
+resets when the code space fills.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import hash_combine, rand_into, seed_rng
+
+# Data-memory layout (words).
+INPUT = 0
+INPUT_LEN = 2048
+KEYS = 4096          # dictionary keys (0 = empty)
+VALUES = 8192        # dictionary values (codes)
+OUTPUT = 12288
+OUTPUT_MASK = 2047
+TABLE_BITS = 12
+TABLE_SIZE = 1 << TABLE_BITS
+MAX_CODE = 3000      # reset threshold (forces periodic dictionary resets)
+N_SYMBOLS = 16
+OUTER_PASSES = 10_000  # effectively unbounded; the trace budget truncates
+
+
+@REGISTRY.register("compress", SUITE_INT,
+                   "LZW-style dictionary compression with open addressing")
+def build(outer: int = OUTER_PASSES) -> Program:
+    """Build the analog; ``outer`` bounds the compression passes (tests
+    use small bounds to run to HALT for golden-model comparison)."""
+    b = ProgramBuilder(name="compress", data_size=1 << 15)
+
+    r_i = "r3"        # input index
+    r_prefix = "r4"
+    r_char = "r5"
+    r_key = "r6"
+    r_hash = "r7"
+    r_next_code = "r8"
+    r_out = "r9"      # output index
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_found = "r12"
+
+    with b.function("reset_dict", leaf=True):
+        # Predictable memset loop, like the original's table clear.
+        with b.for_range(r_t0, 0, TABLE_SIZE):
+            b.asm.li(r_t1, KEYS)
+            b.asm.add(r_t1, r_t1, r_t0)
+            b.asm.st("r0", r_t1, 0)
+
+    with b.function("fill_input", leaf=False):
+        # Skewed symbols: min of two draws biases toward small values,
+        # giving the repetitive character real compressor input has.
+        with b.for_range(r_i, 0, INPUT_LEN):
+            rand_into(b, r_t0, N_SYMBOLS)
+            rand_into(b, r_t1, N_SYMBOLS)
+            with b.if_("lt", r_t1, r_t0):
+                b.asm.mv(r_t0, r_t1)
+            b.asm.li(r_t1, INPUT)
+            b.asm.add(r_t1, r_t1, r_i)
+            b.asm.st(r_t0, r_t1, 0)
+
+    with b.function("compress_pass"):
+        # prefix = input[0]; next_code starts above the symbol alphabet.
+        b.asm.li(r_t0, INPUT)
+        b.asm.ld(r_prefix, r_t0, 0)
+        b.asm.li(r_next_code, N_SYMBOLS + 1)
+        b.asm.li(r_out, 0)
+        with b.for_range(r_i, 1, INPUT_LEN):
+            b.asm.li(r_t0, INPUT)
+            b.asm.add(r_t0, r_t0, r_i)
+            b.asm.ld(r_char, r_t0, 0)
+            # key = (prefix << 4) | char, +1 so 0 means empty.
+            b.asm.slli(r_key, r_prefix, 4)
+            b.asm.or_(r_key, r_key, r_char)
+            b.asm.addi(r_key, r_key, 1)
+            hash_combine(b, r_hash, r_prefix, r_char, TABLE_BITS)
+            # Probe until the key or an empty slot is found.
+            b.asm.li(r_found, 0)
+            probe_top = b.asm.unique_label("probe")
+            probe_done = b.asm.unique_label("probe_done")
+            b.asm.place(probe_top)
+            b.asm.li(r_t0, KEYS)
+            b.asm.add(r_t0, r_t0, r_hash)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.beq(r_t1, "r0", probe_done)       # empty slot: miss
+            b.asm.beq(r_t1, r_key, probe_done)      # hit
+            b.asm.addi(r_hash, r_hash, 1)           # linear probing
+            b.asm.andi(r_hash, r_hash, TABLE_SIZE - 1)
+            b.asm.j(probe_top)
+            b.asm.place(probe_done)
+            with b.if_else("eq", r_t1, r_key) as hit:
+                # Hit: extend the prefix with the stored code.
+                b.asm.li(r_t0, VALUES)
+                b.asm.add(r_t0, r_t0, r_hash)
+                b.asm.ld(r_prefix, r_t0, 0)
+                hit.otherwise()
+                # Miss: emit prefix, insert (key -> next_code), restart.
+                b.asm.andi(r_t0, r_out, OUTPUT_MASK)
+                b.asm.li(r_t1, OUTPUT)
+                b.asm.add(r_t1, r_t1, r_t0)
+                b.asm.st(r_prefix, r_t1, 0)
+                b.asm.addi(r_out, r_out, 1)
+                b.asm.li(r_t0, KEYS)
+                b.asm.add(r_t0, r_t0, r_hash)
+                b.asm.st(r_key, r_t0, 0)
+                b.asm.li(r_t0, VALUES)
+                b.asm.add(r_t0, r_t0, r_hash)
+                b.asm.st(r_next_code, r_t0, 0)
+                b.asm.addi(r_next_code, r_next_code, 1)
+                b.asm.mv(r_prefix, r_char)
+                # Dictionary full? Reset (rare, heavily not-taken).
+                b.asm.li(r_t0, MAX_CODE)
+                with b.if_("ge", r_next_code, r_t0):
+                    b.push(r_i)
+                    b.call("reset_dict")
+                    b.pop(r_i)
+                    b.asm.li(r_next_code, N_SYMBOLS + 1)
+
+    with b.function("main"):
+        seed_rng(b, 0xC0FFEE)
+        b.call("fill_input")
+        with b.for_range("r15", 0, outer):
+            b.call("compress_pass")
+
+    return b.build()

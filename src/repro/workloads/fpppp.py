@@ -1,0 +1,79 @@
+"""``fpppp`` analog (SPECfp95 145.fpppp).
+
+The original computes two-electron integral derivatives for quantum
+chemistry and is famous for *enormous* basic blocks — hundreds of
+floating-point operations between branches — giving near-perfect branch
+prediction and the highest instructions-per-block in the suite.
+
+The analog reproduces exactly that shape: an integral kernel that is one
+long unrolled fixed-point expression (~200 ALU operations straight-line)
+evaluated per shell quadruple inside a shallow loop nest.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+PARAMS = 0
+N_PARAMS = 64
+RESULTS = 64
+N_SHELLS = 48
+OUTER = 1_000_000
+
+
+@REGISTRY.register("fpppp", SUITE_FP,
+                   "quantum chemistry kernel with ~200-op basic blocks")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the shell-quadruple sweeps."""
+    b = ProgramBuilder(name="fpppp", data_size=1 << 11)
+
+    r_i = "r3"
+    r_j = "r4"
+    r_t0 = "r10"
+    acc = ["r11", "r12", "r13", "r14", "r15", "r16", "r17", "r18"]
+
+    with b.function("integral_kernel", leaf=True):
+        # Load eight parameters selected by (i, j).
+        b.asm.add(r_t0, r_i, r_j)
+        b.asm.andi(r_t0, r_t0, N_PARAMS - 8 - 1)
+        b.asm.addi(r_t0, r_t0, PARAMS)
+        for n, reg in enumerate(acc):
+            b.asm.ld(reg, r_t0, n)
+        # The long straight-line expression: ~25 rounds of 8 dependent
+        # ALU operations with rotating operands (~200 ops, no branches).
+        for round_idx in range(25):
+            a = acc[round_idx % 8]
+            c = acc[(round_idx + 3) % 8]
+            d = acc[(round_idx + 5) % 8]
+            b.asm.mul(a, a, c)
+            b.asm.srli(a, a, 7)
+            b.asm.add(a, a, d)
+            b.asm.xor(c, c, a)
+            b.asm.muli(d, d, 3)
+            b.asm.srli(d, d, 1)
+            b.asm.sub(d, d, c)
+            b.asm.add(a, a, d)
+        # Fold the lanes and store one result word.
+        for reg in acc[1:]:
+            b.asm.add(acc[0], acc[0], reg)
+        b.asm.andi(acc[0], acc[0], (1 << 20) - 1)
+        b.asm.add(r_t0, r_i, r_j)
+        b.asm.andi(r_t0, r_t0, N_PARAMS - 1)
+        b.asm.addi(r_t0, r_t0, RESULTS)
+        b.asm.st(acc[0], r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0xF999)
+        with b.for_range(r_i, 0, N_PARAMS):
+            rand_into(b, "r11", 1 << 16)
+            b.asm.addi(r_t0, r_i, PARAMS)
+            b.asm.st("r11", r_t0, 0)
+        with b.for_range("r19", 0, outer):
+            with b.for_range(r_i, 0, N_SHELLS):
+                with b.for_range(r_j, 0, N_SHELLS):
+                    b.call("integral_kernel")
+
+    return b.build()

@@ -1,0 +1,175 @@
+"""``gcc`` analog (SPECint95 126.gcc).
+
+The original compiles C: long chains of type/opcode tests over IR nodes,
+worklist traversals, hash-based value numbering — large irregular branchy
+code operating on pointer-linked structures.
+
+The analog runs a three-pass "compiler" over a pseudo-random IR held in
+parallel arrays (opcode, two operands, a const flag): constant folding
+(if-else chains over opcodes), value numbering through a probed hash table,
+and dead-code elimination via a backward liveness sweep.  Every pass is
+dominated by data-dependent multi-way branching, gcc's signature.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import hash_combine, rand_into, seed_rng
+
+N_NODES = 1024
+OP = 0                 # opcode array
+ARG1 = 2048
+ARG2 = 4096
+FLAG = 6144            # 1 = constant
+LIVE = 8192
+VN_KEYS = 10240
+VN_BITS = 10
+OUTER = 1_000_000
+
+# IR opcodes: 0 const, 1 add, 2 sub, 3 mul, 4 load, 5 store, 6 cmp,
+# 7 branch, 8 call, 9 phi
+N_IROPS = 10
+
+
+@REGISTRY.register("gcc", SUITE_INT,
+                   "compiler passes: folding, value numbering, DCE")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the pass-pipeline iterations."""
+    b = ProgramBuilder(name="gcc", data_size=1 << 14)
+
+    r_i = "r3"
+    r_op = "r4"
+    r_a1 = "r5"
+    r_a2 = "r6"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_h = "r12"
+    r_live = "r13"
+
+    def node_load(dest, base, idx):
+        b.asm.li(r_t0, base)
+        b.asm.add(r_t0, r_t0, idx)
+        b.asm.ld(dest, r_t0, 0)
+
+    def node_store(src, base, idx):
+        b.asm.li(r_t0, base)
+        b.asm.add(r_t0, r_t0, idx)
+        b.asm.st(src, r_t0, 0)
+
+    with b.function("gen_ir"):
+        # Skewed opcode mix: arithmetic and memory dominate, like real IR.
+        with b.for_range(r_i, 0, N_NODES):
+            rand_into(b, r_op, 16)
+            # Map 16 raw values onto 10 opcodes with a skew (values >= 10
+            # fold back into the common ops 1/4/0/6/1/2).
+            b.asm.li(r_t1, N_IROPS)
+            with b.if_("ge", r_op, r_t1):
+                b.asm.andi(r_op, r_op, 7)
+            node_store(r_op, OP, r_i)
+            rand_into(b, r_t1, N_NODES)
+            node_store(r_t1, ARG1, r_i)
+            rand_into(b, r_t1, N_NODES)
+            node_store(r_t1, ARG2, r_i)
+            rand_into(b, r_t1, 4)
+            b.asm.slti(r_t1, r_t1, 1)       # flag = (rand < 1): 25% const
+            node_store(r_t1, FLAG, r_i)
+            node_store("r0", LIVE, r_i)     # reset liveness for this IR
+
+    with b.function("fold_pass"):
+        # Constant folding: opcode dispatch via an if-else chain.
+        with b.for_range(r_i, 0, N_NODES):
+            node_load(r_op, OP, r_i)
+            node_load(r_a1, ARG1, r_i)
+            node_load(r_a2, ARG2, r_i)
+            b.asm.li(r_t1, 1)
+            with b.if_else("eq", r_op, r_t1) as is_add:
+                # add: fold when both args flagged const.
+                node_load(r_t1, FLAG, r_a1)
+                with b.if_("ne", r_t1, "r0"):
+                    node_load(r_t1, FLAG, r_a2)
+                    with b.if_("ne", r_t1, "r0"):
+                        b.asm.li(r_t1, 0)        # becomes a const node
+                        node_store(r_t1, OP, r_i)
+                        b.asm.li(r_t1, 1)
+                        node_store(r_t1, FLAG, r_i)
+                is_add.otherwise()
+                b.asm.li(r_t1, 3)
+                with b.if_("eq", r_op, r_t1):    # mul by const 0/1 strength
+                    node_load(r_t1, FLAG, r_a2)
+                    with b.if_("ne", r_t1, "r0"):
+                        b.asm.li(r_t1, 1)        # demote to add
+                        node_store(r_t1, OP, r_i)
+                b.asm.li(r_t1, 6)
+                with b.if_("eq", r_op, r_t1):    # cmp of node with itself
+                    with b.if_("eq", r_a1, r_a2):
+                        b.asm.li(r_t1, 0)
+                        node_store(r_t1, OP, r_i)
+                        b.asm.li(r_t1, 1)
+                        node_store(r_t1, FLAG, r_i)
+
+    with b.function("value_number"):
+        # Fresh table per pass — also guarantees the probe loops terminate
+        # (the live key count can never exceed the node count).
+        with b.for_range(r_i, 0, 1 << VN_BITS):
+            b.asm.li(r_t0, VN_KEYS)
+            b.asm.add(r_t0, r_t0, r_i)
+            b.asm.st("r0", r_t0, 0)
+        # Hash (op, a1, a2); collisions probe linearly, hits mark the node.
+        with b.for_range(r_i, 0, N_NODES):
+            node_load(r_op, OP, r_i)
+            node_load(r_a1, ARG1, r_i)
+            node_load(r_a2, ARG2, r_i)
+            hash_combine(b, r_h, r_a1, r_a2, VN_BITS)
+            b.asm.add(r_h, r_h, r_op)
+            b.asm.andi(r_h, r_h, (1 << VN_BITS) - 1)
+            # key = op * N_NODES + a1 + 1 (nonzero)
+            b.asm.li(r_t1, N_NODES)
+            b.asm.mul(r_t1, r_op, r_t1)
+            b.asm.add(r_t1, r_t1, r_a1)
+            b.asm.addi(r_t1, r_t1, 1)
+            probe = b.asm.unique_label("vn_probe")
+            done = b.asm.unique_label("vn_done")
+            b.asm.place(probe)
+            b.asm.li(r_t0, VN_KEYS)
+            b.asm.add(r_t0, r_t0, r_h)
+            b.asm.ld(r_a2, r_t0, 0)
+            b.asm.beq(r_a2, "r0", done)          # empty: insert
+            b.asm.beq(r_a2, r_t1, done)          # hit
+            b.asm.addi(r_h, r_h, 1)
+            b.asm.andi(r_h, r_h, (1 << VN_BITS) - 1)
+            b.asm.j(probe)
+            b.asm.place(done)
+            b.asm.li(r_t0, VN_KEYS)
+            b.asm.add(r_t0, r_t0, r_h)
+            b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("dce_pass"):
+        # Backward liveness: stores/branches/calls are roots; arithmetic
+        # survives only if a later node marked its args live.
+        with b.for_range(r_i, N_NODES - 1, -1, step=-1):
+            node_load(r_op, OP, r_i)
+            b.asm.li(r_live, 0)
+            b.asm.li(r_t1, 5)
+            with b.if_("ge", r_op, r_t1):        # store/cmp/branch/call/phi
+                b.asm.li(r_live, 1)
+            node_load(r_t1, LIVE, r_i)
+            with b.if_("ne", r_t1, "r0"):
+                b.asm.li(r_live, 1)
+            with b.if_("ne", r_live, "r0"):
+                node_load(r_a1, ARG1, r_i)
+                node_load(r_a2, ARG2, r_i)
+                b.asm.li(r_t1, 1)
+                node_store(r_t1, LIVE, r_a1)
+                node_store(r_t1, LIVE, r_a2)
+
+    with b.function("main"):
+        seed_rng(b, 0x6CC)
+        with b.for_range("r15", 0, outer):
+            b.call("gen_ir")
+            b.call("fold_pass")
+            b.call("value_number")
+            b.call("dce_pass")
+
+    return b.build()

@@ -1,0 +1,194 @@
+"""``go`` analog (SPECint95 099.go).
+
+The original plays Go: board-scanning heuristics and recursive group/
+territory analysis with highly irregular, data-dependent branching — it has
+the worst branch prediction accuracy in SPECint95.
+
+The analog keeps that structure: a 19x19 board seeded pseudo-randomly,
+recursive flood-fill to measure group sizes and liberties (4-neighbour
+branching on cell contents), and a move-evaluation sweep that scores
+candidate points with several data-dependent comparisons per cell.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import rand_into, seed_rng
+
+SIZE = 19
+CELLS = SIZE * SIZE
+BOARD = 0            # 0 empty, 1 black, 2 white
+VISITED = 512
+SCORES = 1024
+OUTER_MOVES = 1_000_000  # effectively unbounded; budget truncates
+
+
+@REGISTRY.register("go", SUITE_INT,
+                   "board heuristics with recursive group flood-fill")
+def build(outer: int = OUTER_MOVES) -> Program:
+    """Build the analog; ``outer`` bounds the move count (tests use
+    small bounds to run to HALT for golden-model comparison)."""
+    b = ProgramBuilder(name="go", data_size=1 << 14, stack_words=1 << 12)
+
+    r_cell = "r3"     # flood-fill argument: cell index
+    r_color = "r4"    # flood-fill argument: group colour
+    r_count = "r5"    # accumulated group size
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_row = "r12"
+    r_col = "r13"
+    r_best = "r14"
+    r_idx = "r15"
+    r_move = "r16"
+
+    # ------------------------------------------------------------------
+    # Recursive group flood-fill: counts connected same-colour stones.
+    # ------------------------------------------------------------------
+    with b.function("flood"):
+        # Bounds: cell in [0, CELLS)
+        with b.if_("lt", r_cell, "r0"):
+            b.return_()
+        b.asm.li(r_t0, CELLS)
+        with b.if_("ge", r_cell, r_t0):
+            b.return_()
+        # Already visited?
+        b.asm.li(r_t0, VISITED)
+        b.asm.add(r_t0, r_t0, r_cell)
+        b.asm.ld(r_t1, r_t0, 0)
+        with b.if_("ne", r_t1, "r0"):
+            b.return_()
+        # Same colour?
+        b.asm.li(r_t0, BOARD)
+        b.asm.add(r_t0, r_t0, r_cell)
+        b.asm.ld(r_t1, r_t0, 0)
+        with b.if_("ne", r_t1, r_color):
+            b.return_()
+        # Mark and count.
+        b.asm.li(r_t0, VISITED)
+        b.asm.add(r_t0, r_t0, r_cell)
+        b.asm.li(r_t1, 1)
+        b.asm.st(r_t1, r_t0, 0)
+        b.asm.addi(r_count, r_count, 1)
+        # Recurse over the four neighbours (column checks guard wrap).
+        b.push(r_cell)
+        b.asm.addi(r_cell, r_cell, -SIZE)   # north
+        b.call("flood")
+        b.pop(r_cell)
+        b.push(r_cell)
+        b.asm.addi(r_cell, r_cell, SIZE)    # south
+        b.call("flood")
+        b.pop(r_cell)
+        b.asm.li(r_t0, SIZE)
+        b.asm.mod(r_t1, r_cell, r_t0)
+        with b.if_("ne", r_t1, "r0"):       # not on west edge
+            b.push(r_cell)
+            b.asm.addi(r_cell, r_cell, -1)
+            b.call("flood")
+            b.pop(r_cell)
+        b.asm.li(r_t0, SIZE)
+        b.asm.mod(r_t1, r_cell, r_t0)
+        b.asm.li(r_t0, SIZE - 1)
+        with b.if_("ne", r_t1, r_t0):       # not on east edge
+            b.push(r_cell)
+            b.asm.addi(r_cell, r_cell, 1)
+            b.call("flood")
+            b.pop(r_cell)
+
+    # ------------------------------------------------------------------
+    # Clear the visited map (predictable memset).
+    # ------------------------------------------------------------------
+    with b.function("clear_visited", leaf=True):
+        with b.for_range(r_t0, 0, CELLS):
+            b.asm.li(r_t1, VISITED)
+            b.asm.add(r_t1, r_t1, r_t0)
+            b.asm.st("r0", r_t1, 0)
+
+    # ------------------------------------------------------------------
+    # Score sweep: for each cell, a few data-dependent heuristics.
+    # ------------------------------------------------------------------
+    with b.function("score_board"):
+        b.asm.li(r_best, -1)
+        with b.for_range(r_idx, 0, CELLS):
+            b.asm.li(r_t0, BOARD)
+            b.asm.add(r_t0, r_t0, r_idx)
+            b.asm.ld(r_t1, r_t0, 0)
+            with b.if_("eq", r_t1, "r0"):           # empty point
+                # Heuristic: prefer points whose neighbours mix colours.
+                b.asm.li(r_move, 0)
+                b.asm.li(r_t0, SIZE)
+                b.asm.div(r_row, r_idx, r_t0)
+                b.asm.mod(r_col, r_idx, r_t0)
+                with b.if_("gt", r_row, "r0"):
+                    b.asm.li(r_t0, BOARD - SIZE)
+                    b.asm.add(r_t0, r_t0, r_idx)
+                    b.asm.ld(r_t1, r_t0, 0)
+                    b.asm.add(r_move, r_move, r_t1)
+                b.asm.li(r_t0, SIZE - 1)
+                with b.if_("lt", r_row, r_t0):
+                    b.asm.li(r_t0, BOARD + SIZE)
+                    b.asm.add(r_t0, r_t0, r_idx)
+                    b.asm.ld(r_t1, r_t0, 0)
+                    b.asm.add(r_move, r_move, r_t1)
+                with b.if_("gt", r_col, "r0"):
+                    b.asm.li(r_t0, BOARD - 1)
+                    b.asm.add(r_t0, r_t0, r_idx)
+                    b.asm.ld(r_t1, r_t0, 0)
+                    b.asm.add(r_move, r_move, r_t1)
+                b.asm.li(r_t0, SIZE - 1)
+                with b.if_("lt", r_col, r_t0):
+                    b.asm.li(r_t0, BOARD + 1)
+                    b.asm.add(r_t0, r_t0, r_idx)
+                    b.asm.ld(r_t1, r_t0, 0)
+                    b.asm.add(r_move, r_move, r_t1)
+                # Keep the best-scoring point so far.
+                with b.if_("gt", r_move, r_best):
+                    b.asm.mv(r_best, r_move)
+                b.asm.li(r_t0, SCORES)
+                b.asm.add(r_t0, r_t0, r_idx)
+                b.asm.st(r_move, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x60B0A8D)
+        # Seed the board: ~1/3 empty, 1/3 black, 1/3 white.
+        with b.for_range(r_idx, 0, CELLS):
+            rand_into(b, r_t0, 0)
+            b.asm.li(r_t1, 3)
+            b.asm.mod(r_t0, r_t0, r_t1)
+            b.asm.li(r_t1, BOARD)
+            b.asm.add(r_t1, r_t1, r_idx)
+            b.asm.st(r_t0, r_t1, 0)
+        with b.for_range("r18", 0, outer):
+            # Place a stone at a random point (alternating colour).
+            rand_into(b, r_cell, 512)
+            b.asm.li(r_t0, CELLS)
+            b.asm.mod(r_cell, r_cell, r_t0)
+            b.asm.andi(r_color, "r18", 1)
+            b.asm.addi(r_color, r_color, 1)
+            b.asm.li(r_t0, BOARD)
+            b.asm.add(r_t0, r_t0, r_cell)
+            b.asm.st(r_color, r_t0, 0)
+            # Measure its group.
+            b.call("clear_visited")
+            b.asm.li(r_count, 0)
+            b.call("flood")
+            # Big groups are "captured" — removed from the board — which
+            # keeps the position in flux indefinitely (and is what
+            # actually happens in Go).  The visited map marks the group.
+            b.asm.li(r_t0, 8)
+            with b.if_("gt", r_count, r_t0):
+                with b.for_range(r_idx, 0, CELLS):
+                    b.asm.li(r_t0, VISITED)
+                    b.asm.add(r_t0, r_t0, r_idx)
+                    b.asm.ld(r_t1, r_t0, 0)
+                    with b.if_("ne", r_t1, "r0"):
+                        b.asm.li(r_t0, BOARD)
+                        b.asm.add(r_t0, r_t0, r_idx)
+                        b.asm.st("r0", r_t0, 0)
+            # Mid-size groups trigger a full board rescore.
+            b.asm.li(r_t0, 4)
+            with b.if_("gt", r_count, r_t0):
+                b.call("score_board")
+
+    return b.build()

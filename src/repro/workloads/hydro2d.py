@@ -1,0 +1,108 @@
+"""``hydro2d`` analog (SPECfp95 104.hydro2d).
+
+The original solves hydrodynamical Navier-Stokes equations on a 2D grid:
+flux computations in alternating directions with limiter/clipping logic.
+Mostly counted loops, plus data-dependent min/max limiter branches.
+
+The analog alternates row and column flux sweeps over a density grid with
+a flux limiter (two compare branches per cell whose outcome depends on the
+local gradient sign — skewed but data-dependent).
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import clamp, rand_into, seed_rng
+
+N = 32
+RHO = 0
+FLUX = N * N
+OUTER = 1_000_000
+
+
+@REGISTRY.register("hydro2d", SUITE_FP,
+                   "directional flux sweeps with limiter branches")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the timestep count."""
+    b = ProgramBuilder(name="hydro2d", data_size=1 << 12)
+
+    r_i = "r3"
+    r_j = "r4"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_l = "r12"       # left/up value
+    r_c = "r13"       # centre
+    r_r = "r14"       # right/down value
+    r_g = "r15"       # gradient
+
+    def cell_addr(dest, grid, row, col):
+        b.asm.muli(dest, row, N)
+        b.asm.add(dest, dest, col)
+        b.asm.addi(dest, dest, grid)
+
+    def flux_body(row, col, dr, dc):
+        # Load the 3-point neighbourhood along the sweep direction.
+        cell_addr(r_t0, RHO, row, col)
+        b.asm.ld(r_c, r_t0, 0)
+        b.asm.ld(r_l, r_t0, -(dr * N + dc))
+        b.asm.ld(r_r, r_t0, dr * N + dc)
+        # Gradient and minmod-style limiter.
+        b.asm.sub(r_g, r_r, r_c)
+        b.asm.sub(r_t1, r_c, r_l)
+        # limiter: if gradients disagree in sign, flux = 0
+        b.asm.mul(r_t0, r_g, r_t1)
+        with b.if_("lt", r_t0, "r0"):
+            b.asm.li(r_g, 0)
+        with b.if_("ne", r_g, "r0"):
+            # take the smaller magnitude (minmod)
+            with b.if_("gt", r_g, r_t1):
+                with b.if_("gt", r_t1, "r0"):
+                    b.asm.mv(r_g, r_t1)
+        # Update: rho += g/4 (fixed point), clipped to stay physical.
+        b.asm.muli(r_g, r_g, 1)
+        b.asm.srli(r_t1, r_g, 2)
+        b.asm.add(r_c, r_c, r_t1)
+        clamp(b, r_c, 0, 4095)
+        cell_addr(r_t0, FLUX, row, col)
+        b.asm.st(r_c, r_t0, 0)
+
+    with b.function("sweep_rows", leaf=True):
+        with b.for_range(r_i, 1, N - 1):
+            with b.for_range(r_j, 1, N - 1):
+                flux_body(r_i, r_j, 0, 1)
+
+    with b.function("sweep_cols", leaf=True):
+        with b.for_range(r_j, 1, N - 1):
+            with b.for_range(r_i, 1, N - 1):
+                flux_body(r_i, r_j, 1, 0)
+
+    with b.function("commit", leaf=True):
+        with b.for_range(r_i, 0, N * N):
+            b.asm.addi(r_t0, r_i, FLUX)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.addi(r_t0, r_i, RHO)
+            b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x4D20)
+        # A smooth initial density (random walk), so gradient signs have
+        # spatial coherence — hydrodynamic fields are not white noise.
+        b.asm.li(r_c, 2048)
+        with b.for_range(r_i, 0, N * N):
+            rand_into(b, r_t1, 64)
+            b.asm.add(r_c, r_c, r_t1)
+            b.asm.addi(r_c, r_c, -31)
+            clamp(b, r_c, 0, 4095)
+            b.asm.addi(r_t0, r_i, RHO)
+            b.asm.st(r_c, r_t0, 0)
+            b.asm.addi(r_t0, r_i, FLUX)
+            b.asm.st(r_c, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            b.call("sweep_rows")
+            b.call("commit")
+            b.call("sweep_cols")
+            b.call("commit")
+
+    return b.build()

@@ -1,0 +1,148 @@
+"""``ijpeg`` analog (SPECint95 132.ijpeg).
+
+The original is integer JPEG compression: blocked 8x8 transforms with long
+arithmetic sequences, quantisation with clipping, and run-length entropy
+coding — more regular than the other integer codes but with data-dependent
+runs in the encoder.
+
+The analog processes an LCG-generated image in 8x8 blocks: a separable
+integer butterfly transform over rows then columns (long straight-line
+bodies), quantisation with clamp branches, and a zig-zag run-length encoder
+whose zero-run loop lengths depend on the data.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import clamp, rand_into, seed_rng
+
+IMAGE = 0
+IMG_W = 64
+IMG_H = 32
+BLOCK = 4096          # the 8x8 working block
+OUTPUT = 4200
+OUTPUT_MASK = 1023
+OUTER = 1_000_000
+
+ZIGZAG = [0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+          12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+          35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+          58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63]
+
+
+@REGISTRY.register("ijpeg", SUITE_INT,
+                   "blocked integer transform + quantise + RLE encode")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the image passes."""
+    b = ProgramBuilder(name="ijpeg", data_size=1 << 13)
+
+    r_bx = "r3"       # block origin x
+    r_by = "r4"       # block origin y
+    r_i = "r5"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_a = "r12"
+    r_b = "r13"
+    r_c = "r14"
+    r_d = "r15"
+    r_out = "r16"
+    r_run = "r17"
+
+    with b.function("load_block", leaf=True):
+        # Copy the 8x8 tile at (r_bx, r_by) into the working block.
+        with b.for_range(r_i, 0, 8):
+            for col in range(8):
+                b.asm.addi(r_t0, r_by, 0)
+                b.asm.add(r_t0, r_t0, r_i)
+                b.asm.muli(r_t0, r_t0, IMG_W)
+                b.asm.add(r_t0, r_t0, r_bx)
+                b.asm.addi(r_t0, r_t0, IMAGE + col)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.muli(r_t0, r_i, 8)
+                b.asm.addi(r_t0, r_t0, BLOCK + col)
+                b.asm.st(r_t1, r_t0, 0)
+
+    def butterfly_pass(stride: int, base_step: int) -> None:
+        # One separable pass: 8 lanes of adds/subs/shifts, unrolled —
+        # the long arithmetic blocks that give ijpeg its high IPB.
+        with b.for_range(r_i, 0, 8):
+            b.asm.muli(r_t0, r_i, base_step)
+            b.asm.addi(r_t0, r_t0, BLOCK)
+            for k in range(4):
+                b.asm.ld(r_a, r_t0, k * stride)
+                b.asm.ld(r_b, r_t0, (7 - k) * stride)
+                b.asm.add(r_c, r_a, r_b)
+                b.asm.sub(r_d, r_a, r_b)
+                b.asm.srli(r_c, r_c, 1)
+                b.asm.muli(r_d, r_d, 3)
+                b.asm.srli(r_d, r_d, 2)
+                b.asm.st(r_c, r_t0, k * stride)
+                b.asm.st(r_d, r_t0, (7 - k) * stride)
+
+    with b.function("transform", leaf=True):
+        butterfly_pass(stride=1, base_step=8)   # rows
+        butterfly_pass(stride=8, base_step=1)   # columns
+
+    with b.function("quantise", leaf=True):
+        with b.for_range(r_i, 0, 64):
+            b.asm.addi(r_t0, r_i, BLOCK)
+            b.asm.ld(r_a, r_t0, 0)
+            b.asm.srli(r_a, r_a, 3)
+            b.asm.addi(r_a, r_a, -8)       # centre around zero
+            clamp(b, r_a, -16, 15)
+            # Small values quantise to zero (the RLE fuel).
+            b.asm.li(r_t1, 3)
+            with b.if_("lt", r_a, r_t1):
+                b.asm.li(r_t1, -3)
+                with b.if_("gt", r_a, r_t1):
+                    b.asm.li(r_a, 0)
+            b.asm.addi(r_t0, r_i, BLOCK)
+            b.asm.st(r_a, r_t0, 0)
+
+    with b.function("encode", leaf=True):
+        # Zig-zag scan with run-length coding of zeros.
+        b.asm.li(r_run, 0)
+        for index in ZIGZAG:
+            b.asm.li(r_t0, BLOCK + index)
+            b.asm.ld(r_a, r_t0, 0)
+            with b.if_else("eq", r_a, "r0") as is_zero:
+                b.asm.addi(r_run, r_run, 1)
+                is_zero.otherwise()
+                # Emit (run, value).
+                b.asm.andi(r_t0, r_out, OUTPUT_MASK)
+                b.asm.addi(r_t0, r_t0, OUTPUT)
+                b.asm.st(r_run, r_t0, 0)
+                b.asm.addi(r_out, r_out, 1)
+                b.asm.andi(r_t0, r_out, OUTPUT_MASK)
+                b.asm.addi(r_t0, r_t0, OUTPUT)
+                b.asm.st(r_a, r_t0, 0)
+                b.asm.addi(r_out, r_out, 1)
+                b.asm.li(r_run, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x1F3C)
+        # Synthesize a smooth-ish image: neighbour-correlated noise.
+        b.asm.li(r_a, 128)
+        with b.for_range(r_i, 0, IMG_W * IMG_H):
+            rand_into(b, r_t1, 32)
+            b.asm.add(r_a, r_a, r_t1)
+            b.asm.addi(r_a, r_a, -15)
+            clamp(b, r_a, 0, 255)
+            b.asm.addi(r_t0, r_i, IMAGE)
+            b.asm.st(r_a, r_t0, 0)
+        b.asm.li(r_out, 0)
+        with b.for_range("r18", 0, outer):
+            with b.for_range(r_by, 0, IMG_H, step=8):
+                with b.for_range(r_bx, 0, IMG_W, step=8):
+                    b.push(r_bx)
+                    b.push(r_by)
+                    b.call("load_block")
+                    b.call("transform")
+                    b.call("quantise")
+                    b.call("encode")
+                    b.pop(r_by)
+                    b.pop(r_bx)
+
+    return b.build()

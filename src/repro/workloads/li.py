@@ -1,0 +1,269 @@
+"""``li`` analog (SPECint95 130.li).
+
+The original is a Lisp interpreter: its signature control flow is the
+dispatch loop — an indirect jump through a handler table whose target
+changes with every bytecode — plus recursive evaluation and list traversal.
+
+The analog is a small stack VM interpreted by ISA code.  A handler jump
+table is built at startup (handler addresses become data, the classic
+interpreter pattern), and the dispatch ``jr`` jumps through it.  The VM runs
+a mix of bytecode programs: an iterative accumulator loop, a recursive
+Fibonacci (VM-level CALL/RET exercising a VM return stack), and a list-sum
+over cons cells, so the dispatch target sequence is long and varied —
+exactly what stresses indirect-target prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import build_two_pass
+
+# VM opcodes.
+OP_HALT = 0
+OP_PUSH = 1    # push immediate (next word)
+OP_ADD = 2
+OP_SUB = 3
+OP_DUP = 4
+OP_JNZ = 5     # pop; jump to absolute vm address (next word) if non-zero
+OP_CALL = 6    # call vm address (next word)
+OP_RET = 7
+OP_LOAD = 8    # pop address, push mem[HEAP + address]
+OP_LT = 9      # push (a < b)
+N_OPS = 10
+
+# Data-memory layout.
+JUMP_TABLE = 0                 # N_OPS handler addresses
+CODE = 64                      # VM bytecode
+VM_STACK = 1024                # VM operand stack
+VM_CALLS = 2048                # VM call stack
+HEAP = 3072                    # cons cells / data for OP_LOAD
+HEAP_LEN = 512
+
+OUTER_RUNS = 1_000_000  # budget truncates
+
+
+def _vm_programs():
+    """Assemble the VM bytecode image (word list placed at CODE).
+
+    Returns ``(code, entries)``.  Jump/call targets are patched after
+    emission so the layout bookkeeping cannot drift.
+    """
+    code = []
+    patches = []  # (position, key)
+    marks = {}
+
+    def emit(*words):
+        code.extend(words)
+
+    def mark(key):
+        marks[key] = len(code)
+
+    def ref(key):
+        patches.append((len(code), key))
+        code.append(0)
+
+    # Program A: countdown with mixed arithmetic.
+    #   n = 25; loop: n = (n - 2) + 1; if n: loop
+    mark("a_entry")
+    emit(OP_PUSH, 25)
+    mark("a_loop")
+    emit(OP_PUSH, 2)
+    emit(OP_SUB)
+    emit(OP_PUSH, 1)
+    emit(OP_ADD)
+    emit(OP_DUP)
+    emit(OP_JNZ)
+    ref("a_loop")
+    emit(OP_HALT)
+
+    # Program B: recursive countdown through VM CALL/RET.
+    mark("b_entry")
+    emit(OP_PUSH, 12)
+    emit(OP_CALL)
+    ref("b_fn")
+    emit(OP_HALT)
+    mark("b_fn")            # fn(n): if n: fn(n-1)
+    emit(OP_DUP)
+    emit(OP_JNZ)
+    ref("b_recurse")
+    emit(OP_RET)
+    mark("b_recurse")
+    emit(OP_PUSH, 1)
+    emit(OP_SUB)
+    emit(OP_CALL)
+    ref("b_fn")
+    emit(OP_RET)
+
+    # Program C: pointer chase across the heap until a zero cell.
+    #   idx = 501; loop: idx = heap[idx]; if idx: loop
+    mark("c_entry")
+    emit(OP_PUSH, 501)
+    mark("c_loop")
+    emit(OP_LOAD)
+    emit(OP_DUP)
+    emit(OP_JNZ)
+    ref("c_loop")
+    emit(OP_HALT)
+
+    for position, key in patches:
+        code[position] = marks[key]
+    return code, [marks["a_entry"], marks["b_entry"], marks["c_entry"]]
+
+
+@REGISTRY.register("li", SUITE_INT,
+                   "stack-VM interpreter with indirect handler dispatch")
+def build(outer: int = OUTER_RUNS) -> Program:
+    """Build the analog; ``outer`` bounds the VM-program runs."""
+    code, entries = _vm_programs()
+
+    def make(b: ProgramBuilder, labels: Dict[str, int]) -> None:
+        r_pc = "r3"       # VM program counter
+        r_sp = "r4"       # VM operand stack pointer
+        r_cs = "r5"       # VM call stack pointer
+        r_op = "r6"
+        r_a = "r7"
+        r_b = "r8"
+        r_t0 = "r10"
+        r_t1 = "r11"
+
+        handlers = ["h_halt", "h_push", "h_add", "h_sub", "h_dup", "h_jnz",
+                    "h_call", "h_ret", "h_load", "h_lt"]
+
+        with b.function("vm_init", leaf=True):
+            # Install handler addresses into the jump table.
+            for i, name in enumerate(handlers):
+                b.asm.li(r_t0, labels.get(name, 0))
+                b.asm.li(r_t1, JUMP_TABLE + i)
+                b.asm.st(r_t0, r_t1, 0)
+            # Install the bytecode image.
+            for i, word in enumerate(code):
+                b.asm.li(r_t0, word)
+                b.asm.li(r_t1, CODE + i)
+                b.asm.st(r_t0, r_t1, 0)
+            # Seed the heap with a pseudo-random but strictly decreasing
+            # pointer web (heap[i] < i), so pointer chases provably reach 0.
+            value = 1
+            for i in range(HEAP_LEN):
+                value = (value * 48271 + 11) & 0x7FFFFFFF
+                stored = value % i if i > 1 else 0
+                b.asm.li(r_t0, stored)
+                b.asm.li(r_t1, HEAP + i)
+                b.asm.st(r_t0, r_t1, 0)
+
+        with b.function("vm_run", leaf=True):
+            # r_pc holds the VM entry address; stacks reset per run.
+            b.asm.li(r_sp, VM_STACK)
+            b.asm.li(r_cs, VM_CALLS)
+            b.asm.label("dispatch")
+            b.asm.li(r_t0, CODE)
+            b.asm.add(r_t0, r_t0, r_pc)
+            b.asm.ld(r_op, r_t0, 0)
+            b.asm.addi(r_pc, r_pc, 1)
+            b.asm.li(r_t0, JUMP_TABLE)
+            b.asm.add(r_t0, r_t0, r_op)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.jr(r_t1)                      # the signature indirect jump
+
+            b.asm.label("h_push")
+            b.asm.li(r_t0, CODE)
+            b.asm.add(r_t0, r_t0, r_pc)
+            b.asm.ld(r_a, r_t0, 0)
+            b.asm.addi(r_pc, r_pc, 1)
+            b.asm.st(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, 1)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_add")
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_b, r_sp, 0)
+            b.asm.add(r_a, r_a, r_b)
+            b.asm.st(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, 1)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_sub")
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_b, r_sp, 0)
+            b.asm.sub(r_a, r_b, r_a)
+            b.asm.st(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, 1)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_dup")
+            b.asm.addi(r_t0, r_sp, -1)
+            b.asm.ld(r_a, r_t0, 0)
+            b.asm.st(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, 1)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_jnz")
+            b.asm.li(r_t0, CODE)
+            b.asm.add(r_t0, r_t0, r_pc)
+            b.asm.ld(r_b, r_t0, 0)              # target
+            b.asm.addi(r_pc, r_pc, 1)
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_a, r_sp, 0)
+            with b.if_("ne", r_a, "r0"):
+                b.asm.mv(r_pc, r_b)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_call")
+            b.asm.li(r_t0, CODE)
+            b.asm.add(r_t0, r_t0, r_pc)
+            b.asm.ld(r_b, r_t0, 0)
+            b.asm.addi(r_pc, r_pc, 1)
+            b.asm.st(r_pc, r_cs, 0)
+            b.asm.addi(r_cs, r_cs, 1)
+            b.asm.mv(r_pc, r_b)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_ret")
+            b.asm.addi(r_cs, r_cs, -1)
+            b.asm.ld(r_pc, r_cs, 0)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_load")
+            b.asm.addi(r_t0, r_sp, -1)
+            b.asm.ld(r_a, r_t0, 0)
+            # Reduce into the heap (keeps every access in range).
+            b.asm.li(r_t1, HEAP_LEN)
+            b.asm.mod(r_a, r_a, r_t1)
+            with b.if_("lt", r_a, "r0"):
+                b.asm.li(r_t1, HEAP_LEN)
+                b.asm.add(r_a, r_a, r_t1)
+            b.asm.li(r_t1, HEAP)
+            b.asm.add(r_t1, r_t1, r_a)
+            b.asm.ld(r_a, r_t1, 0)
+            b.asm.addi(r_t0, r_sp, -1)
+            b.asm.st(r_a, r_t0, 0)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_lt")
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, -1)
+            b.asm.ld(r_b, r_sp, 0)
+            b.asm.slt(r_a, r_b, r_a)
+            b.asm.st(r_a, r_sp, 0)
+            b.asm.addi(r_sp, r_sp, 1)
+            b.asm.j("dispatch")
+
+            b.asm.label("h_halt")
+            # Fall through to the function epilogue.
+
+        with b.function("main"):
+            b.call("vm_init")
+            with b.for_range("r15", 0, outer):
+                for entry in entries:
+                    b.asm.li(r_pc, entry)
+                    b.call("vm_run")
+
+    return build_two_pass(make, "li", data_size=1 << 14)

@@ -1,0 +1,210 @@
+"""``m88ksim`` analog (SPECint95 124.m88ksim).
+
+The original simulates a Motorola 88100: a fetch/decode/execute loop whose
+branches follow the simulated program's instruction mix — a long if-else
+decode chain, register-file updates, and a simulated-branch unit.
+
+The analog interprets a pseudo-random "guest" instruction stream with a
+realistic opcode mix (ALU-heavy, ~20% memory, ~15% branches).  Decode is a
+nested compare chain (m88ksim decodes by field tests, not jump tables);
+guest branches are resolved against guest register values, so the host
+branch behaviour is data-dependent in the same layered way.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import rand_into, seed_rng
+
+GUEST_CODE = 0        # encoded guest instructions
+# Short guest program: like a real guest workload, the simulated
+# instruction sequence repeats (the guest spends its time in loops), so
+# the host's decode-branch sequence is learnable — m88ksim's actual
+# behaviour, not a random-opcode stress test.
+GUEST_LEN = 96
+GUEST_REGS = 2048     # 32 guest registers
+GUEST_MEM = 2100
+GUEST_MEM_LEN = 1024
+OUTER = 1_000_000
+
+# Guest opcode classes: 0 add, 1 sub, 2 and, 3 or, 4 shift, 5 load,
+# 6 store, 7 beq, 8 bne, 9 nop
+
+
+@REGISTRY.register("m88ksim", SUITE_INT,
+                   "CPU simulator: decode chain + guest branch resolution")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the simulate passes (tests use
+    small bounds to run to HALT for golden-model comparison)."""
+    b = ProgramBuilder(name="m88ksim", data_size=1 << 13)
+
+    r_pc = "r3"       # guest PC
+    r_inst = "r4"
+    r_op = "r5"
+    r_rd = "r6"
+    r_rs = "r7"
+    r_a = "r12"
+    r_bv = "r13"
+    r_t0 = "r10"
+    r_t1 = "r11"
+
+    def guest_reg_load(dest, reg_idx):
+        b.asm.li(r_t0, GUEST_REGS)
+        b.asm.add(r_t0, r_t0, reg_idx)
+        b.asm.ld(dest, r_t0, 0)
+
+    def guest_reg_store(src, reg_idx):
+        b.asm.li(r_t0, GUEST_REGS)
+        b.asm.add(r_t0, r_t0, reg_idx)
+        b.asm.st(src, r_t0, 0)
+
+    with b.function("gen_guest"):
+        # Encoded word: op*4096 + rd*128 + rs*4 + extra(2 bits).
+        with b.for_range("r15", 0, GUEST_LEN):
+            rand_into(b, r_op, 32)
+            # Skew: 0-15 -> alu (op & 3 or 4), 16-21 -> load, 22-26 ->
+            # store, 27-30 -> branches, 31 -> nop.
+            b.asm.li(r_t1, 16)
+            with b.if_else("lt", r_op, r_t1) as cls:
+                b.asm.andi(r_op, r_op, 4 + 3)   # 0..7 -> alu incl shift
+                b.asm.li(r_t1, 5)
+                with b.if_("ge", r_op, r_t1):
+                    b.asm.andi(r_op, r_op, 3)
+                cls.otherwise()
+                b.asm.li(r_t1, 22)
+                with b.if_else("lt", r_op, r_t1) as c2:
+                    b.asm.li(r_op, 5)            # load
+                    c2.otherwise()
+                    b.asm.li(r_t1, 27)
+                    with b.if_else("lt", r_op, r_t1) as c3:
+                        b.asm.li(r_op, 6)        # store
+                        c3.otherwise()
+                        b.asm.li(r_t1, 31)
+                        with b.if_else("lt", r_op, r_t1) as c4:
+                            b.asm.andi(r_op, r_op, 1)
+                            b.asm.addi(r_op, r_op, 7)   # beq/bne
+                            c4.otherwise()
+                            b.asm.li(r_op, 9)    # nop
+            b.asm.muli(r_inst, r_op, 4096)
+            rand_into(b, r_t1, 32)
+            b.asm.muli(r_t1, r_t1, 128)
+            b.asm.add(r_inst, r_inst, r_t1)
+            rand_into(b, r_t1, 32)
+            b.asm.muli(r_t1, r_t1, 4)
+            b.asm.add(r_inst, r_inst, r_t1)
+            rand_into(b, r_t1, 4)
+            b.asm.add(r_inst, r_inst, r_t1)
+            b.asm.li(r_t0, GUEST_CODE)
+            b.asm.add(r_t0, r_t0, "r15")
+            b.asm.st(r_inst, r_t0, 0)
+
+    with b.function("simulate", leaf=True):
+        b.asm.li(r_pc, 0)
+        loop = b.asm.unique_label("sim_loop")
+        done = b.asm.unique_label("sim_done")
+        b.asm.place(loop)
+        b.asm.li(r_t1, GUEST_LEN)
+        b.asm.bge(r_pc, r_t1, done)
+        # Fetch + field decode.
+        b.asm.li(r_t0, GUEST_CODE)
+        b.asm.add(r_t0, r_t0, r_pc)
+        b.asm.ld(r_inst, r_t0, 0)
+        b.asm.addi(r_pc, r_pc, 1)
+        b.asm.srli(r_op, r_inst, 12)
+        b.asm.srli(r_rd, r_inst, 7)
+        b.asm.andi(r_rd, r_rd, 31)
+        b.asm.srli(r_rs, r_inst, 2)
+        b.asm.andi(r_rs, r_rs, 31)
+        # Decode chain (most frequent first, like m88ksim's decoder).
+        next_label = b.asm.unique_label("sim_next")
+
+        def op_case(value):
+            return b.if_("eq", r_op, _imm(value))
+
+        def _imm(value):
+            b.asm.li(r_t1, value)
+            return r_t1
+
+        with op_case(0):                      # add
+            guest_reg_load(r_a, r_rs)
+            guest_reg_load(r_bv, r_rd)
+            b.asm.add(r_a, r_a, r_bv)
+            guest_reg_store(r_a, r_rd)
+            b.asm.j(next_label)
+        with op_case(1):                      # sub
+            guest_reg_load(r_a, r_rs)
+            guest_reg_load(r_bv, r_rd)
+            b.asm.sub(r_a, r_bv, r_a)
+            guest_reg_store(r_a, r_rd)
+            b.asm.j(next_label)
+        with op_case(2):                      # and
+            guest_reg_load(r_a, r_rs)
+            guest_reg_load(r_bv, r_rd)
+            b.asm.and_(r_a, r_a, r_bv)
+            guest_reg_store(r_a, r_rd)
+            b.asm.j(next_label)
+        with op_case(3):                      # or
+            guest_reg_load(r_a, r_rs)
+            guest_reg_load(r_bv, r_rd)
+            b.asm.or_(r_a, r_a, r_bv)
+            guest_reg_store(r_a, r_rd)
+            b.asm.j(next_label)
+        with op_case(4):                      # shift
+            guest_reg_load(r_a, r_rs)
+            b.asm.andi(r_t1, r_inst, 3)
+            b.asm.srl(r_a, r_a, r_t1)
+            guest_reg_store(r_a, r_rd)
+            b.asm.j(next_label)
+        with op_case(5):                      # load
+            guest_reg_load(r_a, r_rs)
+            b.asm.andi(r_a, r_a, GUEST_MEM_LEN - 1)
+            b.asm.li(r_t0, GUEST_MEM)
+            b.asm.add(r_t0, r_t0, r_a)
+            b.asm.ld(r_a, r_t0, 0)
+            guest_reg_store(r_a, r_rd)
+            b.asm.j(next_label)
+        with op_case(6):                      # store
+            guest_reg_load(r_a, r_rs)
+            b.asm.andi(r_a, r_a, GUEST_MEM_LEN - 1)
+            guest_reg_load(r_bv, r_rd)
+            b.asm.li(r_t0, GUEST_MEM)
+            b.asm.add(r_t0, r_t0, r_a)
+            b.asm.st(r_bv, r_t0, 0)
+            b.asm.j(next_label)
+        with op_case(7):                      # beq: skip ahead 3 if equal
+            guest_reg_load(r_a, r_rs)
+            guest_reg_load(r_bv, r_rd)
+            with b.if_("eq", r_a, r_bv):
+                b.asm.addi(r_pc, r_pc, 3)
+            b.asm.j(next_label)
+        with op_case(8):                      # bne: skip back is too risky;
+            guest_reg_load(r_a, r_rs)         # skip ahead 5 if different
+            guest_reg_load(r_bv, r_rd)
+            with b.if_("ne", r_a, r_bv):
+                b.asm.addi(r_pc, r_pc, 5)
+            b.asm.j(next_label)
+        # nop and unknown fall through.
+        b.asm.place(next_label)
+        b.asm.j(loop)
+        b.asm.place(done)
+
+    with b.function("main"):
+        seed_rng(b, 0x88100)
+        # Guest registers and memory start pseudo-random.
+        with b.for_range("r15", 0, 32):
+            rand_into(b, r_t1, 64)
+            b.asm.li(r_t0, GUEST_REGS)
+            b.asm.add(r_t0, r_t0, "r15")
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r15", 0, GUEST_MEM_LEN):
+            rand_into(b, r_t1, 64)
+            b.asm.li(r_t0, GUEST_MEM)
+            b.asm.add(r_t0, r_t0, "r15")
+            b.asm.st(r_t1, r_t0, 0)
+        b.call("gen_guest")
+        with b.for_range("r16", 0, outer):
+            b.call("simulate")
+
+    return b.build()

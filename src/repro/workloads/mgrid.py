@@ -1,0 +1,92 @@
+"""``mgrid`` analog (SPECfp95 107.mgrid).
+
+The original is a multigrid Poisson solver: smoothing sweeps at a hierarchy
+of resolutions, restriction to coarser grids and prolongation back.  Its
+loops run at power-of-two strides with tiny trip counts at the coarse end —
+the characteristic "nested counted loops at many scales".
+
+The analog runs the same V-cycle shape over a 1D hierarchy: smooth at
+stride s, restrict to stride 2s, down to the coarsest level, then
+prolongate back — all fixed-point, all counted loops.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+SIZE = 1024
+GRID = 0
+TEMP = 1024
+LEVELS = (1, 2, 4, 8, 16)
+OUTER = 1_000_000
+
+
+@REGISTRY.register("mgrid", SUITE_FP,
+                   "multigrid V-cycle: strided smoothing at many scales")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the V-cycles."""
+    b = ProgramBuilder(name="mgrid", data_size=1 << 12)
+
+    r_i = "r3"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_a = "r12"
+    r_c = "r13"
+
+    for stride in LEVELS:
+        with b.function(f"smooth_{stride}", leaf=True):
+            # u[i] = (u[i-s] + 2u[i] + u[i+s]) / 4 at this level.
+            with b.for_range(r_i, stride, SIZE - stride, step=stride):
+                b.asm.addi(r_t0, r_i, GRID)
+                b.asm.ld(r_c, r_t0, 0)
+                b.asm.ld(r_a, r_t0, -stride)
+                b.asm.add(r_a, r_a, r_c)
+                b.asm.add(r_a, r_a, r_c)
+                b.asm.ld(r_t1, r_t0, stride)
+                b.asm.add(r_a, r_a, r_t1)
+                b.asm.srli(r_a, r_a, 2)
+                b.asm.st(r_a, r_t0, 0)
+
+        with b.function(f"restrict_{stride}", leaf=True):
+            # Average pairs into the temp field at double stride.
+            with b.for_range(r_i, 0, SIZE - stride, step=2 * stride):
+                b.asm.addi(r_t0, r_i, GRID)
+                b.asm.ld(r_a, r_t0, 0)
+                b.asm.ld(r_t1, r_t0, stride)
+                b.asm.add(r_a, r_a, r_t1)
+                b.asm.srli(r_a, r_a, 1)
+                b.asm.addi(r_t0, r_i, TEMP)
+                b.asm.st(r_a, r_t0, 0)
+
+        with b.function(f"prolong_{stride}", leaf=True):
+            # Interpolate temp back into the grid.
+            with b.for_range(r_i, 0, SIZE - 2 * stride, step=2 * stride):
+                b.asm.addi(r_t0, r_i, TEMP)
+                b.asm.ld(r_a, r_t0, 0)
+                b.asm.ld(r_t1, r_t0, 2 * stride)
+                b.asm.add(r_t1, r_a, r_t1)
+                b.asm.srli(r_t1, r_t1, 1)
+                b.asm.addi(r_t0, r_i, GRID)
+                b.asm.st(r_a, r_t0, 0)
+                b.asm.st(r_t1, r_t0, stride)
+
+    with b.function("main"):
+        seed_rng(b, 0x36123)
+        with b.for_range(r_i, 0, 2 * SIZE):
+            rand_into(b, r_t1, 2048)
+            b.asm.mv(r_t0, r_i)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            # Descend the V-cycle...
+            for stride in LEVELS:
+                b.call(f"smooth_{stride}")
+                b.call(f"restrict_{stride}")
+            # ...and come back up.
+            for stride in reversed(LEVELS):
+                b.call(f"prolong_{stride}")
+                b.call(f"smooth_{stride}")
+
+    return b.build()

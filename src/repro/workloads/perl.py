@@ -1,0 +1,178 @@
+"""``perl`` analog (SPECint95 134.perl).
+
+The original interprets Perl scripts dominated by string processing:
+tokenising, hash lookups of identifiers, and regex-style scanning.  Branch
+behaviour mixes short data-dependent scans (character classes, delimiter
+tests) with hash-probe hits/misses.
+
+The analog tokenises a pseudo-random "text" of small symbols with a
+separator class, interns each token in a probed hash table (counting
+occurrences), and runs a naive pattern matcher over the text whose inner
+comparison loop aborts at the first mismatch — the classic scan/match
+branch profile.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import rand_into, seed_rng
+
+TEXT = 0
+TEXT_LEN = 4096
+HASH_KEYS = 4096
+HASH_COUNTS = 8192
+HASH_BITS = 12
+PATTERN = 12288
+PATTERN_LEN = 3
+MATCHES = 12300
+MOTIF = 12310
+ALPHABET = 27          # 0..25 letters, 26 separator
+OUTER = 1_000_000
+
+#: The repeating 64-symbol "script" motif (words + separators).
+MOTIF_SYMBOLS = [3, 1, 4, 26, 7, 4, 11, 11, 14, 26, 3, 1, 4, 8, 26, 22,
+                 14, 17, 11, 3, 26, 5, 14, 14, 26, 1, 26, 3, 1, 4, 26, 2,
+                 0, 19, 26, 18, 8, 19, 26, 12, 0, 19, 26, 5, 14, 14, 26,
+                 1, 0, 17, 26, 3, 1, 4, 26, 16, 20, 4, 20, 4, 26, 24, 25,
+                 26]
+
+
+@REGISTRY.register("perl", SUITE_INT,
+                   "tokeniser + identifier hash + naive pattern matcher")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the tokenise/match passes
+    (tests use small bounds to run to HALT)."""
+    b = ProgramBuilder(name="perl", data_size=1 << 14)
+
+    r_i = "r3"
+    r_c = "r4"
+    r_hash = "r5"
+    r_len = "r6"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_j = "r12"
+    r_hits = "r13"
+
+    with b.function("gen_text"):
+        # Real script input is repetitive: emit a fixed 64-symbol motif
+        # (words + separators) with occasional pseudo-random mutation, so
+        # token scans follow recurring — hence learnable — patterns.
+        with b.for_range(r_i, 0, TEXT_LEN):
+            b.asm.li(r_t1, len(MOTIF_SYMBOLS))
+            b.asm.mod(r_c, r_i, r_t1)
+            b.asm.li(r_t0, MOTIF)
+            b.asm.add(r_t0, r_t0, r_c)
+            b.asm.ld(r_c, r_t0, 0)
+            # ~6% mutation keeps the matcher honest.
+            rand_into(b, r_t1, 16)
+            with b.if_("eq", r_t1, "r0"):
+                rand_into(b, r_c, 32)
+                b.asm.li(r_t1, 26)
+                with b.if_("ge", r_c, r_t1):
+                    b.asm.li(r_c, 26)
+            b.asm.addi(r_t0, r_i, TEXT)
+            b.asm.st(r_c, r_t0, 0)
+
+    with b.function("install_motif", leaf=True):
+        for k, sym in enumerate(MOTIF_SYMBOLS):
+            b.asm.li(r_t0, MOTIF + k)
+            b.asm.li(r_t1, sym)
+            b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("tokenise", leaf=True):
+        # Scan tokens; rolling-hash each one; probe and count.
+        b.asm.li(r_i, 0)
+        outer_loop = b.asm.unique_label("tok_outer")
+        done = b.asm.unique_label("tok_done")
+        b.asm.place(outer_loop)
+        b.asm.li(r_t1, TEXT_LEN)
+        b.asm.bge(r_i, r_t1, done)
+        # Skip separators.
+        skip = b.asm.unique_label("tok_skip")
+        word = b.asm.unique_label("tok_word")
+        b.asm.place(skip)
+        b.asm.li(r_t1, TEXT_LEN)
+        b.asm.bge(r_i, r_t1, done)
+        b.asm.addi(r_t0, r_i, TEXT)
+        b.asm.ld(r_c, r_t0, 0)
+        b.asm.li(r_t1, 26)
+        b.asm.blt(r_c, r_t1, word)
+        b.asm.addi(r_i, r_i, 1)
+        b.asm.j(skip)
+        # Accumulate the token's rolling hash.
+        b.asm.place(word)
+        b.asm.li(r_hash, 0)
+        b.asm.li(r_len, 0)
+        grow = b.asm.unique_label("tok_grow")
+        end_word = b.asm.unique_label("tok_end")
+        b.asm.place(grow)
+        b.asm.li(r_t1, TEXT_LEN)
+        b.asm.bge(r_i, r_t1, end_word)
+        b.asm.addi(r_t0, r_i, TEXT)
+        b.asm.ld(r_c, r_t0, 0)
+        b.asm.li(r_t1, 26)
+        b.asm.bge(r_c, r_t1, end_word)
+        b.asm.muli(r_hash, r_hash, 31)
+        b.asm.add(r_hash, r_hash, r_c)
+        b.asm.addi(r_len, r_len, 1)
+        b.asm.addi(r_i, r_i, 1)
+        b.asm.j(grow)
+        b.asm.place(end_word)
+        # Intern: probe the table with (hash+1) as the key.
+        b.asm.addi(r_c, r_hash, 1)
+        b.asm.andi(r_hash, r_hash, (1 << HASH_BITS) - 1)
+        probe = b.asm.unique_label("tok_probe")
+        found = b.asm.unique_label("tok_found")
+        b.asm.place(probe)
+        b.asm.li(r_t0, HASH_KEYS)
+        b.asm.add(r_t0, r_t0, r_hash)
+        b.asm.ld(r_t1, r_t0, 0)
+        b.asm.beq(r_t1, "r0", found)
+        b.asm.beq(r_t1, r_c, found)
+        b.asm.addi(r_hash, r_hash, 1)
+        b.asm.andi(r_hash, r_hash, (1 << HASH_BITS) - 1)
+        b.asm.j(probe)
+        b.asm.place(found)
+        b.asm.li(r_t0, HASH_KEYS)
+        b.asm.add(r_t0, r_t0, r_hash)
+        b.asm.st(r_c, r_t0, 0)
+        b.asm.li(r_t0, HASH_COUNTS)
+        b.asm.add(r_t0, r_t0, r_hash)
+        b.asm.ld(r_t1, r_t0, 0)
+        b.asm.addi(r_t1, r_t1, 1)
+        b.asm.st(r_t1, r_t0, 0)
+        b.asm.j(outer_loop)
+        b.asm.place(done)
+
+    with b.function("match_pattern", leaf=True):
+        # Naive substring search with early-exit inner compares.
+        b.asm.li(r_hits, 0)
+        with b.for_range(r_i, 0, TEXT_LEN - PATTERN_LEN):
+            miss = b.asm.unique_label("pm_miss")
+            for k in range(PATTERN_LEN):
+                b.asm.addi(r_t0, r_i, TEXT + k)
+                b.asm.ld(r_c, r_t0, 0)
+                b.asm.li(r_t0, PATTERN + k)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.bne(r_c, r_t1, miss)
+            b.asm.addi(r_hits, r_hits, 1)
+            b.asm.place(miss)
+        b.asm.li(r_t0, MATCHES)
+        b.asm.st(r_hits, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x9E51)
+        b.call("install_motif")
+        b.call("gen_text")
+        # A frequent-letter pattern so matches actually occur.
+        for k, sym in enumerate((3, 1, 4)):
+            b.asm.li(r_t0, PATTERN + k)
+            b.asm.li(r_t1, sym)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r15", 0, outer):
+            b.call("tokenise")
+            b.call("match_pattern")
+
+    return b.build()

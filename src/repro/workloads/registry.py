@@ -1,0 +1,81 @@
+"""Workload registry facade: suites, lookup, cached fetch inputs.
+
+Importing this module loads every workload analog.  The 18 programs mirror
+the SPEC95 suite the paper evaluates (8 SPECint95, 10 SPECfp95).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.config import FetchInput
+from ..icache.geometry import CacheGeometry
+from .base import REGISTRY, Workload
+
+# Importing registers each analog with REGISTRY.
+from . import applu      # noqa: F401
+from . import apsi       # noqa: F401
+from . import compress   # noqa: F401
+from . import fpppp      # noqa: F401
+from . import gcc        # noqa: F401
+from . import go         # noqa: F401
+from . import hydro2d    # noqa: F401
+from . import ijpeg      # noqa: F401
+from . import li         # noqa: F401
+from . import m88ksim    # noqa: F401
+from . import mgrid      # noqa: F401
+from . import perl       # noqa: F401
+from . import su2cor     # noqa: F401
+from . import swim       # noqa: F401
+from . import tomcatv    # noqa: F401
+from . import turb3d     # noqa: F401
+from . import vortex     # noqa: F401
+from . import wave5      # noqa: F401
+
+#: SPECint95 programs in the paper's Figure 9 order.
+SPECINT95: List[str] = ["gcc", "compress", "go", "ijpeg", "li", "m88ksim",
+                        "perl", "vortex"]
+#: SPECfp95 programs in the paper's Figure 9 order.
+SPECFP95: List[str] = ["applu", "apsi", "fpppp", "hydro2d", "mgrid",
+                       "su2cor", "swim", "tomcatv", "turb3d", "wave5"]
+#: The full suite.
+SPEC95: List[str] = SPECFP95 + SPECINT95
+
+_fetch_inputs = {}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by SPEC95 program name."""
+    return REGISTRY.get(name)
+
+
+def workload_names(suite: Optional[str] = None) -> List[str]:
+    """All registered names, optionally one suite (``"int"``/``"fp"``)."""
+    return REGISTRY.names(suite)
+
+
+def load_trace(name: str, max_instructions: int):
+    """Execute (cached) and return the workload's trace."""
+    return REGISTRY.trace(name, max_instructions)
+
+
+def load_fetch_input(name: str, geometry: CacheGeometry,
+                     max_instructions: int) -> FetchInput:
+    """Cached (trace + static + segmentation) bundle for one workload.
+
+    Traces are cached per (name, budget) and segmentations per geometry on
+    top, so parameter sweeps re-run neither the interpreter nor the
+    segmenter.
+    """
+    key = (name, max_instructions, geometry)
+    if key not in _fetch_inputs:
+        trace = REGISTRY.trace(name, max_instructions)
+        static = REGISTRY.program(name).static_code()
+        _fetch_inputs[key] = FetchInput.from_trace(trace, static, geometry)
+    return _fetch_inputs[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached programs, traces and fetch inputs (tests)."""
+    REGISTRY.clear_caches()
+    _fetch_inputs.clear()

@@ -1,0 +1,92 @@
+"""``su2cor`` analog (SPECfp95 103.su2cor).
+
+The original computes quark-gluon correlation functions on a 4D lattice
+via Monte-Carlo: strided gather loops, small matrix-vector kernels and
+reduction sums.  Branches are loop bounds plus an acceptance test.
+
+The analog sweeps a flattened lattice with stride patterns, applies a 2x2
+fixed-point matrix kernel per site pair, accumulates a correlation
+reduction, and applies a Metropolis-style acceptance branch driven by the
+LCG (skewed ~75% accept, mildly unpredictable — the Monte-Carlo flavour).
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+SITES = 1024
+FIELD_A = 0
+FIELD_B = 1024
+CORR = 2048
+OUTER = 1_000_000
+STRIDES = (1, 4, 16, 64)
+
+
+@REGISTRY.register("su2cor", SUITE_FP,
+                   "lattice correlation sweeps with acceptance branches")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the Monte-Carlo sweeps."""
+    b = ProgramBuilder(name="su2cor", data_size=1 << 12)
+
+    r_i = "r3"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_a = "r12"
+    r_b2 = "r13"
+    r_sum = "r14"
+    r_pair = "r15"
+
+    # Emit one sweep function per stride (fixed strides keep the loops
+    # simple counted loops, like the unrolled lattice directions).
+    for stride in STRIDES:
+        with b.function(f"sweep_{stride}", leaf=True):
+            b.asm.li(r_sum, 0)
+            with b.for_range(r_i, 0, SITES - stride):
+                # Gather the site pair.
+                b.asm.addi(r_t0, r_i, FIELD_A)
+                b.asm.ld(r_a, r_t0, 0)
+                b.asm.addi(r_t0, r_i, FIELD_A + stride)
+                b.asm.ld(r_b2, r_t0, 0)
+                # 2x2 fixed-point kernel: (a,b) -> (3a+b, a-3b) >> 2
+                b.asm.muli(r_t0, r_a, 3)
+                b.asm.add(r_t0, r_t0, r_b2)
+                b.asm.muli(r_t1, r_b2, 3)
+                b.asm.sub(r_t1, r_a, r_t1)
+                b.asm.srli(r_t0, r_t0, 2)
+                b.asm.srli(r_t1, r_t1, 2)
+                b.asm.andi(r_t0, r_t0, 1023)
+                # Metropolis acceptance near equilibrium: ~94% accept.
+                rand_into(b, r_pair, 16)
+                b.asm.li("r24", 15)
+                with b.if_("lt", r_pair, "r24"):
+                    b.asm.addi(r_t1, r_i, FIELD_B)
+                    b.asm.st(r_t0, r_t1, 0)
+                # Correlation reduction.
+                b.asm.add(r_sum, r_sum, r_t0)
+            # Store the stride's correlation.
+            b.asm.li(r_t0, CORR)
+            b.asm.st(r_sum, r_t0, 0)
+
+    with b.function("exchange", leaf=True):
+        # Swap A and B fields (streaming copy, fully predictable).
+        with b.for_range(r_i, 0, SITES):
+            b.asm.addi(r_t0, r_i, FIELD_B)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.addi(r_t0, r_i, FIELD_A)
+            b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x52C0)
+        with b.for_range(r_i, 0, 2 * SITES):
+            rand_into(b, r_t1, 1024)
+            b.asm.mv(r_t0, r_i)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            for stride in STRIDES:
+                b.call(f"sweep_{stride}")
+            b.call("exchange")
+
+    return b.build()

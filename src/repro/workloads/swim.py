@@ -1,0 +1,93 @@
+"""``swim`` analog (SPECfp95 102.swim).
+
+The original is a shallow-water finite-difference model: three sweeps per
+timestep over U/V/P grids with periodic boundary wrap-around.  Control flow
+is almost purely counted loops; the wrap at the grid edge adds one
+predictable conditional per row/column.
+
+The analog runs the same three-sweep timestep in fixed point over three
+N x N grids with explicit periodic-wrap index fixups.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+N = 32
+U = 0
+V = N * N
+P = 2 * N * N
+OUTER = 1_000_000
+
+
+@REGISTRY.register("swim", SUITE_FP,
+                   "shallow-water stencils with periodic wrap branches")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the timesteps."""
+    b = ProgramBuilder(name="swim", data_size=1 << 13)
+
+    r_i = "r3"
+    r_j = "r4"
+    r_ip = "r5"       # i+1 with wrap
+    r_jp = "r6"       # j+1 with wrap
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_a = "r12"
+    r_c = "r13"
+
+    def load(dest, grid, row, col):
+        b.asm.muli(r_t0, row, N)
+        b.asm.add(r_t0, r_t0, col)
+        b.asm.addi(r_t0, r_t0, grid)
+        b.asm.ld(dest, r_t0, 0)
+
+    def store(src, grid, row, col):
+        b.asm.muli(r_t0, row, N)
+        b.asm.add(r_t0, r_t0, col)
+        b.asm.addi(r_t0, r_t0, grid)
+        b.asm.st(src, r_t0, 0)
+
+    def wrapped_inc(dest, src):
+        b.asm.addi(dest, src, 1)
+        b.asm.li(r_t1, N)
+        with b.if_("ge", dest, r_t1):   # taken once per row: predictable
+            b.asm.li(dest, 0)
+
+    def sweep(name, src_a, src_b, dst, weight):
+        with b.function(name, leaf=True):
+            with b.for_range(r_i, 0, N):
+                wrapped_inc(r_ip, r_i)
+                with b.for_range(r_j, 0, N):
+                    wrapped_inc(r_jp, r_j)
+                    load(r_a, src_a, r_i, r_j)
+                    load(r_c, src_a, r_ip, r_j)
+                    b.asm.add(r_a, r_a, r_c)
+                    load(r_c, src_a, r_i, r_jp)
+                    b.asm.add(r_a, r_a, r_c)
+                    load(r_c, src_b, r_i, r_j)
+                    b.asm.sub(r_a, r_a, r_c)
+                    load(r_c, src_b, r_ip, r_jp)
+                    b.asm.add(r_a, r_a, r_c)
+                    b.asm.muli(r_a, r_a, weight)
+                    b.asm.srli(r_a, r_a, 3)
+                    store(r_a, dst, r_i, r_j)
+
+    sweep("update_u", P, V, U, 3)
+    sweep("update_v", U, P, V, 5)
+    sweep("update_p", V, U, P, 7)
+
+    with b.function("main"):
+        seed_rng(b, 0x5717)
+        with b.for_range(r_i, 0, 3 * N * N):
+            rand_into(b, r_t1, 512)
+            b.asm.mv(r_t0, r_i)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            b.call("update_u")
+            b.call("update_v")
+            b.call("update_p")
+
+    return b.build()

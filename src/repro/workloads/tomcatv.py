@@ -1,0 +1,132 @@
+"""``tomcatv`` analog (SPECfp95 101.tomcatv).
+
+The original is a vectorised mesh-generation code: repeated sweeps of
+nested i/j loops applying a 9-point stencil to two coordinate grids, plus a
+residual-maximum reduction.  Branches are almost entirely loop back-edges —
+the high-predictability profile typical of SPECfp95.
+
+The analog performs the same sweeps in fixed-point integer arithmetic over
+two N x N grids, with a residual max whose compare is the only
+data-dependent branch.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+N = 32
+GRID_X = 0
+GRID_Y = N * N
+RHS = 2 * N * N
+OUTER = 1_000_000
+
+
+@REGISTRY.register("tomcatv", SUITE_FP,
+                   "mesh relaxation: 9-point stencil sweeps + residual max")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the relaxation sweeps."""
+    b = ProgramBuilder(name="tomcatv", data_size=1 << 13)
+
+    r_i = "r3"
+    r_j = "r4"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_c = "r12"       # centre value
+    r_acc = "r13"
+    r_res = "r14"     # residual max
+    r_base = "r15"    # row base address
+
+    def cell(dest, grid, row_base, col_off):
+        b.asm.add(r_t0, row_base, col_off)
+        b.asm.addi(r_t0, r_t0, grid)
+        b.asm.ld(dest, r_t0, 0)
+
+    with b.function("sweep", leaf=True):
+        b.asm.li(r_res, 0)
+        with b.for_range(r_i, 1, N - 1):
+            b.asm.muli(r_base, r_i, N)
+            with b.for_range(r_j, 1, N - 1):
+                # 5 neighbours from X, 4 diagonal from Y: a long
+                # straight-line body, tomcatv's signature.
+                b.asm.add(r_t1, r_base, r_j)
+                cell(r_c, GRID_X, r_base, r_j)
+                b.asm.mv(r_acc, r_c)
+                cell(r_t1, GRID_X, r_base, r_j)  # reload as mixing value
+                b.asm.addi(r_t0, r_j, -1)
+                cell(r_t1, GRID_X, r_base, r_t0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_j, 1)
+                cell(r_t1, GRID_X, r_base, r_t0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_base, -N)
+                b.asm.add(r_t0, r_t0, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_X)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_base, N)
+                b.asm.add(r_t0, r_t0, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_X)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_base, -N - 1)
+                b.asm.add(r_t0, r_t0, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_Y)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_base, -N + 1)
+                b.asm.add(r_t0, r_t0, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_Y)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_base, N - 1)
+                b.asm.add(r_t0, r_t0, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_Y)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                b.asm.addi(r_t0, r_base, N + 1)
+                b.asm.add(r_t0, r_t0, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_Y)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_acc, r_acc, r_t1)
+                # new = (acc * 7) >> 6 (fixed-point relaxation weight)
+                b.asm.muli(r_acc, r_acc, 7)
+                b.asm.srli(r_acc, r_acc, 6)
+                # residual = (new - old)^2 tracked as max; squaring keeps
+                # the magnitude branch-free, like hardware FP abs.
+                b.asm.sub(r_t1, r_acc, r_c)
+                b.asm.mul(r_t1, r_t1, r_t1)
+                with b.if_("gt", r_t1, r_res):
+                    b.asm.mv(r_res, r_t1)
+                # write back into RHS (ping-pong happens via copy pass)
+                b.asm.add(r_t0, r_base, r_j)
+                b.asm.addi(r_t0, r_t0, RHS)
+                b.asm.st(r_acc, r_t0, 0)
+
+    with b.function("copy_back", leaf=True):
+        with b.for_range(r_i, 1, N - 1):
+            b.asm.muli(r_base, r_i, N)
+            with b.for_range(r_j, 1, N - 1):
+                b.asm.add(r_t0, r_base, r_j)
+                b.asm.addi(r_t0, r_t0, RHS)
+                b.asm.ld(r_t1, r_t0, 0)
+                b.asm.add(r_t0, r_base, r_j)
+                b.asm.addi(r_t0, r_t0, GRID_X)
+                b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x70C47)
+        with b.for_range(r_i, 0, N * N):
+            rand_into(b, r_t1, 1024)
+            b.asm.addi(r_t0, r_i, GRID_X)
+            b.asm.st(r_t1, r_t0, 0)
+            rand_into(b, r_t1, 1024)
+            b.asm.addi(r_t0, r_i, GRID_Y)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            b.call("sweep")
+            b.call("copy_back")
+
+    return b.build()

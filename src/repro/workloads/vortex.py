@@ -1,0 +1,188 @@
+"""``vortex`` analog (SPECint95 147.vortex).
+
+The original is an in-memory object database: create/lookup/delete
+transactions over indexed object sets.  Its control flow is dominated by
+index traversal (binary searches — hard-to-predict comparisons), record
+shifting and validation checks.
+
+The analog maintains a sorted key index with binary-search lookups,
+insertion with shift-up, deletion with shift-down, and per-record field
+validation sweeps, driven by a pseudo-random transaction mix (60% lookup /
+30% insert / 10% delete — databases read more than they write).
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_INT
+from .codegen import rand_into, seed_rng
+
+INDEX = 0              # sorted keys
+CAPACITY = 1024
+FIELDS = 2048          # one payload word per slot
+COUNT_ADDR = 4090      # current record count
+KEY_SPACE = 4096
+OUTER = 1_000_000
+
+
+@REGISTRY.register("vortex", SUITE_INT,
+                   "object DB: binary search index, insert/delete shifts")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the transaction count (tests
+    use small bounds to run to HALT for golden-model comparison)."""
+    b = ProgramBuilder(name="vortex", data_size=1 << 13)
+
+    r_key = "r3"
+    r_lo = "r4"
+    r_hi = "r5"
+    r_mid = "r6"
+    r_n = "r7"
+    r_pos = "r8"
+    r_found = "r9"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_i = "r12"
+
+    def load_count(dest):
+        b.asm.li(r_t0, COUNT_ADDR)
+        b.asm.ld(dest, r_t0, 0)
+
+    def store_count(src):
+        b.asm.li(r_t0, COUNT_ADDR)
+        b.asm.st(src, r_t0, 0)
+
+    with b.function("bsearch", leaf=True):
+        # In: r_key.  Out: r_pos = insertion point, r_found = 1 on hit.
+        load_count(r_n)
+        b.asm.li(r_lo, 0)
+        b.asm.mv(r_hi, r_n)
+        b.asm.li(r_found, 0)
+        loop = b.asm.unique_label("bs_loop")
+        done = b.asm.unique_label("bs_done")
+        b.asm.place(loop)
+        b.asm.bge(r_lo, r_hi, done)
+        b.asm.add(r_mid, r_lo, r_hi)
+        b.asm.srli(r_mid, r_mid, 1)
+        b.asm.li(r_t0, INDEX)
+        b.asm.add(r_t0, r_t0, r_mid)
+        b.asm.ld(r_t1, r_t0, 0)
+        with b.if_else("eq", r_t1, r_key) as hit:
+            b.asm.li(r_found, 1)
+            b.asm.mv(r_lo, r_mid)
+            b.asm.j(done)
+            hit.otherwise()
+            with b.if_else("lt", r_t1, r_key) as lower:
+                b.asm.addi(r_lo, r_mid, 1)
+                lower.otherwise()
+                b.asm.mv(r_hi, r_mid)
+        b.asm.j(loop)
+        b.asm.place(done)
+        b.asm.mv(r_pos, r_lo)
+
+    with b.function("insert"):
+        # Insert r_key at its sorted position (ignore duplicates).
+        b.call("bsearch")
+        with b.if_("ne", r_found, "r0"):
+            b.return_()
+        load_count(r_n)
+        b.asm.li(r_t1, CAPACITY)
+        with b.if_("ge", r_n, r_t1):
+            b.return_()
+        # Shift up (predictable back-to-front copy loop).
+        b.asm.mv(r_i, r_n)
+        shift = b.asm.unique_label("ins_shift")
+        done = b.asm.unique_label("ins_done")
+        b.asm.place(shift)
+        b.asm.ble(r_i, r_pos, done)
+        b.asm.li(r_t0, INDEX - 1)
+        b.asm.add(r_t0, r_t0, r_i)
+        b.asm.ld(r_t1, r_t0, 0)
+        b.asm.st(r_t1, r_t0, 1)
+        b.asm.li(r_t0, FIELDS - 1)
+        b.asm.add(r_t0, r_t0, r_i)
+        b.asm.ld(r_t1, r_t0, 0)
+        b.asm.st(r_t1, r_t0, 1)
+        b.asm.addi(r_i, r_i, -1)
+        b.asm.j(shift)
+        b.asm.place(done)
+        b.asm.li(r_t0, INDEX)
+        b.asm.add(r_t0, r_t0, r_pos)
+        b.asm.st(r_key, r_t0, 0)
+        b.asm.li(r_t0, FIELDS)
+        b.asm.add(r_t0, r_t0, r_pos)
+        b.asm.muli(r_t1, r_key, 7)
+        b.asm.st(r_t1, r_t0, 0)
+        b.asm.addi(r_n, r_n, 1)
+        store_count(r_n)
+
+    with b.function("delete"):
+        b.call("bsearch")
+        with b.if_("eq", r_found, "r0"):
+            b.return_()
+        load_count(r_n)
+        b.asm.addi(r_n, r_n, -1)
+        # Shift down over the deleted slot.
+        b.asm.mv(r_i, r_pos)
+        shift = b.asm.unique_label("del_shift")
+        done = b.asm.unique_label("del_done")
+        b.asm.place(shift)
+        b.asm.bge(r_i, r_n, done)
+        b.asm.li(r_t0, INDEX + 1)
+        b.asm.add(r_t0, r_t0, r_i)
+        b.asm.ld(r_t1, r_t0, 0)
+        b.asm.st(r_t1, r_t0, -1)
+        b.asm.li(r_t0, FIELDS + 1)
+        b.asm.add(r_t0, r_t0, r_i)
+        b.asm.ld(r_t1, r_t0, 0)
+        b.asm.st(r_t1, r_t0, -1)
+        b.asm.addi(r_i, r_i, 1)
+        b.asm.j(shift)
+        b.asm.place(done)
+        store_count(r_n)
+
+    with b.function("lookup"):
+        b.call("bsearch")
+        with b.if_("ne", r_found, "r0"):
+            # Validate the payload (a couple of dependent checks).
+            b.asm.li(r_t0, FIELDS)
+            b.asm.add(r_t0, r_t0, r_pos)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.muli(r_t0, r_key, 7)
+            with b.if_("ne", r_t1, r_t0):
+                # Repair corrupted payloads (never happens; the untaken
+                # arm mirrors vortex's pervasive integrity checks).
+                b.asm.li(r_t0, FIELDS)
+                b.asm.add(r_t0, r_t0, r_pos)
+                b.asm.muli(r_t1, r_key, 7)
+                b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x50F7)
+        store_count("r0")
+        b.asm.li("r16", 1)               # previously-touched key
+        with b.for_range("r15", 0, outer):
+            # Transactions have temporal locality: 3/4 of operations
+            # revisit the neighbourhood of the previous key (real database
+            # access streams are skewed), so index-walk branch sequences
+            # recur; 1/4 jump to a fresh random key.
+            rand_into(b, r_t1, 4)
+            with b.if_else("eq", r_t1, "r0") as fresh:
+                rand_into(b, r_key, KEY_SPACE)
+                fresh.otherwise()
+                rand_into(b, r_key, 8)
+                b.asm.add(r_key, r_key, "r16")
+                b.asm.andi(r_key, r_key, KEY_SPACE - 1)
+            b.asm.mv("r16", r_key)
+            rand_into(b, r_t1, 10)
+            b.asm.li(r_t0, 6)
+            with b.if_else("lt", r_t1, r_t0) as txn:
+                b.call("lookup")                     # 60%
+                txn.otherwise()
+                b.asm.li(r_t0, 9)
+                with b.if_else("lt", r_t1, r_t0) as wr:
+                    b.call("insert")                 # 30%
+                    wr.otherwise()
+                    b.call("delete")                 # 10%
+
+    return b.build()

@@ -1,0 +1,122 @@
+"""``wave5`` analog (SPECfp95 146.wave5).
+
+The original is a 2D particle-in-cell plasma simulation: a particle push
+loop (position/velocity updates with boundary reflection tests), charge
+deposition onto a grid, and a field solve.  Counted loops dominate; the
+reflection branches are rare and skewed.
+
+The analog pushes a particle population in fixed point, reflects at the
+domain edges (~5% of particles per step), deposits charge with computed
+grid indices, and relaxes the field with a small stencil pass.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_FP
+from .codegen import rand_into, seed_rng
+
+N_PARTICLES = 512
+POS = 0
+VEL = 512
+GRID = 1024
+GRID_LEN = 256
+DOMAIN = GRID_LEN << 4         # positions are fixed-point (x16)
+OUTER = 1_000_000
+
+
+@REGISTRY.register("wave5", SUITE_FP,
+                   "particle-in-cell push/deposit with reflection branches")
+def build(outer: int = OUTER) -> Program:
+    """Build the analog; ``outer`` bounds the particle timesteps."""
+    b = ProgramBuilder(name="wave5", data_size=1 << 11)
+
+    r_i = "r3"
+    r_t0 = "r10"
+    r_t1 = "r11"
+    r_x = "r12"
+    r_v = "r13"
+    r_cell = "r14"
+
+    with b.function("push", leaf=True):
+        with b.for_range(r_i, 0, N_PARTICLES):
+            b.asm.addi(r_t0, r_i, POS)
+            b.asm.ld(r_x, r_t0, 0)
+            b.asm.addi(r_t1, r_i, VEL)
+            b.asm.ld(r_v, r_t1, 0)
+            # Acceleration from the local field.
+            b.asm.srli(r_cell, r_x, 4)
+            b.asm.andi(r_cell, r_cell, GRID_LEN - 1)
+            b.asm.addi(r_t1, r_cell, GRID)
+            b.asm.ld(r_t1, r_t1, 0)
+            b.asm.addi(r_t1, r_t1, -128)     # field centred on zero
+            b.asm.muli(r_t1, r_t1, 1)
+            b.asm.add(r_v, r_v, r_t1)
+            # Clip runaway velocities (rare).
+            b.asm.li(r_t1, 64)
+            with b.if_("gt", r_v, r_t1):
+                b.asm.li(r_v, 64)
+            b.asm.li(r_t1, -64)
+            with b.if_("lt", r_v, r_t1):
+                b.asm.li(r_v, -64)
+            b.asm.add(r_x, r_x, r_v)
+            # Reflect at the walls (skewed, data-dependent).
+            with b.if_("lt", r_x, "r0"):
+                b.asm.sub(r_x, "r0", r_x)
+                b.asm.sub(r_v, "r0", r_v)
+            b.asm.li(r_t1, DOMAIN)
+            with b.if_("ge", r_x, r_t1):
+                b.asm.li(r_t1, 2 * DOMAIN - 1)
+                b.asm.sub(r_x, r_t1, r_x)
+                b.asm.sub(r_v, "r0", r_v)
+            b.asm.addi(r_t0, r_i, POS)
+            b.asm.st(r_x, r_t0, 0)
+            b.asm.addi(r_t0, r_i, VEL)
+            b.asm.st(r_v, r_t0, 0)
+
+    with b.function("deposit", leaf=True):
+        # Clear the grid, then scatter particle charge.
+        with b.for_range(r_i, 0, GRID_LEN):
+            b.asm.addi(r_t0, r_i, GRID)
+            b.asm.li(r_t1, 128)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range(r_i, 0, N_PARTICLES):
+            b.asm.addi(r_t0, r_i, POS)
+            b.asm.ld(r_x, r_t0, 0)
+            b.asm.srli(r_cell, r_x, 4)
+            b.asm.andi(r_cell, r_cell, GRID_LEN - 1)
+            b.asm.addi(r_t0, r_cell, GRID)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.addi(r_t1, r_t1, 1)
+            b.asm.st(r_t1, r_t0, 0)
+
+    with b.function("field_solve", leaf=True):
+        # One Jacobi smoothing pass over the charge grid.
+        with b.for_range(r_i, 1, GRID_LEN - 1):
+            b.asm.addi(r_t0, r_i, GRID)
+            b.asm.ld(r_x, r_t0, -1)
+            b.asm.ld(r_t1, r_t0, 1)
+            b.asm.add(r_x, r_x, r_t1)
+            b.asm.ld(r_t1, r_t0, 0)
+            b.asm.add(r_x, r_x, r_t1)
+            b.asm.add(r_x, r_x, r_t1)
+            b.asm.srli(r_x, r_x, 2)
+            b.asm.st(r_x, r_t0, 0)
+
+    with b.function("main"):
+        seed_rng(b, 0x3A5E)
+        with b.for_range(r_i, 0, N_PARTICLES):
+            rand_into(b, r_t1, DOMAIN)
+            b.asm.addi(r_t0, r_i, POS)
+            b.asm.st(r_t1, r_t0, 0)
+            rand_into(b, r_t1, 64)
+            b.asm.addi(r_t1, r_t1, -32)
+            b.asm.addi(r_t0, r_i, VEL)
+            b.asm.st(r_t1, r_t0, 0)
+        with b.for_range("r16", 0, outer):
+            b.call("push")
+            b.call("deposit")
+            b.call("field_solve")
+
+    return b.build()

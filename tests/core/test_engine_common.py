@@ -1,0 +1,120 @@
+"""Shared engine machinery: actual-block views, divergence, misfetch kinds."""
+
+import pytest
+
+from repro.core import (
+    EARLY_TAKEN,
+    LATE_TAKEN,
+    MATCH,
+    BlockCursor,
+    PenaltyKind,
+    classify_divergence,
+    target_misfetch_kind,
+)
+from repro.core.engine_common import ActualBlock, K_CALL, K_COND, K_JUMP, \
+    K_INDIRECT, K_RETURN
+from repro.core.selection import BlockPrediction, SRC_ARRAY, \
+    SRC_FALLTHROUGH
+from repro.cpu import Machine
+from repro.icache import CacheGeometry
+from repro.isa import Assembler
+from repro.trace import segment_blocks
+
+
+def pred(exit_offset, outcomes=()):
+    source = SRC_FALLTHROUGH if exit_offset is None else SRC_ARRAY
+    return BlockPrediction(exit_offset, source, None, tuple(outcomes))
+
+
+def actual(n_instr, exit_kind, start=0, conds=()):
+    return ActualBlock(start, n_instr, exit_kind, 99, list(conds))
+
+
+class TestActualBlock:
+    def test_taken_exit_positions(self):
+        blk = actual(5, K_JUMP, start=16)
+        assert blk.has_taken_exit
+        assert blk.exit_offset == 4
+        assert blk.exit_pc == 20
+
+    def test_fallthrough_has_no_exit(self):
+        blk = actual(8, 0)
+        assert not blk.has_taken_exit
+        assert blk.exit_offset is None
+        assert blk.exit_pc == -1
+
+    def test_outcomes_order(self):
+        blk = actual(6, K_COND,
+                     conds=[(1, False, 1), (3, False, 3), (5, True, 5)])
+        assert blk.outcomes == [False, False, True]
+
+
+class TestClassifyDivergence:
+    def test_match_taken(self):
+        kind, off = classify_divergence(pred(3), actual(4, K_COND))
+        assert kind == MATCH and off == 3
+
+    def test_match_fallthrough(self):
+        kind, off = classify_divergence(pred(None), actual(8, 0))
+        assert kind == MATCH and off is None
+
+    def test_early_taken(self):
+        kind, off = classify_divergence(pred(2), actual(6, K_COND))
+        assert kind == EARLY_TAKEN and off == 2
+
+    def test_early_taken_vs_fallthrough(self):
+        kind, off = classify_divergence(pred(5), actual(8, 0))
+        assert kind == EARLY_TAKEN and off == 5
+
+    def test_late_taken(self):
+        kind, off = classify_divergence(pred(None), actual(4, K_COND))
+        assert kind == LATE_TAKEN and off == 3
+
+    def test_late_taken_past_exit(self):
+        kind, off = classify_divergence(pred(6), actual(3, K_COND))
+        assert kind == LATE_TAKEN and off == 2
+
+
+class TestTargetMisfetchKind:
+    def test_cond_is_immediate(self):
+        assert target_misfetch_kind(K_COND, 42) == \
+            PenaltyKind.MISFETCH_IMMEDIATE
+
+    def test_direct_jump_and_call_are_immediate(self):
+        assert target_misfetch_kind(K_JUMP, 42) == \
+            PenaltyKind.MISFETCH_IMMEDIATE
+        assert target_misfetch_kind(K_CALL, 42) == \
+            PenaltyKind.MISFETCH_IMMEDIATE
+
+    def test_indirect_call_is_indirect(self):
+        assert target_misfetch_kind(K_CALL, -1) == \
+            PenaltyKind.MISFETCH_INDIRECT
+
+    def test_register_jump_is_indirect(self):
+        assert target_misfetch_kind(K_INDIRECT, -1) == \
+            PenaltyKind.MISFETCH_INDIRECT
+
+    def test_return_handled_elsewhere(self):
+        assert target_misfetch_kind(K_RETURN, -1) is None
+
+
+class TestBlockCursor:
+    def test_blocks_expose_conds_with_offsets(self):
+        asm = Assembler()
+        asm.li("r3", 0)              # 0
+        asm.li("r4", 2)              # 1
+        asm.label("top")
+        asm.addi("r3", "r3", 1)      # 2
+        asm.beq("r3", "r4", "out")   # 3: not taken, then taken
+        asm.blt("r3", "r4", "top")   # 4: taken once
+        asm.label("out")
+        asm.halt()                   # 5
+        trace = Machine(asm.assemble()).run().trace
+        blocks = segment_blocks(trace, CacheGeometry.normal(8))
+        cursor = BlockCursor(blocks)
+        assert cursor.n_blocks == blocks.n_blocks
+        first = cursor.block(0)
+        # Block 0: pcs 0..4; beq at offset 3 (not taken), blt at 4 (taken).
+        assert first.start == 0
+        assert [c[:2] for c in first.conds] == [(3, False), (4, True)]
+        assert first.exit_pc == 4

@@ -1,0 +1,85 @@
+"""Near-block target encoding, end to end through the engines.
+
+Table 1's 3-bit BIT codes let conditional branches with targets within
+±2 lines be computed by an adder instead of occupying the target array:
+no cold misfetch, no array pressure.
+"""
+
+from repro.core import (
+    DualBlockEngine,
+    EngineConfig,
+    FetchInput,
+    PenaltyKind,
+    SingleBlockEngine,
+)
+from repro.icache import CacheGeometry
+from repro.isa import Assembler
+
+GEO = CacheGeometry.normal(8)
+
+
+def near_target_loop():
+    """A taken conditional branch whose target is in the same line."""
+    asm = Assembler()
+    asm.li("r3", 0)             # 0
+    asm.li("r4", 300)           # 1
+    asm.label("top")            # 2
+    asm.addi("r3", "r3", 1)     # 2
+    asm.blt("r3", "r4", "top")  # 3: target line == own line (near)
+    asm.halt()                  # 4
+    return FetchInput.from_program(asm.assemble(), GEO)
+
+
+def far_target_loop():
+    """A loop whose conditional branch jumps more than two lines ahead."""
+    asm = Assembler()
+    asm.li("r3", 0)                   # 0
+    asm.li("r4", 300)                 # 1
+    asm.label("top")
+    asm.addi("r3", "r3", 1)           # 2
+    asm.blt("r3", "r4", "faraway")    # 3: target ~5 lines away (far)
+    asm.halt()                        # 4
+    for _ in range(40):
+        asm.nop()
+    asm.label("faraway")
+    asm.j("top")
+    return FetchInput.from_program(asm.assemble(), GEO)
+
+
+class TestNearBlockSingleEngine:
+    def test_near_target_never_misfetches(self):
+        stats = SingleBlockEngine(EngineConfig(
+            geometry=GEO, near_block=True)).run(near_target_loop())
+        assert PenaltyKind.MISFETCH_IMMEDIATE not in stats.event_counts
+
+    def test_without_encoding_the_cold_array_misfetches(self):
+        stats = SingleBlockEngine(EngineConfig(
+            geometry=GEO, near_block=False)).run(near_target_loop())
+        assert stats.event_counts.get(PenaltyKind.MISFETCH_IMMEDIATE,
+                                      0) >= 1
+
+    def test_far_targets_still_use_the_array(self):
+        """A target beyond +-2 lines encodes as COND_LONG either way."""
+        near = SingleBlockEngine(EngineConfig(
+            geometry=GEO, near_block=True)).run(far_target_loop())
+        plain = SingleBlockEngine(EngineConfig(
+            geometry=GEO, near_block=False)).run(far_target_loop())
+        # Both pay exactly the same cold misfetch on the far branch.
+        assert near.event_counts.get(PenaltyKind.MISFETCH_IMMEDIATE, 0) == \
+            plain.event_counts.get(PenaltyKind.MISFETCH_IMMEDIATE, 0)
+
+
+class TestNearBlockDualEngine:
+    def test_near_target_never_misfetches(self):
+        stats = DualBlockEngine(EngineConfig(
+            geometry=GEO, near_block=True,
+            n_select_tables=8)).run(near_target_loop())
+        assert PenaltyKind.MISFETCH_IMMEDIATE not in stats.event_counts
+
+    def test_near_block_not_worse(self):
+        fi = near_target_loop()
+        near = DualBlockEngine(EngineConfig(
+            geometry=GEO, near_block=True)).run(fi)
+        plain = DualBlockEngine(EngineConfig(
+            geometry=GEO, near_block=False)).run(fi)
+        assert near.penalty_cycles <= plain.penalty_cycles

@@ -1,0 +1,80 @@
+"""Table 3 penalty model tests — values straight from the paper."""
+
+import pytest
+
+from repro.core import (
+    DOUBLE_SELECT,
+    PenaltyKind,
+    SINGLE_SELECT,
+    penalty_cycles,
+    table3,
+)
+
+PK = PenaltyKind
+
+
+class TestSingleSelect:
+    def test_block1_column(self):
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.COND) == 5
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.RETURN) == 4
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.MISFETCH_INDIRECT) == 4
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.MISFETCH_IMMEDIATE) == 1
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.BIT) == 1
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.BANK_CONFLICT) == 0
+
+    def test_block2_column(self):
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.COND) == 5
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.RETURN) == 5
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.MISFETCH_INDIRECT) == 5
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.MISFETCH_IMMEDIATE) == 2
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.MISSELECT) == 1
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.GHR) == 1
+        assert penalty_cycles(SINGLE_SELECT, 2, PK.BANK_CONFLICT) == 1
+
+    def test_block1_has_no_misselect(self):
+        with pytest.raises(ValueError):
+            penalty_cycles(SINGLE_SELECT, 1, PK.MISSELECT)
+        with pytest.raises(ValueError):
+            penalty_cycles(SINGLE_SELECT, 1, PK.GHR)
+
+
+class TestDoubleSelect:
+    def test_block1_column(self):
+        assert penalty_cycles(DOUBLE_SELECT, 1, PK.COND) == 5
+        assert penalty_cycles(DOUBLE_SELECT, 1, PK.RETURN) == 4
+        assert penalty_cycles(DOUBLE_SELECT, 1, PK.MISSELECT) == 1
+        assert penalty_cycles(DOUBLE_SELECT, 1, PK.GHR) == 1
+
+    def test_block2_column(self):
+        assert penalty_cycles(DOUBLE_SELECT, 2, PK.MISSELECT) == 2
+        assert penalty_cycles(DOUBLE_SELECT, 2, PK.GHR) == 2
+        assert penalty_cycles(DOUBLE_SELECT, 2, PK.MISFETCH_IMMEDIATE) == 2
+
+    def test_bit_cannot_occur(self):
+        # Double selection removes BIT storage altogether.
+        with pytest.raises(ValueError):
+            penalty_cycles(DOUBLE_SELECT, 1, PK.BIT)
+        with pytest.raises(ValueError):
+            penalty_cycles(DOUBLE_SELECT, 2, PK.BIT)
+
+
+class TestTableAccess:
+    def test_unknown_combination_rejected(self):
+        with pytest.raises(ValueError):
+            penalty_cycles("triple", 1, PK.COND)
+        with pytest.raises(ValueError):
+            penalty_cycles(SINGLE_SELECT, 3, PK.COND)
+
+    def test_table3_returns_copy(self):
+        snapshot = table3()
+        snapshot[(SINGLE_SELECT, 1)][PK.COND] = 99
+        assert penalty_cycles(SINGLE_SELECT, 1, PK.COND) == 5
+
+    def test_block2_never_cheaper_than_block1(self):
+        full = table3()
+        for scheme in (SINGLE_SELECT, DOUBLE_SELECT):
+            for kind in PK:
+                one = full[(scheme, 1)][kind]
+                two = full[(scheme, 2)][kind]
+                if one is not None and two is not None:
+                    assert two >= one

@@ -1,0 +1,59 @@
+"""Bad-branch-recovery entries — Table 4 field sizes."""
+
+import pytest
+
+from repro.core import RecoveryEntry, recovery_entry_bits
+from repro.core.selection import SRC_ARRAY
+
+
+class TestEntryBits:
+    def test_paper_default_range(self):
+        """Table 4 sums to roughly 40 bits with h=10, B=8, line index."""
+        bits = recovery_entry_bits(history_length=10, block_width=8,
+                                   include_pht_block=True,
+                                   full_address=False)
+        # 1+1+1 + 10 + 16 + 10 + 8 + 10 = 57? Table 4's ranges: 8-12 for
+        # indices, 2n for the PHT block, 8-11 selector, 10/30 address.
+        assert 40 <= bits <= 70
+
+    def test_pht_block_optional(self):
+        with_block = recovery_entry_bits(include_pht_block=True)
+        without = recovery_entry_bits(include_pht_block=False)
+        assert with_block - without == 16  # 2 * B bits
+
+    def test_full_address_costs_more(self):
+        assert recovery_entry_bits(full_address=True) - \
+            recovery_entry_bits(full_address=False) == 20
+
+    def test_scales_with_history(self):
+        assert recovery_entry_bits(history_length=12) - \
+            recovery_entry_bits(history_length=10) == 4  # index + GHR
+
+
+class TestRecoveryEntry:
+    def _entry(self, **kwargs):
+        defaults = dict(
+            block_slot=1,
+            predicted_taken=True,
+            second_chance=False,
+            pht_index=123,
+            pht_block=(2,) * 8,
+            corrected_ghr=0b1010,
+            replacement_selector=(SRC_ARRAY, 3, None),
+            alternate_target=42,
+        )
+        defaults.update(kwargs)
+        return RecoveryEntry(**defaults)
+
+    def test_bits_delegates(self):
+        entry = self._entry()
+        assert entry.bits() == recovery_entry_bits(include_pht_block=True)
+
+    def test_bits_without_pht_block(self):
+        entry = self._entry(pht_block=None)
+        assert entry.bits() == recovery_entry_bits(include_pht_block=False)
+
+    def test_frozen(self):
+        entry = self._entry()
+        with pytest.raises(AttributeError):
+            entry.block_slot = 2

@@ -1,0 +1,188 @@
+"""Walk logic tests, including the paper's Table 2 worked example."""
+
+from repro.core import (
+    SRC_ARRAY,
+    SRC_FALLTHROUGH,
+    SRC_NEAR,
+    SRC_RAS,
+    CodeWindowCache,
+    walk_block,
+)
+from repro.icache import CacheGeometry
+from repro.isa import Assembler
+from repro.predictors import BlockedPHT
+from repro.targets import BitCode
+
+B = BitCode
+
+
+def make_pht(states_by_position, history_length=4, block_width=8):
+    """Blocked PHT with chosen counter states at index (ghr=0, line=0)."""
+    pht = BlockedPHT(history_length=history_length, block_width=block_width)
+    base = pht.index(0, 0)
+    for pos, state in states_by_position.items():
+        # Drive the counter to the requested state from INIT (2).
+        while pht.counter(base, pos) < state:
+            pht.update(base, pos, True)
+        while pht.counter(base, pos) > state:
+            pht.update(base, pos, False)
+    return pht, base
+
+
+class TestWalkBasics:
+    def test_empty_line_falls_through(self):
+        pht, base = make_pht({})
+        pred = walk_block((B.NONBRANCH,) * 8, 0, 8, pht, base)
+        assert pred.exit_offset is None
+        assert pred.source == SRC_FALLTHROUGH
+        assert pred.outcomes == ()
+
+    def test_return_exits_immediately(self):
+        pht, base = make_pht({})
+        codes = (B.NONBRANCH, B.RETURN, B.NONBRANCH)
+        pred = walk_block(codes, 0, 3, pht, base)
+        assert pred.exit_offset == 1
+        assert pred.source == SRC_RAS
+
+    def test_other_branch_uses_target_array(self):
+        pht, base = make_pht({})
+        codes = (B.OTHER, B.NONBRANCH)
+        pred = walk_block(codes, 0, 2, pht, base)
+        assert pred.exit_offset == 0
+        assert pred.source == SRC_ARRAY
+
+    def test_not_taken_cond_continues(self):
+        pht, base = make_pht({1: 0})  # strongly not-taken at position 1
+        codes = (B.NONBRANCH, B.COND_LONG, B.RETURN)
+        pred = walk_block(codes, 0, 3, pht, base)
+        assert pred.exit_offset == 2
+        assert pred.source == SRC_RAS
+        assert pred.outcomes == (False,)
+
+    def test_taken_cond_exits_via_array(self):
+        pht, base = make_pht({1: 3})
+        codes = (B.NONBRANCH, B.COND_LONG, B.RETURN)
+        pred = walk_block(codes, 0, 3, pht, base)
+        assert pred.exit_offset == 1
+        assert pred.source == SRC_ARRAY
+        assert pred.outcomes == (True,)
+
+    def test_taken_near_cond_uses_adder(self):
+        pht, base = make_pht({0: 3})
+        pred = walk_block((B.COND_NEXT_LINE,), 0, 1, pht, base)
+        assert pred.source == SRC_NEAR
+        assert pred.near_code == B.COND_NEXT_LINE
+
+    def test_positions_use_absolute_address(self):
+        # A block starting mid-line consults counters at addr % B.
+        pht, base = make_pht({5: 0, 6: 3})
+        codes = (B.COND_LONG, B.COND_LONG)
+        pred = walk_block(codes, 5, 2, pht, base)  # addresses 5, 6
+        assert pred.exit_offset == 1
+        assert pred.outcomes == (False, True)
+
+    def test_multiple_not_taken_then_fallthrough(self):
+        pht, base = make_pht({1: 0, 3: 1})
+        codes = (B.NONBRANCH, B.COND_LONG, B.NONBRANCH, B.COND_LONG)
+        pred = walk_block(codes, 0, 4, pht, base)
+        assert pred.exit_offset is None
+        assert pred.outcomes == (False, False)
+
+    def test_selector_distinguishes_sources(self):
+        pht, base = make_pht({})
+        ras = walk_block((B.RETURN,), 0, 1, pht, base)
+        arr = walk_block((B.OTHER,), 0, 1, pht, base)
+        assert ras.selector != arr.selector
+
+    def test_ghr_payload(self):
+        pht, base = make_pht({0: 0, 1: 0, 2: 3})
+        codes = (B.COND_LONG, B.COND_LONG, B.COND_LONG)
+        pred = walk_block(codes, 0, 3, pht, base)
+        payload = pred.ghr_payload
+        assert payload.n_not_taken == 2
+        assert payload.ends_taken
+
+
+class TestTable2Example:
+    """The worked example of Table 2.
+
+    Line contents: 0 shift, 1 branch (PHT=10), 2 add, 3 jump, 4 sub,
+    5 branch (PHT=11), 6 move, 7 return.  Counter "10" (2) and "11" (3)
+    both predict taken.
+    """
+
+    CODES = (B.NONBRANCH, B.COND_LONG, B.NONBRANCH, B.OTHER,
+             B.NONBRANCH, B.COND_LONG, B.NONBRANCH, B.RETURN)
+
+    def _pht(self):
+        return make_pht({1: 2, 5: 3})
+
+    def test_start_0_exits_at_1(self):
+        pht, base = self._pht()
+        pred = walk_block(self.CODES[0:], 0, 8, pht, base)
+        assert pred.exit_offset == 1           # exit position 1
+        assert pred.source == SRC_ARRAY        # NLS target
+
+    def test_start_2_exits_at_jump(self):
+        pht, base = self._pht()
+        pred = walk_block(self.CODES[2:], 2, 6, pht, base)
+        assert 2 + pred.exit_offset == 3       # exit position 3
+        assert pred.source == SRC_ARRAY        # NLS(3)
+
+    def test_start_4_exits_at_5(self):
+        pht, base = self._pht()
+        pred = walk_block(self.CODES[4:], 4, 4, pht, base)
+        assert 4 + pred.exit_offset == 5       # exit position 5, NLS(5)
+        assert pred.source == SRC_ARRAY
+        assert pred.outcomes == (True,)
+
+    def test_start_6_exits_at_return(self):
+        pht, base = self._pht()
+        pred = walk_block(self.CODES[6:], 6, 2, pht, base)
+        assert 6 + pred.exit_offset == 7       # exit position 7, RAS
+        assert pred.source == SRC_RAS
+
+    def test_second_chance_keeps_prediction(self):
+        # Position 5 has PHT "11": after one not-taken outcome the counter
+        # drops to "10" and the branch is *still* predicted taken — the
+        # "select replacement" column's second-chance behaviour.
+        pht, base = self._pht()
+        pht.update(base, 5, False)
+        pred = walk_block(self.CODES[4:], 4, 4, pht, base)
+        assert 4 + pred.exit_offset == 5
+        assert pred.outcomes == (True,)
+
+
+class TestCodeWindowCache:
+    def _static(self):
+        asm = Assembler()
+        for _ in range(10):
+            asm.nop()
+        asm.ret()     # address 10
+        asm.halt()    # address 11
+        return asm.assemble().static_code()
+
+    def test_window_within_line(self):
+        cache = CodeWindowCache(self._static(), CacheGeometry.normal(8),
+                                near_block=False)
+        window = cache.window(8, 4)
+        assert window == (B.NONBRANCH, B.NONBRANCH, B.RETURN, B.NONBRANCH)
+
+    def test_window_spanning_lines(self):
+        cache = CodeWindowCache(self._static(), CacheGeometry.self_aligned(8),
+                                near_block=False)
+        window = cache.window(5, 8)  # addresses 5..12
+        assert window[5] == B.RETURN  # address 10
+        assert len(window) == 8
+
+    def test_past_program_end_is_nonbranch(self):
+        cache = CodeWindowCache(self._static(), CacheGeometry.normal(8),
+                                near_block=False)
+        window = cache.window(8, 8)
+        assert all(c == B.NONBRANCH for c in window[4:])
+
+    def test_lines_cached(self):
+        cache = CodeWindowCache(self._static(), CacheGeometry.normal(8),
+                                near_block=False)
+        first = cache.line_codes(1)
+        assert cache.line_codes(1) is first

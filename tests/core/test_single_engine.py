@@ -1,0 +1,302 @@
+"""Single-block engine behaviour on hand-crafted programs."""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    FetchInput,
+    PenaltyKind,
+    SingleBlockEngine,
+    TARGET_BTB,
+)
+from repro.icache import CacheGeometry
+from repro.isa import Assembler, ProgramBuilder
+
+GEO = CacheGeometry.normal(8)
+
+
+def fetch_input(build, geometry=GEO, max_instructions=500_000):
+    asm = Assembler()
+    build(asm)
+    program = asm.assemble()
+    return FetchInput.from_program(program, geometry, max_instructions)
+
+
+def run(build, config=None, **cfg):
+    fi = fetch_input(build, geometry=cfg.pop("geometry", GEO))
+    config = config or EngineConfig(geometry=fi.geometry, **cfg)
+    engine = SingleBlockEngine(config)
+    return engine, engine.run(fi)
+
+
+class TestBasics:
+    def test_tight_loop_converges_to_low_penalties(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 500)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        _, stats = run(body)
+        # Warmup: one NLS cold misfetch and up to two direction misses.
+        assert stats.event_counts.get(PenaltyKind.COND, 0) <= 3
+        assert stats.event_counts.get(PenaltyKind.MISFETCH_IMMEDIATE, 0) <= 2
+        assert stats.ipc_f > 1.0
+
+    def test_instruction_accounting(self):
+        def body(a):
+            for _ in range(20):
+                a.nop()
+            a.halt()
+        _, stats = run(body)
+        assert stats.n_instructions == 21
+        assert stats.n_blocks == 3  # 8 + 8 + 5
+        assert stats.base_cycles == 3
+
+    def test_straight_line_has_no_penalties(self):
+        def body(a):
+            for _ in range(64):
+                a.nop()
+            a.halt()
+        _, stats = run(body)
+        assert stats.penalty_cycles == 0
+        assert stats.ipc_f == pytest.approx(65 / 9)
+
+    def test_geometry_mismatch_rejected(self):
+        def body(a):
+            a.halt()
+        fi = fetch_input(body, geometry=GEO)
+        engine = SingleBlockEngine(
+            EngineConfig(geometry=CacheGeometry.extended(8)))
+        with pytest.raises(ValueError):
+            engine.run(fi)
+
+
+class TestTargetPrediction:
+    def test_jump_target_learned_after_one_misfetch(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 100)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.j("back")
+            a.label("back")
+            a.blt("r3", "r4", "top")
+            a.halt()
+        _, stats = run(body)
+        # The direct jump misfetches once cold, then the NLS knows it.
+        assert stats.event_counts.get(PenaltyKind.MISFETCH_IMMEDIATE, 0) <= 3
+        assert stats.event_counts.get(PenaltyKind.MISFETCH_INDIRECT, 0) == 0
+
+    def test_flipping_indirect_target_misfetches(self):
+        # An indirect jump alternating between two targets defeats a
+        # last-target array: every flip is an indirect misfetch.
+        def body(a, addr_a, addr_b):
+            a.li("r3", 0)
+            a.li("r4", 100)
+            a.label("top")
+            a.andi("r5", "r3", 1)
+            a.bne("r5", "r0", "pick_b")
+            a.li("r8", addr_a)      # address of label target_a
+            a.j("do_jump")
+            a.label("pick_b")
+            a.li("r8", addr_b)      # address of label target_b
+            a.label("do_jump")
+            a.jr("r8")
+            a.label("target_a")
+            a.j("join")
+            a.label("target_b")
+            a.nop()
+            a.label("join")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        # Two-pass: assemble once with dummy addresses to learn the label
+        # positions, then again with the real ones.
+        probe = Assembler()
+        body(probe, 0, 0)
+        labels = probe.assemble().labels
+        asm = Assembler()
+        body(asm, labels["target_a"], labels["target_b"])
+        program = asm.assemble()
+        fi = FetchInput.from_program(program, GEO)
+        stats = SingleBlockEngine(EngineConfig(geometry=GEO)).run(fi)
+        # The jr flips target every iteration: ~100 indirect misfetches.
+        assert stats.event_counts.get(PenaltyKind.MISFETCH_INDIRECT, 0) >= 80
+
+    def test_btb_variant_runs(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 50)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        _, stats = run(body, target_kind=TARGET_BTB, target_entries=32)
+        assert stats.n_instructions > 0
+
+
+class TestReturnPrediction:
+    def test_balanced_calls_predict_returns(self):
+        def build(b):
+            with b.function("leaf", leaf=True):
+                b.asm.nop()
+            with b.function("main"):
+                with b.for_range("r3", 0, 100):
+                    b.call("leaf")
+        b = ProgramBuilder()
+        build(b)
+        fi = FetchInput.from_program(b.build(), GEO)
+        stats = SingleBlockEngine(EngineConfig(geometry=GEO)).run(fi)
+        assert stats.event_counts.get(PenaltyKind.RETURN, 0) == 0
+
+    def test_deep_recursion_overflows_ras(self):
+        def build(b):
+            with b.function("rec"):
+                # r3 counts down; recurse while r3 > 0
+                with b.if_("gt", "r3", "r0"):
+                    b.asm.addi("r3", "r3", -1)
+                    b.call("rec")
+            with b.function("main"):
+                b.asm.li("r3", 80)   # deeper than the 32-entry RAS
+                b.call("rec")
+        b = ProgramBuilder()
+        build(b)
+        fi = FetchInput.from_program(b.build(), GEO)
+        stats = SingleBlockEngine(
+            EngineConfig(geometry=GEO, ras_size=32)).run(fi)
+        # Returns beyond the stack depth mispredict.
+        assert stats.event_counts.get(PenaltyKind.RETURN, 0) >= 40
+
+    def test_bigger_ras_fixes_it(self):
+        def build(b):
+            with b.function("rec"):
+                with b.if_("gt", "r3", "r0"):
+                    b.asm.addi("r3", "r3", -1)
+                    b.call("rec")
+            with b.function("main"):
+                b.asm.li("r3", 80)
+                b.call("rec")
+        b = ProgramBuilder()
+        build(b)
+        fi = FetchInput.from_program(b.build(), GEO)
+        stats = SingleBlockEngine(
+            EngineConfig(geometry=GEO, ras_size=128)).run(fi)
+        assert stats.event_counts.get(PenaltyKind.RETURN, 0) == 0
+
+
+class TestBITTable:
+    def _loopy(self, a):
+        # Code spread across several lines so BIT entries alias.
+        a.li("r3", 0)
+        a.li("r4", 200)
+        a.label("top")
+        for _ in range(6):
+            a.addi("r5", "r5", 1)
+        a.jal("f")
+        a.addi("r3", "r3", 1)
+        a.blt("r3", "r4", "top")
+        a.halt()
+        a.label("f")
+        for _ in range(6):
+            a.addi("r6", "r6", 1)
+        a.ret()
+
+    def test_tiny_bit_table_pays_penalties(self):
+        fi = fetch_input(self._loopy)
+        stats = SingleBlockEngine(
+            EngineConfig(geometry=GEO, bit_entries=1)).run(fi)
+        assert stats.event_counts.get(PenaltyKind.BIT, 0) > 50
+
+    def test_large_bit_table_converges(self):
+        fi = fetch_input(self._loopy)
+        stats = SingleBlockEngine(
+            EngineConfig(geometry=GEO, bit_entries=1024)).run(fi)
+        # Cold misses only — a handful of lines.
+        assert stats.event_counts.get(PenaltyKind.BIT, 0) <= 8
+
+    def test_bit_penalty_monotone_in_table_size(self):
+        fi = fetch_input(self._loopy)
+        penalties = []
+        for entries in (1, 2, 8, 1024):
+            stats = SingleBlockEngine(
+                EngineConfig(geometry=GEO, bit_entries=entries)).run(fi)
+            penalties.append(stats.event_cycles.get(PenaltyKind.BIT, 0))
+        assert penalties[0] >= penalties[1] >= penalties[-1]
+
+    def test_perfect_bit_never_charged(self):
+        fi = fetch_input(self._loopy)
+        stats = SingleBlockEngine(EngineConfig(geometry=GEO)).run(fi)
+        assert PenaltyKind.BIT not in stats.event_counts
+
+
+class TestRecoveryTracking:
+    def test_entries_recorded_for_conditionals(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 10)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        fi = fetch_input(body)
+        engine = SingleBlockEngine(
+            EngineConfig(geometry=GEO, track_recovery=True))
+        engine.run(fi)
+        assert len(engine.recovery_log) == 10  # one per executed cond walk
+        entry = engine.recovery_log[0]
+        assert entry.block_slot == 1
+        assert entry.pht_block is not None
+        assert entry.bits() > 0
+
+    def test_disabled_by_default(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 10)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        fi = fetch_input(body)
+        engine = SingleBlockEngine(EngineConfig(geometry=GEO))
+        engine.run(fi)
+        assert engine.recovery_log == []
+
+
+class TestNotTakenTargetTracking:
+    """Section 2's BBR target tracking: without it, each not-taken
+    misprediction pays an extra cycle to re-read the target array."""
+
+    def _random_branch(self, a):
+        # A branch on an LCG bit: unpredictable, so both taken and
+        # not-taken mispredictions occur in quantity.
+        a.li("r3", 0)
+        a.li("r4", 400)
+        a.li("r20", 99)
+        a.label("top")
+        a.muli("r20", "r20", 1103515245)
+        a.addi("r20", "r20", 12345)
+        a.srli("r5", "r20", 16)
+        a.andi("r5", "r5", 1)
+        a.beq("r5", "r0", "skip")
+        a.nop()
+        a.label("skip")
+        a.addi("r3", "r3", 1)
+        a.blt("r3", "r4", "top")
+        a.halt()
+
+    def test_untracked_targets_cost_more(self):
+        fi = fetch_input(self._random_branch)
+        tracked = SingleBlockEngine(EngineConfig(
+            geometry=GEO)).run(fi)
+        untracked = SingleBlockEngine(EngineConfig(
+            geometry=GEO,
+            track_not_taken_targets=False)).run(fi)
+        assert untracked.penalty_cycles > tracked.penalty_cycles
+        # Same number of misprediction events, only dearer.
+        assert untracked.event_counts.get(PenaltyKind.COND, 0) == \
+            tracked.event_counts.get(PenaltyKind.COND, 0)
+
+    def test_default_is_tracked(self):
+        assert EngineConfig(geometry=GEO).track_not_taken_targets

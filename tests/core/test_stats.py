@@ -1,0 +1,69 @@
+"""FetchStats bookkeeping and derived-metric edge cases."""
+
+import pytest
+
+from repro.core import FetchStats, PenaltyKind
+
+
+class TestCharging:
+    def test_charge_accumulates(self):
+        stats = FetchStats()
+        stats.charge(PenaltyKind.COND, 5)
+        stats.charge(PenaltyKind.COND, 6)
+        assert stats.event_counts[PenaltyKind.COND] == 2
+        assert stats.event_cycles[PenaltyKind.COND] == 11
+
+    def test_zero_cycle_events_counted(self):
+        stats = FetchStats()
+        stats.charge(PenaltyKind.BANK_CONFLICT, 0)
+        assert stats.event_counts[PenaltyKind.BANK_CONFLICT] == 1
+        assert stats.penalty_cycles == 0
+
+
+class TestDerivedMetrics:
+    def test_empty_stats_are_zero(self):
+        stats = FetchStats()
+        assert stats.ipc_f == 0.0
+        assert stats.bep == 0.0
+        assert stats.ipb == 0.0
+        assert stats.cond_misprediction_rate == 0.0
+        assert stats.bep_share(PenaltyKind.COND) == 0.0
+        assert stats.bep_component(PenaltyKind.COND) == 0.0
+
+    def test_ipc_f(self):
+        stats = FetchStats(n_instructions=100, base_cycles=10)
+        stats.charge(PenaltyKind.COND, 10)
+        assert stats.fetch_cycles == 20
+        assert stats.ipc_f == pytest.approx(5.0)
+
+    def test_bep_per_branch(self):
+        stats = FetchStats(n_branches=50, base_cycles=1)
+        stats.charge(PenaltyKind.COND, 5)
+        stats.charge(PenaltyKind.RETURN, 5)
+        assert stats.bep == pytest.approx(0.2)
+        assert stats.bep_component(PenaltyKind.COND) == pytest.approx(0.1)
+        assert stats.bep_share(PenaltyKind.COND) == pytest.approx(0.5)
+
+    def test_ipb(self):
+        stats = FetchStats(n_instructions=60, n_blocks=10)
+        assert stats.ipb == 6.0
+
+    def test_cond_misprediction_rate(self):
+        stats = FetchStats(n_cond=100)
+        stats.charge(PenaltyKind.COND, 5)
+        stats.charge(PenaltyKind.COND, 5)
+        assert stats.cond_misprediction_rate == pytest.approx(0.02)
+
+
+class TestSummary:
+    def test_summary_lists_charged_categories(self):
+        stats = FetchStats(n_instructions=10, n_blocks=2, n_branches=4,
+                           base_cycles=2)
+        stats.charge(PenaltyKind.MISSELECT, 1)
+        text = stats.summary()
+        assert "misselect" in text
+        assert "IPC_f" in text
+        assert "mispredict" not in text  # never charged -> not listed
+
+    def test_summary_handles_empty(self):
+        assert "IPB" in FetchStats().summary()

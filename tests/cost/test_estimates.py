@@ -1,0 +1,96 @@
+"""Cost model tests — the paper's Section 5 worked example."""
+
+import pytest
+
+from repro.cost import (
+    CostConfig,
+    bbr_bits,
+    bit_bits,
+    dual_block_double_select_cost,
+    dual_block_single_select_cost,
+    multi_block_cost,
+    nls_bits,
+    pht_bits,
+    select_table_bits,
+    single_block_cost,
+)
+
+KBIT = 1024
+PAPER = CostConfig()  # defaults are the paper's example
+
+
+class TestComponentFormulas:
+    def test_pht_is_16_kbits(self):
+        assert pht_bits(PAPER) == 16 * KBIT
+
+    def test_st_is_8_kbits(self):
+        assert select_table_bits(PAPER) == 8 * KBIT
+
+    def test_nls_is_20_kbits(self):
+        assert nls_bits(PAPER) == 20 * KBIT
+
+    def test_bit_is_16_kbits(self):
+        assert bit_bits(PAPER) == 16 * KBIT
+
+    def test_bbr_is_about_a_third_kbit(self):
+        assert 0.25 * KBIT <= bbr_bits(PAPER) <= 0.45 * KBIT
+
+    def test_dual_nls_doubles(self):
+        assert nls_bits(PAPER, dual=True) == 40 * KBIT
+
+    def test_dual_st_doubles(self):
+        assert select_table_bits(PAPER, dual=True) == 16 * KBIT
+
+
+class TestSectionFiveTotals:
+    def test_single_block_about_52_kbits(self):
+        total = single_block_cost().total_kbits
+        assert total == pytest.approx(52, abs=1.0)
+
+    def test_dual_single_select_about_80_kbits(self):
+        total = dual_block_single_select_cost().total_kbits
+        assert total == pytest.approx(80, abs=1.0)
+
+    def test_dual_double_select_about_72_kbits(self):
+        total = dual_block_double_select_cost().total_kbits
+        assert total == pytest.approx(72, abs=1.0)
+
+    def test_double_select_cheaper_than_single(self):
+        # The whole point of double selection: BIT storage removed.
+        assert dual_block_double_select_cost().total_bits < \
+            dual_block_single_select_cost().total_bits
+
+    def test_breakdown_components_named(self):
+        single = single_block_cost()
+        assert set(single.components) == {"PHT", "NLS", "BIT", "BBR"}
+        double = dual_block_double_select_cost()
+        assert "BIT" not in double.components
+
+
+class TestScaling:
+    def test_pht_cost_linear_in_block_width(self):
+        """The paper's scalability claim: cost is linear in B."""
+        costs = [pht_bits(CostConfig(block_width=b)) for b in (4, 8, 16)]
+        assert costs[1] == 2 * costs[0]
+        assert costs[2] == 2 * costs[1]
+
+    def test_multi_block_grows_linearly(self):
+        """Section 5: per extra block, one more ST and target array."""
+        totals = [multi_block_cost(n).total_bits for n in (1, 2, 3, 4)]
+        increments = [b - a for a, b in zip(totals, totals[1:])]
+        assert increments[0] == increments[1] == increments[2]
+
+    def test_multi_block_validation(self):
+        with pytest.raises(ValueError):
+            multi_block_cost(0)
+
+    def test_history_doubles_tables(self):
+        small = CostConfig(history_length=10)
+        big = CostConfig(history_length=11)
+        assert pht_bits(big) == 2 * pht_bits(small)
+        assert select_table_bits(big) == 2 * select_table_bits(small)
+
+    def test_str_renders_totals(self):
+        text = str(single_block_cost())
+        assert "total" in text
+        assert "PHT" in text

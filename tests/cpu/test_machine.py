@@ -1,0 +1,260 @@
+"""Interpreter semantics: arithmetic, memory, control flow, trace capture."""
+
+import pytest
+
+from repro.cpu import Machine, MachineError, run_program
+from repro.isa import Assembler, InstrKind
+
+
+def asm_program(body, data_size=64):
+    asm = Assembler()
+    body(asm)
+    return asm.assemble(data_size=data_size)
+
+
+def run(body, data_size=64, max_instructions=100_000):
+    prog = asm_program(body, data_size)
+    machine = Machine(prog)
+    result = machine.run(max_instructions=max_instructions)
+    return machine, result
+
+
+class TestALU:
+    def test_add_sub(self):
+        def body(a):
+            a.li("r3", 7)
+            a.li("r4", 5)
+            a.add("r5", "r3", "r4")
+            a.sub("r6", "r3", "r4")
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[5] == 12
+        assert machine.regs[6] == 2
+
+    def test_mul_wraps_to_64_bits(self):
+        def body(a):
+            a.li("r3", 1 << 62)
+            a.li("r4", 4)
+            a.mul("r5", "r3", "r4")
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[5] == 0
+
+    def test_div_truncates_toward_zero(self):
+        def body(a):
+            a.li("r3", -7)
+            a.li("r4", 2)
+            a.div("r5", "r3", "r4")
+            a.mod("r6", "r3", "r4")
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[5] == -3  # C semantics, not Python floor
+        assert machine.regs[6] == -1
+
+    def test_div_by_zero_raises(self):
+        def body(a):
+            a.li("r3", 1)
+            a.div("r4", "r3", "r0")
+            a.halt()
+        with pytest.raises(MachineError):
+            run(body)
+
+    def test_logic_and_shifts(self):
+        def body(a):
+            a.li("r3", 0b1100)
+            a.li("r4", 0b1010)
+            a.and_("r5", "r3", "r4")
+            a.or_("r6", "r3", "r4")
+            a.xor("r7", "r3", "r4")
+            a.slli("r8", "r3", 2)
+            a.srli("r9", "r3", 2)
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[5] == 0b1000
+        assert machine.regs[6] == 0b1110
+        assert machine.regs[7] == 0b0110
+        assert machine.regs[8] == 0b110000
+        assert machine.regs[9] == 0b11
+
+    def test_srl_is_logical_on_negatives(self):
+        def body(a):
+            a.li("r3", -1)
+            a.srli("r4", "r3", 60)
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[4] == 15
+
+    def test_slt_seq(self):
+        def body(a):
+            a.li("r3", 3)
+            a.li("r4", 4)
+            a.slt("r5", "r3", "r4")
+            a.slt("r6", "r4", "r3")
+            a.seq("r7", "r3", "r3")
+            a.slti("r8", "r3", 10)
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[5] == 1
+        assert machine.regs[6] == 0
+        assert machine.regs[7] == 1
+        assert machine.regs[8] == 1
+
+    def test_r0_is_hardwired_zero(self):
+        def body(a):
+            a.li("r0", 99)
+            a.addi("r0", "r0", 5)
+            a.add("r3", "r0", "r0")
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[0] == 0
+        assert machine.regs[3] == 0
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        def body(a):
+            a.li("r3", 10)
+            a.li("r4", 1234)
+            a.st("r4", "r3", 5)
+            a.ld("r5", "r3", 5)
+            a.halt()
+        machine, _ = run(body)
+        assert machine.mem[15] == 1234
+        assert machine.regs[5] == 1234
+
+    def test_load_out_of_range_raises(self):
+        def body(a):
+            a.li("r3", 1000)
+            a.ld("r4", "r3", 0)
+            a.halt()
+        with pytest.raises(MachineError):
+            run(body, data_size=64)
+
+    def test_store_negative_address_raises(self):
+        def body(a):
+            a.li("r3", -1)
+            a.st("r3", "r3", 0)
+            a.halt()
+        with pytest.raises(MachineError):
+            run(body)
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 10)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        machine, _ = run(body)
+        assert machine.regs[3] == 10
+
+    def test_call_and_return(self):
+        def body(a):
+            a.jal("f")
+            a.halt()
+            a.label("f")
+            a.li("r3", 42)
+            a.ret()
+        machine, _ = run(body)
+        assert machine.regs[3] == 42
+
+    def test_indirect_jump(self):
+        def body(a):
+            a.li("r3", 3)
+            a.jr("r3")
+            a.li("r4", 1)  # skipped
+            a.halt()
+        machine, result = run(body)
+        assert machine.regs[4] == 0
+        assert result.halted
+
+    def test_jalr_sets_link(self):
+        def body(a):
+            a.li("r3", 4)
+            a.jalr("r3")
+            a.halt()          # return lands here
+            a.nop()
+            a.label("f")
+            a.ret()
+        machine, result = run(body)
+        assert result.halted
+
+    def test_bad_indirect_target_raises(self):
+        def body(a):
+            a.li("r3", 999)
+            a.jr("r3")
+            a.halt()
+        with pytest.raises(MachineError):
+            run(body)
+
+
+class TestTraceCapture:
+    def test_trace_kinds_and_targets(self):
+        def body(a):
+            a.li("r3", 0)         # 0
+            a.label("top")        # 1
+            a.addi("r3", "r3", 1)  # 1
+            a.blt("r3", "r4", "top")  # 2 (not taken: r4 == 0)
+            a.jal("f")            # 3
+            a.halt()              # 4
+            a.label("f")          # 5
+            a.ret()               # 5
+        _, result = run(body)
+        trace = result.trace
+        kinds = [int(k) for k in trace.kind]
+        assert kinds == [
+            int(InstrKind.COND),
+            int(InstrKind.CALL),
+            int(InstrKind.RETURN),
+            int(InstrKind.HALT),
+        ]
+        assert not trace.taken[0]
+        assert trace.taken[1] and trace.target[1] == 5
+        assert trace.target[2] == 4
+
+    def test_instruction_count_exact(self):
+        def body(a):
+            a.li("r3", 0)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.li("r4", 3)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        _, result = run(body)
+        # li + 3*(addi+li+blt) + halt = 11
+        assert result.instructions == 11
+        assert result.trace.n_instructions == 11
+
+    def test_truncation_synthesises_halt(self):
+        def body(a):
+            a.label("spin")
+            a.j("spin")
+        prog = asm_program(body)
+        result = Machine(prog).run(max_instructions=50)
+        assert not result.halted
+        assert result.trace.truncated
+        assert int(result.trace.kind[-1]) == int(InstrKind.HALT)
+        assert result.trace.n_instructions == 51  # 50 executed + marker
+
+    def test_cond_taken_rate_visible(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 5)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        _, result = run(body)
+        trace = result.trace
+        conds = trace.cond_mask
+        assert conds.sum() == 5
+        assert trace.taken[conds].sum() == 4  # last iteration falls through
+
+    def test_run_program_helper(self):
+        def body(a):
+            a.halt()
+        trace = run_program(asm_program(body))
+        assert trace.n_instructions == 1

@@ -1,0 +1,86 @@
+"""Experiment plumbing: aggregation and table formatting."""
+
+import pytest
+
+from repro.core import FetchStats, PenaltyKind
+from repro.experiments import SuiteAggregate, format_table
+from repro.experiments.common import SUITES, suite_inputs
+from repro.icache import CacheGeometry
+
+
+def make_stats(instructions, blocks, branches, base, penalties):
+    stats = FetchStats(n_instructions=instructions, n_blocks=blocks,
+                       n_branches=branches, n_cond=branches,
+                       base_cycles=base)
+    for kind, cycles in penalties.items():
+        stats.charge(kind, cycles)
+    return stats
+
+
+class TestSuiteAggregate:
+    def test_totals_accumulate(self):
+        agg = SuiteAggregate()
+        agg.add("a", make_stats(100, 20, 10, 10,
+                                {PenaltyKind.COND: 5}))
+        agg.add("b", make_stats(200, 40, 30, 20,
+                                {PenaltyKind.MISSELECT: 5}))
+        assert agg.n_instructions == 300
+        assert agg.n_blocks == 60
+        assert agg.n_branches == 40
+        assert agg.fetch_cycles == (10 + 5) + (20 + 5)
+        assert agg.penalty_cycles == 10
+
+    def test_derived_metrics(self):
+        agg = SuiteAggregate()
+        agg.add("a", make_stats(100, 20, 10, 10, {PenaltyKind.COND: 10}))
+        assert agg.ipc_f == pytest.approx(100 / 20)
+        assert agg.bep == pytest.approx(1.0)
+        assert agg.ipb == pytest.approx(5.0)
+
+    def test_penalty_share_and_bep(self):
+        agg = SuiteAggregate()
+        agg.add("a", make_stats(100, 20, 10, 10,
+                                {PenaltyKind.COND: 6,
+                                 PenaltyKind.MISSELECT: 2}))
+        assert agg.penalty_share(PenaltyKind.COND) == pytest.approx(0.75)
+        assert agg.penalty_bep(PenaltyKind.COND) == pytest.approx(0.6)
+
+    def test_empty_aggregate_is_zero(self):
+        agg = SuiteAggregate()
+        assert agg.ipc_f == 0.0
+        assert agg.bep == 0.0
+        assert agg.ipb == 0.0
+        assert agg.penalty_share(PenaltyKind.COND) == 0.0
+
+    def test_per_program_retained(self):
+        agg = SuiteAggregate()
+        stats = make_stats(1, 1, 1, 1, {})
+        agg.add("swim", stats)
+        assert agg.per_program["swim"] is stats
+
+
+class TestSuiteInputs:
+    def test_yields_whole_suite(self):
+        geometry = CacheGeometry.normal(8)
+        names = [name for name, _ in
+                 suite_inputs("int", geometry, 5_000)]
+        assert names == SUITES["int"]
+
+    def test_inputs_carry_geometry(self):
+        geometry = CacheGeometry.extended(8)
+        for _, fi in suite_inputs("fp", geometry, 5_000):
+            assert fi.geometry == geometry
+            break
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        text = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_contains_all_cells(self):
+        text = format_table(["h1", "h2"], [["x", "y"]])
+        for cell in ("h1", "h2", "x", "y"):
+            assert cell in text

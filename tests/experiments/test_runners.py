@@ -1,0 +1,249 @@
+"""Experiment runners produce paper-shaped results on small budgets.
+
+These are integration tests over the whole stack: workloads -> traces ->
+engines -> aggregation.  Budgets are small to stay fast; the assertions
+check *shapes* (orderings, trends), which is exactly what the reproduction
+claims.
+"""
+
+import pytest
+
+from repro.core import PenaltyKind
+from repro.experiments import (
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_table5,
+    format_table6,
+    format_table7,
+    instruction_budget,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_multi_block_extrapolation,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+
+BUDGET = 50_000
+
+
+class TestBudget:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_LEN", raising=False)
+        assert instruction_budget() == 120_000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "55000")
+        assert instruction_budget() == 55_000
+
+    def test_too_small_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "10")
+        with pytest.raises(ValueError):
+            instruction_budget()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig6(history_lengths=(6, 10), budget=BUDGET)
+
+    def test_covers_both_suites(self, rows):
+        assert {r.suite for r in rows} == {"int", "fp"}
+
+    def test_blocked_close_to_scalar(self, rows):
+        """The paper's headline: accuracies essentially equal."""
+        for row in rows:
+            assert abs(row.improvement) < 0.01, row
+
+    def test_fp_more_accurate_than_int(self, rows):
+        by = {(r.suite, r.history_length): r for r in rows}
+        assert by[("fp", 10)].blocked_rate < by[("int", 10)].blocked_rate
+
+    def test_longer_history_not_worse(self, rows):
+        by = {(r.suite, r.history_length): r for r in rows}
+        for suite in ("int", "fp"):
+            assert by[(suite, 10)].blocked_rate <= \
+                by[(suite, 6)].blocked_rate + 0.005
+
+    def test_formatting(self, rows):
+        text = format_fig6(rows)
+        assert "blocked miss" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig7(sizes=(1, 4, 64), budget=BUDGET)
+
+    def test_bit_share_falls_with_size(self, rows):
+        for suite in ("int", "fp"):
+            shares = [r.bit_share_of_bep for r in rows
+                      if r.suite == suite]
+            assert shares[0] > shares[-1]
+            assert shares == sorted(shares, reverse=True)
+
+    def test_ipc_rises_with_size(self, rows):
+        for suite in ("int", "fp"):
+            ipcs = [r.ipc_f for r in rows if r.suite == suite]
+            assert ipcs[-1] > ipcs[0]
+
+    def test_small_tables_dominate_bep(self, rows):
+        smallest = [r for r in rows if r.bit_entries == 1]
+        assert all(r.bit_share_of_bep > 0.3 for r in smallest)
+
+    def test_paper_equivalents_scaled(self, rows):
+        assert all(r.paper_equivalent == 64 * r.bit_entries for r in rows)
+
+    def test_formatting(self, rows):
+        assert "%BEP from BIT" in format_fig7(rows)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig8(history_lengths=(10,), table_counts=(1, 8),
+                        budget=BUDGET)
+
+    def _get(self, rows, suite, selection, n_st):
+        for r in rows:
+            if (r.suite, r.selection, r.n_select_tables) == \
+                    (suite, selection, n_st):
+                return r
+        raise AssertionError("row missing")
+
+    def test_single_beats_double(self, rows):
+        """Figure 8: double selection costs roughly 10%."""
+        for suite in ("int", "fp"):
+            for n_st in (1, 8):
+                single = self._get(rows, suite, "single", n_st)
+                double = self._get(rows, suite, "double", n_st)
+                assert single.ipc_f > double.ipc_f
+
+    def test_more_select_tables_help(self, rows):
+        for suite in ("int", "fp"):
+            for selection in ("single", "double"):
+                one = self._get(rows, suite, selection, 1)
+                eight = self._get(rows, suite, selection, 8)
+                assert eight.ipc_f >= one.ipc_f
+
+    def test_double_gains_more_from_tables(self, rows):
+        """'Double selection significantly improves with more STs.'"""
+        for suite in ("int", "fp"):
+            s_gain = (self._get(rows, suite, "single", 8).ipc_f
+                      / self._get(rows, suite, "single", 1).ipc_f)
+            d_gain = (self._get(rows, suite, "double", 8).ipc_f
+                      / self._get(rows, suite, "double", 1).ipc_f)
+            assert d_gain > s_gain
+
+    def test_formatting(self, rows):
+        assert "hist/#ST" in format_fig8(rows)
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table5(btb_sizes=(8, 64), nls_sizes=(8, 64),
+                          budget=BUDGET)
+
+    def _get(self, rows, kind, size, near):
+        for r in rows:
+            if (r.target_kind, r.n_block_entries, r.near_block) == \
+                    (kind, size, near):
+                return r
+        raise AssertionError("row missing")
+
+    def test_bigger_arrays_fetch_better(self, rows):
+        for kind in ("btb", "nls"):
+            small = self._get(rows, kind, 8, False)
+            large = self._get(rows, kind, 64, False)
+            assert large.ipc_f >= small.ipc_f
+            assert large.misfetch_immediate_share <= \
+                small.misfetch_immediate_share
+
+    def test_near_block_reduces_immediate_misfetch(self, rows):
+        """~70% of conditionals are near-block; encoding them helps."""
+        for kind in ("btb", "nls"):
+            plain = self._get(rows, kind, 8, False)
+            near = self._get(rows, kind, 8, True)
+            assert near.misfetch_immediate_share < \
+                plain.misfetch_immediate_share
+            assert near.ipc_f >= plain.ipc_f
+
+    def test_formatting(self, rows):
+        assert "near-block?" in format_table5(rows)
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table6(budget=BUDGET)
+
+    def _get(self, rows, cache, suite):
+        for r in rows:
+            if (r.cache_type, r.suite) == (cache, suite):
+                return r
+        raise AssertionError("row missing")
+
+    def test_self_aligned_wins(self, rows):
+        for suite in ("int", "fp"):
+            normal = self._get(rows, "normal", suite)
+            align = self._get(rows, "align", suite)
+            assert align.ipb > normal.ipb
+            assert align.ipc_f_two_block > normal.ipc_f_two_block
+
+    def test_two_blocks_beat_one(self, rows):
+        """Dual block: ~40% (int) to ~70% (fp) faster in the paper."""
+        for row in rows:
+            assert row.ipc_f_two_block > row.ipc_f_one_block * 1.15
+
+    def test_fp_outruns_int(self, rows):
+        for cache in ("normal", "extend", "align"):
+            assert self._get(rows, cache, "fp").ipc_f_two_block > \
+                self._get(rows, cache, "int").ipc_f_two_block
+
+    def test_formatting(self, rows):
+        assert "IPC_f 2blk" in format_table6(rows)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig9(budget=BUDGET)
+
+    def test_all_18_programs(self, rows):
+        assert len(rows) == 18
+
+    def test_components_sum_to_bep(self, rows):
+        for row in rows:
+            assert sum(row.components.values()) == \
+                pytest.approx(row.bep, rel=1e-6)
+
+    def test_cond_mispredict_is_largest_overall(self, rows):
+        """The paper: conditional mispredictions dominate BEP."""
+        totals = {}
+        for row in rows:
+            for kind, value in row.components.items():
+                totals[kind] = totals.get(kind, 0.0) + value
+        assert totals[PenaltyKind.COND] == max(totals.values())
+
+    def test_formatting(self, rows):
+        text = format_fig9(rows)
+        assert "misselect" in text
+
+
+class TestTable7:
+    def test_three_configurations(self):
+        breakdowns = run_table7()
+        assert [round(b.total_kbits) for b in breakdowns] == [52, 80, 72]
+
+    def test_extrapolation_monotone(self):
+        totals = [b.total_bits
+                  for b in run_multi_block_extrapolation(max_blocks=4)]
+        assert totals == sorted(totals)
+
+    def test_formatting(self):
+        assert "Kbits" in format_table7(run_table7())

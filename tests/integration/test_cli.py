@@ -1,0 +1,61 @@
+"""CLI smoke tests (small budgets keep them fast)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 18
+        assert "compress" in out and "tomcatv" in out
+
+    def test_table7(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "52.4 Kbits" in out
+
+    def test_fig6_with_budget(self, capsys):
+        assert main(["fig6", "--budget", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked miss" in out
+
+    def test_run_single_block(self, capsys):
+        assert main(["run", "swim", "--budget", "20000",
+                     "--blocks", "1", "--cache", "normal"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC_f" in out
+
+    def test_run_dual_block_double_selection(self, capsys):
+        assert main(["run", "compress", "--budget", "20000",
+                     "--selection", "double"]) == 0
+        assert "IPC_f" in capsys.readouterr().out
+
+    def test_run_multi_block(self, capsys):
+        assert main(["run", "mgrid", "--budget", "20000",
+                     "--blocks", "3"]) == 0
+        assert "IPC_f" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_report_writes_markdown(self, capsys, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", "--budget", "15000",
+                     "--output", str(out)]) == 0
+        text = out.read_text()
+        assert "Figure 6" in text
+        assert "Table 7" in text
+        assert "hardware cost" in text
+
+    def test_run_with_btb_target(self, capsys):
+        assert main(["run", "vortex", "--budget", "15000",
+                     "--target", "btb", "--target-entries", "32"]) == 0
+        assert "IPC_f" in capsys.readouterr().out

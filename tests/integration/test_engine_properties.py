@@ -1,0 +1,137 @@
+"""Property-based tests over the fetch engines.
+
+Random well-formed programs (synthetic generator) run through every
+engine under random geometries/configs; structural invariants must hold
+regardless of workload or configuration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DOUBLE_SELECT,
+    DualBlockEngine,
+    EngineConfig,
+    PenaltyKind,
+    SINGLE_SELECT,
+    SingleBlockEngine,
+)
+from repro.core.config import FetchInput
+from repro.core.multi import MultiBlockEngine
+from repro.cpu import Machine
+from repro.icache import CacheGeometry
+from repro.trace import SyntheticSpec, synthetic_program
+
+geometries = st.sampled_from([
+    CacheGeometry.normal(8),
+    CacheGeometry.extended(8),
+    CacheGeometry.self_aligned(8),
+    CacheGeometry.normal(4),
+])
+
+specs = st.builds(
+    SyntheticSpec,
+    seed=st.integers(0, 5_000),
+    n_functions=st.integers(0, 3),
+    loop_depth=st.integers(1, 3),
+    irregularity=st.floats(0.0, 1.0),
+    body_ops=st.integers(1, 8),
+    iterations=st.integers(2, 12),
+)
+
+configs = st.builds(
+    dict,
+    history_length=st.integers(4, 12),
+    n_select_tables=st.sampled_from([1, 2, 4, 8]),
+    selection=st.sampled_from([SINGLE_SELECT, DOUBLE_SELECT]),
+    near_block=st.booleans(),
+    ras_size=st.sampled_from([4, 32]),
+)
+
+
+def make_input(spec, geometry, budget=15_000):
+    program = synthetic_program(spec)
+    trace = Machine(program).run(max_instructions=budget).trace
+    return FetchInput.from_trace(trace, program.static_code(), geometry)
+
+
+def check_invariants(stats, fetch_input):
+    # Conservation.
+    assert stats.n_instructions == fetch_input.trace.n_instructions
+    assert stats.n_blocks == fetch_input.blocks.n_blocks
+    assert stats.n_branches == fetch_input.trace.n_branches
+    # Cycle sanity.
+    assert stats.base_cycles >= 1
+    assert stats.penalty_cycles >= 0
+    assert stats.fetch_cycles == stats.base_cycles + stats.penalty_cycles
+    assert stats.ipc_f > 0
+    # Event bookkeeping: counts and cycles agree in sign; every charged
+    # category has at least one cycle per event except bank conflicts
+    # (block-1 conflicts cost zero cycles by Table 3).
+    for kind, count in stats.event_counts.items():
+        assert count >= 0
+        cycles = stats.event_cycles.get(kind, 0)
+        assert cycles >= 0
+        if kind != PenaltyKind.BANK_CONFLICT:
+            assert cycles >= count
+    # BEP decomposition sums to the whole.
+    total = sum(stats.bep_component(kind) for kind in PenaltyKind)
+    assert abs(total - stats.bep) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=specs, geometry=geometries, cfg=configs)
+def test_single_block_invariants(spec, geometry, cfg):
+    fetch_input = make_input(spec, geometry)
+    config = EngineConfig(geometry=geometry, **cfg)
+    stats = SingleBlockEngine(config).run(fetch_input)
+    check_invariants(stats, fetch_input)
+    # One block per cycle.
+    assert stats.base_cycles == stats.n_blocks
+    # No dual-mode penalties in single-block fetching.
+    assert PenaltyKind.MISSELECT not in stats.event_counts
+    assert PenaltyKind.BANK_CONFLICT not in stats.event_counts
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=specs, geometry=geometries, cfg=configs)
+def test_dual_block_invariants(spec, geometry, cfg):
+    fetch_input = make_input(spec, geometry)
+    config = EngineConfig(geometry=geometry, **cfg)
+    stats = DualBlockEngine(config).run(fetch_input)
+    check_invariants(stats, fetch_input)
+    assert stats.base_cycles == 1 + stats.n_blocks // 2
+    if config.selection == DOUBLE_SELECT:
+        assert PenaltyKind.BIT not in stats.event_counts
+
+
+@settings(max_examples=12, deadline=None)
+@given(spec=specs, geometry=geometries,
+       n=st.integers(1, 5))
+def test_multi_block_invariants(spec, geometry, n):
+    fetch_input = make_input(spec, geometry)
+    config = EngineConfig(geometry=geometry, n_select_tables=8)
+    stats = MultiBlockEngine(config, n).run(fetch_input)
+    check_invariants(stats, fetch_input)
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=specs, geometry=geometries)
+def test_engines_are_deterministic(spec, geometry):
+    fetch_input = make_input(spec, geometry)
+    config = EngineConfig(geometry=geometry, n_select_tables=4)
+    a = DualBlockEngine(config).run(fetch_input)
+    b = DualBlockEngine(config).run(fetch_input)
+    assert a.event_cycles == b.event_cycles
+    assert a.fetch_cycles == b.fetch_cycles
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=specs)
+def test_separate_bit_never_beats_perfect_bit(spec):
+    geometry = CacheGeometry.normal(8)
+    fetch_input = make_input(spec, geometry)
+    perfect = SingleBlockEngine(
+        EngineConfig(geometry=geometry)).run(fetch_input)
+    small = SingleBlockEngine(
+        EngineConfig(geometry=geometry, bit_entries=2)).run(fetch_input)
+    assert small.fetch_cycles >= perfect.fetch_cycles

@@ -1,0 +1,61 @@
+"""Every example script must run end-to-end (tiny budgets via argv)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", ["swim", "20000"])
+        out = capsys.readouterr().out
+        assert "dual-block speedup" in out
+
+    def test_quickstart_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            run_example("quickstart.py", ["quake", "1000"])
+
+    def test_custom_workload(self, capsys):
+        run_example("custom_workload.py", [])
+        out = capsys.readouterr().out
+        assert "scalar two-level" in out
+        assert "blocked PHT" in out
+
+    def test_design_space(self, capsys):
+        run_example("design_space.py", ["fp", "15000"])
+        out = capsys.readouterr().out
+        assert "best IPC_f" in out
+
+    def test_design_space_rejects_bad_suite(self):
+        with pytest.raises(SystemExit):
+            run_example("design_space.py", ["both"])
+
+    def test_interpreter_dispatch(self, capsys):
+        run_example("interpreter_dispatch.py", [])
+        out = capsys.readouterr().out
+        assert "takeaway" in out
+
+    def test_fig9_chart(self, capsys):
+        run_example("fig9_chart.py", ["15000"])
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert out.count("|") >= 18  # one bar per program
+
+    def test_issue_buffer(self, capsys):
+        run_example("issue_buffer.py", ["20000"])
+        out = capsys.readouterr().out
+        assert "issued IPC" in out
+        assert "starved" in out

@@ -1,0 +1,34 @@
+"""Engine reuse semantics: tables persist across runs (warm state)."""
+
+from repro.core import DualBlockEngine, EngineConfig, SingleBlockEngine
+from repro.icache import CacheGeometry
+from repro.workloads import load_fetch_input
+
+GEO = CacheGeometry.normal(8)
+
+
+class TestWarmEngines:
+    def test_second_run_is_not_worse(self):
+        """Predictor tables persist across run() calls, so replaying the
+        same workload on a warm engine cannot pay more cold misses."""
+        fi = load_fetch_input("compress", GEO, 40_000)
+        engine = DualBlockEngine(EngineConfig(geometry=GEO,
+                                              n_select_tables=8))
+        cold = engine.run(fi)
+        warm = engine.run(fi)
+        assert warm.penalty_cycles <= cold.penalty_cycles
+        assert warm.base_cycles == cold.base_cycles
+
+    def test_single_block_warm_run(self):
+        fi = load_fetch_input("swim", GEO, 40_000)
+        engine = SingleBlockEngine(EngineConfig(geometry=GEO))
+        cold = engine.run(fi)
+        warm = engine.run(fi)
+        assert warm.penalty_cycles <= cold.penalty_cycles
+
+    def test_fresh_engines_are_independent(self):
+        fi = load_fetch_input("go", GEO, 40_000)
+        config = EngineConfig(geometry=GEO)
+        a = SingleBlockEngine(config).run(fi)
+        b = SingleBlockEngine(config).run(fi)
+        assert a.event_cycles == b.event_cycles

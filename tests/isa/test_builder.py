@@ -1,0 +1,232 @@
+"""Builder DSL tests: structured control flow lowers to correct execution."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.isa import BuilderError, ProgramBuilder
+
+
+def run_builder(build_body, **kwargs):
+    b = ProgramBuilder(**kwargs)
+    build_body(b)
+    prog = b.build()
+    machine = Machine(prog)
+    result = machine.run(max_instructions=1_000_000)
+    assert result.halted, "program did not halt"
+    return machine, result
+
+
+class TestFunctions:
+    def test_main_required(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuilderError):
+            b.build()
+
+    def test_nested_function_definitions_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuilderError):
+            with b.function("main"):
+                with b.function("inner"):
+                    pass
+
+    def test_call_chain_preserves_return_addresses(self):
+        def body(b):
+            with b.function("leaf", leaf=True):
+                b.asm.li("r5", 3)
+            with b.function("mid"):
+                b.call("leaf")
+                b.asm.addi("r5", "r5", 10)
+            with b.function("main"):
+                b.call("mid")
+                b.asm.addi("r5", "r5", 100)
+        machine, _ = run_builder(body)
+        assert machine.regs[5] == 113
+
+    def test_early_return_skips_rest(self):
+        def body(b):
+            with b.function("f"):
+                b.asm.li("r5", 1)
+                b.return_()
+                b.asm.li("r5", 2)
+            with b.function("main"):
+                b.call("f")
+        machine, _ = run_builder(body)
+        assert machine.regs[5] == 1
+
+    def test_return_outside_function_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuilderError):
+            b.return_()
+
+    def test_recursion_via_stack(self):
+        # factorial(5) with an explicit argument register and stack saves
+        def body(b):
+            with b.function("fact"):
+                # r3 = n, result in r4
+                with b.if_else("le", "r3", "r0") as branch:
+                    b.asm.li("r4", 1)
+                    branch.otherwise()
+                    b.push("r3")
+                    b.asm.addi("r3", "r3", -1)
+                    b.call("fact")
+                    b.pop("r3")
+                    b.asm.mul("r4", "r4", "r3")
+            with b.function("main"):
+                b.asm.li("r3", 5)
+                b.call("fact")
+        machine, _ = run_builder(body)
+        assert machine.regs[4] == 120
+
+    def test_indirect_call(self):
+        def body(b):
+            with b.function("target", leaf=True):
+                b.asm.li("r6", 77)
+            with b.function("main"):
+                b.asm.li("r7", b.asm._labels["target"])
+                b.call_indirect("r7")
+        machine, _ = run_builder(body)
+        assert machine.regs[6] == 77
+
+
+class TestControlConstructs:
+    def test_while_loop(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r3", 0)
+                b.asm.li("r4", 7)
+                with b.while_("lt", "r3", "r4"):
+                    b.asm.addi("r3", "r3", 1)
+        machine, _ = run_builder(body)
+        assert machine.regs[3] == 7
+
+    def test_while_false_initially_skips_body(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r3", 9)
+                b.asm.li("r4", 5)
+                b.asm.li("r5", 0)
+                with b.while_("lt", "r3", "r4"):
+                    b.asm.li("r5", 1)
+        machine, _ = run_builder(body)
+        assert machine.regs[5] == 0
+
+    def test_do_while_executes_at_least_once(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r3", 100)
+                b.asm.li("r4", 0)
+                with b.do_while("lt", "r3", "r4"):
+                    b.asm.addi("r5", "r5", 1)
+        machine, _ = run_builder(body)
+        assert machine.regs[5] == 1
+
+    def test_if_taken_and_not_taken(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r3", 1)
+                b.asm.li("r4", 2)
+                with b.if_("lt", "r3", "r4"):
+                    b.asm.li("r5", 10)
+                with b.if_("gt", "r3", "r4"):
+                    b.asm.li("r6", 20)
+        machine, _ = run_builder(body)
+        assert machine.regs[5] == 10
+        assert machine.regs[6] == 0
+
+    def test_if_else_both_arms(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r3", 5)
+                with b.if_else("eq", "r3", "r0") as br:
+                    b.asm.li("r4", 1)
+                    br.otherwise()
+                    b.asm.li("r4", 2)
+        machine, _ = run_builder(body)
+        assert machine.regs[4] == 2
+
+    def test_if_else_otherwise_twice_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuilderError):
+            with b.function("main"):
+                with b.if_else("eq", "r3", "r0") as br:
+                    br.otherwise()
+                    br.otherwise()
+
+    def test_for_range_counts(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r4", 0)
+                with b.for_range("r3", 0, 10):
+                    b.asm.add("r4", "r4", "r3")
+        machine, _ = run_builder(body)
+        assert machine.regs[4] == 45
+
+    def test_for_range_nested(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r6", 0)
+                with b.for_range("r3", 0, 5):
+                    with b.for_range("r4", 0, 4):
+                        b.asm.addi("r6", "r6", 1)
+        machine, _ = run_builder(body)
+        assert machine.regs[6] == 20
+
+    def test_for_range_downward(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r4", 0)
+                with b.for_range("r3", 5, 0, step=-1):
+                    b.asm.addi("r4", "r4", 1)
+        machine, _ = run_builder(body)
+        assert machine.regs[4] == 5
+
+    def test_for_range_zero_step_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuilderError):
+            with b.function("main"):
+                with b.for_range("r3", 0, 5, step=0):
+                    pass
+
+    def test_for_reg_uses_register_bound(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r8", 6)
+                b.asm.li("r4", 0)
+                with b.for_reg("r3", 0, "r8"):
+                    b.asm.addi("r4", "r4", 1)
+        machine, _ = run_builder(body)
+        assert machine.regs[4] == 6
+
+    def test_unknown_condition_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuilderError):
+            with b.function("main"):
+                with b.if_("spam", "r1", "r2"):
+                    pass
+
+
+class TestHelpers:
+    def test_push_pop_lifo(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r3", 11)
+                b.asm.li("r4", 22)
+                b.push("r3")
+                b.push("r4")
+                b.pop("r5")
+                b.pop("r6")
+        machine, _ = run_builder(body)
+        assert machine.regs[5] == 22
+        assert machine.regs[6] == 11
+
+    def test_lcg_step_matches_reference(self):
+        def body(b):
+            with b.function("main"):
+                b.asm.li("r10", 42)
+                b.lcg_step("r10")
+        machine, _ = run_builder(body)
+        assert machine.regs[10] == (42 * 1103515245 + 12345) % (1 << 31)
+
+    def test_stack_must_fit(self):
+        with pytest.raises(BuilderError):
+            ProgramBuilder(data_size=16, stack_words=16)

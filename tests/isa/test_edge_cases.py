@@ -1,0 +1,128 @@
+"""Edge cases across the ISA substrate: faults, boundaries, misuse."""
+
+import pytest
+
+from repro.cpu import Machine, MachineError
+from repro.isa import Assembler, AssemblyError, ProgramBuilder
+from repro.isa.assembler import Assembler as RawAssembler
+
+
+class TestMachineFaults:
+    def test_running_off_the_end_faults(self):
+        asm = Assembler()
+        asm.nop()  # no HALT: PC runs past the text segment
+        with pytest.raises(MachineError, match="PC out of range"):
+            Machine(asm.assemble()).run()
+
+    def test_backward_indirect_out_of_range(self):
+        asm = Assembler()
+        asm.li("r3", -5)
+        asm.jr("r3")
+        asm.halt()
+        with pytest.raises(MachineError):
+            Machine(asm.assemble()).run()
+
+    def test_mod_by_zero_faults(self):
+        asm = Assembler()
+        asm.li("r3", 10)
+        asm.mod("r4", "r3", "r0")
+        asm.halt()
+        with pytest.raises(MachineError, match="division by zero"):
+            Machine(asm.assemble()).run()
+
+    def test_zero_budget_truncates_immediately(self):
+        asm = Assembler()
+        asm.halt()
+        result = Machine(asm.assemble()).run(max_instructions=0)
+        assert not result.halted
+        assert result.trace.truncated
+        assert result.trace.n_instructions == 1  # just the marker
+
+    def test_shift_amounts_mask_to_six_bits(self):
+        asm = Assembler()
+        asm.li("r3", 1)
+        asm.li("r4", 65)       # 65 & 63 == 1
+        asm.sll("r5", "r3", "r4")
+        asm.halt()
+        machine = Machine(asm.assemble())
+        machine.run()
+        assert machine.regs[5] == 2
+
+    def test_negative_immediate_li(self):
+        asm = Assembler()
+        asm.li("r3", -12345)
+        asm.halt()
+        machine = Machine(asm.assemble())
+        machine.run()
+        assert machine.regs[3] == -12345
+
+
+class TestAssemblerMisuse:
+    def test_place_without_reserve_rejected(self):
+        asm = RawAssembler()
+        with pytest.raises(AssemblyError):
+            asm.place("never_reserved")
+
+    def test_place_twice_rejected(self):
+        asm = RawAssembler()
+        label = asm.unique_label("x")
+        asm.place(label)
+        with pytest.raises(AssemblyError):
+            asm.place(label)
+
+    def test_branch_to_label_at_end_of_program(self):
+        asm = Assembler()
+        asm.j("end")
+        asm.label("end")
+        asm.halt()
+        prog = asm.assemble()
+        assert prog.instructions[0].imm == 1
+
+    def test_entry_label_must_exist(self):
+        asm = Assembler()
+        asm.entry("ghost")
+        asm.halt()
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+
+class TestBuilderEdges:
+    def test_empty_function_body(self):
+        b = ProgramBuilder()
+        with b.function("noop", leaf=True):
+            pass
+        with b.function("main"):
+            b.call("noop")
+        machine = Machine(b.build())
+        assert machine.run().halted
+
+    def test_for_range_with_equal_bounds_skips_body(self):
+        b = ProgramBuilder()
+        with b.function("main"):
+            b.asm.li("r4", 0)
+            with b.for_range("r3", 5, 5):
+                b.asm.li("r4", 99)
+        machine = Machine(b.build())
+        machine.run()
+        assert machine.regs[4] == 0
+
+    def test_build_twice_returns_same_program(self):
+        b = ProgramBuilder()
+        with b.function("main"):
+            b.asm.nop()
+        assert b.build() is b.build()
+
+    def test_deeply_nested_control_flow(self):
+        b = ProgramBuilder()
+        with b.function("main"):
+            b.asm.li("r7", 0)
+            with b.for_range("r3", 0, 3):
+                with b.if_("ge", "r3", "r0"):
+                    with b.for_range("r4", 0, 3):
+                        with b.if_else("eq", "r4", "r3") as br:
+                            b.asm.addi("r7", "r7", 10)
+                            br.otherwise()
+                            b.asm.addi("r7", "r7", 1)
+        machine = Machine(b.build())
+        machine.run()
+        assert machine.regs[7] == 3 * 10 + 6 * 1

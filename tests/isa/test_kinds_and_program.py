@@ -1,0 +1,108 @@
+"""InstrKind classification, static code maps, instruction repr."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Assembler, InstrKind, Instruction, Op, classify_op
+from repro.isa.kinds import INDIRECT_KINDS, TRANSFER_KINDS
+from repro.isa.program import StaticCode
+
+
+class TestClassifyOp:
+    def test_conditionals(self):
+        for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT):
+            assert classify_op(op) is InstrKind.COND
+
+    def test_direct_jump(self):
+        assert classify_op(Op.J) is InstrKind.JUMP
+
+    def test_calls(self):
+        assert classify_op(Op.JAL) is InstrKind.CALL
+        assert classify_op(Op.JALR) is InstrKind.CALL
+
+    def test_return_vs_indirect(self):
+        assert classify_op(Op.RET) is InstrKind.RETURN
+        assert classify_op(Op.JR) is InstrKind.INDIRECT
+
+    def test_halt(self):
+        assert classify_op(Op.HALT) is InstrKind.HALT
+
+    def test_alu_and_memory_are_nonbranch(self):
+        for op in (Op.ADD, Op.MULI, Op.LD, Op.ST, Op.NOP, Op.LI):
+            assert classify_op(op) is InstrKind.NONBRANCH
+
+    def test_kind_sets(self):
+        assert InstrKind.COND in TRANSFER_KINDS
+        assert InstrKind.HALT not in TRANSFER_KINDS
+        assert INDIRECT_KINDS == {InstrKind.RETURN, InstrKind.INDIRECT}
+
+
+class TestStaticCode:
+    def _program(self):
+        asm = Assembler()
+        asm.nop()                    # 0
+        asm.beq("r1", "r2", 5)       # 1 direct target 5
+        asm.j(0)                     # 2 direct target 0
+        asm.jal(5)                   # 3 direct call
+        asm.jr("r4")                 # 4 indirect
+        asm.label("f")
+        asm.ret()                    # 5
+        asm.halt()                   # 6
+        return asm.assemble()
+
+    def test_kinds(self):
+        static = self._program().static_code()
+        expected = [InstrKind.NONBRANCH, InstrKind.COND, InstrKind.JUMP,
+                    InstrKind.CALL, InstrKind.INDIRECT, InstrKind.RETURN,
+                    InstrKind.HALT]
+        assert [InstrKind(k) for k in static.kind] == expected
+
+    def test_direct_targets(self):
+        static = self._program().static_code()
+        assert static.direct_target[1] == 5   # cond
+        assert static.direct_target[2] == 0   # jump
+        assert static.direct_target[3] == 5   # direct call
+        assert static.direct_target[4] == -1  # indirect
+        assert static.direct_target[5] == -1  # return
+
+    def test_jalr_call_has_no_static_target(self):
+        asm = Assembler()
+        asm.jalr("r4")
+        asm.halt()
+        static = asm.assemble().static_code()
+        assert InstrKind(static.kind[0]) is InstrKind.CALL
+        assert static.direct_target[0] == -1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StaticCode(kind=np.zeros(3, dtype=np.uint8),
+                       direct_target=np.zeros(2, dtype=np.int64))
+
+    def test_len(self):
+        assert len(self._program().static_code()) == 7
+
+
+class TestInstructionRepr:
+    @pytest.mark.parametrize("inst,fragment", [
+        (Instruction(Op.BEQ, rs1=1, rs2=2, target="x"), "beq r1, r2"),
+        (Instruction(Op.J, target=7), "j 7"),
+        (Instruction(Op.JR, rs1=5), "jr r5"),
+        (Instruction(Op.LD, rd=3, rs1=2, imm=4), "ld r3, 4(r2)"),
+        (Instruction(Op.ST, rs2=3, rs1=2, imm=4), "st r3, 4(r2)"),
+        (Instruction(Op.LI, rd=3, imm=9), "li r3, 9"),
+        (Instruction(Op.RET), "ret"),
+        (Instruction(Op.ADD, rd=1, rs1=2, rs2=3), "add r1"),
+    ])
+    def test_str_contains(self, inst, fragment):
+        assert fragment in str(inst)
+
+    def test_properties(self):
+        beq = Instruction(Op.BEQ, rs1=1, rs2=2, target=0)
+        assert beq.is_control and beq.is_cond_branch
+        assert not beq.is_direct_jump and not beq.is_indirect
+        jal = Instruction(Op.JAL, rd=1, target=0)
+        assert jal.is_direct_jump and jal.is_control
+        ret = Instruction(Op.RET, rs1=1)
+        assert ret.is_indirect
+        add = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert not add.is_control

@@ -1,0 +1,51 @@
+"""BAC helper coverage: window scanning and cost dataclass."""
+
+from repro.cpu import Machine
+from repro.isa import Assembler
+from repro.predictors import BACCost
+from repro.predictors.bac import max_branches_per_block
+
+
+def dense_branch_trace():
+    """Four conditional branches packed inside one 8-wide window."""
+    asm = Assembler()
+    asm.li("r3", 0)
+    asm.li("r4", 40)
+    asm.label("top")
+    asm.addi("r3", "r3", 1)
+    for _ in range(4):
+        asm.beq("r3", "r0", "top")  # never taken; stays in the window
+    asm.blt("r3", "r4", "top")
+    asm.halt()
+    return Machine(asm.assemble()).run().trace
+
+
+class TestMaxBranchesPerBlock:
+    def test_counts_dense_window(self):
+        trace = dense_branch_trace()
+        # 4 never-taken beqs + the blt all fall within 8 addresses.
+        assert max_branches_per_block(trace, block_width=8) == 5
+
+    def test_narrow_window_sees_fewer(self):
+        trace = dense_branch_trace()
+        assert max_branches_per_block(trace, block_width=2) <= 2
+
+    def test_branchless_trace(self):
+        asm = Assembler()
+        asm.nop()
+        asm.halt()
+        trace = Machine(asm.assemble()).run().trace
+        assert max_branches_per_block(trace) == 0
+
+
+class TestBACCostFields:
+    def test_entry_bits_scale_with_address_width(self):
+        narrow = BACCost.for_branches(2, address_bits=10)
+        wide = BACCost.for_branches(2, address_bits=30)
+        assert wide.bac_entry_bits == 3 * narrow.bac_entry_bits
+
+    def test_matching_blocked_pht_needs_k_from_trace(self):
+        """The comparison bench sizes the BAC from the densest window."""
+        trace = dense_branch_trace()
+        k = max_branches_per_block(trace, block_width=8)
+        assert BACCost.for_branches(k).pht_lookups == (1 << k) - 1

@@ -1,0 +1,89 @@
+"""2-bit saturating counter semantics, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors import (
+    SaturatingCounter,
+    counter_has_second_chance,
+    counter_predicts_taken,
+    counter_update,
+)
+
+
+class TestPrediction:
+    def test_threshold(self):
+        assert not counter_predicts_taken(0)
+        assert not counter_predicts_taken(1)
+        assert counter_predicts_taken(2)
+        assert counter_predicts_taken(3)
+
+
+class TestUpdate:
+    def test_increment_saturates(self):
+        assert counter_update(3, True) == 3
+        assert counter_update(2, True) == 3
+
+    def test_decrement_saturates(self):
+        assert counter_update(0, False) == 0
+        assert counter_update(1, False) == 0
+
+    def test_single_flip_needs_two_misses_from_strong(self):
+        state = 3  # strongly taken
+        state = counter_update(state, False)
+        assert counter_predicts_taken(state)  # second chance
+        state = counter_update(state, False)
+        assert not counter_predicts_taken(state)
+
+
+class TestSecondChance:
+    def test_strong_states_have_second_chance(self):
+        assert counter_has_second_chance(3, True)
+        assert counter_has_second_chance(0, False)
+
+    def test_weak_states_do_not(self):
+        assert not counter_has_second_chance(2, True)
+        assert not counter_has_second_chance(1, False)
+
+
+class TestClassWrapper:
+    def test_initial_state_validated(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(4)
+        with pytest.raises(ValueError):
+            SaturatingCounter(-1)
+
+    def test_update_chains(self):
+        c = SaturatingCounter(2)
+        assert c.taken
+        c.update(False).update(False)
+        assert not c.taken
+        assert c.second_chance  # now at 0
+
+    def test_repr(self):
+        assert "2" in repr(SaturatingCounter(2))
+
+
+@given(st.integers(0, 3), st.lists(st.booleans(), max_size=50))
+def test_counter_stays_in_range(initial, outcomes):
+    state = initial
+    for taken in outcomes:
+        state = counter_update(state, taken)
+        assert 0 <= state <= 3
+
+
+@given(st.integers(0, 3))
+def test_two_consistent_outcomes_force_agreement(initial):
+    # After two identical outcomes the prediction always matches them.
+    for taken in (True, False):
+        state = counter_update(counter_update(initial, taken), taken)
+        assert counter_predicts_taken(state) == taken
+
+
+@given(st.integers(0, 3), st.booleans())
+def test_update_moves_toward_outcome(state, taken):
+    new = counter_update(state, taken)
+    if taken:
+        assert new >= state
+    else:
+        assert new <= state

@@ -1,0 +1,108 @@
+"""Global history register and block-outcome payload tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors import BlockOutcomes, GlobalHistory, pack_block_outcomes
+
+
+class TestGlobalHistory:
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+
+    def test_shift_in_orders_bits(self):
+        ghr = GlobalHistory(4)
+        ghr.shift_in(True)
+        ghr.shift_in(False)
+        ghr.shift_in(True)
+        assert ghr.value == 0b101
+
+    def test_shift_wraps_at_length(self):
+        ghr = GlobalHistory(3)
+        for _ in range(5):
+            ghr.shift_in(True)
+        assert ghr.value == 0b111
+        ghr.shift_in(False)
+        assert ghr.value == 0b110
+
+    def test_block_shift_matches_sequential_shifts(self):
+        a = GlobalHistory(8)
+        b = GlobalHistory(8)
+        outcomes = [True, False, False, True]
+        a.shift_in_block(outcomes)
+        for bit in outcomes:
+            b.shift_in(bit)
+        assert a.value == b.value
+
+    def test_paper_example(self):
+        # "not taken, not taken, taken" -> shift left 3, insert 001.
+        ghr = GlobalHistory(10, value=0b1111111)
+        ghr.shift_in_block([False, False, True])
+        assert ghr.value & 0b111 == 0b001
+
+    def test_index_is_xor(self):
+        ghr = GlobalHistory(10, value=0b1010101010)
+        assert ghr.index(0b0101010101) == 0b1111111111
+        assert ghr.index(0) == ghr.value
+
+    def test_snapshot_restore(self):
+        ghr = GlobalHistory(6)
+        ghr.shift_in_block([True, True, False])
+        saved = ghr.snapshot()
+        ghr.shift_in(True)
+        ghr.restore(saved)
+        assert ghr.value == saved
+
+
+class TestBlockOutcomes:
+    def test_pack_counts_leading_not_taken(self):
+        assert pack_block_outcomes([False, False, True]) == \
+            BlockOutcomes(2, True)
+
+    def test_pack_fallthrough(self):
+        assert pack_block_outcomes([False, False]) == BlockOutcomes(2, False)
+
+    def test_pack_empty(self):
+        assert pack_block_outcomes([]) == BlockOutcomes(0, False)
+
+    def test_pack_stops_at_first_taken(self):
+        # Outcomes after a taken branch belong to the next block.
+        assert pack_block_outcomes([True, False]) == BlockOutcomes(0, True)
+
+    def test_apply_reproduces_shift(self):
+        ref = GlobalHistory(8)
+        ref.shift_in_block([False, False, True])
+        ghr = GlobalHistory(8)
+        BlockOutcomes(2, True).apply(ghr)
+        assert ghr.value == ref.value
+
+    def test_equality_and_hash(self):
+        assert BlockOutcomes(1, True) == BlockOutcomes(1, True)
+        assert BlockOutcomes(1, True) != BlockOutcomes(1, False)
+        assert BlockOutcomes(1, True) != BlockOutcomes(2, True)
+        assert hash(BlockOutcomes(1, True)) == hash(BlockOutcomes(1, True))
+        assert BlockOutcomes(0, False).__eq__(42) is NotImplemented
+
+
+@given(st.lists(st.booleans(), max_size=16), st.integers(1, 16))
+def test_ghr_value_always_within_mask(outcomes, length):
+    ghr = GlobalHistory(length)
+    for bit in outcomes:
+        ghr.shift_in(bit)
+        assert 0 <= ghr.value <= ghr.mask
+
+
+@given(st.lists(st.booleans(), max_size=10))
+def test_pack_apply_equals_truncated_shift(outcomes):
+    """Applying the packed payload matches shifting the truncated pattern."""
+    # The payload only represents outcomes up to the first taken branch —
+    # exactly the outcomes that belong to the predicted block.
+    cut = outcomes
+    if True in outcomes:
+        cut = outcomes[:outcomes.index(True) + 1]
+    ref = GlobalHistory(12)
+    ref.shift_in_block(cut)
+    ghr = GlobalHistory(12)
+    pack_block_outcomes(outcomes).apply(ghr)
+    assert ghr.value == ref.value

@@ -1,0 +1,97 @@
+"""Scalar and blocked PHT structure tests."""
+
+import pytest
+
+from repro.predictors import (
+    BlockedPHT,
+    INDEX_GHR,
+    ScalarPHT,
+)
+
+
+class TestBlockedPHT:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockedPHT(history_length=0)
+        with pytest.raises(ValueError):
+            BlockedPHT(block_width=0)
+        with pytest.raises(ValueError):
+            BlockedPHT(n_tables=0)
+
+    def test_entry_holds_block_width_counters(self):
+        pht = BlockedPHT(history_length=4, block_width=8)
+        base = pht.index(0b1010, 3)
+        assert len(pht.entry(base)) == 8
+
+    def test_initial_prediction_weakly_taken(self):
+        pht = BlockedPHT(history_length=4)
+        base = pht.index(0, 0)
+        assert pht.predicts_taken(base, 0)
+        assert pht.counter(base, 0) == 2
+
+    def test_counters_independent_per_position(self):
+        pht = BlockedPHT(history_length=4)
+        base = pht.index(0b0110, 5)
+        pht.update(base, 2, False)
+        pht.update(base, 2, False)
+        assert not pht.predicts_taken(base, 2)
+        assert pht.predicts_taken(base, 3)
+
+    def test_index_xors_history_and_address(self):
+        pht = BlockedPHT(history_length=4, block_width=8)
+        assert pht.index(0b1111, 0b0000) == pht.index(0b0000, 0b1111)
+        assert pht.index(0b1111, 0b1111) == pht.index(0, 0)
+
+    def test_multiple_tables_separate_by_address(self):
+        pht = BlockedPHT(history_length=4, block_width=4, n_tables=2)
+        even = pht.index(0, 2)
+        odd = pht.index(0, 3)
+        pht.update(even, 0, False)
+        pht.update(even, 0, False)
+        assert not pht.predicts_taken(even, 0)
+        assert pht.predicts_taken(odd, 0)
+
+    def test_position_wraps_modulo_block_width(self):
+        pht = BlockedPHT(block_width=8)
+        assert pht.position(13) == 5
+        assert pht.position(8) == 0
+
+    def test_storage_bits_matches_table7(self):
+        # Paper default: 2 * 8 * 1024 * 1 = 16 Kbits.
+        pht = BlockedPHT(history_length=10, block_width=8, n_tables=1)
+        assert pht.storage_bits == 16 * 1024
+
+
+class TestScalarPHT:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalarPHT(history_length=0)
+        with pytest.raises(ValueError):
+            ScalarPHT(n_tables=0)
+        with pytest.raises(ValueError):
+            ScalarPHT(index_mode="nope")
+
+    def test_learns_direction(self):
+        pht = ScalarPHT(history_length=4, n_tables=2)
+        for _ in range(3):
+            pht.update(0b1010, 12, False)
+        assert not pht.predicts_taken(0b1010, 12)
+
+    def test_tables_selected_by_low_bits(self):
+        pht = ScalarPHT(history_length=4, n_tables=2, index_mode=INDEX_GHR)
+        pht.update(0, 2, False)
+        pht.update(0, 2, False)
+        assert not pht.predicts_taken(0, 2)   # same table, same index
+        assert pht.predicts_taken(0, 3)       # other table untouched
+
+    def test_equal_size_to_blocked(self):
+        scalar = ScalarPHT(history_length=10, n_tables=8)
+        blocked = BlockedPHT(history_length=10, block_width=8)
+        assert scalar.storage_bits == blocked.storage_bits
+
+    def test_ghr_mode_ignores_high_pc_bits(self):
+        pht = ScalarPHT(history_length=4, n_tables=1, index_mode=INDEX_GHR)
+        pht.update(0b0011, 100, False)
+        pht.update(0b0011, 900, False)
+        # Same history, different pc: same counter in GHR mode.
+        assert not pht.predicts_taken(0b0011, 500)

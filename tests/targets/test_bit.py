@@ -1,0 +1,133 @@
+"""BIT encoding (Table 1) and separate BIT-table aliasing behaviour."""
+
+import pytest
+
+from repro.isa import Assembler, InstrKind
+from repro.targets import (
+    BITTable,
+    BitCode,
+    NEAR_BLOCK_LINE_OFFSET,
+    encode_instruction,
+    encode_window,
+    near_block_target,
+)
+
+K = InstrKind
+
+
+class TestEncodeInstruction:
+    def test_nonbranch(self):
+        assert encode_instruction(int(K.NONBRANCH), 0, -1, 8, False) == \
+            BitCode.NONBRANCH
+
+    def test_return(self):
+        assert encode_instruction(int(K.RETURN), 0, -1, 8, False) == \
+            BitCode.RETURN
+
+    def test_other_branches(self):
+        for kind in (K.JUMP, K.CALL, K.INDIRECT):
+            assert encode_instruction(int(kind), 0, -1, 8, False) == \
+                BitCode.OTHER
+
+    def test_cond_without_near_block(self):
+        # Even a same-line target encodes as COND_LONG in 2-bit mode.
+        assert encode_instruction(int(K.COND), 10, 12, 8, False) == \
+            BitCode.COND_LONG
+
+    def test_cond_near_block_offsets(self):
+        line = 8
+        pc = 20  # line 2
+        cases = {
+            BitCode.COND_PREV_LINE: 15,   # line 1
+            BitCode.COND_SAME_LINE: 17,   # line 2
+            BitCode.COND_NEXT_LINE: 25,   # line 3
+            BitCode.COND_NEXT2_LINE: 33,  # line 4
+        }
+        for code, target in cases.items():
+            assert encode_instruction(int(K.COND), pc, target, line,
+                                      True) == code
+
+    def test_cond_far_target_is_long(self):
+        assert encode_instruction(int(K.COND), 20, 100, 8, True) == \
+            BitCode.COND_LONG
+        assert encode_instruction(int(K.COND), 20, 0, 8, True) == \
+            BitCode.COND_LONG
+
+
+class TestNearBlockTarget:
+    def test_adder_reproduces_line(self):
+        for code, offset in NEAR_BLOCK_LINE_OFFSET.items():
+            pc = 20
+            assert near_block_target(code, pc, 8) == (20 // 8 + offset) * 8
+
+
+class TestEncodeWindow:
+    def _static(self):
+        asm = Assembler()
+        asm.nop()                      # 0
+        asm.beq("r1", "r2", 0)         # 1 -> target line 0 (prev)
+        asm.j(5)                       # 2
+        asm.ret()                      # 3
+        asm.nop()                      # 4
+        asm.halt()                     # 5
+        return asm.assemble().static_code()
+
+    def test_window_codes(self):
+        codes = encode_window(self._static(), 0, 6, 8, False)
+        assert codes == (BitCode.NONBRANCH, BitCode.COND_LONG, BitCode.OTHER,
+                         BitCode.RETURN, BitCode.NONBRANCH,
+                         BitCode.NONBRANCH)
+
+    def test_near_block_window(self):
+        codes = encode_window(self._static(), 0, 3, 8, True)
+        assert codes[1] == BitCode.COND_SAME_LINE
+
+    def test_out_of_range_encodes_nonbranch(self):
+        codes = encode_window(self._static(), 4, 8, 8, False)
+        assert all(c == BitCode.NONBRANCH for c in codes[2:])
+
+
+class TestBITTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BITTable(0)
+
+    def test_cold_access(self):
+        table = BITTable(16)
+        codes, exact = table.access(3)
+        assert codes is None
+        assert not exact
+
+    def test_fill_then_exact(self):
+        table = BITTable(16)
+        table.fill(3, (BitCode.COND_LONG,) * 8)
+        codes, exact = table.access(3)
+        assert exact
+        assert codes == (BitCode.COND_LONG,) * 8
+
+    def test_aliased_access_returns_stale_codes(self):
+        table = BITTable(16)
+        table.fill(3, (BitCode.RETURN,) * 8)
+        codes, exact = table.access(19)  # 19 % 16 == 3
+        assert not exact
+        assert codes == (BitCode.RETURN,) * 8
+        assert table.stale_hits == 1
+
+    def test_refill_replaces(self):
+        table = BITTable(16)
+        table.fill(3, (BitCode.RETURN,) * 8)
+        table.fill(19, (BitCode.OTHER,) * 8)
+        codes, exact = table.access(19)
+        assert exact and codes == (BitCode.OTHER,) * 8
+        codes, exact = table.access(3)
+        assert not exact
+
+    def test_storage_matches_table7(self):
+        # 1024 entries * 8 instructions * 2 bits = 16 Kbits.
+        assert BITTable(1024, 8).storage_bits == 16 * 1024
+
+    def test_access_counters(self):
+        table = BITTable(4)
+        table.access(0)
+        table.access(1)
+        assert table.accesses == 2

@@ -1,0 +1,94 @@
+"""Return-address-stack tests, including dual-block bypass rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.targets import ReturnAddressStack
+
+
+class TestBasicStack:
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(4)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+
+    def test_empty_pop_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+
+    def test_peek_does_not_consume(self):
+        ras = ReturnAddressStack(4)
+        ras.push(5)
+        assert ras.peek() == 5
+        assert ras.peek() == 5
+        assert ras.depth == 1
+
+    def test_peek_depth(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.peek(0) == 2
+        assert ras.peek(1) == 1
+        assert ras.peek(2) is None
+
+    def test_overflow_wraps_and_loses_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        # Entry 1 was overwritten; wraparound re-reads slot contents.
+        assert ras.depth == 0
+        assert ras.pop() is None
+
+
+class TestDualBlockBypass:
+    def test_first_block_calls_bypasses_return_address(self):
+        ras = ReturnAddressStack(4)
+        ras.push(100)
+        assert ras.predict_for_second_block(
+            first_block_calls=True, first_block_returns=False,
+            first_block_return_address=55) == 55
+
+    def test_first_block_returns_uses_second_entry(self):
+        ras = ReturnAddressStack(4)
+        ras.push(100)
+        ras.push(200)
+        assert ras.predict_for_second_block(
+            first_block_calls=False, first_block_returns=True,
+            first_block_return_address=0) == 100
+
+    def test_plain_case_uses_top(self):
+        ras = ReturnAddressStack(4)
+        ras.push(100)
+        assert ras.predict_for_second_block(
+            first_block_calls=False, first_block_returns=False,
+            first_block_return_address=0) == 100
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=20))
+def test_within_capacity_stack_is_exact(addresses):
+    """Pushes within capacity always pop back in LIFO order."""
+    ras = ReturnAddressStack(32)
+    for a in addresses:
+        ras.push(a)
+    for a in reversed(addresses):
+        assert ras.pop() == a
+
+
+@given(st.lists(st.sampled_from(["push", "pop"]), max_size=60))
+def test_depth_never_exceeds_size(ops):
+    ras = ReturnAddressStack(4)
+    for i, op in enumerate(ops):
+        if op == "push":
+            ras.push(i)
+        else:
+            ras.pop()
+        assert 0 <= ras.depth <= 4

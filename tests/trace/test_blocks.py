@@ -1,0 +1,191 @@
+"""Block segmentation tests: hand-built traces plus executed programs."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Machine
+from repro.icache.geometry import CacheGeometry
+from repro.isa import Assembler, InstrKind
+from repro.trace import EXIT_FALLTHROUGH, Trace, segment_blocks
+
+K_COND = int(InstrKind.COND)
+K_JUMP = int(InstrKind.JUMP)
+K_CALL = int(InstrKind.CALL)
+K_HALT = int(InstrKind.HALT)
+
+GEO8 = CacheGeometry.normal(8)
+
+
+def make_trace(entry, n, records):
+    pcs, kinds, takens, targets = zip(*records)
+    return Trace.from_lists(entry, n, list(pcs), list(kinds),
+                            list(takens), list(targets))
+
+
+class TestHandBuiltTraces:
+    def test_straight_line_splits_at_line_boundaries(self):
+        # 20 sequential instructions starting at 0, halt at pc 19.
+        t = make_trace(0, 20, [(19, K_HALT, False, 20)])
+        bs = segment_blocks(t, GEO8)
+        assert list(bs.start) == [0, 8, 16]
+        assert list(bs.n_instr) == [8, 8, 4]
+        assert list(bs.exit_kind) == [EXIT_FALLTHROUGH, EXIT_FALLTHROUGH,
+                                      K_HALT]
+
+    def test_taken_branch_ends_block(self):
+        # pc 0..3 then taken jump at 3 -> 16, halt at 16.
+        t = make_trace(0, 5, [(3, K_JUMP, True, 16), (16, K_HALT, False, 17)])
+        bs = segment_blocks(t, GEO8)
+        assert list(bs.start) == [0, 16]
+        assert list(bs.n_instr) == [4, 1]
+        assert bs.exit_kind[0] == K_JUMP
+        assert bs.exit_target[0] == 16
+
+    def test_not_taken_cond_does_not_end_block(self):
+        # Conditional at 2 not taken; halt at 6: one block of 7.
+        t = make_trace(0, 7, [(2, K_COND, False, 30), (6, K_HALT, False, 7)])
+        bs = segment_blocks(t, GEO8)
+        assert bs.n_blocks == 1
+        assert bs.n_instr[0] == 7
+        assert bs.n_recs[0] == 2  # the cond and the halt
+
+    def test_not_taken_cond_at_line_end(self):
+        # Not-taken cond exactly at pc 7 (line end); falls through to 8.
+        t = make_trace(0, 10, [(7, K_COND, False, 99), (9, K_HALT, False, 10)])
+        bs = segment_blocks(t, GEO8)
+        assert list(bs.start) == [0, 8]
+        assert list(bs.n_instr) == [8, 2]
+        assert bs.exit_kind[0] == EXIT_FALLTHROUGH
+        assert bs.n_recs[0] == 1
+
+    def test_misaligned_start_truncates_block(self):
+        # Entry at 5: first block only spans 5..7 in a normal cache.
+        t = make_trace(5, 10, [(14, K_HALT, False, 15)])
+        bs = segment_blocks(t, GEO8)
+        assert list(bs.start) == [5, 8]
+        assert list(bs.n_instr) == [3, 7]
+
+    def test_taken_branch_to_middle_of_line(self):
+        t = make_trace(0, 4, [(0, K_JUMP, True, 13), (14, K_HALT, False, 15)])
+        bs = segment_blocks(t, GEO8)
+        assert list(bs.start) == [0, 13]
+        assert list(bs.n_instr) == [1, 2]
+
+    def test_extended_cache_reduces_truncation(self):
+        geo = CacheGeometry.extended(8)  # line 16, block 8
+        t = make_trace(5, 12, [(16, K_HALT, False, 17)])
+        bs = segment_blocks(t, geo)
+        # From 5, an extended line reaches 15, so a full 8-wide block fits;
+        # the next block is cut at the line boundary (13..15), then 16.
+        assert list(bs.start) == [5, 13, 16]
+        assert list(bs.n_instr) == [8, 3, 1]
+
+    def test_self_aligned_never_truncates(self):
+        geo = CacheGeometry.self_aligned(8)
+        t = make_trace(5, 16, [(20, K_HALT, False, 21)])
+        bs = segment_blocks(t, geo)
+        assert list(bs.start) == [5, 13]
+        assert list(bs.n_instr) == [8, 8]
+
+    def test_back_to_back_taken_branches(self):
+        t = make_trace(0, 3, [(0, K_JUMP, True, 9), (9, K_JUMP, True, 20),
+                              (20, K_HALT, False, 21)])
+        bs = segment_blocks(t, GEO8)
+        assert list(bs.start) == [0, 9, 20]
+        assert list(bs.n_instr) == [1, 1, 1]
+
+    def test_record_windows_partition_trace(self):
+        t = make_trace(0, 20, [(2, K_COND, False, 9), (5, K_COND, True, 9),
+                               (12, K_JUMP, True, 16),
+                               (19, K_HALT, False, 20)])
+        bs = segment_blocks(t, GEO8)
+        # Windows are contiguous and cover every record exactly once.
+        assert bs.first_rec[0] == 0
+        for i in range(1, bs.n_blocks):
+            assert bs.first_rec[i] == bs.first_rec[i - 1] + bs.n_recs[i - 1]
+        assert bs.first_rec[-1] + bs.n_recs[-1] == t.n_records
+
+
+class TestExecutedPrograms:
+    def _trace(self, body):
+        asm = Assembler()
+        body(asm)
+        return Machine(asm.assemble()).run().trace
+
+    def test_loop_blocks(self):
+        def body(a):
+            a.li("r3", 0)        # 0
+            a.li("r4", 3)        # 1
+            a.label("top")       # 2
+            a.addi("r3", "r3", 1)  # 2
+            a.blt("r3", "r4", "top")  # 3
+            a.halt()             # 4
+        t = self._trace(body)
+        bs = segment_blocks(t, GEO8)
+        # Block 1: pc 0..3 (branch taken), then 2..3 twice, then 2..4 halt.
+        assert list(bs.start) == [0, 2, 2]
+        assert list(bs.n_instr) == [4, 2, 3]
+
+    def test_instruction_conservation(self):
+        def body(a):
+            a.li("r3", 0)
+            a.li("r4", 50)
+            a.label("top")
+            a.addi("r3", "r3", 1)
+            a.addi("r5", "r5", 2)
+            a.blt("r3", "r4", "top")
+            a.halt()
+        t = self._trace(body)
+        for geo in (GEO8, CacheGeometry.extended(8),
+                    CacheGeometry.self_aligned(8), CacheGeometry.normal(4)):
+            bs = segment_blocks(t, geo)
+            assert bs.instructions == t.n_instructions
+
+    def test_block_width_cap(self):
+        def body(a):
+            for _ in range(30):
+                a.nop()
+            a.halt()
+        t = self._trace(body)
+        bs = segment_blocks(t, CacheGeometry(kind="normal", block_width=4,
+                                             line_size=8, n_banks=8))
+        assert bs.n_instr.max() <= 4
+
+
+class TestGeometryValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(kind="weird")
+
+    def test_line_smaller_than_block_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(kind="normal", block_width=8, line_size=4)
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(block_width=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(line_size=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(n_banks=0)
+
+    def test_block_limit(self):
+        assert GEO8.block_limit(0) == 8
+        assert GEO8.block_limit(5) == 3
+        assert CacheGeometry.extended(8).block_limit(5) == 8
+        assert CacheGeometry.extended(8).block_limit(13) == 3
+        assert CacheGeometry.self_aligned(8).block_limit(5) == 8
+
+    def test_lines_for_block(self):
+        assert GEO8.lines_for_block(8, 8) == (1,)
+        assert CacheGeometry.self_aligned(8).lines_for_block(5, 8) == (0, 1)
+        with pytest.raises(ValueError):
+            GEO8.lines_for_block(5, 8)
+
+    def test_counter_position_wraps(self):
+        geo = CacheGeometry.extended(8)
+        assert geo.counter_position(13) == 5
+
+    def test_bank_of_line(self):
+        assert GEO8.bank_of_line(9) == 1
+        assert CacheGeometry.self_aligned(8).bank_of_line(17) == 1

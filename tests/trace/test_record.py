@@ -1,0 +1,79 @@
+"""Trace container tests: validation, masks, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.isa import InstrKind
+from repro.trace import Trace
+
+K_COND = int(InstrKind.COND)
+K_JUMP = int(InstrKind.JUMP)
+K_HALT = int(InstrKind.HALT)
+
+
+def tiny_trace(name="t"):
+    return Trace.from_lists(
+        entry_pc=0,
+        n_instructions=12,
+        pc=[3, 7, 11],
+        kind=[K_COND, K_JUMP, K_HALT],
+        taken=[False, True, False],
+        target=[0, 10, 12],
+        name=name,
+    )
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.from_lists(0, 5, [1, 2], [K_HALT], [False], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.from_lists(0, 0, [], [], [], [])
+
+    def test_must_end_with_halt(self):
+        with pytest.raises(ValueError):
+            Trace.from_lists(0, 5, [3], [K_COND], [True], [0])
+
+
+class TestAccessors:
+    def test_counts(self):
+        t = tiny_trace()
+        assert len(t) == 3
+        assert t.n_records == 3
+        assert t.n_branches == 2
+        assert t.n_cond == 1
+
+    def test_cond_mask(self):
+        t = tiny_trace()
+        assert list(t.cond_mask) == [True, False, False]
+
+    def test_records_iteration(self):
+        t = tiny_trace()
+        recs = list(t.records())
+        assert recs[0] == (3, K_COND, False, 0)
+        assert recs[1] == (7, K_JUMP, True, 10)
+        assert recs[2][1] == K_HALT
+
+    def test_dtypes(self):
+        t = tiny_trace()
+        assert t.pc.dtype == np.int64
+        assert t.kind.dtype == np.uint8
+        assert t.taken.dtype == bool
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = tiny_trace(name="roundtrip")
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded.entry_pc == t.entry_pc
+        assert loaded.n_instructions == t.n_instructions
+        assert loaded.name == "roundtrip"
+        assert loaded.truncated == t.truncated
+        np.testing.assert_array_equal(loaded.pc, t.pc)
+        np.testing.assert_array_equal(loaded.kind, t.kind)
+        np.testing.assert_array_equal(loaded.taken, t.taken)
+        np.testing.assert_array_equal(loaded.target, t.target)

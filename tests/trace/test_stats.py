@@ -1,0 +1,47 @@
+"""Trace statistics: counts and rendering."""
+
+from repro.cpu import Machine
+from repro.isa import Assembler
+from repro.trace import trace_stats
+
+
+def loop_trace(iterations=10):
+    asm = Assembler()
+    asm.li("r3", 0)
+    asm.li("r4", iterations)
+    asm.label("top")
+    asm.addi("r3", "r3", 1)
+    asm.jal("noop")
+    asm.blt("r3", "r4", "top")
+    asm.halt()
+    asm.label("noop")
+    asm.ret()
+    return Machine(asm.assemble(name="loopy")).run().trace
+
+
+class TestTraceStats:
+    def test_counts(self):
+        stats = trace_stats(loop_trace(10))
+        assert stats.n_cond == 10
+        assert stats.kind_counts["call"] == 10
+        assert stats.kind_counts["return"] == 10
+        assert stats.kind_counts["halt"] == 1
+        assert stats.n_branches == 30  # 10 each of cond/call/return
+
+    def test_rates(self):
+        stats = trace_stats(loop_trace(10))
+        assert stats.cond_taken_rate == 0.9  # last iteration falls through
+        assert 0 < stats.branch_density < 1
+        assert stats.avg_basic_block > 1
+
+    def test_str_rendering(self):
+        text = str(trace_stats(loop_trace(5)))
+        assert "loopy" in text
+        assert "instructions" in text
+        assert "cond" in text
+        assert "taken" in text
+
+    def test_counts_sum_to_records(self):
+        trace = loop_trace(7)
+        stats = trace_stats(trace)
+        assert sum(stats.kind_counts.values()) == trace.n_records

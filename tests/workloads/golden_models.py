@@ -1,0 +1,526 @@
+"""Exact Python mirrors of selected workload algorithms.
+
+Each mirror replicates its workload's computation — same LCG, same order
+of draws, same arithmetic (including 64-bit wrapping where the ISA wraps)
+— so the machine's final data memory can be compared **bit-for-bit**
+against the mirror after a bounded run.  A single divergence anywhere in
+the interpreter, assembler, builder DSL or workload encoding shows up as
+a memory mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import compress as compress_mod
+from repro.workloads import m88ksim as m88k_mod
+from repro.workloads import vortex as vortex_mod
+
+MASK31 = (1 << 31) - 1
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value & SIGN64 else value
+
+
+class LCG:
+    """The builder's lcg_step / rand_into pair."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & MASK31 or 1
+
+    def rand(self, modulus: int) -> int:
+        self.state = (self.state * 1103515245 + 12345) & MASK31
+        value = self.state >> 13
+        if modulus <= 0:
+            return value
+        if modulus & (modulus - 1) == 0:
+            return value & (modulus - 1)
+        return value % modulus
+
+
+def compress_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``compress`` analog after ``outer`` passes."""
+    m = compress_mod
+    rng = LCG(0xC0FFEE)
+    data: List[int] = [0] * (1 << 15)
+
+    # fill_input: skewed min-of-two-draws symbols.
+    for i in range(m.INPUT_LEN):
+        a = rng.rand(m.N_SYMBOLS)
+        c = rng.rand(m.N_SYMBOLS)
+        data[m.INPUT + i] = c if c < a else a
+
+    for _ in range(outer):
+        prefix = data[m.INPUT]
+        next_code = m.N_SYMBOLS + 1
+        out = 0
+        for i in range(1, m.INPUT_LEN):
+            char = data[m.INPUT + i]
+            key = ((prefix << 4) | char) + 1
+            h = ((prefix * 31 + char) ^ (prefix >> 7)) \
+                & (m.TABLE_SIZE - 1)
+            while True:
+                stored = data[m.KEYS + h]
+                if stored == 0 or stored == key:
+                    break
+                h = (h + 1) & (m.TABLE_SIZE - 1)
+            if stored == key:
+                prefix = data[m.VALUES + h]
+            else:
+                data[m.OUTPUT + (out & m.OUTPUT_MASK)] = prefix
+                out += 1
+                data[m.KEYS + h] = key
+                data[m.VALUES + h] = next_code
+                next_code += 1
+                prefix = char
+                if next_code >= m.MAX_CODE:
+                    for slot in range(m.TABLE_SIZE):
+                        data[m.KEYS + slot] = 0
+                    next_code = m.N_SYMBOLS + 1
+    return {
+        "input": data[m.INPUT:m.INPUT + m.INPUT_LEN],
+        "keys": data[m.KEYS:m.KEYS + m.TABLE_SIZE],
+        "values": data[m.VALUES:m.VALUES + m.TABLE_SIZE],
+        "output": data[m.OUTPUT:m.OUTPUT + m.OUTPUT_MASK + 1],
+    }
+
+
+def m88ksim_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``m88ksim`` analog after ``outer`` simulate passes."""
+    m = m88k_mod
+    rng = LCG(0x88100)
+    regs = [rng.rand(64) for _ in range(32)]
+    mem = [rng.rand(64) for _ in range(m.GUEST_MEM_LEN)]
+
+    code = []
+    for _ in range(m.GUEST_LEN):
+        op = rng.rand(32)
+        if op < 16:
+            op &= 7
+            if op >= 5:
+                op &= 3
+        elif op < 22:
+            op = 5
+        elif op < 27:
+            op = 6
+        elif op < 31:
+            op = (op & 1) + 7
+        else:
+            op = 9
+        inst = op * 4096
+        inst += rng.rand(32) * 128
+        inst += rng.rand(32) * 4
+        inst += rng.rand(4)
+        code.append(inst)
+
+    for _ in range(outer):
+        pc = 0
+        while pc < m.GUEST_LEN:
+            inst = code[pc]
+            pc += 1
+            op = inst >> 12
+            rd = (inst >> 7) & 31
+            rs = (inst >> 2) & 31
+            if op == 0:
+                regs[rd] = wrap64(regs[rs] + regs[rd])
+            elif op == 1:
+                regs[rd] = wrap64(regs[rd] - regs[rs])
+            elif op == 2:
+                regs[rd] = regs[rs] & regs[rd]
+            elif op == 3:
+                regs[rd] = regs[rs] | regs[rd]
+            elif op == 4:
+                regs[rd] = (regs[rs] & MASK64) >> ((inst & 3) & 63)
+            elif op == 5:
+                regs[rd] = mem[regs[rs] & (m.GUEST_MEM_LEN - 1)]
+            elif op == 6:
+                mem[regs[rs] & (m.GUEST_MEM_LEN - 1)] = regs[rd]
+            elif op == 7:
+                if regs[rs] == regs[rd]:
+                    pc += 3
+            elif op == 8:
+                if regs[rs] != regs[rd]:
+                    pc += 5
+            # op 9: nop
+    return {"code": code, "regs": regs, "mem": mem}
+
+
+def vortex_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``vortex`` analog after ``outer`` transactions."""
+    m = vortex_mod
+    rng = LCG(0x50F7)
+    index: List[int] = []
+    fields: List[int] = []
+    prev = 1
+
+    def bsearch(key):
+        lo, hi = 0, len(index)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if index[mid] == key:
+                return mid, True
+            if index[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo, False
+
+    for _ in range(outer):
+        sel = rng.rand(4)
+        if sel == 0:
+            key = rng.rand(m.KEY_SPACE)
+        else:
+            key = (rng.rand(8) + prev) & (m.KEY_SPACE - 1)
+        prev = key
+        op = rng.rand(10)
+        pos, found = bsearch(key)
+        if op < 6:
+            pass  # lookup (payload always consistent)
+        elif op < 9:
+            if not found and len(index) < m.CAPACITY:
+                index.insert(pos, key)
+                fields.insert(pos, key * 7)
+        else:
+            if found:
+                del index[pos]
+                del fields[pos]
+    return {"count": len(index), "index": index, "fields": fields}
+
+
+def go_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``go`` analog after ``outer`` moves."""
+    import sys
+
+    from repro.workloads import go as go_mod
+
+    m = go_mod
+    rng = LCG(0x60B0A8D)
+    board = [rng.rand(0) % 3 for _ in range(m.CELLS)]
+    visited = [0] * m.CELLS
+    scores = [0] * m.CELLS
+
+    sys.setrecursionlimit(4000)
+
+    def flood(cell, colour):
+        if cell < 0 or cell >= m.CELLS:
+            return 0
+        if visited[cell]:
+            return 0
+        if board[cell] != colour:
+            return 0
+        visited[cell] = 1
+        count = 1
+        count += flood(cell - m.SIZE, colour)
+        count += flood(cell + m.SIZE, colour)
+        if cell % m.SIZE != 0:
+            count += flood(cell - 1, colour)
+        if cell % m.SIZE != m.SIZE - 1:
+            count += flood(cell + 1, colour)
+        return count
+
+    def score_board():
+        for idx in range(m.CELLS):
+            if board[idx] != 0:
+                continue
+            move = 0
+            row, col = idx // m.SIZE, idx % m.SIZE
+            if row > 0:
+                move += board[idx - m.SIZE]
+            if row < m.SIZE - 1:
+                move += board[idx + m.SIZE]
+            if col > 0:
+                move += board[idx - 1]
+            if col < m.SIZE - 1:
+                move += board[idx + 1]
+            scores[idx] = move
+
+    for move_index in range(outer):
+        cell = rng.rand(512) % m.CELLS
+        colour = (move_index & 1) + 1
+        board[cell] = colour
+        for i in range(m.CELLS):
+            visited[i] = 0
+        count = flood(cell, colour)
+        if count > 8:
+            for idx in range(m.CELLS):
+                if visited[idx]:
+                    board[idx] = 0
+        if count > 4:
+            score_board()
+    return {"board": board, "visited": visited, "scores": scores}
+
+
+def perl_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``perl`` analog after ``outer`` passes."""
+    from repro.workloads import perl as perl_mod
+
+    m = perl_mod
+    rng = LCG(0x9E51)
+    text = [0] * m.TEXT_LEN
+    keys = [0] * (1 << m.HASH_BITS)
+    counts = [0] * (1 << m.HASH_BITS)
+
+    # gen_text with ~6% mutation.
+    for i in range(m.TEXT_LEN):
+        c = m.MOTIF_SYMBOLS[i % len(m.MOTIF_SYMBOLS)]
+        if rng.rand(16) == 0:
+            c = rng.rand(32)
+            if c >= 26:
+                c = 26
+        text[i] = c
+
+    matches = 0
+    for _ in range(outer):
+        # tokenise
+        i = 0
+        while i < m.TEXT_LEN:
+            while i < m.TEXT_LEN and text[i] >= 26:
+                i += 1
+            if i >= m.TEXT_LEN:
+                break
+            token_hash = 0
+            while i < m.TEXT_LEN and text[i] < 26:
+                token_hash = wrap64(token_hash * 31 + text[i])
+                i += 1
+            key = wrap64(token_hash + 1)
+            h = token_hash & ((1 << m.HASH_BITS) - 1)
+            while keys[h] not in (0, key):
+                h = (h + 1) & ((1 << m.HASH_BITS) - 1)
+            keys[h] = key
+            counts[h] += 1
+        # match_pattern
+        matches = 0
+        pattern = (3, 1, 4)
+        for i in range(m.TEXT_LEN - m.PATTERN_LEN):
+            if all(text[i + k] == pattern[k]
+                   for k in range(m.PATTERN_LEN)):
+                matches += 1
+    return {"text": text, "keys": keys, "counts": counts,
+            "matches": matches}
+
+
+def srl64(value: int, amount: int) -> int:
+    """The machine's logical right shift (two's-complement bit pattern)."""
+    return (value & MASK64) >> (amount & 63)
+
+
+def gcc_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``gcc`` analog after ``outer`` pass pipelines."""
+    from repro.workloads import gcc as gcc_mod
+
+    m = gcc_mod
+    rng = LCG(0x6CC)
+    n = m.N_NODES
+    op = [0] * n
+    arg1 = [0] * n
+    arg2 = [0] * n
+    flag = [0] * n
+    live = [0] * n
+    vn_keys = [0] * (1 << m.VN_BITS)
+    vn_mask = (1 << m.VN_BITS) - 1
+
+    for _ in range(outer):
+        # gen_ir
+        for i in range(n):
+            o = rng.rand(16)
+            if o >= m.N_IROPS:
+                o &= 7
+            op[i] = o
+            arg1[i] = rng.rand(n)
+            arg2[i] = rng.rand(n)
+            flag[i] = 1 if rng.rand(4) < 1 else 0
+            live[i] = 0
+        # fold_pass
+        for i in range(n):
+            o, a1, a2 = op[i], arg1[i], arg2[i]
+            if o == 1:
+                if flag[a1] and flag[a2]:
+                    op[i] = 0
+                    flag[i] = 1
+            else:
+                if o == 3 and flag[a2]:
+                    op[i] = 1
+                if o == 6 and a1 == a2:
+                    op[i] = 0
+                    flag[i] = 1
+        # value_number
+        for slot in range(len(vn_keys)):
+            vn_keys[slot] = 0
+        for i in range(n):
+            o, a1, a2 = op[i], arg1[i], arg2[i]
+            h = (((a1 * 31 + a2) ^ (a1 >> 7)) & vn_mask)
+            h = (h + o) & vn_mask
+            key = o * n + a1 + 1
+            while vn_keys[h] not in (0, key):
+                h = (h + 1) & vn_mask
+            vn_keys[h] = key
+        # dce_pass
+        for i in range(n - 1, -1, -1):
+            is_live = 1 if op[i] >= 5 else 0
+            if live[i]:
+                is_live = 1
+            if is_live:
+                live[arg1[i]] = 1
+                live[arg2[i]] = 1
+    return {"op": op, "arg1": arg1, "arg2": arg2, "flag": flag,
+            "live": live, "vn_keys": vn_keys}
+
+
+def fpppp_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``fpppp`` analog after ``outer`` sweeps."""
+    from repro.workloads import fpppp as f_mod
+
+    m = f_mod
+    rng = LCG(0xF999)
+    params = [rng.rand(1 << 16) for _ in range(m.N_PARAMS)]
+    results = [0] * m.N_PARAMS
+
+    for _ in range(outer):
+        for i in range(m.N_SHELLS):
+            for j in range(m.N_SHELLS):
+                base = (i + j) & (m.N_PARAMS - 8 - 1)   # bitwise, as andi
+                acc = [params[base + k] for k in range(8)]
+                for rnd in range(25):
+                    ai = rnd % 8
+                    ci = (rnd + 3) % 8
+                    di = (rnd + 5) % 8
+                    acc[ai] = wrap64(acc[ai] * acc[ci])
+                    acc[ai] = srl64(acc[ai], 7)
+                    acc[ai] = wrap64(acc[ai] + acc[di])
+                    acc[ci] = acc[ci] ^ acc[ai]
+                    acc[di] = wrap64(acc[di] * 3)
+                    acc[di] = srl64(acc[di], 1)
+                    acc[di] = wrap64(acc[di] - acc[ci])
+                    acc[ai] = wrap64(acc[ai] + acc[di])
+                total = acc[0]
+                for lane in acc[1:]:
+                    total = wrap64(total + lane)
+                total &= (1 << 20) - 1
+                results[(i + j) & (m.N_PARAMS - 1)] = total
+    return {"params": params, "results": results}
+
+
+def swim_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``swim`` analog after ``outer`` timesteps."""
+    from repro.workloads import swim as s_mod
+
+    m = s_mod
+    rng = LCG(0x5717)
+    data = [rng.rand(512) for _ in range(3 * m.N * m.N)]
+
+    def sweep(src_a, src_b, dst, weight):
+        for i in range(m.N):
+            ip = i + 1 if i + 1 < m.N else 0
+            for j in range(m.N):
+                jp = j + 1 if j + 1 < m.N else 0
+                a = data[src_a + i * m.N + j]
+                a = wrap64(a + data[src_a + ip * m.N + j])
+                a = wrap64(a + data[src_a + i * m.N + jp])
+                a = wrap64(a - data[src_b + i * m.N + j])
+                a = wrap64(a + data[src_b + ip * m.N + jp])
+                a = wrap64(a * weight)
+                a = srl64(a, 3)
+                data[dst + i * m.N + j] = a
+
+    for _ in range(outer):
+        sweep(m.P, m.V, m.U, 3)
+        sweep(m.U, m.P, m.V, 5)
+        sweep(m.V, m.U, m.P, 7)
+    return {"all": data}
+
+
+def apsi_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``apsi`` analog after ``outer`` sweeps."""
+    from repro.workloads import apsi as a_mod
+
+    m = a_mod
+    rng = LCG(0xA951)
+    cells = m.COLS * m.LEVELS
+    temp = [0] * cells
+    hum = [0] * cells
+    for i in range(cells):
+        temp[i] = rng.rand(512) + 200
+        hum[i] = rng.rand(1024)
+    sat = [980 - lev * 6 for lev in range(m.LEVELS)]
+
+    for _ in range(outer):
+        for col in range(m.COLS):
+            base = col * m.LEVELS
+            # column_up
+            for lev in range(1, m.LEVELS):
+                t = wrap64(temp[base + lev - 1] - 6 + temp[base + lev])
+                temp[base + lev] = srl64(t, 1)
+                h = hum[base + lev]
+                if h > sat[lev]:
+                    latent = srl64(wrap64(h - sat[lev]), 1)
+                    h = wrap64(h - latent)
+                    hum[base + lev] = h
+                    temp[base + lev] = wrap64(temp[base + lev] + latent)
+            # column_down
+            for lev in range(m.LEVELS - 2, -1, -1):
+                h = wrap64(hum[base + lev] + hum[base + lev + 1])
+                h = srl64(h, 1)
+                h = max(0, min(2047, h))
+                hum[base + lev] = h
+    return {"temp": temp, "hum": hum, "sat": sat}
+
+
+def ijpeg_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``ijpeg`` analog after ``outer`` image passes."""
+    from repro.workloads import ijpeg as j_mod
+
+    m = j_mod
+    rng = LCG(0x1F3C)
+    image = [0] * (m.IMG_W * m.IMG_H)
+    a = 128
+    for i in range(len(image)):
+        a = wrap64(a + rng.rand(32) - 15)
+        a = max(0, min(255, a))
+        image[i] = a
+    block = [0] * 64
+    output = [0] * (m.OUTPUT_MASK + 1)
+    out = 0
+
+    def butterfly(stride, base_step):
+        for lane in range(8):
+            base = lane * base_step
+            for k in range(4):
+                x = block[base + k * stride]
+                y = block[base + (7 - k) * stride]
+                s = srl64(wrap64(x + y), 1)
+                d = srl64(wrap64(wrap64(x - y) * 3), 2)
+                block[base + k * stride] = s
+                block[base + (7 - k) * stride] = d
+
+    for _ in range(outer):
+        for by in range(0, m.IMG_H, 8):
+            for bx in range(0, m.IMG_W, 8):
+                for r in range(8):
+                    for col in range(8):
+                        block[r * 8 + col] = \
+                            image[(by + r) * m.IMG_W + bx + col]
+                butterfly(stride=1, base_step=8)
+                butterfly(stride=8, base_step=1)
+                for i in range(64):
+                    v = srl64(block[i], 3)
+                    v = wrap64(v - 8)
+                    v = max(-16, min(15, v))
+                    if -3 < v < 3:
+                        v = 0
+                    block[i] = v
+                run = 0
+                for index in m.ZIGZAG:
+                    v = block[index]
+                    if v == 0:
+                        run += 1
+                    else:
+                        output[out & m.OUTPUT_MASK] = run
+                        out += 1
+                        output[out & m.OUTPUT_MASK] = v
+                        out += 1
+                        run = 0
+    return {"image": image, "block": block, "output": output}

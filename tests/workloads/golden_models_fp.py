@@ -1,0 +1,356 @@
+"""Golden mirrors, part 2: the remaining fp analogs and the li VM.
+
+Together with :mod:`golden_models` this covers all 18 workloads — every
+analog's data memory is reproducible bit-for-bit in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .golden_models import LCG, srl64, wrap64
+
+
+def tomcatv_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import tomcatv as m
+
+    rng = LCG(0x70C47)
+    n = m.N
+    data = [0] * (3 * n * n)
+    for i in range(n * n):
+        data[m.GRID_X + i] = rng.rand(1024)
+        data[m.GRID_Y + i] = rng.rand(1024)
+
+    for _ in range(outer):
+        for i in range(1, n - 1):
+            base = i * n
+            for j in range(1, n - 1):
+                c = data[m.GRID_X + base + j]
+                acc = c
+                acc = wrap64(acc + data[m.GRID_X + base + j - 1])
+                acc = wrap64(acc + data[m.GRID_X + base + j + 1])
+                acc = wrap64(acc + data[m.GRID_X + base - n + j])
+                acc = wrap64(acc + data[m.GRID_X + base + n + j])
+                acc = wrap64(acc + data[m.GRID_Y + base - n - 1 + j])
+                acc = wrap64(acc + data[m.GRID_Y + base - n + 1 + j])
+                acc = wrap64(acc + data[m.GRID_Y + base + n - 1 + j])
+                acc = wrap64(acc + data[m.GRID_Y + base + n + 1 + j])
+                acc = srl64(wrap64(acc * 7), 6)
+                data[m.RHS + base + j] = acc
+        for i in range(1, n - 1):
+            base = i * n
+            for j in range(1, n - 1):
+                data[m.GRID_X + base + j] = data[m.RHS + base + j]
+    return {"all": data}
+
+
+def hydro2d_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import hydro2d as m
+
+    rng = LCG(0x4D20)
+    n = m.N
+    data = [0] * (2 * n * n)
+    c = 2048
+    for i in range(n * n):
+        c = wrap64(c + rng.rand(64) - 31)
+        c = max(0, min(4095, c))
+        data[m.RHO + i] = c
+        data[m.FLUX + i] = c
+
+    def flux(row, col, dr, dc):
+        addr = row * n + col
+        delta = dr * n + dc
+        centre = data[m.RHO + addr]
+        left = data[m.RHO + addr - delta]
+        right = data[m.RHO + addr + delta]
+        g = wrap64(right - centre)
+        t1 = wrap64(centre - left)
+        if wrap64(g * t1) < 0:
+            g = 0
+        if g != 0 and g > t1 and t1 > 0:
+            g = t1
+        t1 = srl64(wrap64(g * 1), 2)
+        centre = wrap64(centre + t1)
+        centre = max(0, min(4095, centre))
+        data[m.FLUX + addr] = centre
+
+    def commit():
+        for i in range(n * n):
+            data[m.RHO + i] = data[m.FLUX + i]
+
+    for _ in range(outer):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                flux(i, j, 0, 1)
+        commit()
+        for j in range(1, n - 1):
+            for i in range(1, n - 1):
+                flux(i, j, 1, 0)
+        commit()
+    return {"all": data}
+
+
+def mgrid_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import mgrid as m
+
+    rng = LCG(0x36123)
+    data = [rng.rand(2048) for _ in range(2 * m.SIZE)]
+
+    def smooth(s):
+        i = s
+        while i < m.SIZE - s:
+            c = data[m.GRID + i]
+            a = data[m.GRID + i - s]
+            a = wrap64(a + c)
+            a = wrap64(a + c)
+            a = wrap64(a + data[m.GRID + i + s])
+            data[m.GRID + i] = srl64(a, 2)
+            i += s
+
+    def restrict(s):
+        i = 0
+        while i < m.SIZE - s:
+            a = wrap64(data[m.GRID + i] + data[m.GRID + i + s])
+            data[m.TEMP + i] = srl64(a, 1)
+            i += 2 * s
+
+    def prolong(s):
+        i = 0
+        while i < m.SIZE - 2 * s:
+            a = data[m.TEMP + i]
+            t = srl64(wrap64(a + data[m.TEMP + i + 2 * s]), 1)
+            data[m.GRID + i] = a
+            data[m.GRID + i + s] = t
+            i += 2 * s
+
+    for _ in range(outer):
+        for s in m.LEVELS:
+            smooth(s)
+            restrict(s)
+        for s in reversed(m.LEVELS):
+            prolong(s)
+            smooth(s)
+    return {"all": data}
+
+
+def su2cor_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import su2cor as m
+
+    rng = LCG(0x52C0)
+    data = [0] * (1 << 12)
+    for i in range(2 * m.SITES):
+        data[i] = rng.rand(1024)
+
+    for _ in range(outer):
+        for stride in m.STRIDES:
+            total = 0
+            for i in range(m.SITES - stride):
+                a = data[m.FIELD_A + i]
+                b2 = data[m.FIELD_A + i + stride]
+                t0 = wrap64(wrap64(a * 3) + b2)
+                t0 = srl64(t0, 2) & 1023
+                if rng.rand(16) < 15:
+                    data[m.FIELD_B + i] = t0
+                total = wrap64(total + t0)
+            data[m.CORR] = total
+        for i in range(m.SITES):
+            data[m.FIELD_A + i] = data[m.FIELD_B + i]
+    return {"all": data[:m.CORR + 1]}
+
+
+def turb3d_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import turb3d as m
+
+    rng = LCG(0x7B3D)
+    data = [0] * (2 * m.N)
+    for i in range(m.N):
+        data[m.RE + i] = rng.rand(1024)
+
+    def bit_reverse():
+        for i in range(m.N):
+            rev = 0
+            v = i
+            for _ in range(m.LOG_N):
+                rev = (rev << 1) | (v & 1)
+                v >>= 1
+            if i < rev:
+                data[m.RE + i], data[m.RE + rev] = \
+                    data[m.RE + rev], data[m.RE + i]
+
+    def stage(half):
+        step = 2 * half
+        for i in range(0, m.N, step):
+            lanes = range(half) if half <= 4 else [0] + \
+                list(range(1, half))
+            for k in lanes:
+                x = data[m.RE + i + k]
+                y = data[m.RE + i + k + half]
+                data[m.RE + i + k] = wrap64(x + y)
+                data[m.RE + i + k + half] = wrap64(x - y)
+
+    def nonlinear():
+        for i in range(m.N):
+            a = data[m.RE + i]
+            data[m.RE + i] = srl64(wrap64(a * a), 8) & 1023
+
+    for _ in range(outer):
+        bit_reverse()
+        for s in range(m.LOG_N):
+            stage(1 << s)
+        nonlinear()
+    return {"all": data}
+
+
+def wave5_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import wave5 as m
+
+    rng = LCG(0x3A5E)
+    pos = [0] * m.N_PARTICLES
+    vel = [0] * m.N_PARTICLES
+    grid = [0] * m.GRID_LEN
+    for i in range(m.N_PARTICLES):
+        pos[i] = rng.rand(m.DOMAIN)
+        vel[i] = wrap64(rng.rand(64) - 32)
+
+    for _ in range(outer):
+        # push
+        for i in range(m.N_PARTICLES):
+            x, v = pos[i], vel[i]
+            cell = srl64(x, 4) & (m.GRID_LEN - 1)
+            accel = wrap64(wrap64(grid[cell] - 128) * 1)
+            v = wrap64(v + accel)
+            if v > 64:
+                v = 64
+            if v < -64:
+                v = -64
+            x = wrap64(x + v)
+            if x < 0:
+                x = wrap64(0 - x)
+                v = wrap64(0 - v)
+            if x >= m.DOMAIN:
+                x = wrap64(2 * m.DOMAIN - 1 - x)
+                v = wrap64(0 - v)
+            pos[i], vel[i] = x, v
+        # deposit
+        for i in range(m.GRID_LEN):
+            grid[i] = 128
+        for i in range(m.N_PARTICLES):
+            cell = srl64(pos[i], 4) & (m.GRID_LEN - 1)
+            grid[cell] = wrap64(grid[cell] + 1)
+        # field_solve (in place, sequential)
+        for i in range(1, m.GRID_LEN - 1):
+            x = wrap64(grid[i - 1] + grid[i + 1])
+            x = wrap64(x + grid[i])
+            x = wrap64(x + grid[i])
+            grid[i] = srl64(x, 2)
+    return {"pos": pos, "vel": vel, "grid": grid}
+
+
+def applu_golden(outer: int) -> Dict[str, List[int]]:
+    from repro.workloads import applu as m
+
+    rng = LCG(0xA991)
+    grid = [rng.rand(1024) for _ in range(m.SIZE)]
+
+    def kernel(i, j, k, sign):
+        t0 = i * m.NY * m.NZ + j * m.NZ + k
+        c = grid[t0]
+        a = wrap64(c * 4)
+        a = wrap64(a + grid[t0 + sign * m.NY * m.NZ])
+        a = wrap64(a + grid[t0 + sign * m.NZ])
+        a = wrap64(a + grid[t0 + sign])
+        grid[t0] = srl64(wrap64(a * 5), 5)
+
+    for _ in range(outer):
+        for i in range(1, m.NX):
+            for j in range(1, m.NY):
+                for k in range(1, m.NZ):
+                    kernel(i, j, k, -1)
+        for i in range(m.NX - 2, -1, -1):
+            for j in range(m.NY - 2, -1, -1):
+                for k in range(m.NZ - 2, -1, -1):
+                    kernel(i, j, k, +1)
+    return {"grid": grid}
+
+
+def li_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``li`` stack VM (memory-accurate stacks included)."""
+    from repro.workloads import li as m
+
+    code, entries = m._vm_programs()
+    data = [0] * (1 << 14)
+    for i, word in enumerate(code):
+        data[m.CODE + i] = word
+    value = 1
+    for i in range(m.HEAP_LEN):
+        value = (value * 48271 + 11) & 0x7FFFFFFF
+        data[m.HEAP + i] = value % i if i > 1 else 0
+
+    def vm_run(entry):
+        pc = entry
+        sp = m.VM_STACK
+        cs = m.VM_CALLS
+        while True:
+            op = data[m.CODE + pc]
+            pc += 1
+            if op == m.OP_HALT:
+                return
+            if op == m.OP_PUSH:
+                data[sp] = data[m.CODE + pc]
+                pc += 1
+                sp += 1
+            elif op == m.OP_ADD:
+                sp -= 1
+                a = data[sp]
+                sp -= 1
+                b2 = data[sp]
+                data[sp] = wrap64(a + b2)
+                sp += 1
+            elif op == m.OP_SUB:
+                sp -= 1
+                a = data[sp]
+                sp -= 1
+                b2 = data[sp]
+                data[sp] = wrap64(b2 - a)
+                sp += 1
+            elif op == m.OP_DUP:
+                data[sp] = data[sp - 1]
+                sp += 1
+            elif op == m.OP_JNZ:
+                target = data[m.CODE + pc]
+                pc += 1
+                sp -= 1
+                if data[sp] != 0:
+                    pc = target
+            elif op == m.OP_CALL:
+                target = data[m.CODE + pc]
+                pc += 1
+                data[cs] = pc
+                cs += 1
+                pc = target
+            elif op == m.OP_RET:
+                cs -= 1
+                pc = data[cs]
+            elif op == m.OP_LOAD:
+                a = data[sp - 1]
+                a %= m.HEAP_LEN   # machine MOD truncates; operand >= 0
+                data[sp - 1] = data[m.HEAP + a]
+            elif op == m.OP_LT:
+                sp -= 1
+                a = data[sp]
+                sp -= 1
+                b2 = data[sp]
+                data[sp] = 1 if b2 < a else 0
+                sp += 1
+            else:
+                raise AssertionError(f"unknown VM op {op}")
+
+    for _ in range(outer):
+        for entry in entries:
+            vm_run(entry)
+    return {
+        "code": data[m.CODE:m.CODE + len(code)],
+        "heap": data[m.HEAP:m.HEAP + m.HEAP_LEN],
+        "stack": data[m.VM_STACK:m.VM_STACK + 64],
+        "calls": data[m.VM_CALLS:m.VM_CALLS + 32],
+    }

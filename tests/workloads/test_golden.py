@@ -1,0 +1,250 @@
+"""Golden-model tests: machine memory must match the Python mirrors
+bit-for-bit after bounded runs (see golden_models.py)."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.workloads import compress as compress_mod
+from repro.workloads import m88ksim as m88k_mod
+from repro.workloads import vortex as vortex_mod
+
+from .golden_models import compress_golden, m88ksim_golden, vortex_golden
+
+
+def run_bounded(module, outer, budget=3_000_000):
+    machine = Machine(module.build(outer=outer))
+    result = machine.run(max_instructions=budget)
+    assert result.halted, "bounded workload must run to HALT"
+    return machine
+
+
+class TestCompressGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        outer = 2
+        return run_bounded(compress_mod, outer), compress_golden(outer)
+
+    def test_input_matches(self, pair):
+        machine, golden = pair
+        m = compress_mod
+        assert machine.mem[m.INPUT:m.INPUT + m.INPUT_LEN] == \
+            golden["input"]
+
+    def test_dictionary_matches(self, pair):
+        machine, golden = pair
+        m = compress_mod
+        assert machine.mem[m.KEYS:m.KEYS + m.TABLE_SIZE] == golden["keys"]
+        assert machine.mem[m.VALUES:m.VALUES + m.TABLE_SIZE] == \
+            golden["values"]
+
+    def test_output_matches(self, pair):
+        machine, golden = pair
+        m = compress_mod
+        assert machine.mem[m.OUTPUT:m.OUTPUT + m.OUTPUT_MASK + 1] == \
+            golden["output"]
+
+
+class TestM88ksimGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        outer = 8
+        return run_bounded(m88k_mod, outer), m88ksim_golden(outer)
+
+    def test_guest_code_matches(self, pair):
+        machine, golden = pair
+        m = m88k_mod
+        assert machine.mem[m.GUEST_CODE:m.GUEST_CODE + m.GUEST_LEN] == \
+            golden["code"]
+
+    def test_guest_registers_match(self, pair):
+        machine, golden = pair
+        m = m88k_mod
+        assert machine.mem[m.GUEST_REGS:m.GUEST_REGS + 32] == \
+            golden["regs"]
+
+    def test_guest_memory_matches(self, pair):
+        machine, golden = pair
+        m = m88k_mod
+        assert machine.mem[m.GUEST_MEM:m.GUEST_MEM + m.GUEST_MEM_LEN] == \
+            golden["mem"]
+
+
+class TestVortexGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        outer = 2_000
+        return run_bounded(vortex_mod, outer,
+                           budget=10_000_000), vortex_golden(outer)
+
+    def test_count_matches(self, pair):
+        machine, golden = pair
+        assert machine.mem[vortex_mod.COUNT_ADDR] == golden["count"]
+
+    def test_index_matches(self, pair):
+        machine, golden = pair
+        count = golden["count"]
+        assert machine.mem[vortex_mod.INDEX:vortex_mod.INDEX + count] == \
+            golden["index"]
+
+    def test_fields_match(self, pair):
+        machine, golden = pair
+        count = golden["count"]
+        assert machine.mem[vortex_mod.FIELDS:vortex_mod.FIELDS + count] == \
+            golden["fields"]
+
+
+class TestGoGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import go as go_mod
+        from .golden_models import go_golden
+        outer = 120
+        return run_bounded(go_mod, outer,
+                           budget=10_000_000), go_golden(outer), go_mod
+
+    def test_board_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.BOARD:m.BOARD + m.CELLS] == golden["board"]
+
+    def test_visited_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.VISITED:m.VISITED + m.CELLS] == \
+            golden["visited"]
+
+    def test_scores_match(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.SCORES:m.SCORES + m.CELLS] == \
+            golden["scores"]
+
+
+class TestPerlGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import perl as perl_mod
+        from .golden_models import perl_golden
+        outer = 2
+        return run_bounded(perl_mod, outer,
+                           budget=10_000_000), perl_golden(outer), perl_mod
+
+    def test_text_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.TEXT:m.TEXT + m.TEXT_LEN] == golden["text"]
+
+    def test_hash_table_matches(self, pair):
+        machine, golden, m = pair
+        size = 1 << m.HASH_BITS
+        assert machine.mem[m.HASH_KEYS:m.HASH_KEYS + size] == \
+            golden["keys"]
+        assert machine.mem[m.HASH_COUNTS:m.HASH_COUNTS + size] == \
+            golden["counts"]
+
+    def test_match_count_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.MATCHES] == golden["matches"]
+
+
+class TestGccGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import gcc as gcc_mod
+        from .golden_models import gcc_golden
+        outer = 3
+        return run_bounded(gcc_mod, outer,
+                           budget=10_000_000), gcc_golden(outer), gcc_mod
+
+    def test_ir_arrays_match(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.OP:m.OP + m.N_NODES] == golden["op"]
+        assert machine.mem[m.ARG1:m.ARG1 + m.N_NODES] == golden["arg1"]
+        assert machine.mem[m.ARG2:m.ARG2 + m.N_NODES] == golden["arg2"]
+        assert machine.mem[m.FLAG:m.FLAG + m.N_NODES] == golden["flag"]
+
+    def test_liveness_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.LIVE:m.LIVE + m.N_NODES] == golden["live"]
+
+    def test_value_numbering_matches(self, pair):
+        machine, golden, m = pair
+        size = 1 << m.VN_BITS
+        assert machine.mem[m.VN_KEYS:m.VN_KEYS + size] == \
+            golden["vn_keys"]
+
+
+class TestFppppGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import fpppp as f_mod
+        from .golden_models import fpppp_golden
+        outer = 2
+        return run_bounded(f_mod, outer,
+                           budget=10_000_000), fpppp_golden(outer), f_mod
+
+    def test_params_match(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.PARAMS:m.PARAMS + m.N_PARAMS] == \
+            golden["params"]
+
+    def test_results_match(self, pair):
+        """The 64-bit wrapping/shift chain must agree exactly — this is
+        the hardest arithmetic-fidelity test in the suite."""
+        machine, golden, m = pair
+        assert machine.mem[m.RESULTS:m.RESULTS + m.N_PARAMS] == \
+            golden["results"]
+
+
+class TestSwimGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import swim as s_mod
+        from .golden_models import swim_golden
+        outer = 4
+        return run_bounded(s_mod, outer,
+                           budget=10_000_000), swim_golden(outer), s_mod
+
+    def test_all_grids_match(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[0:3 * m.N * m.N] == golden["all"]
+
+
+class TestApsiGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import apsi as a_mod
+        from .golden_models import apsi_golden
+        outer = 4
+        return run_bounded(a_mod, outer,
+                           budget=10_000_000), apsi_golden(outer), a_mod
+
+    def test_fields_match(self, pair):
+        machine, golden, m = pair
+        cells = m.COLS * m.LEVELS
+        assert machine.mem[m.TEMP:m.TEMP + cells] == golden["temp"]
+        assert machine.mem[m.HUM:m.HUM + cells] == golden["hum"]
+
+    def test_saturation_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.SAT:m.SAT + m.LEVELS] == golden["sat"]
+
+
+class TestIjpegGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import ijpeg as j_mod
+        from .golden_models import ijpeg_golden
+        outer = 2
+        return run_bounded(j_mod, outer,
+                           budget=10_000_000), ijpeg_golden(outer), j_mod
+
+    def test_image_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.IMAGE:m.IMAGE + m.IMG_W * m.IMG_H] == \
+            golden["image"]
+
+    def test_working_block_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.BLOCK:m.BLOCK + 64] == golden["block"]
+
+    def test_rle_output_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.OUTPUT:m.OUTPUT + m.OUTPUT_MASK + 1] == \
+            golden["output"]

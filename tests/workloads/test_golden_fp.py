@@ -1,0 +1,102 @@
+"""Golden-model tests, part 2: the remaining analogs.
+
+With these, **all 18 workloads** are verified bit-for-bit against Python
+mirrors.
+"""
+
+import pytest
+
+from repro.cpu import Machine
+
+from . import golden_models_fp as gm
+
+
+def run_bounded(module, outer, budget=12_000_000):
+    machine = Machine(module.build(outer=outer))
+    result = machine.run(max_instructions=budget)
+    assert result.halted, "bounded workload must run to HALT"
+    return machine
+
+
+class TestTomcatvGolden:
+    def test_grids_match(self):
+        from repro.workloads import tomcatv as m
+        machine = run_bounded(m, 3)
+        golden = gm.tomcatv_golden(3)
+        assert machine.mem[0:3 * m.N * m.N] == golden["all"]
+
+
+class TestHydro2dGolden:
+    def test_fields_match(self):
+        from repro.workloads import hydro2d as m
+        machine = run_bounded(m, 3)
+        golden = gm.hydro2d_golden(3)
+        assert machine.mem[0:2 * m.N * m.N] == golden["all"]
+
+
+class TestMgridGolden:
+    def test_hierarchy_matches(self):
+        from repro.workloads import mgrid as m
+        machine = run_bounded(m, 3)
+        golden = gm.mgrid_golden(3)
+        assert machine.mem[0:2 * m.SIZE] == golden["all"]
+
+
+class TestSu2corGolden:
+    def test_lattice_matches(self):
+        from repro.workloads import su2cor as m
+        machine = run_bounded(m, 3)
+        golden = gm.su2cor_golden(3)
+        assert machine.mem[0:m.CORR + 1] == golden["all"]
+
+
+class TestTurb3dGolden:
+    def test_signal_matches(self):
+        from repro.workloads import turb3d as m
+        machine = run_bounded(m, 3)
+        golden = gm.turb3d_golden(3)
+        assert machine.mem[0:2 * m.N] == golden["all"]
+
+
+class TestWave5Golden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import wave5 as m
+        return run_bounded(m, 4), gm.wave5_golden(4), m
+
+    def test_particles_match(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.POS:m.POS + m.N_PARTICLES] == golden["pos"]
+        assert machine.mem[m.VEL:m.VEL + m.N_PARTICLES] == golden["vel"]
+
+    def test_grid_matches(self, pair):
+        machine, golden, m = pair
+        assert machine.mem[m.GRID:m.GRID + m.GRID_LEN] == golden["grid"]
+
+
+class TestAppluGolden:
+    def test_grid_matches(self):
+        from repro.workloads import applu as m
+        machine = run_bounded(m, 3)
+        golden = gm.applu_golden(3)
+        assert machine.mem[m.GRID:m.GRID + m.SIZE] == golden["grid"]
+
+
+class TestLiGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.workloads import li as m
+        return run_bounded(m, 5), gm.li_golden(5), m
+
+    def test_code_and_heap_match(self, pair):
+        machine, golden, m = pair
+        code, _ = m._vm_programs()
+        assert machine.mem[m.CODE:m.CODE + len(code)] == golden["code"]
+        assert machine.mem[m.HEAP:m.HEAP + m.HEAP_LEN] == golden["heap"]
+
+    def test_vm_stack_residue_matches(self, pair):
+        """Even the dead operand/call-stack residue agrees — the VM's
+        push/pop sequences are identical instruction for instruction."""
+        machine, golden, m = pair
+        assert machine.mem[m.VM_STACK:m.VM_STACK + 64] == golden["stack"]
+        assert machine.mem[m.VM_CALLS:m.VM_CALLS + 32] == golden["calls"]

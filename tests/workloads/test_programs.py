@@ -1,0 +1,109 @@
+"""Every workload analog must run cleanly and show its intended character."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.isa import InstrKind
+from repro.trace import trace_stats
+from repro.workloads import (
+    REGISTRY,
+    SPEC95,
+    SPECFP95,
+    SPECINT95,
+    get_workload,
+    load_trace,
+)
+
+BUDGET = 90_000
+
+
+@pytest.fixture(scope="module", params=SPEC95)
+def workload_trace(request):
+    return request.param, load_trace(request.param, BUDGET)
+
+
+class TestAllWorkloads:
+    def test_runs_to_budget_without_faults(self, workload_trace):
+        name, trace = workload_trace
+        # Programs are sized to outlive any reasonable budget: the trace
+        # must be budget-truncated, not naturally halted.
+        assert trace.truncated, f"{name} halted before the budget"
+        assert trace.n_instructions == BUDGET + 1
+
+    def test_has_realistic_branch_density(self, workload_trace):
+        name, trace = workload_trace
+        stats = trace_stats(trace)
+        # Between ~1% (fpppp's giant blocks) and 30%.
+        assert 0.005 <= stats.branch_density <= 0.30, name
+
+    def test_contains_calls_and_returns(self, workload_trace):
+        name, trace = workload_trace
+        stats = trace_stats(trace)
+        assert stats.kind_counts.get("call", 0) > 0, name
+        assert stats.kind_counts.get("return", 0) > 0, name
+
+    def test_deterministic(self, workload_trace):
+        name, _ = workload_trace
+        program = REGISTRY.get(name).build()
+        t1 = Machine(program).run(max_instructions=5_000).trace
+        program2 = REGISTRY.get(name).build()
+        t2 = Machine(program2).run(max_instructions=5_000).trace
+        assert list(t1.pc) == list(t2.pc)
+        assert list(t1.taken) == list(t2.taken)
+
+
+class TestSuiteCharacter:
+    """The int/fp split must reproduce the paper's contrast."""
+
+    def _suite_misprediction(self, names):
+        from repro.predictors import ScalarPHT, evaluate_scalar_direction
+
+        mispredicts = conds = 0
+        for name in names:
+            result = evaluate_scalar_direction(
+                load_trace(name, BUDGET),
+                ScalarPHT(history_length=10, n_tables=8))
+            mispredicts += result.mispredicts
+            conds += result.n_cond
+        return mispredicts / conds
+
+    def test_fp_more_predictable_than_int(self):
+        int_rate = self._suite_misprediction(SPECINT95)
+        fp_rate = self._suite_misprediction(SPECFP95)
+        assert fp_rate < int_rate, \
+            f"fp {fp_rate:.3f} should beat int {int_rate:.3f}"
+        # The paper's gap is roughly 3x (8.5% vs 2.7%).
+        assert int_rate / fp_rate > 1.5
+
+    def test_int_rate_in_plausible_band(self):
+        rate = self._suite_misprediction(SPECINT95)
+        assert 0.04 <= rate <= 0.20
+
+    def test_fp_rate_in_plausible_band(self):
+        rate = self._suite_misprediction(SPECFP95)
+        assert 0.005 <= rate <= 0.08
+
+
+class TestSignatureBehaviours:
+    def test_fpppp_has_giant_basic_blocks(self):
+        stats = trace_stats(load_trace("fpppp", BUDGET))
+        assert stats.avg_basic_block > 40  # the suite's hallmark
+
+    def test_li_is_indirect_heavy(self):
+        stats = trace_stats(load_trace("li", BUDGET))
+        indirect = stats.kind_counts.get("indirect", 0)
+        assert indirect > 0.2 * stats.n_branches
+
+    def test_go_recurses(self):
+        stats = trace_stats(load_trace("go", BUDGET))
+        assert stats.kind_counts.get("return", 0) > 100
+
+    def test_mgrid_is_loop_dominated(self):
+        trace = load_trace("mgrid", BUDGET)
+        cond = trace.cond_mask
+        taken_rate = trace.taken[cond].mean()
+        assert taken_rate > 0.9  # back-edge dominated
+
+    def test_descriptions_present(self):
+        for name in SPEC95:
+            assert len(get_workload(name).description) > 10

@@ -1,0 +1,106 @@
+"""Workload semantic checks: the analogs really compute what they claim.
+
+These run a workload for a while and inspect its data memory, verifying
+the algorithmic invariants of each analog (sorted index, filled hash
+table, bounded fields...) — guarding against analogs degenerating into
+branch-pattern generators with broken logic.
+"""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.workloads import REGISTRY
+from repro.workloads import vortex as vortex_mod
+from repro.workloads import compress as compress_mod
+from repro.workloads import perl as perl_mod
+from repro.workloads import wave5 as wave5_mod
+from repro.workloads import mgrid as mgrid_mod
+
+
+def run_machine(name, budget):
+    machine = Machine(REGISTRY.program(name))
+    machine.run(max_instructions=budget)
+    return machine
+
+
+class TestVortexSemantics:
+    def test_index_stays_sorted(self):
+        """At *any* instant the index is non-decreasing with at most one
+        adjacent equal pair (a budget cutoff can land mid-shift during an
+        insert/delete, which transiently duplicates one neighbour)."""
+        machine = run_machine("vortex", 150_000)
+        count = machine.mem[vortex_mod.COUNT_ADDR]
+        assert count > 10  # inserts actually happened
+        index = machine.mem[vortex_mod.INDEX:vortex_mod.INDEX + count]
+        adjacent_equal = 0
+        for a, c in zip(index, index[1:]):
+            assert a <= c, "ordering violated"
+            if a == c:
+                adjacent_equal += 1
+        assert adjacent_equal <= 1
+
+    def test_payloads_match_keys(self):
+        machine = run_machine("vortex", 150_000)
+        count = machine.mem[vortex_mod.COUNT_ADDR]
+        mismatches = sum(
+            machine.mem[vortex_mod.FIELDS + slot] !=
+            machine.mem[vortex_mod.INDEX + slot] * 7
+            for slot in range(count))
+        # One slot may be mid-shift at the cutoff instant.
+        assert mismatches <= 1
+
+
+class TestCompressSemantics:
+    def test_dictionary_keys_consistent(self):
+        machine = run_machine("compress", 150_000)
+        keys = machine.mem[compress_mod.KEYS:
+                           compress_mod.KEYS + compress_mod.TABLE_SIZE]
+        nonzero = [k for k in keys if k]
+        assert nonzero, "dictionary never populated"
+        # Keys encode (prefix << 4) | char + 1 with 4-bit symbols.
+        for key in nonzero[:200]:
+            assert (key - 1) & 0xF < compress_mod.N_SYMBOLS
+
+    def test_output_codes_emitted(self):
+        machine = run_machine("compress", 150_000)
+        out = machine.mem[compress_mod.OUTPUT:
+                          compress_mod.OUTPUT + 64]
+        assert any(out)
+
+
+class TestPerlSemantics:
+    def test_word_counts_accumulate(self):
+        machine = run_machine("perl", 200_000)
+        counts = machine.mem[perl_mod.HASH_COUNTS:
+                             perl_mod.HASH_COUNTS + (1 << perl_mod.HASH_BITS)]
+        assert sum(counts) > 100  # many tokens interned
+
+    def test_pattern_matches_found(self):
+        machine = run_machine("perl", 200_000)
+        # The motif contains the pattern (3,1,4) many times per period.
+        assert machine.mem[perl_mod.MATCHES] > 10
+
+
+class TestWave5Semantics:
+    def test_particles_stay_in_domain(self):
+        machine = run_machine("wave5", 150_000)
+        positions = machine.mem[wave5_mod.POS:
+                                wave5_mod.POS + wave5_mod.N_PARTICLES]
+        assert all(0 <= x < wave5_mod.DOMAIN for x in positions)
+
+    def test_velocities_clipped(self):
+        machine = run_machine("wave5", 150_000)
+        velocities = machine.mem[wave5_mod.VEL:
+                                 wave5_mod.VEL + wave5_mod.N_PARTICLES]
+        assert all(-64 <= v <= 64 for v in velocities)
+
+
+class TestMgridSemantics:
+    def test_smoothing_contracts_range(self):
+        machine = run_machine("mgrid", 200_000)
+        grid = machine.mem[mgrid_mod.GRID:mgrid_mod.GRID + mgrid_mod.SIZE]
+        # Repeated averaging keeps values within the initial range and
+        # pulls them together.
+        assert all(0 <= v < 2048 for v in grid)
+        interior = grid[64:-64]
+        assert max(interior) - min(interior) < 2048

@@ -1,0 +1,39 @@
+"""Segmentation invariants hold on every real workload trace."""
+
+import pytest
+
+from repro.icache import CacheGeometry
+from repro.isa import InstrKind
+from repro.trace import EXIT_FALLTHROUGH, segment_blocks
+from repro.workloads import SPEC95, load_trace
+
+BUDGET = 30_000
+
+GEOMETRIES = [
+    CacheGeometry.normal(8),
+    CacheGeometry.extended(8),
+    CacheGeometry.self_aligned(8),
+]
+
+
+@pytest.mark.parametrize("name", SPEC95)
+@pytest.mark.parametrize("geometry", GEOMETRIES,
+                         ids=["normal", "extended", "self_aligned"])
+def test_segmentation_invariants(name, geometry):
+    trace = load_trace(name, BUDGET)
+    blocks = segment_blocks(trace, geometry)
+    # Conservation.
+    assert blocks.instructions == trace.n_instructions
+    # Chain property and geometry limits.
+    for i in range(blocks.n_blocks):
+        start = int(blocks.start[i])
+        n = int(blocks.n_instr[i])
+        assert 1 <= n <= geometry.block_limit(start)
+        if i + 1 < blocks.n_blocks:
+            assert blocks.exit_target[i] == blocks.start[i + 1]
+    # Fall-through blocks fill the limit; final block is HALT.
+    fall = blocks.exit_kind == EXIT_FALLTHROUGH
+    for i in (j for j in range(blocks.n_blocks) if fall[j]):
+        assert blocks.n_instr[i] == geometry.block_limit(
+            int(blocks.start[i]))
+    assert blocks.exit_kind[-1] == int(InstrKind.HALT)

@@ -1,0 +1,79 @@
+"""Runtime performance — cold vs warm cache, serial vs parallel sweeps.
+
+Unlike the figure/table benchmarks this one measures wall-clock, not
+paper metrics: each scenario runs ``python -m repro fig6`` in a fresh
+subprocess so interpreter start-up, cache population, and worker fan-out
+are all included.  Scenarios:
+
+* ``cold``  — empty ``REPRO_CACHE_DIR``: traces are interpreted and
+  segmented from scratch, then persisted.
+* ``warm``  — same cache dir, second run: traces/blocks load from disk.
+* ``parallel`` — warm cache plus ``REPRO_JOBS=auto`` fan-out.
+
+Results land in ``benchmarks/results/perf_sweep.json``.  The module runs
+standalone (``python benchmarks/bench_perf_sweep.py``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_sweep.json"
+BUDGET = int(os.environ.get("REPRO_TRACE_LEN", "120000"))
+
+
+def _run_fig6(cache_dir: str, jobs: str) -> float:
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO_ROOT / "src"),
+               REPRO_CACHE_DIR=cache_dir,
+               REPRO_JOBS=jobs,
+               REPRO_TRACE_LEN=str(BUDGET))
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "fig6"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise RuntimeError(f"fig6 failed:\n{proc.stderr}")
+    return elapsed
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        cold = _run_fig6(cache_dir, jobs="1")
+        warm = _run_fig6(cache_dir, jobs="1")
+        parallel = _run_fig6(cache_dir, jobs="auto")
+    return {
+        "budget": BUDGET,
+        "jobs_parallel": os.cpu_count() or 1,
+        "cold_s": round(cold, 3),
+        "warm_s": round(warm, 3),
+        "parallel_s": round(parallel, 3),
+        "warm_speedup": round(cold / warm, 2),
+        "parallel_speedup": round(cold / parallel, 2),
+    }
+
+
+def _record(results: dict) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+
+
+def test_perf_sweep(benchmark, results_dir):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _record(results)
+    benchmark.extra_info.update(results)
+    # A warm cache must beat interpreting every trace from scratch.
+    assert results["warm_s"] < results["cold_s"]
+
+
+if __name__ == "__main__":
+    _record(measure())

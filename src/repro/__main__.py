@@ -32,6 +32,7 @@ from .experiments import (
     run_table7,
 )
 from .icache import CacheGeometry
+from .runtime.executor import n_jobs
 from .trace import trace_stats
 from .workloads import SPEC95, get_workload, load_fetch_input, load_trace
 
@@ -64,12 +65,18 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--budget", type=int, default=None,
                            help="instructions per workload "
                                 "(default: REPRO_TRACE_LEN or 120000)")
+            p.add_argument("--jobs", type=str, default=None,
+                           help="worker processes for the sweep "
+                                "(int or 'auto'; default: REPRO_JOBS "
+                                "or serial)")
 
     sub.add_parser("workloads", help="list the SPEC95-analog workloads")
 
     p = sub.add_parser("report", help="regenerate every paper artifact "
                                       "into one markdown file")
     p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--jobs", type=str, default=None,
+                   help="worker processes for the sweeps (int or 'auto')")
     p.add_argument("--output", default="report.md")
 
     p = sub.add_parser("run", help="run one workload through a fetch "
@@ -87,6 +94,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="target array implementation")
     p.add_argument("--target-entries", type=int, default=256)
     return parser
+
+
+def _apply_jobs(jobs) -> None:
+    """Propagate ``--jobs`` to ``REPRO_JOBS`` (validated eagerly).
+
+    The executor reads the environment variable, so setting it here makes
+    one flag govern every sweep the command triggers, including those in
+    worker warm-up.
+    """
+    if jobs is None:
+        return
+    import os
+
+    from .runtime.executor import JOBS_ENV
+
+    os.environ[JOBS_ENV] = jobs
+    n_jobs()  # validate now so a typo fails before any simulation
 
 
 def _cmd_experiment(name: str, budget) -> None:
@@ -129,12 +153,14 @@ def main(argv=None) -> int:
         if args.command == "table7":
             print(format_table7(run_table7()))
         elif args.command in _EXPERIMENTS:
+            _apply_jobs(args.jobs)
             _cmd_experiment(args.command, args.budget)
         elif args.command == "workloads":
             _cmd_workloads()
         elif args.command == "report":
             from .experiments.report import write_report
 
+            _apply_jobs(args.jobs)
             path = write_report(args.output, budget=args.budget,
                                 verbose=True)
             print(f"wrote {path}")
@@ -142,6 +168,9 @@ def main(argv=None) -> int:
             _cmd_run(args)
     except BrokenPipeError:
         return 0  # output piped into a pager that closed early
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Tuple
 
 from ..core.config import EngineConfig, FetchInput
-from ..core.dual import DualBlockEngine
 from ..core.single import SingleBlockEngine
 from ..core.stats import FetchStats
 from ..icache.geometry import CacheGeometry
+from ..runtime.executor import SuiteSpec, run_suite_specs
 from ..workloads import SPECFP95, SPECINT95, load_fetch_input
 
 DEFAULT_BUDGET = 120_000
@@ -30,9 +30,15 @@ def instruction_budget(default: int = DEFAULT_BUDGET) -> int:
     raw = os.environ.get("REPRO_TRACE_LEN")
     if raw is None:
         return default
-    value = int(raw)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TRACE_LEN must be an integer instruction count, "
+            f"got {raw!r}") from None
     if value < 1_000:
-        raise ValueError("REPRO_TRACE_LEN must be at least 1000")
+        raise ValueError(
+            f"REPRO_TRACE_LEN must be at least 1000, got {value}")
     return value
 
 
@@ -113,13 +119,23 @@ def run_suite(suite: str, config: EngineConfig, budget: int,
     ``engine_factory`` defaults to the dual-block engine; pass
     ``SingleBlockEngine`` for single-block experiments.  A fresh engine
     (cold tables) is created per program, as in per-benchmark simulation.
+
+    The cells go through :func:`repro.runtime.executor.run_suite_specs`,
+    so ``REPRO_JOBS`` fans them out over worker processes; results are
+    merged in suite order and identical to a serial run.
     """
-    factory = engine_factory or DualBlockEngine
-    aggregate = SuiteAggregate()
-    for name, fetch_input in suite_inputs(suite, config.geometry, budget):
-        engine = factory(config)
-        aggregate.add(name, engine.run(fetch_input))
-    return aggregate
+    return run_suite_batch(
+        [SuiteSpec(suite=suite, config=config, budget=budget,
+                   engine_factory=engine_factory)])[0]
+
+
+def run_suite_batch(specs: List[SuiteSpec]) -> List[SuiteAggregate]:
+    """Run several suite sweeps as one fan-out (one aggregate per spec).
+
+    Batching lets ``REPRO_JOBS`` workers interleave the cells of *all*
+    requested configurations instead of synchronising per configuration.
+    """
+    return run_suite_specs(specs)
 
 
 def run_single_block_suite(suite: str, config: EngineConfig,

@@ -14,16 +14,12 @@ usually favouring the blocked PHT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Tuple
 
 from ..icache.geometry import CacheGeometry
-from ..predictors.blocked import BlockedPHT
-from ..predictors.evaluate import (
-    evaluate_blocked_direction,
-    evaluate_scalar_direction,
-)
-from ..predictors.scalar import ScalarPHT
-from ..workloads import load_fetch_input, load_trace
+from ..predictors.evaluate import direction_accuracy_sweep
+from ..runtime.executor import execute, warm_fetch_inputs
+from ..workloads import load_fetch_input
 from .common import SUITES, format_table, instruction_budget
 
 
@@ -42,27 +38,47 @@ class Fig6Row:
         return self.scalar_rate - self.blocked_rate
 
 
+def _fig6_cell(cell: Tuple[str, int, int, Tuple[int, ...]]):
+    """Worker: one workload's full history-length sweep, both schemes."""
+    name, budget, block_width, history_lengths = cell
+    geometry = CacheGeometry.normal(block_width)
+    fetch_input = load_fetch_input(name, geometry, budget)
+    return direction_accuracy_sweep(fetch_input.trace, fetch_input.blocks,
+                                    history_lengths, block_width)
+
+
+def _warm_fig6(cells) -> None:
+    """Pre-populate the persistent cache before a parallel fan-out."""
+    warm_fetch_inputs((name, CacheGeometry.normal(block_width), budget)
+                      for name, budget, block_width, _ in cells)
+
+
 def run_fig6(history_lengths: Iterable[int] = range(6, 13),
              budget: int = None,
              block_width: int = 8) -> List[Fig6Row]:
-    """Reproduce Figure 6's sweep."""
+    """Reproduce Figure 6's sweep.
+
+    One cell per workload — each runs the vectorized
+    :func:`direction_accuracy_sweep` over every history length for both
+    schemes — fanned out by ``REPRO_JOBS`` and merged per (suite, history
+    length) in canonical order, so parallel results match serial ones.
+    """
     budget = budget or instruction_budget()
-    geometry = CacheGeometry.normal(block_width)
+    hs = tuple(history_lengths)
+    names = [name for suite_names in SUITES.values()
+             for name in suite_names]
+    cells = [(name, budget, block_width, hs) for name in names]
+    sweeps = dict(zip(names, execute(_fig6_cell, cells, warm=_warm_fig6)))
+
     rows = []
-    for suite, names in SUITES.items():
-        for h in history_lengths:
+    for suite, suite_names in SUITES.items():
+        for h in hs:
             blocked_miss = blocked_cond = 0
             scalar_miss = scalar_cond = 0
-            for name in names:
-                fetch_input = load_fetch_input(name, geometry, budget)
-                blocked = evaluate_blocked_direction(
-                    fetch_input.blocks,
-                    BlockedPHT(history_length=h, block_width=block_width))
+            for name in suite_names:
+                blocked, scalar = sweeps[name][h]
                 blocked_miss += blocked.mispredicts
                 blocked_cond += blocked.n_cond
-                scalar = evaluate_scalar_direction(
-                    load_trace(name, budget),
-                    ScalarPHT(history_length=h, n_tables=block_width))
                 scalar_miss += scalar.mispredicts
                 scalar_cond += scalar.n_cond
             rows.append(Fig6Row(

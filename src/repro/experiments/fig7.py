@@ -23,12 +23,14 @@ from typing import Iterable, List, Optional
 
 from ..core.config import EngineConfig
 from ..core.penalties import PenaltyKind
+from ..core.single import SingleBlockEngine
 from ..icache.geometry import CacheGeometry
+from ..runtime.executor import SuiteSpec
 from .common import (
     SUITES,
     format_table,
     instruction_budget,
-    run_single_block_suite,
+    run_suite_batch,
 )
 
 #: The paper's swept sizes.
@@ -62,20 +64,25 @@ def run_fig7(sizes: Iterable[int] = None, budget: int = None,
         sizes = DEFAULT_SIZES if scaled else PAPER_SIZES
     sizes = tuple(sizes)
     geometry = CacheGeometry.normal(8)
+    points = [(suite, entries) for suite in SUITES for entries in sizes]
+    aggregates = run_suite_batch([
+        SuiteSpec(suite=suite,
+                  config=EngineConfig(geometry=geometry,
+                                      bit_entries=entries),
+                  budget=budget,
+                  engine_factory=SingleBlockEngine)
+        for suite, entries in points])
     rows = []
-    for suite in SUITES:
-        for entries in sizes:
-            config = EngineConfig(geometry=geometry, bit_entries=entries)
-            agg = run_single_block_suite(suite, config, budget)
-            rows.append(Fig7Row(
-                suite=suite,
-                bit_entries=entries,
-                paper_equivalent=(entries * FOOTPRINT_SCALE
-                                  if scaled else None),
-                bit_share_of_bep=agg.penalty_share(PenaltyKind.BIT),
-                ipc_f=agg.ipc_f,
-                bep=agg.bep,
-            ))
+    for (suite, entries), agg in zip(points, aggregates):
+        rows.append(Fig7Row(
+            suite=suite,
+            bit_entries=entries,
+            paper_equivalent=(entries * FOOTPRINT_SCALE
+                              if scaled else None),
+            bit_share_of_bep=agg.penalty_share(PenaltyKind.BIT),
+            ipc_f=agg.ipc_f,
+            bep=agg.bep,
+        ))
     return rows
 
 

@@ -15,7 +15,9 @@ from typing import Iterable, List
 from ..core.config import EngineConfig
 from ..core.penalties import DOUBLE_SELECT, SINGLE_SELECT
 from ..icache.geometry import CacheGeometry
-from .common import SUITES, format_table, instruction_budget, run_suite
+from ..runtime.executor import SuiteSpec
+from .common import (SUITES, format_table, instruction_budget,
+                     run_suite_batch)
 
 DEFAULT_HISTORY = (9, 10, 11, 12)
 DEFAULT_TABLES = (1, 2, 4, 8)
@@ -39,27 +41,27 @@ def run_fig8(history_lengths: Iterable[int] = DEFAULT_HISTORY,
     """Reproduce Figure 8's sweep (dual-block engine, normal cache)."""
     budget = budget or instruction_budget()
     geometry = CacheGeometry.normal(8)
-    rows = []
-    for suite in SUITES:
-        for selection in (SINGLE_SELECT, DOUBLE_SELECT):
-            for h in history_lengths:
-                for n_st in table_counts:
-                    config = EngineConfig(
-                        geometry=geometry,
-                        history_length=h,
-                        n_select_tables=n_st,
-                        selection=selection,
-                    )
-                    agg = run_suite(suite, config, budget)
-                    rows.append(Fig8Row(
-                        suite=suite,
-                        selection=selection,
-                        history_length=h,
-                        n_select_tables=n_st,
-                        ipc_f=agg.ipc_f,
-                        bep=agg.bep,
-                    ))
-    return rows
+    points = [(suite, selection, h, n_st)
+              for suite in SUITES
+              for selection in (SINGLE_SELECT, DOUBLE_SELECT)
+              for h in history_lengths
+              for n_st in table_counts]
+    aggregates = run_suite_batch([
+        SuiteSpec(suite=suite,
+                  config=EngineConfig(geometry=geometry,
+                                      history_length=h,
+                                      n_select_tables=n_st,
+                                      selection=selection),
+                  budget=budget)
+        for suite, selection, h, n_st in points])
+    return [Fig8Row(
+        suite=suite,
+        selection=selection,
+        history_length=h,
+        n_select_tables=n_st,
+        ipc_f=agg.ipc_f,
+        bep=agg.bep,
+    ) for (suite, selection, h, n_st), agg in zip(points, aggregates)]
 
 
 def format_fig8(rows: List[Fig8Row]) -> str:

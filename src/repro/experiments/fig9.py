@@ -13,11 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core.config import EngineConfig
-from ..core.dual import DualBlockEngine
 from ..core.penalties import PenaltyKind
 from ..icache.geometry import CacheGeometry
-from ..workloads import SPECFP95, SPECINT95, load_fetch_input
-from .common import format_table, instruction_budget
+from ..runtime.executor import SuiteSpec
+from ..workloads import SPECFP95, SPECINT95
+from .common import format_table, instruction_budget, run_suite_batch
 
 #: Stacking order used in the paper's legend (bottom to top).
 STACK_ORDER = (
@@ -49,11 +49,14 @@ def run_fig9(budget: int = None) -> List[Fig9Row]:
         history_length=10,
         n_select_tables=8,
     )
+    suites = (("fp", SPECFP95), ("int", SPECINT95))
+    aggregates = run_suite_batch([
+        SuiteSpec(suite=suite, config=config, budget=budget)
+        for suite, _ in suites])
     rows = []
-    for suite, names in (("fp", SPECFP95), ("int", SPECINT95)):
+    for (suite, names), aggregate in zip(suites, aggregates):
         for name in names:
-            fetch_input = load_fetch_input(name, config.geometry, budget)
-            stats = DualBlockEngine(config).run(fetch_input)
+            stats = aggregate.per_program[name]
             components = {
                 kind: stats.bep_component(kind) for kind in STACK_ORDER
             }

@@ -16,7 +16,8 @@ from typing import Iterable, List
 from ..core.config import EngineConfig, TARGET_BTB, TARGET_NLS
 from ..core.penalties import PenaltyKind
 from ..icache.geometry import CacheGeometry
-from .common import format_table, instruction_budget, run_suite
+from ..runtime.executor import SuiteSpec
+from .common import format_table, instruction_budget, run_suite_batch
 
 DEFAULT_BTB_SIZES = (8, 16, 32, 64)
 
@@ -49,32 +50,35 @@ def run_table5(btb_sizes: Iterable[int] = DEFAULT_BTB_SIZES,
     """Reproduce Table 5 (SPECint95, dual block, single selection)."""
     budget = budget or instruction_budget()
     geometry = CacheGeometry.normal(8)
+    points = [(target_kind, size, near_block)
+              for target_kind, size in
+              ([(TARGET_BTB, s) for s in btb_sizes] +
+               [(TARGET_NLS, s) for s in nls_sizes])
+              for near_block in (False, True)]
+    aggregates = run_suite_batch([
+        SuiteSpec(suite="int",
+                  config=EngineConfig(geometry=geometry,
+                                      target_kind=target_kind,
+                                      target_entries=size,
+                                      near_block=near_block),
+                  budget=budget)
+        for target_kind, size, near_block in points])
     rows = []
-    configs = [(TARGET_BTB, size) for size in btb_sizes] + \
-              [(TARGET_NLS, size) for size in nls_sizes]
-    for target_kind, size in configs:
-        for near_block in (False, True):
-            config = EngineConfig(
-                geometry=geometry,
-                target_kind=target_kind,
-                target_entries=size,
-                near_block=near_block,
-            )
-            agg = run_suite("int", config, budget)
-            scale = (NLS_FOOTPRINT_SCALE if target_kind == TARGET_NLS
-                     else 1)
-            rows.append(Table5Row(
-                target_kind=target_kind,
-                n_block_entries=size,
-                paper_equivalent=size * scale,
-                near_block=near_block,
-                misfetch_immediate_share=agg.penalty_share(
-                    PenaltyKind.MISFETCH_IMMEDIATE),
-                misfetch_indirect_share=agg.penalty_share(
-                    PenaltyKind.MISFETCH_INDIRECT),
-                bep=agg.bep,
-                ipc_f=agg.ipc_f,
-            ))
+    for (target_kind, size, near_block), agg in zip(points, aggregates):
+        scale = (NLS_FOOTPRINT_SCALE if target_kind == TARGET_NLS
+                 else 1)
+        rows.append(Table5Row(
+            target_kind=target_kind,
+            n_block_entries=size,
+            paper_equivalent=size * scale,
+            near_block=near_block,
+            misfetch_immediate_share=agg.penalty_share(
+                PenaltyKind.MISFETCH_IMMEDIATE),
+            misfetch_indirect_share=agg.penalty_share(
+                PenaltyKind.MISFETCH_INDIRECT),
+            bep=agg.bep,
+            ipc_f=agg.ipc_f,
+        ))
     return rows
 
 

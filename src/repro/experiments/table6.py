@@ -12,13 +12,14 @@ from dataclasses import dataclass
 from typing import List
 
 from ..core.config import EngineConfig
+from ..core.single import SingleBlockEngine
 from ..icache.geometry import CacheGeometry
+from ..runtime.executor import SuiteSpec
 from .common import (
     SUITES,
     format_table,
     instruction_budget,
-    run_single_block_suite,
-    run_suite,
+    run_suite_batch,
 )
 
 CACHE_TYPES = (
@@ -45,7 +46,8 @@ def run_table6(budget: int = None, history_length: int = 10,
                n_select_tables: int = 8) -> List[Table6Row]:
     """Reproduce Table 6 over both sub-suites."""
     budget = budget or instruction_budget()
-    rows = []
+    points = []
+    specs = []
     for cache_name, factory in CACHE_TYPES:
         geometry = factory(8)
         config = EngineConfig(
@@ -54,17 +56,25 @@ def run_table6(budget: int = None, history_length: int = 10,
             n_select_tables=n_select_tables,
         )
         for suite in SUITES:
-            single = run_single_block_suite(suite, config, budget)
-            dual = run_suite(suite, config, budget)
-            rows.append(Table6Row(
-                cache_type=cache_name,
-                suite=suite,
-                line_size=geometry.line_size,
-                n_banks=geometry.n_banks,
-                ipb=dual.ipb,
-                ipc_f_one_block=single.ipc_f,
-                ipc_f_two_block=dual.ipc_f,
-            ))
+            points.append((cache_name, geometry, suite))
+            specs.append(SuiteSpec(suite=suite, config=config,
+                                   budget=budget,
+                                   engine_factory=SingleBlockEngine))
+            specs.append(SuiteSpec(suite=suite, config=config,
+                                   budget=budget))
+    aggregates = run_suite_batch(specs)
+    rows = []
+    for i, (cache_name, geometry, suite) in enumerate(points):
+        single, dual = aggregates[2 * i], aggregates[2 * i + 1]
+        rows.append(Table6Row(
+            cache_type=cache_name,
+            suite=suite,
+            line_size=geometry.line_size,
+            n_banks=geometry.n_banks,
+            ipb=dual.ipb,
+            ipc_f_one_block=single.ipc_f,
+            ipc_f_two_block=dual.ipc_f,
+        ))
     return rows
 
 

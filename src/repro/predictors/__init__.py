@@ -11,8 +11,13 @@ from .counters import (
 )
 from .evaluate import (
     DirectionResult,
+    direction_accuracy_sweep,
     evaluate_blocked_direction,
+    evaluate_blocked_direction_vectorized,
     evaluate_scalar_direction,
+    evaluate_scalar_direction_vectorized,
+    packed_history,
+    simulate_counter_stream,
 )
 from .ghr import BlockOutcomes, GlobalHistory, pack_block_outcomes
 from .scalar import INDEX_GHR, INDEX_GSHARE, ScalarPHT
@@ -32,8 +37,13 @@ __all__ = [
     "counter_has_second_chance",
     "counter_predicts_taken",
     "counter_update",
+    "direction_accuracy_sweep",
     "evaluate_bac_direction",
     "evaluate_blocked_direction",
+    "evaluate_blocked_direction_vectorized",
     "evaluate_scalar_direction",
+    "evaluate_scalar_direction_vectorized",
     "pack_block_outcomes",
+    "packed_history",
+    "simulate_counter_stream",
 ]

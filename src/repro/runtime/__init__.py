@@ -1,0 +1,37 @@
+"""Sweep runtime: parallel execution and persistent caching.
+
+Two pieces:
+
+* :mod:`repro.runtime.cache` — a persistent on-disk trace + segmentation
+  cache (``REPRO_CACHE_DIR``, default ``~/.cache/repro``) layered under
+  the in-memory caches of :mod:`repro.workloads.registry`, with atomic
+  writes safe for concurrent workers.
+* :mod:`repro.runtime.executor` — a deterministic process-parallel sweep
+  executor (``REPRO_JOBS``) that fans out (engine config x workload)
+  cells and merges per-program statistics back in canonical order, so
+  parallel runs are bit-identical to serial ones.
+
+The executor is re-exported lazily: the workload registry imports
+:mod:`repro.runtime.cache` at module load, and eagerly importing the
+executor here (which itself reaches back into the workloads package from
+its workers) would create an import cycle.
+"""
+
+from __future__ import annotations
+
+from . import cache  # noqa: F401  (light: no repro.workloads dependency)
+
+_EXECUTOR_NAMES = ("JOBS_ENV", "SuiteSpec", "execute", "n_jobs",
+                   "run_suite_specs", "warm_fetch_inputs")
+
+__all__ = ["cache", "executor", *_EXECUTOR_NAMES]
+
+
+def __getattr__(name: str):
+    if name == "executor" or name in _EXECUTOR_NAMES:
+        from . import executor
+
+        if name == "executor":
+            return executor
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,217 @@
+"""Persistent on-disk trace and segmentation cache.
+
+Interpreting a workload analog is by far the most expensive step of any
+sweep: every experiment re-executes 18 programs for ``REPRO_TRACE_LEN``
+instructions before a single prediction is made.  This module persists the
+two interpreter-derived artifacts — the compressed control-flow
+:class:`~repro.trace.record.Trace` and its per-geometry block segmentation
+— as ``.npz`` files so that warm runs skip the interpreter (and the
+segmenter) entirely.
+
+Layout and keying:
+
+* Directory: ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``); set it to
+  the empty string, ``0``, ``off`` or ``none`` to disable persistence.
+* Traces: ``traces/<name>-<budget>-<digest>.npz``.
+* Segmentations: ``blocks/<name>-<budget>-<geometry>-<digest>.npz``.
+
+``digest`` is a truncated SHA-256 over the workload's *assembled program*
+(opcodes, registers, immediates, entry point, data size), so editing a
+workload analog automatically invalidates its cached artifacts — there is
+no staleness to manage, only garbage to purge (:func:`purge`).
+
+Writes go through a temporary file in the same directory followed by
+``os.replace``, so concurrent sweep workers never observe a torn file:
+they either miss (and recompute) or read a complete artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..icache.geometry import CacheGeometry
+from ..trace.blocks import BlockStream
+from ..trace.record import Trace
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Values of ``REPRO_CACHE_DIR`` that disable the disk cache.
+_DISABLED = {"", "0", "off", "none", "disable", "disabled"}
+
+#: Hex digits of the program digest kept in file names.
+_DIGEST_LEN = 16
+
+#: Errors treated as a cache miss when reading an artifact.
+_READ_ERRORS = (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile)
+
+
+def cache_dir() -> Optional[Path]:
+    """The cache root, or ``None`` when persistence is disabled."""
+    raw = os.environ.get(CACHE_DIR_ENV)
+    if raw is None:
+        return Path.home() / ".cache" / "repro"
+    if raw.strip().lower() in _DISABLED:
+        return None
+    return Path(raw)
+
+
+def enabled() -> bool:
+    """True when the persistent cache is active."""
+    return cache_dir() is not None
+
+
+def program_digest(program) -> str:
+    """Stable content hash of an assembled program.
+
+    Covers everything that influences the trace: entry point, data size
+    and every instruction's opcode/register/immediate/target fields.
+    """
+    h = hashlib.sha256()
+    h.update(f"{program.entry}:{program.data_size}:".encode())
+    for inst in program.instructions:
+        h.update(
+            f"{inst.op.value},{inst.rd},{inst.rs1},{inst.rs2},"
+            f"{inst.imm},{inst.target!r};".encode())
+    return h.hexdigest()[:_DIGEST_LEN]
+
+
+def _geometry_key(geometry: CacheGeometry) -> str:
+    return (f"{geometry.kind}-w{geometry.block_width}"
+            f"-l{geometry.line_size}-b{geometry.n_banks}")
+
+
+def _trace_path(root: Path, name: str, budget: int, digest: str) -> Path:
+    return root / "traces" / f"{name}-{budget}-{digest}.npz"
+
+
+def _blocks_path(root: Path, name: str, budget: int,
+                 geometry: CacheGeometry, digest: str) -> Path:
+    return (root / "blocks" /
+            f"{name}-{budget}-{_geometry_key(geometry)}-{digest}.npz")
+
+
+def _atomic_write(path: Path, save) -> None:
+    """Write via ``save(tmp_path)`` then atomically rename into place."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # The tmp name keeps the .npz suffix so numpy does not append one.
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        save(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+
+def load_trace(name: str, budget: int, digest: str) -> Optional[Trace]:
+    """Read a cached trace, or ``None`` on a miss (or unreadable file)."""
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _trace_path(root, name, budget, digest)
+    if not path.exists():
+        return None
+    try:
+        return Trace.load(path)
+    except _READ_ERRORS:
+        return None
+
+
+def store_trace(trace: Trace, name: str, budget: int, digest: str) -> None:
+    """Persist a trace (no-op when the cache is disabled)."""
+    root = cache_dir()
+    if root is None:
+        return
+    _atomic_write(_trace_path(root, name, budget, digest), trace.save)
+
+
+# ----------------------------------------------------------------------
+# Block segmentations
+# ----------------------------------------------------------------------
+
+def load_blocks(trace: Trace, geometry: CacheGeometry, name: str,
+                budget: int, digest: str) -> Optional[BlockStream]:
+    """Read a cached segmentation and rebind it to ``trace``/``geometry``."""
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _blocks_path(root, name, budget, geometry, digest)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            if int(data["n_records"]) != trace.n_records:
+                return None  # stale artifact from a different trace
+            return BlockStream(
+                trace=trace,
+                geometry=geometry,
+                start=data["start"].astype(np.int64),
+                n_instr=data["n_instr"].astype(np.int64),
+                exit_kind=data["exit_kind"].astype(np.uint8),
+                exit_target=data["exit_target"].astype(np.int64),
+                first_rec=data["first_rec"].astype(np.int64),
+                n_recs=data["n_recs"].astype(np.int64),
+            )
+    except _READ_ERRORS:
+        return None
+
+
+def store_blocks(blocks: BlockStream, name: str, budget: int,
+                 digest: str) -> None:
+    """Persist a segmentation (no-op when the cache is disabled)."""
+    root = cache_dir()
+    if root is None:
+        return
+    path = _blocks_path(root, name, budget, blocks.geometry, digest)
+
+    def save(tmp: Path) -> None:
+        np.savez_compressed(
+            tmp,
+            n_records=np.int64(blocks.trace.n_records),
+            start=blocks.start,
+            n_instr=blocks.n_instr,
+            exit_kind=blocks.exit_kind,
+            exit_target=blocks.exit_target,
+            first_rec=blocks.first_rec,
+            n_recs=blocks.n_recs,
+        )
+
+    _atomic_write(path, save)
+
+
+# ----------------------------------------------------------------------
+# Maintenance
+# ----------------------------------------------------------------------
+
+def purge() -> int:
+    """Delete every cached artifact; returns the number of files removed.
+
+    Only this module's own subdirectories are touched, so an unrelated
+    ``REPRO_CACHE_DIR`` cannot lose foreign files.
+    """
+    root = cache_dir()
+    if root is None:
+        return 0
+    removed = 0
+    for sub in ("traces", "blocks"):
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        for path in directory.glob("*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,187 @@
+"""Process-parallel sweep execution.
+
+Every paper artifact is a sweep over (engine configuration x workload)
+cells, and every cell is independent: the engines are deterministic,
+cold-started per program, and share nothing but read-only fetch inputs.
+This module fans those cells out over a :class:`ProcessPoolExecutor` and
+merges the per-cell results back **in submission order**, so a parallel
+sweep is bit-identical to the serial one — parallelism only moves
+wall-clock, never numbers.
+
+The worker count comes from the ``REPRO_JOBS`` environment variable
+(:func:`n_jobs`); ``REPRO_JOBS=1`` (the default) short-circuits to a plain
+serial loop that is exactly the pre-runtime code path.  Workers populate
+the persistent cache of :mod:`repro.runtime.cache`; its atomic writes make
+concurrent population safe, and :func:`execute` pre-warms the cache for
+the distinct workloads of a sweep so concurrent workers do not race to
+interpret the same program.
+
+Imports of :mod:`repro.workloads` and :mod:`repro.experiments` are kept
+inside functions: the workload registry itself layers on
+:mod:`repro.runtime.cache`, and a module-level import in either direction
+would be circular.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+#: Environment variable selecting the worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def n_jobs(default: int = 1) -> int:
+    """Worker count from ``REPRO_JOBS``.
+
+    Accepted values: a positive integer, or ``auto``/``0`` for one worker
+    per CPU.  Unset (or empty) falls back to ``default`` — serial.
+    """
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None or not raw.strip():
+        return default
+    text = raw.strip().lower()
+    if text == "auto":
+        return os.cpu_count() or 1
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(
+            f"{JOBS_ENV} must be a positive integer or 'auto', "
+            f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{JOBS_ENV} must not be negative, got {value}")
+    if value == 0:
+        return os.cpu_count() or 1
+    return value
+
+
+def _picklable(*objects) -> bool:
+    try:
+        pickle.dumps(objects)
+        return True
+    except Exception:
+        return False
+
+
+def execute(fn: Callable, cells: Iterable, jobs: Optional[int] = None,
+            warm: Optional[Callable[[Sequence], None]] = None) -> List:
+    """Order-preserving map of ``fn`` over ``cells``.
+
+    With one job (or one cell) this is a plain serial loop.  Otherwise the
+    cells are dispatched to a process pool and the results are returned in
+    cell order, which keeps any downstream aggregation deterministic.
+    ``warm``, when given, is invoked with the cell list before a parallel
+    fan-out (and never for serial runs) to pre-populate shared caches.
+
+    Work that cannot be pickled — e.g. an ad-hoc lambda engine factory —
+    silently falls back to the serial loop rather than failing.
+    """
+    cells = list(cells)
+    jobs = n_jobs() if jobs is None else jobs
+    jobs = min(jobs, len(cells)) if cells else 1
+    if jobs <= 1:
+        return [fn(cell) for cell in cells]
+    if not _picklable(fn, cells):
+        return [fn(cell) for cell in cells]
+    if warm is not None:
+        warm(cells)
+    chunksize = max(1, len(cells) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, cells, chunksize=chunksize))
+
+
+# ----------------------------------------------------------------------
+# Suite sweeps: (engine config x workload) cells
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One suite-level simulation request inside a sweep.
+
+    ``engine_factory`` must be a picklable callable ``(config) -> engine``
+    (a class, a top-level function, or ``functools.partial`` of either);
+    ``None`` selects the dual-block engine.
+    """
+
+    suite: str
+    config: object          # EngineConfig (kept untyped to avoid cycles)
+    budget: int
+    engine_factory: Optional[Callable] = None
+
+
+def _suite_names(suite: str) -> List[str]:
+    from ..workloads import SPECFP95, SPECINT95
+
+    names = {"int": SPECINT95, "fp": SPECFP95}
+    return names[suite]
+
+
+def _run_engine_cell(cell: Tuple[SuiteSpec, str]):
+    """Worker: run one (spec, workload) cell, returning its FetchStats."""
+    spec, name = cell
+    from ..core.dual import DualBlockEngine
+    from ..workloads import load_fetch_input
+
+    fetch_input = load_fetch_input(name, spec.config.geometry, spec.budget)
+    factory = spec.engine_factory or DualBlockEngine
+    return factory(spec.config).run(fetch_input)
+
+
+def _warm_fetch_cell(cell: Tuple[str, object, int]) -> None:
+    """Worker: populate the disk cache for one (name, geometry, budget)."""
+    name, geometry, budget = cell
+    from ..workloads import load_fetch_input
+
+    load_fetch_input(name, geometry, budget)
+
+
+def warm_fetch_inputs(triples: Iterable[Tuple[str, object, int]],
+                      jobs: Optional[int] = None) -> None:
+    """Pre-populate the persistent cache for distinct fetch inputs.
+
+    Interpreting a workload dominates cell cost, and several cells of one
+    sweep typically share a (workload, geometry, budget) triple; warming
+    the disk cache first — itself fanned out — stops parallel workers
+    from interpreting the same program concurrently.  A no-op when the
+    persistent cache is disabled (workers could not share the result).
+    """
+    from . import cache
+
+    if not cache.enabled():
+        return
+    unique = list(dict.fromkeys(triples))
+    execute(_warm_fetch_cell, unique, jobs)
+
+
+def _warm_for_specs(cells: Sequence[Tuple[SuiteSpec, str]]) -> None:
+    warm_fetch_inputs((name, spec.config.geometry, spec.budget)
+                      for spec, name in cells)
+
+
+def run_suite_specs(specs: Iterable[SuiteSpec],
+                    jobs: Optional[int] = None) -> List:
+    """Run a batch of suite sweeps, fanning out every cell at once.
+
+    Returns one ``SuiteAggregate`` per spec, in spec order; the aggregate
+    folds per-program ``FetchStats`` in the suite's canonical program
+    order, exactly as the serial runner does.
+    """
+    from ..experiments.common import SuiteAggregate
+
+    specs = list(specs)
+    cells = [(spec, name) for spec in specs
+             for name in _suite_names(spec.suite)]
+    results = execute(_run_engine_cell, cells, jobs, warm=_warm_for_specs)
+    aggregates: List[SuiteAggregate] = []
+    cursor = 0
+    for spec in specs:
+        aggregate = SuiteAggregate()
+        for name in _suite_names(spec.suite):
+            aggregate.add(name, results[cursor])
+            cursor += 1
+        aggregates.append(aggregate)
+    return aggregates

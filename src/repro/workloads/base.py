@@ -53,6 +53,7 @@ class WorkloadRegistry:
         self._workloads: Dict[str, Workload] = {}
         self._programs: Dict[str, Program] = {}
         self._traces: Dict[Tuple[str, int], object] = {}
+        self._digests: Dict[str, str] = {}
 
     def register(self, name: str, suite: str,
                  description: str) -> Callable:
@@ -90,30 +91,52 @@ class WorkloadRegistry:
             self._programs[name] = self.get(name).build()
         return self._programs[name]
 
+    def digest(self, name: str) -> str:
+        """Content hash of the workload's assembled program.
+
+        Keys the persistent cache: editing an analog's code changes its
+        digest and silently invalidates every cached artifact.
+        """
+        if name not in self._digests:
+            from ..runtime import cache as disk_cache
+
+            self._digests[name] = disk_cache.program_digest(
+                self.program(name))
+        return self._digests[name]
+
     def trace(self, name: str, max_instructions: int):
         """Execute (and cache) the workload's trace.
 
-        Traces are memoised per process; when ``REPRO_TRACE_CACHE`` names
-        a directory, they are also persisted there as ``.npz`` files so
-        repeated benchmark invocations skip the interpreter entirely.
+        Traces are memoised per process and, unless disabled via
+        ``REPRO_CACHE_DIR``, persisted by :mod:`repro.runtime.cache` so
+        repeated invocations — including parallel sweep workers — skip
+        the interpreter entirely.  The legacy ``REPRO_TRACE_CACHE``
+        directory is still honoured when set.
         """
         from ..cpu.machine import Machine
+        from ..runtime import cache as disk_cache
 
         key = (name, max_instructions)
         if key not in self._traces:
-            disk = self._disk_cache_path(name, max_instructions)
-            if disk is not None and disk.exists():
+            trace = None
+            legacy = self._disk_cache_path(name, max_instructions)
+            if legacy is not None and legacy.exists():
                 from ..trace.record import Trace
 
-                self._traces[key] = Trace.load(disk)
-            else:
+                trace = Trace.load(legacy)
+            if trace is None:
+                trace = disk_cache.load_trace(name, max_instructions,
+                                              self.digest(name))
+            if trace is None:
                 program = self.program(name)
-                result = Machine(program).run(
-                    max_instructions=max_instructions)
-                self._traces[key] = result.trace
-                if disk is not None:
-                    disk.parent.mkdir(parents=True, exist_ok=True)
-                    result.trace.save(disk)
+                trace = Machine(program).run(
+                    max_instructions=max_instructions).trace
+                disk_cache.store_trace(trace, name, max_instructions,
+                                       self.digest(name))
+            if legacy is not None and not legacy.exists():
+                legacy.parent.mkdir(parents=True, exist_ok=True)
+                trace.save(legacy)
+            self._traces[key] = trace
         return self._traces[key]
 
     @staticmethod
@@ -127,9 +150,10 @@ class WorkloadRegistry:
         return Path(root) / f"{name}-{max_instructions}.npz"
 
     def clear_caches(self) -> None:
-        """Drop cached programs and traces (tests)."""
+        """Drop cached programs, traces and digests (tests)."""
         self._programs.clear()
         self._traces.clear()
+        self._digests.clear()
 
 
 #: The process-wide registry the workload modules register into.

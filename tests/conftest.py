@@ -1,0 +1,24 @@
+"""Shared fixtures: keep the persistent cache out of the user's home.
+
+The runtime's disk cache (``REPRO_CACHE_DIR``) defaults to
+``~/.cache/repro``.  Tests must neither read a developer's warm cache
+(hiding interpreter regressions) nor litter it, so the whole session is
+pointed at a throwaway directory — while keeping the cache *enabled* so
+its code paths stay exercised.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache_dir(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

@@ -42,7 +42,13 @@ class TestBudget:
 
     def test_too_small_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_LEN", "10")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="REPRO_TRACE_LEN"):
+            instruction_budget()
+
+    @pytest.mark.parametrize("raw", ["lots", "1e5", "120k", ""])
+    def test_non_numeric_names_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE_LEN", raw)
+        with pytest.raises(ValueError, match="REPRO_TRACE_LEN"):
             instruction_budget()
 
 

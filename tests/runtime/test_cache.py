@@ -1,0 +1,148 @@
+"""Persistent disk cache: keying, round trips, atomicity, purging."""
+
+import numpy as np
+import pytest
+
+from repro.icache import CacheGeometry
+from repro.runtime import cache
+from repro.trace import segment_blocks
+from repro.workloads import get_workload, load_trace
+
+BUDGET = 5_000
+NAME = "compress"
+GEOMETRY = CacheGeometry.normal(8)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load_trace(NAME, BUDGET)
+
+
+@pytest.fixture(scope="module")
+def digest():
+    return cache.program_digest(get_workload(NAME).build())
+
+
+class TestConfiguration:
+    def test_default_is_home_cache(self, monkeypatch):
+        monkeypatch.delenv(cache.CACHE_DIR_ENV, raising=False)
+        root = cache.cache_dir()
+        assert root is not None
+        assert root.parts[-2:] == (".cache", "repro")
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF"])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, value)
+        assert cache.cache_dir() is None
+        assert not cache.enabled()
+
+    def test_explicit_directory(self, cache_dir):
+        assert cache.cache_dir() == cache_dir
+        assert cache.enabled()
+
+    def test_disabled_cache_is_inert(self, monkeypatch, trace, digest):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, "off")
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        assert cache.load_trace(NAME, BUDGET, digest) is None
+        assert cache.purge() == 0
+
+
+class TestDigest:
+    def test_stable_across_builds(self):
+        a = cache.program_digest(get_workload(NAME).build())
+        b = cache.program_digest(get_workload(NAME).build())
+        assert a == b
+
+    def test_differs_between_programs(self):
+        a = cache.program_digest(get_workload("compress").build())
+        b = cache.program_digest(get_workload("go").build())
+        assert a != b
+
+
+class TestTraceRoundTrip:
+    def test_miss_then_hit(self, cache_dir, trace, digest):
+        assert cache.load_trace(NAME, BUDGET, digest) is None
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        loaded = cache.load_trace(NAME, BUDGET, digest)
+        assert loaded is not None
+        assert loaded.n_instructions == trace.n_instructions
+        np.testing.assert_array_equal(loaded.pc, trace.pc)
+        np.testing.assert_array_equal(loaded.kind, trace.kind)
+        np.testing.assert_array_equal(loaded.taken, trace.taken)
+        np.testing.assert_array_equal(loaded.target, trace.target)
+
+    def test_digest_mismatch_misses(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        assert cache.load_trace(NAME, BUDGET, "0" * 16) is None
+
+    def test_budget_mismatch_misses(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        assert cache.load_trace(NAME, BUDGET + 1, digest) is None
+
+    def test_corrupt_file_is_a_miss(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        path.write_bytes(b"not a zip archive")
+        assert cache.load_trace(NAME, BUDGET, digest) is None
+
+    def test_no_tmp_files_left_behind(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        leftovers = [p for p in (cache_dir / "traces").iterdir()
+                     if p.name.endswith(".tmp.npz")]
+        assert leftovers == []
+
+
+class TestBlocksRoundTrip:
+    def test_miss_then_hit(self, cache_dir, trace, digest):
+        blocks = segment_blocks(trace, GEOMETRY)
+        assert cache.load_blocks(trace, GEOMETRY, NAME, BUDGET,
+                                 digest) is None
+        cache.store_blocks(blocks, NAME, BUDGET, digest)
+        loaded = cache.load_blocks(trace, GEOMETRY, NAME, BUDGET, digest)
+        assert loaded is not None
+        assert loaded.trace is trace
+        assert loaded.geometry == GEOMETRY
+        np.testing.assert_array_equal(loaded.start, blocks.start)
+        np.testing.assert_array_equal(loaded.n_instr, blocks.n_instr)
+        np.testing.assert_array_equal(loaded.exit_kind, blocks.exit_kind)
+        np.testing.assert_array_equal(loaded.exit_target,
+                                      blocks.exit_target)
+        np.testing.assert_array_equal(loaded.first_rec, blocks.first_rec)
+        np.testing.assert_array_equal(loaded.n_recs, blocks.n_recs)
+
+    def test_keyed_per_geometry(self, cache_dir, trace, digest):
+        blocks = segment_blocks(trace, GEOMETRY)
+        cache.store_blocks(blocks, NAME, BUDGET, digest)
+        other = CacheGeometry.self_aligned(8)
+        assert cache.load_blocks(trace, other, NAME, BUDGET,
+                                 digest) is None
+
+    def test_stale_record_count_is_a_miss(self, cache_dir, digest):
+        short = load_trace(NAME, 2_000)
+        long = load_trace(NAME, BUDGET)
+        cache.store_blocks(segment_blocks(short, GEOMETRY), NAME, BUDGET,
+                           digest)
+        assert cache.load_blocks(long, GEOMETRY, NAME, BUDGET,
+                                 digest) is None
+
+
+class TestPurge:
+    def test_purge_removes_artifacts(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        cache.store_blocks(segment_blocks(trace, GEOMETRY), NAME, BUDGET,
+                           digest)
+        assert cache.purge() == 2
+        assert cache.load_trace(NAME, BUDGET, digest) is None
+
+    def test_purge_spares_foreign_files(self, cache_dir, trace, digest):
+        foreign = cache_dir / "keep.txt"
+        foreign.write_text("mine")
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        cache.purge()
+        assert foreign.exists()

@@ -1,0 +1,104 @@
+"""Sweep executor: job parsing, order preservation, parallel == serial."""
+
+import os
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.icache import CacheGeometry
+from repro.runtime.executor import (
+    JOBS_ENV,
+    SuiteSpec,
+    execute,
+    n_jobs,
+    run_suite_specs,
+)
+
+BUDGET = 5_000
+
+
+def _square(x):
+    """Top-level worker so it pickles into pool processes."""
+    return x * x
+
+
+class TestNJobs:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert n_jobs() == 1
+        assert n_jobs(default=7) == 7
+
+    def test_empty_uses_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "  ")
+        assert n_jobs() == 1
+
+    def test_positive_integer(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert n_jobs() == 4
+
+    @pytest.mark.parametrize("value", ["auto", "0", "AUTO"])
+    def test_auto_maps_to_cpu_count(self, monkeypatch, value):
+        monkeypatch.setenv(JOBS_ENV, value)
+        assert n_jobs() == (os.cpu_count() or 1)
+
+    def test_garbage_raises_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError, match=JOBS_ENV):
+            n_jobs()
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "-2")
+        with pytest.raises(ValueError, match=JOBS_ENV):
+            n_jobs()
+
+
+class TestExecute:
+    def test_serial_map_preserves_order(self):
+        assert execute(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_map_matches_serial(self):
+        cells = list(range(20))
+        assert execute(_square, cells, jobs=4) == \
+            execute(_square, cells, jobs=1)
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        double = lambda x: 2 * x  # noqa: E731 — deliberately unpicklable
+        assert execute(double, [1, 2, 3], jobs=4) == [2, 4, 6]
+
+    def test_empty_cells(self):
+        assert execute(_square, [], jobs=4) == []
+
+    def test_warm_hook_skipped_when_serial(self):
+        calls = []
+        execute(_square, [1, 2], jobs=1, warm=calls.append)
+        assert calls == []
+
+
+class TestSuiteSpecs:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SuiteSpec(suite="int",
+                         config=EngineConfig(
+                             geometry=CacheGeometry.normal(8)),
+                         budget=BUDGET)
+
+    def test_parallel_aggregate_identical_to_serial(self, spec,
+                                                    monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "1")
+        serial, = run_suite_specs([spec])
+        monkeypatch.setenv(JOBS_ENV, "4")
+        parallel, = run_suite_specs([spec])
+        assert parallel.n_instructions == serial.n_instructions
+        assert parallel.fetch_cycles == serial.fetch_cycles
+        assert parallel.penalty_cycles == serial.penalty_cycles
+        assert list(parallel.per_program) == list(serial.per_program)
+        for name, stats in serial.per_program.items():
+            assert parallel.per_program[name] == stats
+
+    def test_batch_order_matches_spec_order(self, spec):
+        fp_spec = SuiteSpec(suite="fp", config=spec.config, budget=BUDGET)
+        int_agg, fp_agg = run_suite_specs([spec, fp_spec], jobs=1)
+        from repro.workloads import SPECFP95, SPECINT95
+
+        assert list(int_agg.per_program) == SPECINT95
+        assert list(fp_agg.per_program) == SPECFP95

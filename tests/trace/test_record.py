@@ -77,3 +77,23 @@ class TestPersistence:
         np.testing.assert_array_equal(loaded.kind, t.kind)
         np.testing.assert_array_equal(loaded.taken, t.taken)
         np.testing.assert_array_equal(loaded.target, t.target)
+
+    def test_roundtrip_preserves_dtypes_and_counts(self, tmp_path):
+        t = tiny_trace()
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded.pc.dtype == np.int64
+        assert loaded.kind.dtype == np.uint8
+        assert loaded.taken.dtype == bool
+        assert loaded.target.dtype == np.int64
+        assert loaded.n_records == t.n_records
+        assert loaded.n_branches == t.n_branches
+        assert loaded.n_cond == t.n_cond
+
+    def test_roundtrip_preserves_truncated_flag(self, tmp_path):
+        t = Trace.from_lists(0, 12, [3], [K_HALT], [False], [12],
+                             truncated=True)
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        assert Trace.load(path).truncated is True

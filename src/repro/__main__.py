@@ -33,6 +33,7 @@ from .experiments import (
 )
 from .icache import CacheGeometry
 from .runtime.executor import n_jobs
+from .runtime.resilience import SweepError
 from .trace import trace_stats
 from .workloads import SPEC95, get_workload, load_fetch_input, load_trace
 
@@ -59,24 +60,42 @@ def _build_parser() -> argparse.ArgumentParser:
                     "Prediction' (HPCA 1997)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sweep_options(p) -> None:
+        """Resilient-runtime options shared by every sweep command."""
+        p.add_argument("--jobs", type=str, default=None,
+                       help="worker processes for the sweep "
+                            "(int or 'auto'; default: REPRO_JOBS "
+                            "or serial)")
+        p.add_argument("--retries", type=str, default=None,
+                       help="retry budget per sweep cell "
+                            "(default: REPRO_RETRIES or 2)")
+        p.add_argument("--cell-timeout", type=str, default=None,
+                       help="per-cell deadline in seconds for parallel "
+                            "sweeps (default: REPRO_CELL_TIMEOUT or "
+                            "none)")
+        p.add_argument("--resume", dest="resume", action="store_true",
+                       default=None,
+                       help="resume an interrupted sweep from its "
+                            "journal (default)")
+        p.add_argument("--no-resume", dest="resume",
+                       action="store_false",
+                       help="ignore any existing sweep journal and "
+                            "recompute every cell")
+
     for name in (*_EXPERIMENTS, "table7"):
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
         if name != "table7":
             p.add_argument("--budget", type=int, default=None,
                            help="instructions per workload "
                                 "(default: REPRO_TRACE_LEN or 120000)")
-            p.add_argument("--jobs", type=str, default=None,
-                           help="worker processes for the sweep "
-                                "(int or 'auto'; default: REPRO_JOBS "
-                                "or serial)")
+            add_sweep_options(p)
 
     sub.add_parser("workloads", help="list the SPEC95-analog workloads")
 
     p = sub.add_parser("report", help="regenerate every paper artifact "
                                       "into one markdown file")
     p.add_argument("--budget", type=int, default=None)
-    p.add_argument("--jobs", type=str, default=None,
-                   help="worker processes for the sweeps (int or 'auto')")
+    add_sweep_options(p)
     p.add_argument("--output", default="report.md")
 
     p = sub.add_parser("run", help="run one workload through a fetch "
@@ -96,21 +115,41 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _apply_jobs(jobs) -> None:
-    """Propagate ``--jobs`` to ``REPRO_JOBS`` (validated eagerly).
+def _apply_runtime(args) -> None:
+    """Propagate sweep flags to their environment variables, validated.
 
-    The executor reads the environment variable, so setting it here makes
-    one flag govern every sweep the command triggers, including those in
-    worker warm-up.
+    The runtime reads the environment, so setting it here makes one flag
+    govern every sweep the command triggers, including those in worker
+    warm-up.  Every knob — flag-set or inherited from the environment —
+    is validated eagerly so a typo fails (exit 2) before any simulation.
     """
-    if jobs is None:
-        return
     import os
 
+    from .runtime import faults, resilience
     from .runtime.executor import JOBS_ENV
 
-    os.environ[JOBS_ENV] = jobs
-    n_jobs()  # validate now so a typo fails before any simulation
+    if getattr(args, "jobs", None) is not None:
+        os.environ[JOBS_ENV] = args.jobs
+    if getattr(args, "retries", None) is not None:
+        os.environ[resilience.RETRIES_ENV] = args.retries
+    if getattr(args, "cell_timeout", None) is not None:
+        os.environ[resilience.TIMEOUT_ENV] = args.cell_timeout
+    if getattr(args, "resume", None) is not None:
+        os.environ[resilience.RESUME_ENV] = "1" if args.resume else "0"
+    n_jobs()
+    resilience.retry_limit()
+    resilience.cell_timeout()
+    resilience.resume_enabled()
+    faults.validate()
+
+
+def _emit_sweep_reports() -> None:
+    """Print a summary for every sweep that degraded (to stderr)."""
+    from .runtime import resilience
+
+    for report in resilience.drain_reports():
+        if not report.clean:
+            print(report.summary(), file=sys.stderr)
 
 
 def _cmd_experiment(name: str, budget) -> None:
@@ -153,14 +192,14 @@ def main(argv=None) -> int:
         if args.command == "table7":
             print(format_table7(run_table7()))
         elif args.command in _EXPERIMENTS:
-            _apply_jobs(args.jobs)
+            _apply_runtime(args)
             _cmd_experiment(args.command, args.budget)
         elif args.command == "workloads":
             _cmd_workloads()
         elif args.command == "report":
             from .experiments.report import write_report
 
-            _apply_jobs(args.jobs)
+            _apply_runtime(args)
             path = write_report(args.output, budget=args.budget,
                                 verbose=True)
             print(f"wrote {path}")
@@ -168,9 +207,17 @@ def main(argv=None) -> int:
             _cmd_run(args)
     except BrokenPipeError:
         return 0  # output piped into a pager that closed early
+    except SweepError as exc:
+        # Cells were dropped after every recovery path: report what
+        # degraded and exit non-zero.  Completed cells stay journaled,
+        # so rerunning the same command resumes instead of restarting.
+        _emit_sweep_reports()
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _emit_sweep_reports()
     return 0
 
 

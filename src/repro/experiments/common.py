@@ -113,7 +113,8 @@ class SuiteAggregate:
 
 
 def run_suite(suite: str, config: EngineConfig, budget: int,
-              engine_factory: Callable = None) -> SuiteAggregate:
+              engine_factory: Callable = None,
+              label: str = None) -> SuiteAggregate:
     """Run one engine configuration over a full sub-suite.
 
     ``engine_factory`` defaults to the dual-block engine; pass
@@ -126,16 +127,20 @@ def run_suite(suite: str, config: EngineConfig, budget: int,
     """
     return run_suite_batch(
         [SuiteSpec(suite=suite, config=config, budget=budget,
-                   engine_factory=engine_factory)])[0]
+                   engine_factory=engine_factory)], label=label)[0]
 
 
-def run_suite_batch(specs: List[SuiteSpec]) -> List[SuiteAggregate]:
+def run_suite_batch(specs: List[SuiteSpec],
+                    label: str = None) -> List[SuiteAggregate]:
     """Run several suite sweeps as one fan-out (one aggregate per spec).
 
     Batching lets ``REPRO_JOBS`` workers interleave the cells of *all*
     requested configurations instead of synchronising per configuration.
+    ``label`` names the sweep in :class:`~repro.runtime.resilience.\
+SweepReport`\\ s and keys its checkpoint journal, so an interrupted
+    labeled run resumes from its completed cells.
     """
-    return run_suite_specs(specs)
+    return run_suite_specs(specs, label=label)
 
 
 def run_single_block_suite(suite: str, config: EngineConfig,

@@ -68,7 +68,8 @@ def run_fig6(history_lengths: Iterable[int] = range(6, 13),
     names = [name for suite_names in SUITES.values()
              for name in suite_names]
     cells = [(name, budget, block_width, hs) for name in names]
-    sweeps = dict(zip(names, execute(_fig6_cell, cells, warm=_warm_fig6)))
+    sweeps = dict(zip(names, execute(_fig6_cell, cells, warm=_warm_fig6,
+                                     label="fig6")))
 
     rows = []
     for suite, suite_names in SUITES.items():

@@ -71,7 +71,7 @@ def run_fig7(sizes: Iterable[int] = None, budget: int = None,
                                       bit_entries=entries),
                   budget=budget,
                   engine_factory=SingleBlockEngine)
-        for suite, entries in points])
+        for suite, entries in points], label="fig7")
     rows = []
     for (suite, entries), agg in zip(points, aggregates):
         rows.append(Fig7Row(

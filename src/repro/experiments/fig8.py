@@ -53,7 +53,7 @@ def run_fig8(history_lengths: Iterable[int] = DEFAULT_HISTORY,
                                       n_select_tables=n_st,
                                       selection=selection),
                   budget=budget)
-        for suite, selection, h, n_st in points])
+        for suite, selection, h, n_st in points], label="fig8")
     return [Fig8Row(
         suite=suite,
         selection=selection,

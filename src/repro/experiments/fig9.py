@@ -52,7 +52,7 @@ def run_fig9(budget: int = None) -> List[Fig9Row]:
     suites = (("fp", SPECFP95), ("int", SPECINT95))
     aggregates = run_suite_batch([
         SuiteSpec(suite=suite, config=config, budget=budget)
-        for suite, _ in suites])
+        for suite, _ in suites], label="fig9")
     rows = []
     for (suite, names), aggregate in zip(suites, aggregates):
         for name in names:

@@ -62,7 +62,7 @@ def run_table5(btb_sizes: Iterable[int] = DEFAULT_BTB_SIZES,
                                       target_entries=size,
                                       near_block=near_block),
                   budget=budget)
-        for target_kind, size, near_block in points])
+        for target_kind, size, near_block in points], label="table5")
     rows = []
     for (target_kind, size, near_block), agg in zip(points, aggregates):
         scale = (NLS_FOOTPRINT_SCALE if target_kind == TARGET_NLS

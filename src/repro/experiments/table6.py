@@ -62,7 +62,7 @@ def run_table6(budget: int = None, history_length: int = 10,
                                    engine_factory=SingleBlockEngine))
             specs.append(SuiteSpec(suite=suite, config=config,
                                    budget=budget))
-    aggregates = run_suite_batch(specs)
+    aggregates = run_suite_batch(specs, label="table6")
     rows = []
     for i, (cache_name, geometry, suite) in enumerate(points):
         single, dual = aggregates[2 * i], aggregates[2 * i + 1]

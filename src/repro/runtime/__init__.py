@@ -1,15 +1,23 @@
-"""Sweep runtime: parallel execution and persistent caching.
+"""Sweep runtime: parallel execution, resilience and persistent caching.
 
-Two pieces:
+Three pieces:
 
 * :mod:`repro.runtime.cache` — a persistent on-disk trace + segmentation
   cache (``REPRO_CACHE_DIR``, default ``~/.cache/repro``) layered under
   the in-memory caches of :mod:`repro.workloads.registry`, with atomic
-  writes safe for concurrent workers.
+  writes safe for concurrent workers, checksum verification, quarantine
+  of corrupt artifacts and bounded-size eviction.
 * :mod:`repro.runtime.executor` — a deterministic process-parallel sweep
   executor (``REPRO_JOBS``) that fans out (engine config x workload)
   cells and merges per-program statistics back in canonical order, so
   parallel runs are bit-identical to serial ones.
+* :mod:`repro.runtime.resilience` — the fault-tolerant execution loop
+  under the executor: per-cell deadlines (``REPRO_CELL_TIMEOUT``),
+  bounded retries (``REPRO_RETRIES``), crash recovery with pool
+  respawn, journaled checkpoint/resume (``REPRO_RESUME``) and the
+  :class:`~repro.runtime.resilience.SweepReport` record of what
+  degraded.  :mod:`repro.runtime.faults` injects deterministic faults
+  (``REPRO_FAULT_SPEC``) so every recovery path stays testable.
 
 The executor is re-exported lazily: the workload registry imports
 :mod:`repro.runtime.cache` at module load, and eagerly importing the
@@ -19,19 +27,33 @@ its workers) would create an import cycle.
 
 from __future__ import annotations
 
-from . import cache  # noqa: F401  (light: no repro.workloads dependency)
+from . import cache, faults  # noqa: F401  (light: no workloads import)
 
 _EXECUTOR_NAMES = ("JOBS_ENV", "SuiteSpec", "execute", "n_jobs",
-                   "run_suite_specs", "warm_fetch_inputs")
+                   "run_suite_specs", "unpicklable_reason",
+                   "warm_fetch_inputs")
 
-__all__ = ["cache", "executor", *_EXECUTOR_NAMES]
+_RESILIENCE_NAMES = ("CellOutcome", "Journal", "SweepError", "SweepReport",
+                     "SweepResult", "cell_timeout", "drain_reports",
+                     "resume_enabled", "retry_limit", "run_resilient")
+
+__all__ = ["cache", "executor", "faults", "resilience",
+           *_EXECUTOR_NAMES, *_RESILIENCE_NAMES]
 
 
 def __getattr__(name: str):
-    if name == "executor" or name in _EXECUTOR_NAMES:
-        from . import executor
+    # import_module, not ``from . import ...``: the latter re-enters
+    # this ``__getattr__`` via hasattr and recurses.
+    import importlib
 
+    if name == "executor" or name in _EXECUTOR_NAMES:
+        executor = importlib.import_module(".executor", __name__)
         if name == "executor":
             return executor
         return getattr(executor, name)
+    if name == "resilience" or name in _RESILIENCE_NAMES:
+        resilience = importlib.import_module(".resilience", __name__)
+        if name == "resilience":
+            return resilience
+        return getattr(resilience, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

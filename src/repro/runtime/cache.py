@@ -14,11 +14,16 @@ Layout and keying:
   the empty string, ``0``, ``off`` or ``none`` to disable persistence.
 * Traces: ``traces/<name>-<budget>-<digest>.npz``.
 * Segmentations: ``blocks/<name>-<budget>-<geometry>-<digest>.npz``.
+* Integrity: every artifact gets a ``<file>.sha256`` sidecar, verified
+  on read.
+* Corrupt artifacts move to ``quarantine/`` (with a warning) instead of
+  being silently re-hit on every run.
 
 ``digest`` is a truncated SHA-256 over the workload's *assembled program*
 (opcodes, registers, immediates, entry point, data size), so editing a
 workload analog automatically invalidates its cached artifacts — there is
-no staleness to manage, only garbage to purge (:func:`purge`).
+no staleness to manage, only garbage to purge (:func:`purge`) or evict
+(:func:`evict`, bounded by ``REPRO_CACHE_MAX_BYTES``).
 
 Writes go through a temporary file in the same directory followed by
 ``os.replace``, so concurrent sweep workers never observe a torn file:
@@ -29,18 +34,30 @@ from __future__ import annotations
 
 import hashlib
 import os
+import shutil
+import warnings
 import zipfile
 from pathlib import Path
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..icache.geometry import CacheGeometry
 from ..trace.blocks import BlockStream
 from ..trace.record import Trace
+from . import faults
 
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding the cache size (bytes; 'off' = no bound).
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: Default cache-size bound applied by :func:`evict`.
+DEFAULT_MAX_BYTES = 4 * 1024 ** 3
+
+#: Subdirectory corrupt artifacts are moved into.
+QUARANTINE_DIR = "quarantine"
 
 #: Values of ``REPRO_CACHE_DIR`` that disable the disk cache.
 _DISABLED = {"", "0", "off", "none", "disable", "disabled"}
@@ -48,9 +65,12 @@ _DISABLED = {"", "0", "off", "none", "disable", "disabled"}
 #: Hex digits of the program digest kept in file names.
 _DIGEST_LEN = 16
 
-#: Errors treated as a cache miss when reading an artifact.
-_READ_ERRORS = (OSError, ValueError, KeyError, EOFError,
-                zipfile.BadZipFile)
+#: Errors treated as artifact corruption when reading.
+READ_ERRORS = (OSError, ValueError, KeyError, EOFError,
+               zipfile.BadZipFile)
+_READ_ERRORS = READ_ERRORS  # backwards-compatible alias
+
+_CHECKSUM_SUFFIX = ".sha256"
 
 
 def cache_dir() -> Optional[Path]:
@@ -66,6 +86,26 @@ def cache_dir() -> Optional[Path]:
 def enabled() -> bool:
     """True when the persistent cache is active."""
     return cache_dir() is not None
+
+
+def max_cache_bytes() -> Optional[int]:
+    """Cache-size bound from ``REPRO_CACHE_MAX_BYTES`` (None = no bound)."""
+    raw = os.environ.get(MAX_BYTES_ENV)
+    if raw is None:
+        return DEFAULT_MAX_BYTES
+    text = raw.strip().lower()
+    if text in _DISABLED:
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(
+            f"{MAX_BYTES_ENV} must be a byte count or 'off', "
+            f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(
+            f"{MAX_BYTES_ENV} must not be negative, got {value}")
+    return value
 
 
 def program_digest(program) -> str:
@@ -98,6 +138,100 @@ def _blocks_path(root: Path, name: str, budget: int,
             f"{name}-{budget}-{_geometry_key(geometry)}-{digest}.npz")
 
 
+# ----------------------------------------------------------------------
+# Integrity: checksums and quarantine
+# ----------------------------------------------------------------------
+
+def _checksum_path(path: Path) -> Path:
+    return path.with_name(path.name + _CHECKSUM_SUFFIX)
+
+
+def _file_sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+def _write_checksum(path: Path) -> None:
+    side = _checksum_path(path)
+    tmp = side.with_name(f"{side.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(_file_sha256(path))
+        os.replace(tmp, side)
+    except OSError:
+        pass  # a missing sidecar only skips verification, never data
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _verify_checksum(path: Path) -> bool:
+    """False when the artifact's bytes disagree with its sidecar.
+
+    Artifacts without a sidecar (written before checksums existed) are
+    accepted — their structural parse still guards against truncation.
+    """
+    side = _checksum_path(path)
+    if not side.exists():
+        return True
+    try:
+        expected = side.read_text().strip()
+        return _file_sha256(path) == expected
+    except OSError:
+        return False
+
+
+def quarantine(path: Path, reason: str) -> Optional[Path]:
+    """Move a corrupt artifact out of the hot path, with a warning.
+
+    Returns the quarantined path (or ``None`` if the file could only be
+    deleted).  Either way the corrupt file stops shadowing the cache key,
+    so the next run recomputes and rewrites a good artifact instead of
+    re-hitting the bad one forever.
+    """
+    root = cache_dir()
+    dest: Optional[Path] = None
+    if root is not None:
+        qdir = root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / path.name
+            os.replace(path, dest)
+        except OSError:
+            dest = None
+    if dest is None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            return None
+    _checksum_path(path).unlink(missing_ok=True)
+    warnings.warn(
+        f"quarantined corrupt cache artifact {path.name} ({reason}); "
+        f"it will be recomputed", RuntimeWarning, stacklevel=4)
+    return dest
+
+
+def _read_artifact(path: Path, loader: Callable[[Path], object],
+                   kind: str, name: str):
+    """Load an artifact, quarantining corruption instead of re-hitting it.
+
+    Returns ``None`` on a plain miss or after quarantining a corrupt
+    file — the caller recomputes either way.
+    """
+    if not path.exists():
+        return None
+    faults.corrupt_artifact(path, kind, name)
+    if not _verify_checksum(path):
+        quarantine(path, "checksum mismatch")
+        return None
+    try:
+        return loader(path)
+    except READ_ERRORS as exc:
+        quarantine(path, f"unreadable: {exc!r}")
+        return None
+
+
 def _atomic_write(path: Path, save) -> None:
     """Write via ``save(tmp_path)`` then atomically rename into place."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -108,6 +242,7 @@ def _atomic_write(path: Path, save) -> None:
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+    _write_checksum(path)
 
 
 # ----------------------------------------------------------------------
@@ -115,17 +250,12 @@ def _atomic_write(path: Path, save) -> None:
 # ----------------------------------------------------------------------
 
 def load_trace(name: str, budget: int, digest: str) -> Optional[Trace]:
-    """Read a cached trace, or ``None`` on a miss (or unreadable file)."""
+    """Read a cached trace, or ``None`` on a miss (or quarantined file)."""
     root = cache_dir()
     if root is None:
         return None
     path = _trace_path(root, name, budget, digest)
-    if not path.exists():
-        return None
-    try:
-        return Trace.load(path)
-    except _READ_ERRORS:
-        return None
+    return _read_artifact(path, Trace.load, "trace", name)
 
 
 def store_trace(trace: Trace, name: str, budget: int, digest: str) -> None:
@@ -147,10 +277,9 @@ def load_blocks(trace: Trace, geometry: CacheGeometry, name: str,
     if root is None:
         return None
     path = _blocks_path(root, name, budget, geometry, digest)
-    if not path.exists():
-        return None
-    try:
-        with np.load(path) as data:
+
+    def load(source: Path) -> Optional[BlockStream]:
+        with np.load(source) as data:
             if int(data["n_records"]) != trace.n_records:
                 return None  # stale artifact from a different trace
             return BlockStream(
@@ -163,8 +292,8 @@ def load_blocks(trace: Trace, geometry: CacheGeometry, name: str,
                 first_rec=data["first_rec"].astype(np.int64),
                 n_recs=data["n_recs"].astype(np.int64),
             )
-    except _READ_ERRORS:
-        return None
+
+    return _read_artifact(path, load, "blocks", name)
 
 
 def store_blocks(blocks: BlockStream, name: str, budget: int,
@@ -195,23 +324,91 @@ def store_blocks(blocks: BlockStream, name: str, budget: int,
 # ----------------------------------------------------------------------
 
 def purge() -> int:
-    """Delete every cached artifact; returns the number of files removed.
+    """Delete every cached artifact; returns the number removed.
 
-    Only this module's own subdirectories are touched, so an unrelated
-    ``REPRO_CACHE_DIR`` cannot lose foreign files.
+    Covers traces, segmentations, quarantined files, checksum sidecars
+    and sweep journals.  Only this module's own subdirectories are
+    touched, so an unrelated ``REPRO_CACHE_DIR`` cannot lose foreign
+    files.  Sidecars are deleted but not counted — the return value is
+    the number of artifacts, matching pre-checksum behaviour.
     """
     root = cache_dir()
     if root is None:
         return 0
     removed = 0
-    for sub in ("traces", "blocks"):
+    for sub in ("traces", "blocks", QUARANTINE_DIR):
         directory = root / sub
         if not directory.is_dir():
             continue
-        for path in directory.glob("*.npz"):
+        for path in directory.iterdir():
+            if not path.is_file():
+                continue
             try:
                 path.unlink()
-                removed += 1
             except OSError:
-                pass
+                continue
+            if not path.name.endswith(_CHECKSUM_SUFFIX):
+                removed += 1
+    journal_root = root / "journal"
+    if journal_root.is_dir():
+        for entry in journal_root.iterdir():
+            if entry.is_dir():
+                count = sum(1 for p in entry.glob("cell-*.pkl"))
+                shutil.rmtree(entry, ignore_errors=True)
+                if not entry.exists():
+                    removed += count
+    return removed
+
+
+def evict(limit: Optional[int] = None) -> int:
+    """Delete oldest artifacts until the cache fits a byte budget.
+
+    ``limit`` defaults to ``REPRO_CACHE_MAX_BYTES`` (4 GiB unless set;
+    ``off`` disables the bound).  Quarantined files are evicted first —
+    they exist only for post-mortems — then traces and segmentations by
+    oldest modification time.  Returns the number of artifacts removed.
+    """
+    root = cache_dir()
+    if root is None:
+        return 0
+    if limit is None:
+        limit = max_cache_bytes()
+    if limit is None:
+        return 0
+
+    entries: List[Tuple[int, float, Path, int]] = []
+    total = 0
+    for sub, rank in ((QUARANTINE_DIR, 0), ("traces", 1), ("blocks", 1)):
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            if not path.is_file() \
+                    or path.name.endswith(_CHECKSUM_SUFFIX):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            size = stat.st_size
+            side = _checksum_path(path)
+            if side.exists():
+                try:
+                    size += side.stat().st_size
+                except OSError:
+                    pass
+            total += size
+            entries.append((rank, stat.st_mtime, path, size))
+
+    removed = 0
+    for rank, _, path, size in sorted(entries, key=lambda e: e[:2]):
+        if total <= limit:
+            break
+        try:
+            path.unlink(missing_ok=True)
+            _checksum_path(path).unlink(missing_ok=True)
+        except OSError:
+            continue
+        total -= size
+        removed += 1
     return removed

@@ -3,18 +3,21 @@
 Every paper artifact is a sweep over (engine configuration x workload)
 cells, and every cell is independent: the engines are deterministic,
 cold-started per program, and share nothing but read-only fetch inputs.
-This module fans those cells out over a :class:`ProcessPoolExecutor` and
-merges the per-cell results back **in submission order**, so a parallel
-sweep is bit-identical to the serial one — parallelism only moves
-wall-clock, never numbers.
+This module fans those cells out over worker processes and merges the
+per-cell results back **in submission order**, so a parallel sweep is
+bit-identical to the serial one — parallelism only moves wall-clock,
+never numbers.
 
 The worker count comes from the ``REPRO_JOBS`` environment variable
 (:func:`n_jobs`); ``REPRO_JOBS=1`` (the default) short-circuits to a plain
-serial loop that is exactly the pre-runtime code path.  Workers populate
-the persistent cache of :mod:`repro.runtime.cache`; its atomic writes make
-concurrent population safe, and :func:`execute` pre-warms the cache for
-the distinct workloads of a sweep so concurrent workers do not race to
-interpret the same program.
+serial loop.  Execution itself is delegated to
+:mod:`repro.runtime.resilience`, which adds per-cell deadlines, bounded
+retries, crash recovery and journaled resume without changing any
+result.  Workers populate the persistent cache of
+:mod:`repro.runtime.cache`; its atomic writes make concurrent population
+safe, and :func:`execute` pre-warms the cache for the distinct workloads
+of a sweep so concurrent workers do not race to interpret the same
+program.
 
 Imports of :mod:`repro.workloads` and :mod:`repro.experiments` are kept
 inside functions: the workload registry itself layers on
@@ -26,12 +29,16 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 #: Environment variable selecting the worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Errors a pickling probe can legitimately raise for unpicklable work.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError,
+                  NotImplementedError)
 
 
 def n_jobs(default: int = 1) -> int:
@@ -59,39 +66,55 @@ def n_jobs(default: int = 1) -> int:
     return value
 
 
-def _picklable(*objects) -> bool:
+def unpicklable_reason(fn: Callable, cells: Sequence) -> Optional[str]:
+    """Why this sweep cannot cross a process boundary, or ``None``.
+
+    Names the offending object so a parallel sweep that silently ran
+    serially is diagnosable from its warning alone.
+    """
     try:
-        pickle.dumps(objects)
-        return True
-    except Exception:
-        return False
+        pickle.dumps(fn)
+    except _PICKLE_ERRORS as exc:
+        return f"sweep function {fn!r} is not picklable ({exc})"
+    try:
+        pickle.dumps(list(cells))
+    except _PICKLE_ERRORS as exc:
+        for i, cell in enumerate(cells):
+            try:
+                pickle.dumps(cell)
+            except _PICKLE_ERRORS:
+                return f"sweep cell {i} ({cell!r}) is not picklable"
+        return f"sweep cells are not picklable ({exc})"
+    return None
 
 
 def execute(fn: Callable, cells: Iterable, jobs: Optional[int] = None,
-            warm: Optional[Callable[[Sequence], None]] = None) -> List:
+            warm: Optional[Callable[[Sequence], None]] = None,
+            label: Optional[str] = None,
+            inject_faults: bool = True) -> List:
     """Order-preserving map of ``fn`` over ``cells``.
 
-    With one job (or one cell) this is a plain serial loop.  Otherwise the
-    cells are dispatched to a process pool and the results are returned in
-    cell order, which keeps any downstream aggregation deterministic.
-    ``warm``, when given, is invoked with the cell list before a parallel
-    fan-out (and never for serial runs) to pre-populate shared caches.
+    With one job (or one cell) this is a plain serial loop.  Otherwise
+    the cells are dispatched to worker processes and the results are
+    returned in cell order, which keeps any downstream aggregation
+    deterministic.  ``warm``, when given, is invoked with the cell list
+    before a parallel fan-out (and never for serial runs) to pre-populate
+    shared caches; warm failures are reported as warnings, never fatal.
 
-    Work that cannot be pickled — e.g. an ad-hoc lambda engine factory —
-    silently falls back to the serial loop rather than failing.
+    Execution goes through :func:`repro.runtime.resilience.run_resilient`
+    — cells run under the ``REPRO_CELL_TIMEOUT`` deadline with
+    ``REPRO_RETRIES`` retries, worker crashes respawn the pool and re-run
+    only the lost cells, and ``label``-ed sweeps checkpoint completed
+    cells to a journal so interrupted runs resume.  Work that cannot be
+    pickled — e.g. an ad-hoc lambda engine factory — falls back to the
+    serial loop with an explicit ``RuntimeWarning`` naming the
+    unpicklable object.
     """
-    cells = list(cells)
-    jobs = n_jobs() if jobs is None else jobs
-    jobs = min(jobs, len(cells)) if cells else 1
-    if jobs <= 1:
-        return [fn(cell) for cell in cells]
-    if not _picklable(fn, cells):
-        return [fn(cell) for cell in cells]
-    if warm is not None:
-        warm(cells)
-    chunksize = max(1, len(cells) // (jobs * 4))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, cells, chunksize=chunksize))
+    from . import resilience
+
+    return resilience.run_resilient(fn, cells, jobs=jobs, warm=warm,
+                                    label=label,
+                                    inject_faults=inject_faults).results
 
 
 # ----------------------------------------------------------------------
@@ -131,12 +154,21 @@ def _run_engine_cell(cell: Tuple[SuiteSpec, str]):
     return factory(spec.config).run(fetch_input)
 
 
-def _warm_fetch_cell(cell: Tuple[str, object, int]) -> None:
-    """Worker: populate the disk cache for one (name, geometry, budget)."""
+def _warm_fetch_cell(cell: Tuple[str, object, int]) -> Optional[str]:
+    """Worker: populate the disk cache for one (name, geometry, budget).
+
+    Warming is purely an optimization — the main pass recomputes any
+    input it misses — so a failure is *returned* (never raised): one bad
+    warm cell must not abort the sweep it was trying to speed up.
+    """
     name, geometry, budget = cell
     from ..workloads import load_fetch_input
 
-    load_fetch_input(name, geometry, budget)
+    try:
+        load_fetch_input(name, geometry, budget)
+    except Exception as exc:
+        return f"{name}: {exc!r}"
+    return None
 
 
 def warm_fetch_inputs(triples: Iterable[Tuple[str, object, int]],
@@ -148,13 +180,31 @@ def warm_fetch_inputs(triples: Iterable[Tuple[str, object, int]],
     the disk cache first — itself fanned out — stops parallel workers
     from interpreting the same program concurrently.  A no-op when the
     persistent cache is disabled (workers could not share the result).
+
+    Best-effort by construction: per-cell failures are caught in the
+    worker, pool-level failures are caught here, and either way the main
+    pass recomputes whatever warming missed.  Injected faults do not
+    apply — they target sweep cells, whose indexes would otherwise alias
+    warm cells.
     """
     from . import cache
 
     if not cache.enabled():
         return
     unique = list(dict.fromkeys(triples))
-    execute(_warm_fetch_cell, unique, jobs)
+    try:
+        failures = [f for f in execute(_warm_fetch_cell, unique, jobs,
+                                       inject_faults=False) if f]
+    except Exception as exc:
+        warnings.warn(
+            f"cache warm-up aborted ({exc!r}); sweep cells will compute "
+            f"their own inputs", RuntimeWarning, stacklevel=2)
+        return
+    if failures:
+        warnings.warn(
+            f"cache warm-up failed for {len(failures)} input(s) "
+            f"({failures[0]}); the sweep will recompute them",
+            RuntimeWarning, stacklevel=2)
 
 
 def _warm_for_specs(cells: Sequence[Tuple[SuiteSpec, str]]) -> None:
@@ -163,19 +213,22 @@ def _warm_for_specs(cells: Sequence[Tuple[SuiteSpec, str]]) -> None:
 
 
 def run_suite_specs(specs: Iterable[SuiteSpec],
-                    jobs: Optional[int] = None) -> List:
+                    jobs: Optional[int] = None,
+                    label: Optional[str] = None) -> List:
     """Run a batch of suite sweeps, fanning out every cell at once.
 
     Returns one ``SuiteAggregate`` per spec, in spec order; the aggregate
     folds per-program ``FetchStats`` in the suite's canonical program
-    order, exactly as the serial runner does.
+    order, exactly as the serial runner does.  ``label`` names the sweep
+    in reports and keys its checkpoint journal.
     """
     from ..experiments.common import SuiteAggregate
 
     specs = list(specs)
     cells = [(spec, name) for spec in specs
              for name in _suite_names(spec.suite)]
-    results = execute(_run_engine_cell, cells, jobs, warm=_warm_for_specs)
+    results = execute(_run_engine_cell, cells, jobs, warm=_warm_for_specs,
+                      label=label)
     aggregates: List[SuiteAggregate] = []
     cursor = 0
     for spec in specs:

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for the sweep runtime.
+
+Recovery code that is never exercised is recovery code that does not
+work.  This module turns the environment variable ``REPRO_FAULT_SPEC``
+into reproducible faults that the resilient executor and the persistent
+cache must survive, so every recovery path in
+:mod:`repro.runtime.resilience` is provable by an ordinary test — no
+sleeps, no signals, no flaky timing.
+
+Grammar: semicolon-separated directives, each ``action:target=value``
+with an optional ``,times=N`` (default 1)::
+
+    crash:cell=3          the worker process running sweep cell 3 dies
+                          hard (``os._exit``) on the cell's first attempt
+    hang:cell=5           the worker running cell 5 blocks far past any
+                          reasonable deadline on its first attempt
+    fail:cell=2,times=2   cell 2 raises :class:`FaultInjected` on its
+                          first two attempts
+    corrupt:trace=go      the cached trace artifact for workload ``go``
+                          is overwritten with garbage immediately before
+                          its next read (once per process)
+    corrupt:blocks=go     the same for the cached block segmentation
+
+Cell faults are gated on the *attempt number*, so a retried cell runs
+clean: ``crash:cell=3`` proves the pool respawns and re-runs exactly the
+lost cell, after which the sweep finishes with bit-identical numbers.
+In a worker process a ``crash`` really kills the interpreter; when the
+sweep runs serially there is no isolation boundary to sacrifice, so
+``crash`` and ``hang`` degrade to a raised :class:`FaultInjected` and
+exercise the retry path instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+#: Environment variable holding the fault specification.
+FAULTS_ENV = "REPRO_FAULT_SPEC"
+
+#: Exit code used by injected worker crashes (recognisable in core dumps
+#: of the test suite, never produced by real simulation code).
+CRASH_EXIT_CODE = 86
+
+#: How long an injected hang blocks — far beyond any sane cell deadline.
+HANG_SECONDS = 600.0
+
+_CELL_ACTIONS = ("crash", "hang", "fail")
+_ARTIFACT_KINDS = ("trace", "blocks")
+
+_CORRUPTION_MARKER = b"repro-injected-corruption"
+
+
+class FaultInjected(RuntimeError):
+    """The failure raised (or simulated) by an injected fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One parsed directive of ``REPRO_FAULT_SPEC``."""
+
+    action: str   #: ``crash`` | ``hang`` | ``fail`` | ``corrupt``
+    kind: str     #: ``cell`` for cell faults, else the artifact kind
+    target: str   #: cell index (as text) or workload name
+    times: int    #: attempts (or reads) the fault fires on
+
+
+def _bad_spec(raw: str, why: str) -> ValueError:
+    return ValueError(f"{FAULTS_ENV}: {why} (in {raw!r}); expected "
+                      f"directives like 'crash:cell=3', 'hang:cell=5', "
+                      f"'fail:cell=2,times=2' or 'corrupt:trace=go' "
+                      f"separated by ';'")
+
+
+def parse_spec(raw: Optional[str]) -> Tuple[Fault, ...]:
+    """Parse a fault specification, raising ``ValueError`` on bad input."""
+    if raw is None or not raw.strip():
+        return ()
+    parsed = []
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        action, sep, rest = chunk.partition(":")
+        action = action.strip().lower()
+        if not sep or not rest.strip():
+            raise _bad_spec(raw, f"directive {chunk!r} has no target")
+        if action not in (*_CELL_ACTIONS, "corrupt"):
+            raise _bad_spec(raw, f"unknown action {action!r}")
+        parts = [p.strip() for p in rest.split(",")]
+        key, sep, value = parts[0].partition("=")
+        key, value = key.strip().lower(), value.strip()
+        if not sep or not value:
+            raise _bad_spec(raw, f"directive {chunk!r} has no target value")
+        times = 1
+        for extra in parts[1:]:
+            opt, sep, amount = extra.partition("=")
+            if opt.strip().lower() != "times" or not sep:
+                raise _bad_spec(raw, f"unknown option {extra!r}")
+            try:
+                times = int(amount.strip())
+            except ValueError:
+                raise _bad_spec(raw, f"times must be an integer, "
+                                     f"got {amount!r}") from None
+            if times < 1:
+                raise _bad_spec(raw, f"times must be >= 1, got {times}")
+        if action in _CELL_ACTIONS:
+            if key != "cell":
+                raise _bad_spec(raw, f"{action} faults target 'cell', "
+                                     f"not {key!r}")
+            try:
+                index = int(value)
+            except ValueError:
+                raise _bad_spec(raw, f"cell index must be an integer, "
+                                     f"got {value!r}") from None
+            if index < 0:
+                raise _bad_spec(raw, f"cell index must be >= 0, "
+                                     f"got {index}")
+            parsed.append(Fault(action, "cell", str(index), times))
+        else:
+            if key not in _ARTIFACT_KINDS:
+                raise _bad_spec(raw, f"corrupt faults target one of "
+                                     f"{_ARTIFACT_KINDS}, not {key!r}")
+            parsed.append(Fault("corrupt", key, value, times))
+    return tuple(parsed)
+
+
+def active() -> Tuple[Fault, ...]:
+    """The faults configured in the environment (parsed fresh)."""
+    return parse_spec(os.environ.get(FAULTS_ENV))
+
+
+def validate() -> None:
+    """Raise ``ValueError`` if ``REPRO_FAULT_SPEC`` cannot be parsed."""
+    active()
+
+
+def apply_cell_faults(index: int, attempt: int, isolated: bool) -> None:
+    """Fire any cell fault matching ``(index, attempt)``.
+
+    ``isolated`` is True inside a sweep worker process, where a crash can
+    really take the interpreter down (and a hang really blocks) without
+    hurting the parent.  Serial execution has no such boundary, so hard
+    faults degrade to :class:`FaultInjected` and exercise the retry path.
+    """
+    for fault in active():
+        if fault.kind != "cell" or int(fault.target) != index:
+            continue
+        if attempt >= fault.times:
+            continue
+        if fault.action == "crash" and isolated:
+            os._exit(CRASH_EXIT_CODE)
+        if fault.action == "hang" and isolated:
+            time.sleep(HANG_SECONDS)
+        raise FaultInjected(
+            f"injected {fault.action}: cell {index}, attempt {attempt}")
+
+
+#: (kind, name) -> number of times a corruption fault already fired,
+#: so ``times=N`` is honoured within one process.
+_corruptions_fired: Dict[Tuple[str, str], int] = {}
+
+
+def corrupt_artifact(path: Path, kind: str, name: str) -> None:
+    """Overwrite a cache artifact with garbage if a fault targets it."""
+    for fault in active():
+        if fault.action != "corrupt" or fault.kind != kind \
+                or fault.target != name:
+            continue
+        key = (kind, name)
+        if _corruptions_fired.get(key, 0) >= fault.times:
+            continue
+        if not path.exists():
+            continue
+        path.write_bytes(_CORRUPTION_MARKER)
+        _corruptions_fired[key] = _corruptions_fired.get(key, 0) + 1
+
+
+def reset() -> None:
+    """Forget which corruption faults already fired (tests)."""
+    _corruptions_fired.clear()

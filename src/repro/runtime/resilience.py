@@ -1,0 +1,656 @@
+"""Fault-tolerant sweep execution: retries, deadlines, checkpoint/resume.
+
+The plain executor of :mod:`repro.runtime.executor` is all-or-nothing: a
+single worker crash raises ``BrokenProcessPool`` and discards every
+finished cell, a hung interpreter stalls the sweep forever, and an
+interrupted run restarts from zero.  This module wraps sweep execution
+in a recovery loop that never changes a reported number — every
+recovered cell re-runs the same deterministic simulation — but survives
+the faults a long campaign actually hits:
+
+* **Per-cell deadline** (``REPRO_CELL_TIMEOUT``, seconds): a parallel
+  cell that exceeds it has its worker killed and is retried.  Serial
+  execution has no preemption boundary, so deadlines only apply to
+  parallel sweeps.
+* **Bounded retries** (``REPRO_RETRIES``, default 2) with exponential
+  backoff: a failed, crashed or timed-out cell is re-run up to the
+  budget, after which the sweep raises :class:`SweepError` carrying the
+  full :class:`SweepReport`.
+* **Crash recovery**: each worker slot owns a single-worker
+  ``ProcessPoolExecutor``, so a dead interpreter breaks exactly one
+  cell's pool — the pool is respawned and only the lost cell re-runs.
+  When pools keep dying (or cannot be spawned at all) the sweep degrades
+  to serial execution with an explicit ``RuntimeWarning``, never
+  silently.
+* **Checkpoint/resume**: labeled sweeps journal every completed cell's
+  result to ``<cache-dir>/journal/<label>-<digest>/`` (atomic,
+  checksummed); an interrupted rerun skips finished cells
+  (``REPRO_RESUME``, default on) and merges bit-identically with an
+  uninterrupted run.  The journal is deleted when the sweep completes.
+
+Per-cell outcomes (ok / retried / timed-out / failed, plus resumed) are
+recorded in a :class:`SweepReport`; the CLI prints a summary for any
+sweep that degraded and exits non-zero when cells were dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import cache, faults
+
+#: Environment variable: per-cell deadline in seconds (parallel sweeps).
+TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+#: Environment variable: retry budget per cell.
+RETRIES_ENV = "REPRO_RETRIES"
+#: Environment variable: resume labeled sweeps from their journal.
+RESUME_ENV = "REPRO_RESUME"
+
+DEFAULT_RETRIES = 2
+
+#: Exponential backoff between retries of one cell: BASE * 2**attempts,
+#: capped.  Tests may patch BACKOFF_BASE to 0.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+#: Pool respawns tolerated before the sweep degrades to serial.
+POOL_RESPAWN_BUDGET = 8
+
+_OFF = {"", "0", "off", "none", "disable", "disabled"}
+_FALSE = {"0", "off", "no", "false"}
+_TRUE = {"1", "on", "yes", "true"}
+
+#: Pickle protocol for journal entries and sweep keys — pinned so the
+#: digest of an unchanged sweep is stable across interpreter runs.
+_PICKLE_PROTOCOL = 4
+
+#: Cell outcome statuses.
+OK = "ok"
+RETRIED = "retried"
+TIMED_OUT = "timed-out"
+FAILED = "failed"
+
+
+def cell_timeout() -> Optional[float]:
+    """Per-cell deadline from ``REPRO_CELL_TIMEOUT`` (None = no limit)."""
+    raw = os.environ.get(TIMEOUT_ENV)
+    if raw is None or raw.strip().lower() in _OFF:
+        return None
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{TIMEOUT_ENV} must be a positive number of seconds or "
+            f"'off', got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(
+            f"{TIMEOUT_ENV} must be positive, got {value}")
+    return value
+
+
+def retry_limit() -> int:
+    """Retry budget per cell from ``REPRO_RETRIES``."""
+    raw = os.environ.get(RETRIES_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_RETRIES
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{RETRIES_ENV} must be a non-negative integer, "
+            f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(
+            f"{RETRIES_ENV} must not be negative, got {value}")
+    return value
+
+
+def resume_enabled() -> bool:
+    """Whether labeled sweeps resume from journals (``REPRO_RESUME``)."""
+    raw = os.environ.get(RESUME_ENV)
+    if raw is None or not raw.strip():
+        return True
+    text = raw.strip().lower()
+    if text in _FALSE:
+        return False
+    if text in _TRUE:
+        return True
+    raise ValueError(
+        f"{RESUME_ENV} must be a boolean ('1'/'0', 'on'/'off'), "
+        f"got {raw!r}")
+
+
+def _backoff(attempts_done: int) -> float:
+    return min(BACKOFF_CAP, BACKOFF_BASE * (2 ** attempts_done))
+
+
+# ----------------------------------------------------------------------
+# Outcomes and reports
+# ----------------------------------------------------------------------
+
+@dataclass
+class CellOutcome:
+    """Recovery record for one sweep cell."""
+
+    index: int
+    status: str = OK      #: ok | retried | timed-out | failed
+    attempts: int = 0     #: executions actually started
+    timeouts: int = 0     #: attempts killed by the cell deadline
+    resumed: bool = False  #: result loaded from the sweep journal
+    error: str = ""       #: last failure, for failed cells
+
+    def finish(self) -> None:
+        """Set the final status after a successful attempt."""
+        if self.timeouts:
+            self.status = TIMED_OUT
+        elif self.attempts > 1:
+            self.status = RETRIED
+        else:
+            self.status = OK
+
+
+@dataclass
+class SweepReport:
+    """Structured account of one sweep's execution and recoveries."""
+
+    label: Optional[str]
+    n_cells: int
+    jobs: int
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    degraded_serial: bool = False  #: parallel execution was abandoned
+    pool_respawns: int = 0         #: worker pools killed and respawned
+
+    def _with_status(self, status: str) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.status != FAILED)
+
+    @property
+    def failed_cells(self) -> List[int]:
+        return [o.index for o in self._with_status(FAILED)]
+
+    @property
+    def retried_cells(self) -> List[int]:
+        return [o.index for o in self._with_status(RETRIED)]
+
+    @property
+    def timed_out_cells(self) -> List[int]:
+        return [o.index for o in self._with_status(TIMED_OUT)]
+
+    @property
+    def resumed_cells(self) -> List[int]:
+        return [o.index for o in self.outcomes if o.resumed]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing degraded — no retries, kills or failures."""
+        return (not self.failed_cells and not self.retried_cells
+                and not self.timed_out_cells and not self.resumed_cells
+                and not self.degraded_serial and not self.pool_respawns)
+
+    def summary(self) -> str:
+        """One-line human summary, printed by the CLI on degradation."""
+        name = self.label or "<sweep>"
+        bits = [f"sweep {name}: {self.n_ok}/{self.n_cells} cells ok"]
+        if self.resumed_cells:
+            bits.append(f"{len(self.resumed_cells)} resumed from journal")
+        if self.retried_cells:
+            bits.append(f"{len(self.retried_cells)} retried "
+                        f"(cells {self.retried_cells})")
+        if self.timed_out_cells:
+            bits.append(f"{len(self.timed_out_cells)} timed out and "
+                        f"recovered (cells {self.timed_out_cells})")
+        if self.pool_respawns:
+            bits.append(f"{self.pool_respawns} worker respawn(s)")
+        if self.degraded_serial:
+            bits.append("degraded to serial execution")
+        if self.failed_cells:
+            bits.append(f"{len(self.failed_cells)} FAILED "
+                        f"(cells {self.failed_cells})")
+        return "; ".join(bits)
+
+
+class SweepError(RuntimeError):
+    """A sweep dropped cells after exhausting every recovery path."""
+
+    def __init__(self, report: SweepReport):
+        self.report = report
+        failed = report.failed_cells
+        super().__init__(
+            f"sweep {report.label or '<unlabeled>'}: {len(failed)} of "
+            f"{report.n_cells} cells failed after retries "
+            f"(cells {failed}); completed cells are journaled — rerun "
+            f"to resume")
+
+
+@dataclass
+class SweepResult:
+    """Results (in cell order) plus the execution report."""
+
+    results: List
+    report: SweepReport
+
+
+#: Reports of completed sweeps, drained by the CLI for its summary.
+_reports: List[SweepReport] = []
+
+
+def drain_reports() -> List[SweepReport]:
+    """Return and clear the accumulated sweep reports."""
+    out = list(_reports)
+    _reports.clear()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Journaled checkpoint/resume
+# ----------------------------------------------------------------------
+
+class Journal:
+    """Digest-keyed directory of per-cell results under the cache dir.
+
+    Each completed cell is written atomically as ``cell-<index>.pkl``
+    (a SHA-256 header followed by the pickled result), so an interrupted
+    sweep can resume: entries are self-verifying, torn writes are
+    impossible, and a corrupt entry is simply recomputed.
+    """
+
+    def __init__(self, directory: Path, n_cells: int):
+        self.directory = directory
+        self.n_cells = n_cells
+
+    @staticmethod
+    def sweep_key(label: str, fn: Callable, cells: Sequence) -> \
+            Optional[str]:
+        """Stable digest of the sweep identity, or None if unkeyable."""
+        h = hashlib.sha256()
+        h.update(label.encode())
+        h.update(b"\x00")
+        h.update(f"{getattr(fn, '__module__', '?')}."
+                 f"{getattr(fn, '__qualname__', '?')}".encode())
+        h.update(b"\x00")
+        try:
+            h.update(pickle.dumps(list(cells), protocol=_PICKLE_PROTOCOL))
+        except Exception:
+            return None
+        return h.hexdigest()[:16]
+
+    @classmethod
+    def open(cls, label: Optional[str], fn: Callable,
+             cells: Sequence) -> Optional["Journal"]:
+        """Journal for this sweep, or None when journaling is off."""
+        if label is None:
+            return None
+        root = cache.cache_dir()
+        if root is None:
+            return None
+        key = cls.sweep_key(label, fn, cells)
+        if key is None:
+            return None
+        return cls(root / "journal" / f"{label}-{key}", len(cells))
+
+    def _entry(self, index: int) -> Path:
+        return self.directory / f"cell-{index}.pkl"
+
+    def load(self) -> Dict[int, object]:
+        """Verified completed-cell results from a previous run."""
+        if not self.directory.is_dir():
+            return {}
+        loaded: Dict[int, object] = {}
+        for path in sorted(self.directory.glob("cell-*.pkl")):
+            try:
+                index = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if not 0 <= index < self.n_cells:
+                continue
+            try:
+                blob = path.read_bytes()
+                digest, payload = blob[:32], blob[32:]
+                if hashlib.sha256(payload).digest() != digest:
+                    path.unlink(missing_ok=True)  # torn entry: recompute
+                    continue
+                loaded[index] = pickle.loads(payload)
+            except Exception:
+                path.unlink(missing_ok=True)
+        return loaded
+
+    def record(self, index: int, result: object) -> None:
+        """Atomically append one completed cell to the journal."""
+        try:
+            payload = pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+        except Exception:
+            return  # unjournalable result: resume simply recomputes it
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._entry(index)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(hashlib.sha256(payload).digest() + payload)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def discard(self) -> None:
+        """Remove the journal (the sweep completed)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Cell attempts (serial and worker-side)
+# ----------------------------------------------------------------------
+
+def _pool_cell(fn: Callable, cell, index: int, attempt: int,
+               inject: bool):
+    """Worker-side shim: apply injected faults, then run the cell."""
+    if inject:
+        faults.apply_cell_faults(index, attempt, isolated=True)
+    return fn(cell)
+
+
+def _serial_cell(fn: Callable, cell, index: int, attempt: int,
+                 inject: bool):
+    if inject:
+        faults.apply_cell_faults(index, attempt, isolated=False)
+    return fn(cell)
+
+
+# ----------------------------------------------------------------------
+# The resilient executor
+# ----------------------------------------------------------------------
+
+def _new_pool() -> ProcessPoolExecutor:
+    """One single-worker pool per slot (patchable in tests).
+
+    A slot owning its own worker makes fault attribution exact: a dead
+    interpreter breaks exactly one in-flight cell, so only that cell is
+    retried — innocent neighbours keep their results.
+    """
+    return ProcessPoolExecutor(max_workers=1)
+
+
+def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Kill a pool's worker processes (hung or already broken)."""
+    if pool is None:
+        return
+    processes = list(getattr(pool, "_processes", {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in processes:
+        try:
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+@dataclass
+class _Slot:
+    """One parallel worker slot: a single-worker pool plus in-flight cell."""
+
+    pool: Optional[ProcessPoolExecutor] = None
+    future: object = None
+    index: int = -1
+    deadline: Optional[float] = None
+
+
+def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
+                  warm: Optional[Callable[[Sequence], None]] = None,
+                  label: Optional[str] = None,
+                  inject_faults: bool = True) -> SweepResult:
+    """Order-preserving resilient map of ``fn`` over ``cells``.
+
+    Semantics match :func:`repro.runtime.executor.execute` — results in
+    cell order, parallel bit-identical to serial — plus the recovery
+    behaviour documented in the module docstring.  Raises
+    :class:`SweepError` when a cell fails after exhausting its retries;
+    completed cells stay journaled so a rerun resumes.
+    """
+    from .executor import n_jobs, unpicklable_reason
+
+    cells = list(cells)
+    timeout = cell_timeout()
+    retries = retry_limit()
+    resume = resume_enabled()
+    cache.max_cache_bytes()  # validate eagerly, before any simulation
+    if inject_faults:
+        faults.validate()
+
+    jobs = n_jobs() if jobs is None else jobs
+    report = SweepReport(label=label, n_cells=len(cells), jobs=jobs,
+                         outcomes=[CellOutcome(i)
+                                   for i in range(len(cells))])
+    results: List = [None] * len(cells)
+    done = [False] * len(cells)
+
+    journal = Journal.open(label, fn, cells)
+    if journal is not None and resume:
+        for index, value in journal.load().items():
+            results[index] = value
+            done[index] = True
+            outcome = report.outcomes[index]
+            outcome.resumed = True
+            outcome.status = OK
+
+    pending = [i for i in range(len(cells)) if not done[i]]
+    effective = min(jobs, len(pending)) if pending else 1
+
+    try:
+        if effective > 1:
+            reason = unpicklable_reason(fn, cells)
+            if reason is not None:
+                warnings.warn(
+                    f"sweep {label or '<unlabeled>'} falls back to "
+                    f"serial execution: {reason}",
+                    RuntimeWarning, stacklevel=3)
+                effective = 1
+        if effective > 1:
+            if warm is not None:
+                try:
+                    warm(cells)
+                except Exception as exc:
+                    warnings.warn(
+                        f"sweep warm-up failed ({exc!r}); cells will "
+                        f"compute their own inputs", RuntimeWarning,
+                        stacklevel=3)
+            pending = _run_parallel(fn, cells, pending, results, done,
+                                    report, effective, retries, timeout,
+                                    inject_faults, journal)
+        if pending:
+            _run_serial(fn, cells, pending, results, done, report,
+                        retries, inject_faults, journal)
+    finally:
+        _reports.append(report)
+        if label is not None:
+            try:
+                cache.evict()
+            except (OSError, ValueError):
+                pass
+
+    if report.failed_cells:
+        raise SweepError(report)
+    if journal is not None:
+        journal.discard()
+    return SweepResult(results=results, report=report)
+
+
+def _record_success(index: int, value, results, done, report, journal,
+                    ) -> None:
+    results[index] = value
+    done[index] = True
+    outcome = report.outcomes[index]
+    outcome.finish()
+    if journal is not None:
+        journal.record(index, value)
+
+
+def _run_serial(fn, cells, pending, results, done, report, retries,
+                inject, journal) -> None:
+    """Serial recovery loop (also the degraded-parallel path)."""
+    for index in pending:
+        outcome = report.outcomes[index]
+        while True:
+            attempt = outcome.attempts
+            outcome.attempts += 1
+            try:
+                value = _serial_cell(fn, cells[index], index, attempt,
+                                     inject)
+            except Exception as exc:
+                if outcome.attempts <= retries:
+                    time.sleep(_backoff(attempt))
+                    continue
+                outcome.status = FAILED
+                outcome.error = repr(exc)
+                break
+            _record_success(index, value, results, done, report, journal)
+            break
+
+
+def _run_parallel(fn, cells, pending, results, done, report, jobs,
+                  retries, timeout, inject, journal) -> List[int]:
+    """Parallel recovery loop.
+
+    Returns the (possibly empty) list of cell indexes still pending —
+    non-empty only when parallel execution degraded and the caller
+    should finish serially.
+    """
+    #: (index, ready_at) — ready_at defers retries for backoff without
+    #: blocking the dispatcher.
+    queue: List[Tuple[int, float]] = [(i, 0.0) for i in pending]
+    slots = [_Slot() for _ in range(jobs)]
+    budget = max(POOL_RESPAWN_BUDGET, 2 * jobs)
+
+    def degrade(why: str) -> List[int]:
+        for slot in slots:
+            _terminate_pool(slot.pool)
+            if slot.future is not None:
+                queue.append((slot.index, 0.0))
+            slot.pool, slot.future = None, None
+        report.degraded_serial = True
+        warnings.warn(
+            f"sweep {report.label or '<unlabeled>'} degraded to serial "
+            f"execution: {why}", RuntimeWarning, stacklevel=4)
+        return sorted(index for index, _ in queue)
+
+    def submit(slot: _Slot, index: int) -> bool:
+        outcome = report.outcomes[index]
+        attempt = outcome.attempts
+        outcome.attempts += 1
+        try:
+            if slot.pool is None:
+                slot.pool = _new_pool()
+            slot.future = slot.pool.submit(
+                _pool_cell, fn, cells[index], index, attempt, inject)
+        except (BrokenProcessPool, OSError, RuntimeError):
+            outcome.attempts -= 1  # never started; not a real attempt
+            _terminate_pool(slot.pool)
+            slot.pool, slot.future = None, None
+            return False
+        slot.index = index
+        slot.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        return True
+
+    def retry_or_fail(index: int, error: str) -> None:
+        outcome = report.outcomes[index]
+        if outcome.attempts <= retries:
+            queue.append((index,
+                          time.monotonic()
+                          + _backoff(outcome.attempts - 1)))
+        else:
+            outcome.status = FAILED
+            outcome.error = error
+
+    while queue or any(slot.future is not None for slot in slots):
+        now = time.monotonic()
+        # Fill idle slots with ready work.
+        for slot in slots:
+            if slot.future is not None:
+                continue
+            choice = next((pos for pos, (_, ready) in enumerate(queue)
+                           if ready <= now), None)
+            if choice is None:
+                break
+            index, _ = queue.pop(choice)
+            if not submit(slot, index):
+                report.pool_respawns += 1
+                queue.append((index, now))
+                if report.pool_respawns > budget:
+                    return degrade(
+                        f"{report.pool_respawns} worker-pool failures")
+
+        busy = [slot for slot in slots if slot.future is not None]
+        if not busy:
+            if queue:  # everything is backing off; wait for the earliest
+                time.sleep(max(0.0, min(r for _, r in queue)
+                               - time.monotonic()) + 0.001)
+            continue
+
+        wait_for = None
+        deadlines = [slot.deadline for slot in busy
+                     if slot.deadline is not None]
+        if deadlines:
+            wait_for = max(0.0, min(deadlines) - time.monotonic())
+        waiting_retries = [r for _, r in queue if r > now]
+        if waiting_retries and any(s.future is None for s in slots):
+            soonest = max(0.0, min(waiting_retries) - time.monotonic())
+            wait_for = soonest if wait_for is None \
+                else min(wait_for, soonest)
+        finished, _ = wait([slot.future for slot in busy],
+                           timeout=wait_for,
+                           return_when=FIRST_COMPLETED)
+
+        now = time.monotonic()
+        for slot in busy:
+            if slot.future in finished:
+                exc = slot.future.exception()
+                index = slot.index
+                if exc is None:
+                    _record_success(index, slot.future.result(), results,
+                                    done, report, journal)
+                else:
+                    if isinstance(exc, BrokenProcessPool):
+                        # The slot's lone worker died mid-cell: respawn
+                        # the pool, re-run only this cell.
+                        report.pool_respawns += 1
+                        _terminate_pool(slot.pool)
+                        slot.pool = None
+                    retry_or_fail(index, repr(exc))
+                slot.future = None
+            elif slot.deadline is not None and now >= slot.deadline:
+                # Hung worker: kill it, respawn the slot's pool lazily.
+                index = slot.index
+                outcome = report.outcomes[index]
+                outcome.timeouts += 1
+                report.pool_respawns += 1
+                _terminate_pool(slot.pool)
+                slot.pool, slot.future = None, None
+                retry_or_fail(index,
+                              f"cell exceeded {timeout}s deadline")
+        if report.pool_respawns > budget:
+            return degrade(f"{report.pool_respawns} worker-pool failures")
+
+    for slot in slots:
+        if slot.pool is not None:
+            slot.pool.shutdown(wait=True)
+    return []

@@ -121,9 +121,17 @@ class WorkloadRegistry:
             trace = None
             legacy = self._disk_cache_path(name, max_instructions)
             if legacy is not None and legacy.exists():
+                from ..runtime.cache import READ_ERRORS
                 from ..trace.record import Trace
 
-                trace = Trace.load(legacy)
+                try:
+                    trace = Trace.load(legacy)
+                except READ_ERRORS:
+                    # A torn legacy artifact must not abort the sweep:
+                    # fall through to the digest-keyed cache or the
+                    # interpreter, then rewrite it below.
+                    trace = None
+                    legacy.unlink(missing_ok=True)
             if trace is None:
                 trace = disk_cache.load_trace(name, max_instructions,
                                               self.digest(name))

@@ -89,7 +89,8 @@ class TestTraceRoundTrip:
         cache.store_trace(trace, NAME, BUDGET, digest)
         path, = (cache_dir / "traces").glob("*.npz")
         path.write_bytes(b"not a zip archive")
-        assert cache.load_trace(NAME, BUDGET, digest) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.load_trace(NAME, BUDGET, digest) is None
 
     def test_no_tmp_files_left_behind(self, cache_dir, trace, digest):
         cache.store_trace(trace, NAME, BUDGET, digest)
@@ -130,6 +131,99 @@ class TestBlocksRoundTrip:
                            digest)
         assert cache.load_blocks(long, GEOMETRY, NAME, BUDGET,
                                  digest) is None
+
+
+class TestIntegrity:
+    def test_checksum_sidecar_written(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        side = path.with_name(path.name + ".sha256")
+        assert side.exists()
+        assert len(side.read_text().strip()) == 64
+
+    def test_tampered_artifact_quarantined(self, cache_dir, trace,
+                                           digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # single-bit-ish corruption
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.load_trace(NAME, BUDGET, digest) is None
+        assert not path.exists()  # no longer shadowing the cache key
+        assert (cache_dir / "quarantine" / path.name).exists()
+
+    def test_quarantined_file_not_rehit(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        path.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            cache.load_trace(NAME, BUDGET, digest)
+        # Second read is a plain miss — no warning, no re-quarantine.
+        assert cache.load_trace(NAME, BUDGET, digest) is None
+
+    def test_legacy_artifact_without_sidecar_loads(self, cache_dir,
+                                                   trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        path.with_name(path.name + ".sha256").unlink()
+        assert cache.load_trace(NAME, BUDGET, digest) is not None
+
+    def test_corrupt_blocks_quarantined(self, cache_dir, trace, digest):
+        cache.store_blocks(segment_blocks(trace, GEOMETRY), NAME,
+                           BUDGET, digest)
+        path, = (cache_dir / "blocks").glob("*.npz")
+        path.write_bytes(b"not a zip archive")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.load_blocks(trace, GEOMETRY, NAME, BUDGET,
+                                     digest) is None
+        assert (cache_dir / "quarantine" / path.name).exists()
+
+
+class TestEvict:
+    def test_no_bound_is_inert(self, cache_dir, trace, digest,
+                               monkeypatch):
+        monkeypatch.setenv(cache.MAX_BYTES_ENV, "off")
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        assert cache.evict() == 0
+        assert cache.load_trace(NAME, BUDGET, digest) is not None
+
+    def test_evicts_oldest_until_under_bound(self, cache_dir, trace,
+                                             digest):
+        import os
+
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        cache.store_trace(trace, NAME, BUDGET + 1, digest)
+        old, new = sorted((cache_dir / "traces").glob("*.npz"),
+                          key=lambda p: p.stat().st_mtime)
+        os.utime(old, (1, 1))  # deterministic age order
+        limit = new.stat().st_size * 2  # room for one artifact, not two
+        assert cache.evict(limit) == 1
+        assert not old.exists()
+        assert new.exists()
+
+    def test_quarantine_evicted_first(self, cache_dir, trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning):
+            cache.load_trace(NAME, BUDGET, digest)
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        # Room for the good artifact (plus sidecar) but not also the
+        # quarantined copy: the quarantine must be what goes.
+        assert cache.evict(path.stat().st_size + 200) == 1
+        assert not any((cache_dir / "quarantine").iterdir())
+        assert cache.load_trace(NAME, BUDGET, digest) is not None
+
+    def test_garbage_bound_rejected(self, monkeypatch):
+        monkeypatch.setenv(cache.MAX_BYTES_ENV, "huge")
+        with pytest.raises(ValueError, match=cache.MAX_BYTES_ENV):
+            cache.max_cache_bytes()
+        monkeypatch.setenv(cache.MAX_BYTES_ENV, "-1")
+        with pytest.raises(ValueError, match=cache.MAX_BYTES_ENV):
+            cache.max_cache_bytes()
 
 
 class TestPurge:

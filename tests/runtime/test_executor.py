@@ -6,12 +6,15 @@ import pytest
 
 from repro.core import EngineConfig
 from repro.icache import CacheGeometry
+from repro.runtime import cache
 from repro.runtime.executor import (
     JOBS_ENV,
     SuiteSpec,
     execute,
     n_jobs,
     run_suite_specs,
+    unpicklable_reason,
+    warm_fetch_inputs,
 )
 
 BUDGET = 5_000
@@ -63,7 +66,8 @@ class TestExecute:
 
     def test_unpicklable_work_falls_back_to_serial(self):
         double = lambda x: 2 * x  # noqa: E731 — deliberately unpicklable
-        assert execute(double, [1, 2, 3], jobs=4) == [2, 4, 6]
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            assert execute(double, [1, 2, 3], jobs=4) == [2, 4, 6]
 
     def test_empty_cells(self):
         assert execute(_square, [], jobs=4) == []
@@ -72,6 +76,47 @@ class TestExecute:
         calls = []
         execute(_square, [1, 2], jobs=1, warm=calls.append)
         assert calls == []
+
+
+class TestUnpicklableReason:
+    def test_picklable_work_has_no_reason(self):
+        assert unpicklable_reason(_square, [1, 2, 3]) is None
+
+    def test_unpicklable_function_is_named(self):
+        double = lambda x: 2 * x  # noqa: E731
+        reason = unpicklable_reason(double, [1])
+        assert reason is not None
+        assert "lambda" in reason and "not picklable" in reason
+
+    def test_unpicklable_cell_is_indexed(self):
+        cells = [1, lambda: None, 3]  # noqa: E731
+        reason = unpicklable_reason(_square, cells)
+        assert reason is not None
+        assert "cell 1" in reason
+
+
+class TestWarmFetchInputs:
+    def test_bad_warm_cell_warns_but_does_not_raise(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+        geometry = CacheGeometry.normal(8)
+        with pytest.warns(RuntimeWarning, match="warm-up failed"):
+            warm_fetch_inputs([("no-such-workload", geometry, BUDGET)],
+                              jobs=1)
+
+    def test_good_and_bad_cells_mix(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+        geometry = CacheGeometry.normal(8)
+        # Only the bad cell is reported; the good one warms normally.
+        with pytest.warns(RuntimeWarning, match="failed for 1 input"):
+            warm_fetch_inputs([("compress", geometry, BUDGET),
+                               ("no-such-workload", geometry, BUDGET)],
+                              jobs=1)
+
+    def test_disabled_cache_is_a_noop(self, monkeypatch):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, "off")
+        warm_fetch_inputs([("no-such-workload", CacheGeometry.normal(8),
+                            BUDGET)], jobs=1)  # must not raise or warn
 
 
 class TestSuiteSpecs:

@@ -1,17 +1,24 @@
-"""Runtime performance — cold vs warm cache, serial vs parallel sweeps.
+"""Runtime performance — cache states, parallel fan-out, engine kernels.
 
 Unlike the figure/table benchmarks this one measures wall-clock, not
-paper metrics: each scenario runs ``python -m repro fig6`` in a fresh
-subprocess so interpreter start-up, cache population, and worker fan-out
-are all included.  Scenarios:
+paper metrics: each scenario runs ``python -m repro <figure>`` in a
+fresh subprocess so interpreter start-up, cache population, and worker
+fan-out are all included.  Two scenario groups:
 
-* ``cold``  — empty ``REPRO_CACHE_DIR``: traces are interpreted and
-  segmented from scratch, then persisted.
-* ``warm``  — same cache dir, second run: traces/blocks load from disk.
-* ``parallel`` — warm cache plus ``REPRO_JOBS=auto`` fan-out.
+* **Cache states** (``fig6``): ``cold`` — empty ``REPRO_CACHE_DIR``,
+  traces interpreted and segmented from scratch; ``warm`` — second run,
+  everything loads from disk; ``parallel`` — warm cache plus
+  ``REPRO_JOBS=auto``.
+* **Engine kernels** (``fig8`` + ``fig9``, warm cache): the same sweeps
+  under ``REPRO_ENGINE=scalar`` (reference loops) and
+  ``REPRO_ENGINE=fast`` (vectorized kernels).  Both modes print
+  byte-identical figures — the comparison is pure wall-clock.
 
-Results land in ``benchmarks/results/perf_sweep.json``.  The module runs
-standalone (``python benchmarks/bench_perf_sweep.py``) or under pytest.
+Results land in ``benchmarks/results/BENCH_perf_sweep.json`` as one
+machine-readable record: per-figure wall-clock, engine mode and cache
+state for every scenario, plus the scalar/fast speedup.  The module
+runs standalone (``python benchmarks/bench_perf_sweep.py``) or under
+pytest; either way it fails if the fast engine regresses below scalar.
 """
 
 from __future__ import annotations
@@ -25,39 +32,77 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULTS_PATH = Path(__file__).parent / "results" / "perf_sweep.json"
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_perf_sweep.json"
 BUDGET = int(os.environ.get("REPRO_TRACE_LEN", "120000"))
 
+#: The engine-kernel comparison sweeps (the paper's headline figures).
+ENGINE_FIGURES = ("fig8", "fig9")
 
-def _run_fig6(cache_dir: str, jobs: str) -> float:
+
+def _run_figure(figure: str, cache_dir: str, jobs: str = "1",
+                engine: str = "fast") -> float:
     env = dict(os.environ,
                PYTHONPATH=str(REPO_ROOT / "src"),
                REPRO_CACHE_DIR=cache_dir,
                REPRO_JOBS=jobs,
+               REPRO_ENGINE=engine,
                REPRO_TRACE_LEN=str(BUDGET))
     start = time.perf_counter()
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "fig6"],
+        [sys.executable, "-m", "repro", figure],
         cwd=REPO_ROOT, env=env, capture_output=True, text=True)
     elapsed = time.perf_counter() - start
     if proc.returncode != 0:
-        raise RuntimeError(f"fig6 failed:\n{proc.stderr}")
+        raise RuntimeError(f"{figure} failed:\n{proc.stderr}")
     return elapsed
 
 
+def _scenario(figure: str, engine: str, cache: str, jobs: int,
+              seconds: float) -> dict:
+    return {"figure": figure, "engine": engine, "cache": cache,
+            "jobs": jobs, "seconds": round(seconds, 3)}
+
+
 def measure() -> dict:
+    scenarios = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
-        cold = _run_fig6(cache_dir, jobs="1")
-        warm = _run_fig6(cache_dir, jobs="1")
-        parallel = _run_fig6(cache_dir, jobs="auto")
+        cold = _run_figure("fig6", cache_dir)
+        warm = _run_figure("fig6", cache_dir)
+        parallel = _run_figure("fig6", cache_dir, jobs="auto")
+        scenarios.append(_scenario("fig6", "fast", "cold", 1, cold))
+        scenarios.append(_scenario("fig6", "fast", "warm", 1, warm))
+        scenarios.append(_scenario("fig6", "fast", "warm",
+                                   os.cpu_count() or 1, parallel))
+
+        # Engine-kernel comparison: warm everything first (including the
+        # compiled block arrays) so both modes measure pure engine time.
+        for figure in ENGINE_FIGURES:
+            _run_figure(figure, cache_dir)
+        scalar_s = fast_s = 0.0
+        for figure in ENGINE_FIGURES:
+            t = _run_figure(figure, cache_dir, engine="scalar")
+            scenarios.append(_scenario(figure, "scalar", "warm", 1, t))
+            scalar_s += t
+        for figure in ENGINE_FIGURES:
+            t = _run_figure(figure, cache_dir, engine="fast")
+            scenarios.append(_scenario(figure, "fast", "warm", 1, t))
+            fast_s += t
     return {
         "budget": BUDGET,
         "jobs_parallel": os.cpu_count() or 1,
+        "scenarios": scenarios,
         "cold_s": round(cold, 3),
         "warm_s": round(warm, 3),
         "parallel_s": round(parallel, 3),
         "warm_speedup": round(cold / warm, 2),
         "parallel_speedup": round(cold / parallel, 2),
+        "engine_comparison": {
+            "figures": list(ENGINE_FIGURES),
+            "cache": "warm",
+            "scalar_s": round(scalar_s, 3),
+            "fast_s": round(fast_s, 3),
+            "fast_speedup": round(scalar_s / fast_s, 2),
+        },
     }
 
 
@@ -67,13 +112,24 @@ def _record(results: dict) -> None:
     print(json.dumps(results, indent=2))
 
 
+def _check(results: dict) -> None:
+    # A warm cache must beat interpreting every trace from scratch, and
+    # the vectorized engine must never regress below the scalar loops.
+    assert results["warm_s"] < results["cold_s"]
+    comparison = results["engine_comparison"]
+    assert comparison["fast_s"] < comparison["scalar_s"], (
+        f"fast engine regressed: {comparison['fast_s']}s vs scalar "
+        f"{comparison['scalar_s']}s")
+
+
 def test_perf_sweep(benchmark, results_dir):
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
     _record(results)
     benchmark.extra_info.update(results)
-    # A warm cache must beat interpreting every trace from scratch.
-    assert results["warm_s"] < results["cold_s"]
+    _check(results)
 
 
 if __name__ == "__main__":
-    _record(measure())
+    results = measure()
+    _record(results)
+    _check(results)

@@ -14,6 +14,7 @@ import argparse
 import sys
 
 from .core import DualBlockEngine, EngineConfig, SingleBlockEngine
+from .core.engine_mode import ENGINE_MODES
 from .core.multi import MultiBlockEngine
 from .experiments import (
     format_fig6,
@@ -57,11 +58,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Multiple Branch and Block "
-                    "Prediction' (HPCA 1997)")
+                    "Prediction' (HPCA 1997)",
+        epilog="Runtime environment: REPRO_ENGINE=scalar|fast selects "
+               "the fetch-engine implementation (default: fast, "
+               "bit-identical to scalar); REPRO_PROFILE=1 prints "
+               "per-cell phase timings to stderr. See "
+               "docs/performance.md for the full knob table.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_sweep_options(p) -> None:
         """Resilient-runtime options shared by every sweep command."""
+        p.add_argument("--engine", choices=ENGINE_MODES, default=None,
+                       help="fetch-engine implementation: 'fast' "
+                            "(vectorized kernels, the default) or "
+                            "'scalar' (reference loops); both produce "
+                            "identical statistics (default: "
+                            "REPRO_ENGINE or fast)")
         p.add_argument("--jobs", type=str, default=None,
                        help="worker processes for the sweep "
                             "(int or 'auto'; default: REPRO_JOBS "
@@ -101,6 +113,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one workload through a fetch "
                                    "engine")
     p.add_argument("workload", choices=SPEC95)
+    p.add_argument("--engine", choices=ENGINE_MODES, default=None,
+                   help="fetch-engine implementation (default: "
+                        "REPRO_ENGINE or fast)")
     p.add_argument("--budget", type=int, default=120_000)
     p.add_argument("--cache", choices=sorted(_CACHES), default="align")
     p.add_argument("--blocks", type=int, default=2,
@@ -125,9 +140,12 @@ def _apply_runtime(args) -> None:
     """
     import os
 
-    from .runtime import faults, resilience
+    from .core import engine_mode
+    from .runtime import faults, profile, resilience
     from .runtime.executor import JOBS_ENV
 
+    if getattr(args, "engine", None) is not None:
+        os.environ[engine_mode.ENGINE_ENV] = args.engine
     if getattr(args, "jobs", None) is not None:
         os.environ[JOBS_ENV] = args.jobs
     if getattr(args, "retries", None) is not None:
@@ -136,6 +154,8 @@ def _apply_runtime(args) -> None:
         os.environ[resilience.TIMEOUT_ENV] = args.cell_timeout
     if getattr(args, "resume", None) is not None:
         os.environ[resilience.RESUME_ENV] = "1" if args.resume else "0"
+    engine_mode.engine_mode()
+    profile.enabled()
     n_jobs()
     resilience.retry_limit()
     resilience.cell_timeout()
@@ -204,6 +224,7 @@ def main(argv=None) -> int:
                                 verbose=True)
             print(f"wrote {path}")
         elif args.command == "run":
+            _apply_runtime(args)
             _cmd_run(args)
     except BrokenPipeError:
         return 0  # output piped into a pager that closed early

@@ -30,6 +30,7 @@ from ..targets.btb import DualBTBTargetArray
 from ..targets.nls import DualNLSTargetArray
 from ..targets.ras import ReturnAddressStack
 from .config import EngineConfig, FetchInput, TARGET_BTB
+from .engine_mode import use_fast_engine
 from .engine_common import (
     ActualBlock,
     BlockCursor,
@@ -96,6 +97,11 @@ class DualBlockEngine:
         schedule (b0 alone, then (b1,b2), (b3,b4), ...).
         """
         config = self.config
+        # Timeline recording needs per-cycle delivery interleaving, which
+        # only the reference loop tracks.
+        if not record_timeline and use_fast_engine():
+            from .fast import run_dual_fast
+            return run_dual_fast(self, fetch_input)
         geometry = config.geometry
         if geometry != fetch_input.geometry:
             raise ValueError("fetch input was segmented under a different "

@@ -1,0 +1,50 @@
+"""The ``REPRO_ENGINE`` switch between scalar and vectorized engines.
+
+Every cycle-accurate fetch engine has two implementations of the same
+semantics:
+
+* ``scalar`` — the reference block-at-a-time Python loops, kept as the
+  readable ground truth;
+* ``fast`` (default) — the batched kernels of :mod:`repro.core.kernels`
+  driven by :mod:`repro.core.fast`, locked bit-exact against the scalar
+  engines by the parity test suite.
+
+The knob follows the other runtime environment variables: validated
+eagerly by the CLI (a bad value exits 2 with an error naming the
+variable) and overridable per invocation with ``--engine``.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the engine implementation.
+ENGINE_ENV = "REPRO_ENGINE"
+
+ENGINE_SCALAR = "scalar"
+ENGINE_FAST = "fast"
+
+#: Accepted values, in display order.
+ENGINE_MODES = (ENGINE_SCALAR, ENGINE_FAST)
+
+
+def engine_mode() -> str:
+    """Selected engine implementation from ``REPRO_ENGINE``.
+
+    Unset or empty defaults to ``fast``.  Anything other than ``scalar``
+    or ``fast`` raises a :class:`ValueError` naming the variable.
+    """
+    raw = os.environ.get(ENGINE_ENV)
+    if raw is None or not raw.strip():
+        return ENGINE_FAST
+    text = raw.strip().lower()
+    if text in ENGINE_MODES:
+        return text
+    raise ValueError(
+        f"{ENGINE_ENV} must be one of {'/'.join(ENGINE_MODES)}, "
+        f"got {raw!r}")
+
+
+def use_fast_engine() -> bool:
+    """True when the vectorized engine core should run."""
+    return engine_mode() == ENGINE_FAST

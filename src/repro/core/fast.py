@@ -1,0 +1,807 @@
+"""Vectorized fetch-engine runs (``REPRO_ENGINE=fast``).
+
+Each ``run_*_fast`` function replays one engine's whole block stream
+with the batched kernels of :mod:`repro.core.kernels`, falling back to
+plain Python only at true serialization points: select-table and
+target-array state (aliasing reads depend on earlier writes) and the
+return-address stack.  Every number charged — and every piece of
+predictor state left behind (PHT counters, select tables, target
+arrays, RAS, BIT table) — is bit-identical to the scalar engines,
+which ``tests/core/test_engine_parity.py`` locks down.
+
+The scalar loops in ``single.py``/``dual.py``/``multi.py``/
+``two_ahead.py`` remain the readable ground truth; the engines
+dispatch here based on :func:`repro.core.engine_mode.use_fast_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..icache.geometry import SELF_ALIGNED
+from ..predictors.evaluate import packed_history
+from ..predictors.ghr import BlockOutcomes
+from ..targets.bit import BitCode
+from .engine_common import K_CALL, K_COND, K_INDIRECT, K_JUMP, K_RETURN
+from .kernels import (
+    CODE_COND_LONG,
+    CompiledBlocks,
+    WalkArrays,
+    compile_fetch_input,
+    decode_selector,
+    encode_selector,
+    pair_conflicts,
+    resolve_walks,
+    scan_counters,
+    stale_bit_windows,
+)
+from .penalties import (
+    DOUBLE_SELECT,
+    PenaltyKind,
+    SINGLE_SELECT,
+    penalty_cycles,
+    penalty_cycles_slot,
+)
+from .select_table import DualSelectEntry, SelectEntry
+from .selection import SRC_NEAR
+from .stats import FetchStats
+
+_GEOMETRY_ERROR = ("fetch input was segmented under a different "
+                   "cache geometry")
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+def _charge_bulk(stats: FetchStats, kind: PenaltyKind, count: int,
+                 cycles: int) -> None:
+    """Fold ``count`` pre-summed events into the stats dicts.
+
+    Matches ``count`` scalar ``charge`` calls; like them, it never
+    creates a key for categories that did not occur.
+    """
+    if count:
+        stats.event_counts[kind] = stats.event_counts.get(kind, 0) + count
+        stats.event_cycles[kind] = (stats.event_cycles.get(kind, 0)
+                                    + cycles)
+
+
+class _Run:
+    """Per-run bundle: compiled arrays, resolved walks, actuals."""
+
+    def __init__(self, engine, fetch_input, ahead: bool = False) -> None:
+        config = engine.config
+        geometry = config.geometry
+        if geometry != fetch_input.geometry:
+            raise ValueError(_GEOMETRY_ERROR)
+        self.config = config
+        self.geometry = geometry
+        self.width = geometry.block_width
+        self.line_size = geometry.line_size
+        self.pht = engine.pht
+        self.compiled: CompiledBlocks = compile_fetch_input(
+            fetch_input, config.near_block)
+        self.n = self.compiled.n_blocks
+        self.trace = fetch_input.trace
+        self.ahead = ahead
+        self.walk: WalkArrays = None  # set by resolve()
+        self.stale_walk = None
+        self.stale = None
+
+    # -- PHT base indices ------------------------------------------------
+
+    def pht_bases(self) -> np.ndarray:
+        """Flat PHT entry base of every block (gshare over block addr).
+
+        With ``ahead`` indexing (two-block-ahead), block ``i`` indexes
+        through block ``i-1``'s address and pre-block GHR.
+        """
+        compiled = self.compiled
+        pht = self.pht
+        packed = packed_history(compiled.cond_taken,
+                                self.config.history_length)
+        if self.ahead:
+            prev = np.concatenate([np.zeros(1, dtype=np.int64),
+                                   np.arange(self.n - 1, dtype=np.int64)])
+            self.anchor_start = compiled.start[prev]
+        else:
+            prev = np.arange(self.n, dtype=np.int64)
+            self.anchor_start = compiled.start
+        ghr_vals = packed[compiled.conds_before[prev]]
+        addr = self.anchor_start // self.width
+        entry = (ghr_vals ^ addr) & pht.mask
+        return (addr % pht.n_tables * pht.n_entries + entry) * pht.block_width
+
+    # -- counter scan + walks -------------------------------------------
+
+    def resolve(self, bit_table=None) -> None:
+        """Resolve every PHT read, walk every block, train, write back.
+
+        With ``bit_table`` (single engine, Figure 7) the stale windows
+        are resolved in the same scan and ``self.stale_walk`` is set.
+        """
+        compiled = self.compiled
+        width = self.width
+        pht = self.pht
+        self.base = self.pht_bases()
+
+        rb, cb = np.nonzero(compiled.window >= CODE_COND_LONG)
+        read_blocks = rb
+        read_slots = self.base[rb] + (compiled.start[rb] + cb) % width
+        n_true = len(rb)
+        srb = scb = None
+        if bit_table is not None:
+            init_lines = np.array(
+                [-1 if line is None else line for line in bit_table._lines],
+                dtype=np.int64)
+            init_codes = np.zeros((bit_table.n_entries, self.line_size),
+                                  dtype=np.uint8)
+            for i, stored in enumerate(bit_table._codes):
+                if stored is not None:
+                    init_codes[i] = [int(code) for code in stored]
+            self.stale = stale_bit_windows(
+                compiled, self.line_size, bit_table.n_entries, width,
+                init_lines, init_codes)
+            srb, scb = np.nonzero(self.stale.window >= CODE_COND_LONG)
+            read_blocks = np.concatenate([rb, srb])
+            read_slots = np.concatenate(
+                [read_slots,
+                 self.base[srb] + (compiled.start[srb] + scb) % width])
+
+        write_slots = self.base[compiled.cond_block] + compiled.cond_pos
+        counters = np.asarray(pht._counters, dtype=np.int64)
+        preds, final_slots, final_states = scan_counters(
+            counters, read_blocks, read_slots, compiled.cond_block,
+            write_slots, compiled.cond_taken)
+
+        pred_mat = np.zeros(compiled.window.shape, dtype=bool)
+        pred_mat[rb, cb] = preds[:n_true]
+        self.walk = resolve_walks(compiled.window, width, pred_mat)
+        if bit_table is not None:
+            stale_mat = np.zeros(compiled.window.shape, dtype=bool)
+            stale_mat[srb, scb] = preds[n_true:]
+            self.stale_walk = resolve_walks(self.stale.window, width,
+                                            stale_mat)
+
+        store = pht._counters
+        for slot, state in zip(final_slots.tolist(), final_states.tolist()):
+            store[slot] = state
+
+    # -- divergence classes ---------------------------------------------
+
+    def classify(self):
+        """(match, early, late) masks; halt blocks are never charged."""
+        p = self.walk.pred_exit
+        act = self.compiled.act_exit
+        live = ~self.compiled.is_halt
+        return p == act, (p < act) & live, (p > act) & live
+
+    def cond_charges(self, early, late, slot_arr, base_arr,
+                     slot2_extra, late_extra: bool):
+        """COND count/cycles per the engines' shared footnote rules.
+
+        ``slot2_extra`` marks blocks that always pay +1 (second-slot
+        re-fetch); first-slot EARLY blocks pay +1 when valid
+        instructions remained; ``late_extra`` adds +1 on LATE when
+        not-taken targets are untracked.
+        """
+        charged = early | late
+        remaining = (self.compiled.n_instr - 1 - self.walk.pred_exit) > 0
+        cycles = base_arr[slot_arr] + slot2_extra.astype(np.int64)
+        cycles += (~slot2_extra) & early & remaining
+        if late_extra:
+            cycles += late
+        count = int(np.count_nonzero(charged))
+        total = int(cycles[charged].sum()) if count else 0
+        return count, total
+
+    # -- RAS replay ------------------------------------------------------
+
+    def replay_ras(self, ras) -> np.ndarray:
+        """Drive the engine's RAS through the run's call/return exits.
+
+        Returns each return-exit block's top-of-stack at its analysis
+        point (-1 encodes an empty stack, which never matches a target).
+        """
+        compiled = self.compiled
+        is_ret = compiled.has_exit & (compiled.exit_kind == K_RETURN)
+        is_call = compiled.has_exit & (compiled.exit_kind == K_CALL)
+        self.is_ret = is_ret
+        peeks = np.full(self.n, -1, dtype=np.int64)
+        exit_pc = compiled.exit_pc.tolist()
+        ret_flags = is_ret.tolist()
+        for b in np.nonzero(is_ret | is_call)[0].tolist():
+            if ret_flags[b]:
+                top = ras.peek(0)
+                if top is not None:
+                    peeks[b] = top
+                ras.pop()
+            else:
+                ras.push(exit_pc[b] + 1)
+        return peeks
+
+    # -- misfetch kinds --------------------------------------------------
+
+    def misfetch_kinds(self) -> np.ndarray:
+        """1 = immediate, 2 = indirect, 0 = none (returns excluded)."""
+        compiled = self.compiled
+        kind = compiled.exit_kind
+        mf = np.zeros(self.n, dtype=np.uint8)
+        mf[compiled.has_exit & (kind == K_COND)] = 1
+        jump_call = compiled.has_exit & ((kind == K_JUMP)
+                                         | (kind == K_CALL))
+        mf[jump_call & (compiled.exit_direct >= 0)] = 1
+        mf[jump_call & (compiled.exit_direct < 0)] = 2
+        mf[compiled.has_exit & (kind == K_INDIRECT)] = 2
+        return mf
+
+
+def _empty_stats(engine_input_trace, n_blocks: int,
+                 base_cycles: int) -> FetchStats:
+    return FetchStats(
+        n_blocks=n_blocks,
+        n_instructions=engine_input_trace.n_instructions,
+        n_branches=engine_input_trace.n_branches,
+        n_cond=engine_input_trace.n_cond,
+        base_cycles=base_cycles,
+    )
+
+
+def _line_codes_tuple(compiled: CompiledBlocks, line: int,
+                      line_size: int):
+    """True BIT codes of one full line (BIT-table write-back)."""
+    coa = compiled.code_of_addr
+    n_static = len(coa)
+    base = line * line_size
+    return tuple(
+        BitCode(int(coa[addr])) if addr < n_static else BitCode.NONBRANCH
+        for addr in range(base, base + line_size))
+
+
+# ----------------------------------------------------------------------
+# Single-block engine
+# ----------------------------------------------------------------------
+
+def run_single_fast(engine, fetch_input) -> FetchStats:
+    """Vectorized :meth:`SingleBlockEngine.run` (no recovery tracking)."""
+    run = _Run(engine, fetch_input)
+    compiled = run.compiled
+    n = run.n
+    stats = _empty_stats(run.trace, n, base_cycles=n)
+    if n == 0:
+        return stats
+    scheme = SINGLE_SELECT
+    run.resolve(bit_table=engine.bit_table)
+    walk = run.walk
+
+    # Separate BIT table: stale-walk mismatches, counters and state.
+    if engine.bit_table is not None:
+        mismatch = (run.stale_walk.sel != walk.sel) \
+            | (run.stale_walk.pay != walk.pay)
+        count = int(np.count_nonzero(mismatch))
+        _charge_bulk(stats, PenaltyKind.BIT, count,
+                     count * penalty_cycles(scheme, 1, PenaltyKind.BIT))
+        bit = engine.bit_table
+        bit.accesses += run.stale.accesses
+        bit.stale_hits += run.stale.stale_hits
+        for slot, line in zip(run.stale.final_slots.tolist(),
+                              run.stale.final_lines.tolist()):
+            bit._lines[slot] = line
+            bit._codes[slot] = _line_codes_tuple(compiled, line,
+                                                 run.line_size)
+
+    match, early, late = run.classify()
+    slot_arr = np.zeros(n, dtype=np.int64)
+    base_arr = np.array([penalty_cycles(scheme, 1, PenaltyKind.COND)],
+                        dtype=np.int64)
+    count, cycles = run.cond_charges(
+        early, late, slot_arr, base_arr,
+        slot2_extra=np.zeros(n, dtype=bool),
+        late_extra=not run.config.track_not_taken_targets)
+    _charge_bulk(stats, PenaltyKind.COND, count, cycles)
+
+    peeks = run.replay_ras(engine.ras)
+    ret_bad = match & run.is_ret & (peeks != compiled.exit_target)
+    count = int(np.count_nonzero(ret_bad))
+    _charge_bulk(stats, PenaltyKind.RETURN, count,
+                 count * penalty_cycles(scheme, 1, PenaltyKind.RETURN))
+
+    # Serial residual: the tag-less/LRU target array.
+    mf = run.misfetch_kinds()
+    mf_cycles = (0, penalty_cycles(scheme, 1,
+                                   PenaltyKind.MISFETCH_IMMEDIATE),
+                 penalty_cycles(scheme, 1, PenaltyKind.MISFETCH_INDIRECT))
+    near_ok = (walk.src == SRC_NEAR) & (walk.pred_exit == compiled.act_exit)
+    todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]
+    match_l = match.tolist()
+    src_l = walk.src.tolist()
+    near_l = near_ok.tolist()
+    mf_l = mf.tolist()
+    exit_pc_l = compiled.exit_pc.tolist()
+    target_l = compiled.exit_target.tolist()
+    line_size = run.line_size
+    lookup = engine.targets.lookup
+    update = engine.targets.update
+    imm = ind = imm_cyc = ind_cyc = 0
+    for b in todo.tolist():
+        exit_pc = exit_pc_l[b]
+        line = exit_pc // line_size
+        position = exit_pc % line_size
+        target = target_l[b]
+        if match_l[b] and src_l[b] != SRC_NEAR:
+            if lookup(line, position) != target:
+                kind = mf_l[b]
+                if kind == 1:
+                    imm += 1
+                    imm_cyc += mf_cycles[1]
+                elif kind == 2:
+                    ind += 1
+                    ind_cyc += mf_cycles[2]
+        if not near_l[b]:
+            update(line, position, target)
+    _charge_bulk(stats, PenaltyKind.MISFETCH_IMMEDIATE, imm, imm_cyc)
+    _charge_bulk(stats, PenaltyKind.MISFETCH_INDIRECT, ind, ind_cyc)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Select-table encoding shared by the dual/multi fast paths
+# ----------------------------------------------------------------------
+
+def _encode_select_entry(width: int, entry: SelectEntry):
+    sel = encode_selector(width, *entry.selector)
+    pay = entry.outcomes.n_not_taken * 2 + int(entry.outcomes.ends_taken)
+    return sel, pay
+
+
+def _decode_select_entry(width: int, sel: int, pay: int) -> SelectEntry:
+    return SelectEntry(decode_selector(width, sel),
+                       BlockOutcomes(pay // 2, bool(pay % 2)))
+
+
+def _seed_select_arrays(width: int, entries) -> (List[int], List[int]):
+    """Encoded (selector, payload) arrays mirroring a select table.
+
+    Cold entries encode to ``(0, 0)`` — exactly the fall-through
+    default a cold read returns — so reads need no presence check.
+    """
+    sels = [0] * len(entries)
+    pays = [0] * len(entries)
+    for i, entry in enumerate(entries):
+        if entry is not None:
+            sels[i], pays[i] = _encode_select_entry(width, entry)
+    return sels, pays
+
+
+def _st_slots(run: _Run) -> np.ndarray:
+    """Select-table slot of every block (anchor-indexed reads/writes)."""
+    select = getattr(run, "select_like")
+    n_tables = select.n_tables
+    n_entries = select.n_entries
+    table = (run.anchor_start % run.line_size) % n_tables
+    return table * n_entries + (run.base & (n_entries - 1))
+
+
+# ----------------------------------------------------------------------
+# Dual-block engine
+# ----------------------------------------------------------------------
+
+def run_dual_fast(engine, fetch_input) -> FetchStats:
+    """Vectorized :meth:`DualBlockEngine.run` (no timeline recording)."""
+    run = _Run(engine, fetch_input)
+    compiled = run.compiled
+    n = run.n
+    stats = _empty_stats(run.trace, n, base_cycles=1 + (n - 1 + 1) // 2)
+    if n == 0:
+        return stats
+    scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
+    run.resolve()
+    walk = run.walk
+    width = run.width
+
+    match, early, late = run.classify()
+    slot_arr = ((np.arange(n) % 2) == 1).astype(np.int64)  # 0=slot1,1=slot2
+    base_arr = np.array(
+        [penalty_cycles(scheme, 1, PenaltyKind.COND),
+         penalty_cycles(scheme, 2, PenaltyKind.COND)], dtype=np.int64)
+    count, cycles = run.cond_charges(
+        early, late, slot_arr, base_arr, slot2_extra=slot_arr.astype(bool),
+        late_extra=not run.config.track_not_taken_targets)
+    _charge_bulk(stats, PenaltyKind.COND, count, cycles)
+
+    peeks = run.replay_ras(engine.ras)
+    ret_bad = match & run.is_ret & (peeks != compiled.exit_target)
+    for slot in (1, 2):
+        in_slot = ret_bad & (slot_arr == slot - 1)
+        count = int(np.count_nonzero(in_slot))
+        _charge_bulk(stats, PenaltyKind.RETURN, count,
+                     count * penalty_cycles(scheme, slot,
+                                            PenaltyKind.RETURN))
+
+    # Bank conflicts: pairs (i+1, i+2) for every completed (i, i+1).
+    conflicts = pair_conflicts(compiled, run.geometry)
+    odd = np.arange(1, n - 1, 2)
+    count = int(np.count_nonzero(conflicts[odd]))
+    _charge_bulk(stats, PenaltyKind.BANK_CONFLICT, count,
+                 count * penalty_cycles(scheme, 2,
+                                        PenaltyKind.BANK_CONFLICT))
+
+    # Serial residual: select table + dual target array.
+    run.select_like = engine.select
+    st_slot = _st_slots(run).tolist()
+    if engine.double:
+        firsts = [None if e is None else e.first
+                  for e in engine.select._entries]
+        seconds = [None if e is None else e.second
+                   for e in engine.select._entries]
+        st1_sel, st1_pay = _seed_select_arrays(width, firsts)
+        st2_sel, st2_pay = _seed_select_arrays(width, seconds)
+        ms1 = penalty_cycles(scheme, 1, PenaltyKind.MISSELECT)
+        g1 = penalty_cycles(scheme, 1, PenaltyKind.GHR)
+    else:
+        st1_sel = st1_pay = None
+        st2_sel, st2_pay = _seed_select_arrays(width,
+                                               engine.select._entries)
+    ms2 = penalty_cycles(scheme, 2, PenaltyKind.MISSELECT)
+    g2 = penalty_cycles(scheme, 2, PenaltyKind.GHR)
+
+    mf = run.misfetch_kinds().tolist()
+    mf_cycles = {
+        (1, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_IMMEDIATE)
+        for s in (1, 2)
+    }
+    mf_cycles.update({
+        (2, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_INDIRECT)
+        for s in (1, 2)
+    })
+    near_ok = ((walk.src == SRC_NEAR)
+               & (walk.pred_exit == compiled.act_exit)).tolist()
+    has_exit = compiled.has_exit.tolist()
+    is_ret = run.is_ret.tolist()
+    match_l = match.tolist()
+    src_l = walk.src.tolist()
+    sel_l = walk.sel.tolist()
+    pay_l = walk.pay.tolist()
+    exit_pc_l = compiled.exit_pc.tolist()
+    target_l = compiled.exit_target.tolist()
+    line0 = compiled.line0.tolist()
+    line_size = run.line_size
+    lookup = engine.targets.lookup
+    update = engine.targets.update
+    tallies: Dict[PenaltyKind, List[int]] = {}
+
+    def bump(kind: PenaltyKind, cyc: int) -> None:
+        entry = tallies.get(kind)
+        if entry is None:
+            tallies[kind] = [1, cyc]
+        else:
+            entry[0] += 1
+            entry[1] += cyc
+
+    def handle_target(b: int, which: int, slot: int,
+                      anchor_line: int) -> None:
+        if not has_exit[b] or is_ret[b]:
+            return
+        exit_pc = exit_pc_l[b]
+        position = exit_pc % line_size
+        target = target_l[b]
+        if match_l[b] and src_l[b] != SRC_NEAR:
+            if lookup(which, anchor_line, position) != target:
+                kind = mf[b]
+                if kind:
+                    bump(PenaltyKind.MISFETCH_IMMEDIATE if kind == 1
+                         else PenaltyKind.MISFETCH_INDIRECT,
+                         mf_cycles[(kind, slot)])
+        if not near_ok[b]:
+            update(which, anchor_line, position, target)
+
+    double = engine.double
+    for e in range(0, n, 2):
+        slot = st_slot[e]
+        anchor_line = line0[e]
+        if double:
+            if st1_sel[slot] != sel_l[e]:
+                bump(PenaltyKind.MISSELECT, ms1)
+            elif st1_pay[slot] != pay_l[e]:
+                bump(PenaltyKind.GHR, g1)
+        handle_target(e, which=1, slot=1, anchor_line=anchor_line)
+        o = e + 1
+        if o >= n:
+            break
+        if st2_sel[slot] != sel_l[o]:
+            bump(PenaltyKind.MISSELECT, ms2)
+        elif st2_pay[slot] != pay_l[o]:
+            bump(PenaltyKind.GHR, g2)
+        if double:
+            st1_sel[slot] = sel_l[e]
+            st1_pay[slot] = pay_l[e]
+        st2_sel[slot] = sel_l[o]
+        st2_pay[slot] = pay_l[o]
+        handle_target(o, which=2, slot=2, anchor_line=anchor_line)
+
+    for kind, (count, cycles) in tallies.items():
+        _charge_bulk(stats, kind, count, cycles)
+
+    # Select-table state write-back (exact, including repeated runs).
+    written = sorted({st_slot[e] for e in range(0, n - 1, 2)})
+    entries = engine.select._entries
+    for slot in written:
+        second = _decode_select_entry(width, st2_sel[slot], st2_pay[slot])
+        if double:
+            entries[slot] = DualSelectEntry(
+                _decode_select_entry(width, st1_sel[slot], st1_pay[slot]),
+                second)
+        else:
+            entries[slot] = second
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Multi-block engine
+# ----------------------------------------------------------------------
+
+def run_multi_fast(engine, fetch_input) -> FetchStats:
+    """Vectorized :meth:`MultiBlockEngine.run`."""
+    run = _Run(engine, fetch_input)
+    compiled = run.compiled
+    n = run.n
+    group = engine.n
+    stats = _empty_stats(
+        run.trace, n,
+        base_cycles=1 + (n - 2 + group) // group if n > 1 else 1)
+    if n == 0:
+        return stats
+    scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
+    run.resolve()
+    walk = run.walk
+    width = run.width
+
+    match, early, late = run.classify()
+    slot_arr = np.arange(n, dtype=np.int64) % group  # slot - 1
+    max_slot = group
+    base_arr = np.array(
+        [penalty_cycles_slot(scheme, s, PenaltyKind.COND)
+         for s in range(1, max_slot + 1)], dtype=np.int64)
+    count, cycles = run.cond_charges(
+        early, late, slot_arr, base_arr, slot2_extra=slot_arr >= 1,
+        late_extra=not run.config.track_not_taken_targets)
+    _charge_bulk(stats, PenaltyKind.COND, count, cycles)
+
+    peeks = run.replay_ras(engine.ras)
+    ret_bad = match & run.is_ret & (peeks != compiled.exit_target)
+    for slot in range(1, max_slot + 1):
+        in_slot = ret_bad & (slot_arr == slot - 1)
+        count = int(np.count_nonzero(in_slot))
+        _charge_bulk(stats, PenaltyKind.RETURN, count,
+                     count * penalty_cycles_slot(scheme, slot,
+                                                 PenaltyKind.RETURN))
+
+    # Serial residual: select tables, target arrays, bank claim sets.
+    if engine.selects:
+        run.select_like = engine.selects[0]
+        st_slot = _st_slots(run).tolist()
+        tables = [_seed_select_arrays(width, t._entries)
+                  for t in engine.selects]
+    else:
+        st_slot = None
+        tables = []
+    # Slot-1 verification exists only under double selection (Table 3
+    # marks single/slot-1 MISSELECT and GHR N/A), so only build it there.
+    ms = [0] + [penalty_cycles_slot(scheme, s, PenaltyKind.MISSELECT)
+                if (engine.double or s >= 2) else 0
+                for s in range(1, max_slot + 1)]
+    gh = [0] + [penalty_cycles_slot(scheme, s, PenaltyKind.GHR)
+                if (engine.double or s >= 2) else 0
+                for s in range(1, max_slot + 1)]
+    bank = [0] + [penalty_cycles_slot(scheme, s,
+                                      PenaltyKind.BANK_CONFLICT)
+                  for s in range(1, max_slot + 2)]
+    mf_cycles = {}
+    for s in range(1, max_slot + 1):
+        mf_cycles[(1, s)] = penalty_cycles_slot(
+            scheme, s, PenaltyKind.MISFETCH_IMMEDIATE)
+        mf_cycles[(2, s)] = penalty_cycles_slot(
+            scheme, s, PenaltyKind.MISFETCH_INDIRECT)
+
+    mf = run.misfetch_kinds().tolist()
+    near_ok = ((walk.src == SRC_NEAR)
+               & (walk.pred_exit == compiled.act_exit)).tolist()
+    has_exit = compiled.has_exit.tolist()
+    is_ret = run.is_ret.tolist()
+    match_l = match.tolist()
+    src_l = walk.src.tolist()
+    sel_l = walk.sel.tolist()
+    pay_l = walk.pay.tolist()
+    exit_pc_l = compiled.exit_pc.tolist()
+    target_l = compiled.exit_target.tolist()
+    line0 = compiled.line0.tolist()
+    line_size = run.line_size
+    n_banks = run.geometry.n_banks
+    self_aligned = run.geometry.kind == SELF_ALIGNED
+    lookup = engine.targets.lookup
+    update = engine.targets.update
+    double = engine.double
+    tallies: Dict[PenaltyKind, List[int]] = {}
+
+    def bump(kind: PenaltyKind, cyc: int) -> None:
+        entry = tallies.get(kind)
+        if entry is None:
+            tallies[kind] = [1, cyc]
+        else:
+            entry[0] += 1
+            entry[1] += cyc
+
+    def handle_target(b: int, slot: int, anchor_line: int) -> None:
+        if not has_exit[b] or is_ret[b]:
+            return
+        exit_pc = exit_pc_l[b]
+        position = exit_pc % line_size
+        target = target_l[b]
+        if match_l[b] and src_l[b] != SRC_NEAR:
+            if lookup(slot, anchor_line, position) != target:
+                kind = mf[b]
+                if kind:
+                    bump(PenaltyKind.MISFETCH_IMMEDIATE if kind == 1
+                         else PenaltyKind.MISFETCH_INDIRECT,
+                         mf_cycles[(kind, slot)])
+        if not near_ok[b]:
+            update(slot, anchor_line, position, target)
+
+    written = [set() for _ in tables]
+    for a in range(0, n, group):
+        anchor_line = line0[a]
+        slot_a = st_slot[a] if st_slot is not None else 0
+        if double:
+            t_sel, t_pay = tables[0]
+            if t_sel[slot_a] != sel_l[a]:
+                bump(PenaltyKind.MISSELECT, ms[1])
+            elif t_pay[slot_a] != pay_l[a]:
+                bump(PenaltyKind.GHR, gh[1])
+            t_sel[slot_a] = sel_l[a]
+            t_pay[slot_a] = pay_l[a]
+            written[0].add(slot_a)
+        handle_target(a, slot=1, anchor_line=anchor_line)
+        for k in range(1, group):
+            j = a + k
+            if j >= n:
+                break
+            t_sel, t_pay = tables[k] if double else tables[k - 1]
+            if t_sel[slot_a] != sel_l[j]:
+                bump(PenaltyKind.MISSELECT, ms[k + 1])
+            elif t_pay[slot_a] != pay_l[j]:
+                bump(PenaltyKind.GHR, gh[k + 1])
+            t_sel[slot_a] = sel_l[j]
+            t_pay[slot_a] = pay_l[j]
+            written[k if double else k - 1].add(slot_a)
+            handle_target(j, slot=k + 1, anchor_line=anchor_line)
+
+        # Bank claim set over the group fetched together (a+1..a+n).
+        claimed_lines = set()
+        claimed_banks = set()
+        slot_i = 0
+        for b in range(a + 1, min(a + group + 1, n)):
+            slot_i += 1
+            first = line0[b]
+            lines = (first, first + 1) if self_aligned else (first,)
+            conflict = False
+            for line in lines:
+                if line in claimed_lines:
+                    continue
+                bank_of = line % n_banks
+                if bank_of in claimed_banks:
+                    conflict = True
+                else:
+                    claimed_lines.add(line)
+                    claimed_banks.add(bank_of)
+            if conflict and slot_i >= 2:
+                bump(PenaltyKind.BANK_CONFLICT, bank[slot_i])
+
+    for kind, (count, cycles) in tallies.items():
+        _charge_bulk(stats, kind, count, cycles)
+
+    for table, (t_sel, t_pay), touched in zip(engine.selects, tables,
+                                              written):
+        entries = table._entries
+        for slot in sorted(touched):
+            entries[slot] = _decode_select_entry(width, t_sel[slot],
+                                                 t_pay[slot])
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Two-block-ahead engine
+# ----------------------------------------------------------------------
+
+def run_two_ahead_fast(engine, fetch_input) -> FetchStats:
+    """Vectorized :meth:`TwoBlockAheadEngine.run`."""
+    run = _Run(engine, fetch_input, ahead=True)
+    compiled = run.compiled
+    n = run.n
+    stats = _empty_stats(run.trace, n, base_cycles=1 + n // 2)
+    if n == 0:
+        return stats
+    scheme = SINGLE_SELECT
+    run.resolve()
+    walk = run.walk
+
+    match, early, late = run.classify()
+    # Pairs are (odd, even): odd indices are slot 1, even are slot 2.
+    index = np.arange(n)
+    slot_arr = (index % 2 == 0).astype(np.int64)  # 0=slot1, 1=slot2
+    base_arr = np.array(
+        [penalty_cycles(scheme, 1, PenaltyKind.COND),
+         penalty_cycles(scheme, 2, PenaltyKind.COND)], dtype=np.int64)
+    count, cycles = run.cond_charges(
+        early, late, slot_arr, base_arr, slot2_extra=slot_arr.astype(bool),
+        late_extra=False)
+    _charge_bulk(stats, PenaltyKind.COND, count, cycles)
+
+    peeks = run.replay_ras(engine.ras)
+    ret_bad = match & run.is_ret & (peeks != compiled.exit_target)
+    for slot in (1, 2):
+        in_slot = ret_bad & (slot_arr == slot - 1)
+        count = int(np.count_nonzero(in_slot))
+        _charge_bulk(stats, PenaltyKind.RETURN, count,
+                     count * penalty_cycles(scheme, slot,
+                                            PenaltyKind.RETURN))
+
+    if engine.serialization_penalty:
+        count = int(np.count_nonzero((index % 2 == 0) & (index >= 2)))
+        _charge_bulk(stats, PenaltyKind.MISSELECT, count,
+                     count * engine.serialization_penalty)
+
+    conflicts = pair_conflicts(compiled, run.geometry)
+    odd = np.arange(1, n - 1, 2)
+    count = int(np.count_nonzero(conflicts[odd]))
+    _charge_bulk(stats, PenaltyKind.BANK_CONFLICT, count,
+                 count * penalty_cycles(scheme, 2,
+                                        PenaltyKind.BANK_CONFLICT))
+
+    # Serial residual: the dual NLS target array, ahead-line indexed.
+    mf = run.misfetch_kinds().tolist()
+    mf_cycles = {
+        (1, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_IMMEDIATE)
+        for s in (1, 2)
+    }
+    mf_cycles.update({
+        (2, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_INDIRECT)
+        for s in (1, 2)
+    })
+    near_ok = ((walk.src == SRC_NEAR)
+               & (walk.pred_exit == compiled.act_exit)).tolist()
+    anchor_line = (run.anchor_start // run.line_size).tolist()
+    match_l = match.tolist()
+    src_l = walk.src.tolist()
+    exit_pc_l = compiled.exit_pc.tolist()
+    target_l = compiled.exit_target.tolist()
+    line_size = run.line_size
+    lookup = engine.targets.lookup
+    update = engine.targets.update
+    tallies: Dict[PenaltyKind, List[int]] = {}
+    for b in np.nonzero(compiled.has_exit & ~run.is_ret)[0].tolist():
+        slot = 1 if b % 2 == 1 else 2
+        exit_pc = exit_pc_l[b]
+        position = exit_pc % line_size
+        target = target_l[b]
+        line = anchor_line[b]
+        if match_l[b] and src_l[b] != SRC_NEAR:
+            if lookup(slot, line, position) != target:
+                kind = mf[b]
+                if kind:
+                    key = (PenaltyKind.MISFETCH_IMMEDIATE if kind == 1
+                           else PenaltyKind.MISFETCH_INDIRECT)
+                    entry = tallies.get(key)
+                    cyc = mf_cycles[(kind, slot)]
+                    if entry is None:
+                        tallies[key] = [1, cyc]
+                    else:
+                        entry[0] += 1
+                        entry[1] += cyc
+        if not near_ok[b]:
+            update(slot, line, position, target)
+    for kind, (count, cycles) in tallies.items():
+        _charge_bulk(stats, kind, count, cycles)
+    return stats

@@ -1,0 +1,581 @@
+"""Structure-of-arrays block streams and batched engine kernels.
+
+The scalar fetch engines replay one block at a time: rebuild its BIT
+window, walk it code by code against the blocked PHT, then train.  This
+module compiles a :class:`~repro.core.config.FetchInput` once into flat
+numpy arrays (:class:`CompiledBlocks`) and resolves whole runs at once:
+
+* every block's GHR value and PHT base index come straight from the
+  trace (the architectural history is a pure function of the conditional
+  outcome stream — ``packed_history``);
+* every PHT counter read (the walks) and write (the training) is
+  resolved by one segmented clamped-shift scan
+  (:func:`~repro.predictors.evaluate._clamped_scan_transfers`), with
+  reads as identity transfers ordered before the same block's writes;
+* the first-predicted-taken walk of every block is a handful of
+  row-wise reductions over the packed ``uint8`` window matrix
+  (:func:`resolve_walks`).
+
+The compiled form is memoised on the ``FetchInput`` and persisted
+through the runtime cache (``<cache-dir>/compiled/``) when the input
+came from the workload registry.  :mod:`repro.core.fast` drives these
+kernels per engine; the scalar loops remain the readable ground truth
+and the parity suite keeps both bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..icache.geometry import CacheGeometry, SELF_ALIGNED
+from ..isa.kinds import InstrKind
+from ..isa.program import StaticCode
+from ..predictors.counters import COUNTER_MAX, COUNTER_MIN
+from ..predictors.evaluate import (
+    _NO_HI,
+    _NO_LO,
+    _clamped_scan_transfers,
+    _grouping_order,
+    packed_history,
+)
+from ..runtime import cache as disk_cache
+from ..runtime import profile
+from .config import FetchInput
+from .selection import SRC_ARRAY, SRC_FALLTHROUGH, SRC_NEAR, SRC_RAS
+
+K_COND = int(InstrKind.COND)
+K_JUMP = int(InstrKind.JUMP)
+K_CALL = int(InstrKind.CALL)
+K_RETURN = int(InstrKind.RETURN)
+K_INDIRECT = int(InstrKind.INDIRECT)
+K_HALT = int(InstrKind.HALT)
+
+#: Integer BitCode values (``repro.targets.bit.BitCode``) used in the
+#: packed window matrices; near-block conditionals are codes 4..7.
+CODE_NONBRANCH = 0
+CODE_RETURN = 1
+CODE_OTHER = 2
+CODE_COND_LONG = 3
+
+#: Counter states >= this predict taken (``counter_predicts_taken``).
+TAKEN_MIN = 2
+
+#: ``exit_offset`` sentinel for a fall-through walk (scalar ``None``).
+NO_EXIT = -1
+
+#: Large "no exit" offset so MATCH/EARLY/LATE reduce to comparisons.
+FAR = np.int64(1) << np.int64(40)
+
+
+# ----------------------------------------------------------------------
+# Static-code and block-stream compilation
+# ----------------------------------------------------------------------
+
+def encode_static_codes(static: StaticCode, line_size: int,
+                        near_block: bool) -> np.ndarray:
+    """Per-address BIT codes of the whole text segment (``uint8``).
+
+    Vectorised twin of :func:`repro.targets.bit.encode_instruction`
+    applied to every address at once.
+    """
+    kind = np.asarray(static.kind)
+    direct = np.asarray(static.direct_target)
+    n = len(kind)
+    codes = np.zeros(n, dtype=np.uint8)
+    codes[kind == K_RETURN] = CODE_RETURN
+    codes[(kind == K_JUMP) | (kind == K_CALL)
+          | (kind == K_INDIRECT)] = CODE_OTHER
+    is_cond = kind == K_COND
+    codes[is_cond] = CODE_COND_LONG
+    if near_block:
+        addr = np.arange(n, dtype=np.int64)
+        line_off = direct // line_size - addr // line_size
+        near = is_cond & (direct >= 0) & (line_off >= -1) & (line_off <= 2)
+        # Line offsets -1/0/1/2 are BitCodes 4/5/6/7 (Table 1).
+        codes[near] = (line_off[near] + 5).astype(np.uint8)
+    return codes
+
+
+@dataclass
+class CompiledBlocks:
+    """One trace's block stream flattened into structure-of-arrays form.
+
+    All per-block arrays have one entry per fetch block, in fetch order;
+    the conditional arrays are the trace's conditional-branch stream.
+    ``window`` holds each block's true BIT codes padded with non-branch
+    beyond the geometry limit, so row-wise kernels need no masks.
+    """
+
+    near_block: bool
+    n_blocks: int
+    start: np.ndarray        #: int64[n]
+    limit: np.ndarray        #: int64[n] geometry block limit
+    n_instr: np.ndarray      #: int64[n]
+    exit_kind: np.ndarray    #: int64[n] InstrKind / EXIT_FALLTHROUGH
+    exit_target: np.ndarray  #: int64[n]
+    has_exit: np.ndarray     #: bool[n]  taken (non-HALT) exit
+    is_halt: np.ndarray      #: bool[n]
+    exit_pc: np.ndarray      #: int64[n] (-1 without a taken exit)
+    exit_direct: np.ndarray  #: int64[n] static direct target at exit_pc
+    act_exit: np.ndarray     #: int64[n] exit offset, FAR for fall-through
+    line0: np.ndarray        #: int64[n] start line index
+    window: np.ndarray       #: uint8[n, W]
+    code_of_addr: np.ndarray  #: uint8[text size] per-address BIT codes
+    conds_before: np.ndarray  #: int64[n] conds in trace before the block
+    n_conds: np.ndarray      #: int64[n] conds inside the block
+    cond_block: np.ndarray   #: int64[m] owning block of each conditional
+    cond_pos: np.ndarray     #: int64[m] pc % block_width
+    cond_taken: np.ndarray   #: bool[m]
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Array payload for the persistent cache."""
+        return {
+            "start": self.start, "limit": self.limit,
+            "n_instr": self.n_instr, "exit_kind": self.exit_kind,
+            "exit_target": self.exit_target, "exit_pc": self.exit_pc,
+            "exit_direct": self.exit_direct, "act_exit": self.act_exit,
+            "line0": self.line0, "window": self.window,
+            "code_of_addr": self.code_of_addr,
+            "conds_before": self.conds_before, "n_conds": self.n_conds,
+            "cond_block": self.cond_block, "cond_pos": self.cond_pos,
+            "cond_taken": self.cond_taken,
+        }
+
+    @classmethod
+    def from_arrays(cls, data, near_block: bool) -> "CompiledBlocks":
+        """Rebuild from :meth:`to_arrays` output (or a loaded ``.npz``)."""
+        start = np.asarray(data["start"], dtype=np.int64)
+        exit_kind = np.asarray(data["exit_kind"], dtype=np.int64)
+        return cls(
+            near_block=near_block,
+            n_blocks=len(start),
+            start=start,
+            limit=np.asarray(data["limit"], dtype=np.int64),
+            n_instr=np.asarray(data["n_instr"], dtype=np.int64),
+            exit_kind=exit_kind,
+            exit_target=np.asarray(data["exit_target"], dtype=np.int64),
+            has_exit=(exit_kind != 0) & (exit_kind != K_HALT),
+            is_halt=exit_kind == K_HALT,
+            exit_pc=np.asarray(data["exit_pc"], dtype=np.int64),
+            exit_direct=np.asarray(data["exit_direct"], dtype=np.int64),
+            act_exit=np.asarray(data["act_exit"], dtype=np.int64),
+            line0=np.asarray(data["line0"], dtype=np.int64),
+            window=np.asarray(data["window"], dtype=np.uint8),
+            code_of_addr=np.asarray(data["code_of_addr"], dtype=np.uint8),
+            conds_before=np.asarray(data["conds_before"], dtype=np.int64),
+            n_conds=np.asarray(data["n_conds"], dtype=np.int64),
+            cond_block=np.asarray(data["cond_block"], dtype=np.int64),
+            cond_pos=np.asarray(data["cond_pos"], dtype=np.int64),
+            cond_taken=np.asarray(data["cond_taken"], dtype=bool),
+        )
+
+
+def _compile(fetch_input: FetchInput, near_block: bool) -> CompiledBlocks:
+    """Build the structure-of-arrays form of one fetch input."""
+    blocks = fetch_input.blocks
+    geometry = fetch_input.geometry
+    trace = fetch_input.trace
+    width = geometry.block_width
+    line_size = geometry.line_size
+
+    start = blocks.start.astype(np.int64)
+    n_instr = blocks.n_instr.astype(np.int64)
+    exit_kind = blocks.exit_kind.astype(np.int64)
+    exit_target = blocks.exit_target.astype(np.int64)
+    n = len(start)
+
+    if geometry.kind == SELF_ALIGNED:
+        limit = np.full(n, width, dtype=np.int64)
+    else:
+        room = line_size - start % line_size
+        limit = np.minimum(room, width)
+
+    has_exit = (exit_kind != 0) & (exit_kind != K_HALT)
+    is_halt = exit_kind == K_HALT
+    exit_pc = np.where(has_exit, start + n_instr - 1, np.int64(-1))
+    act_exit = np.where(has_exit | is_halt,
+                        np.where(has_exit, n_instr - 1, FAR), FAR)
+
+    code_of_addr = encode_static_codes(fetch_input.static, line_size,
+                                       near_block)
+    n_static = len(code_of_addr)
+    direct = np.asarray(fetch_input.static.direct_target)
+    exit_direct = np.full(n, -1, dtype=np.int64)
+    known = has_exit & (exit_pc < n_static)
+    exit_direct[known] = direct[exit_pc[known]]
+
+    cols = np.arange(width, dtype=np.int64)
+    addrs = start[:, None] + cols[None, :]
+    window = np.zeros((n, width), dtype=np.uint8)
+    in_text = addrs < n_static
+    window[in_text] = code_of_addr[addrs[in_text]]
+    window[cols[None, :] >= limit[:, None]] = CODE_NONBRANCH
+
+    # Conditional stream: record windows partition the trace, so the
+    # per-block conds are the global conditional stream chunked by the
+    # blocks' record windows.
+    cond_mask = trace.cond_mask
+    cond_prefix = np.zeros(len(cond_mask) + 1, dtype=np.int64)
+    np.cumsum(cond_mask, out=cond_prefix[1:])
+    first_rec = blocks.first_rec.astype(np.int64)
+    n_recs = blocks.n_recs.astype(np.int64)
+    conds_before = cond_prefix[first_rec]
+    n_conds = cond_prefix[first_rec + n_recs] - conds_before
+    cond_block = np.repeat(np.arange(n, dtype=np.int64), n_conds)
+    cond_pc = trace.pc[cond_mask].astype(np.int64)
+    cond_taken = trace.taken[cond_mask].astype(bool)
+
+    return CompiledBlocks(
+        near_block=near_block, n_blocks=n, start=start, limit=limit,
+        n_instr=n_instr, exit_kind=exit_kind, exit_target=exit_target,
+        has_exit=has_exit, is_halt=is_halt, exit_pc=exit_pc,
+        exit_direct=exit_direct, act_exit=act_exit,
+        line0=start // line_size, window=window,
+        code_of_addr=code_of_addr, conds_before=conds_before,
+        n_conds=n_conds, cond_block=cond_block,
+        cond_pos=cond_pc % width, cond_taken=cond_taken,
+    )
+
+
+def compile_fetch_input(fetch_input: FetchInput,
+                        near_block: bool) -> CompiledBlocks:
+    """Compiled form of ``fetch_input``, memoised and disk-cached.
+
+    The in-process memo lives on the ``FetchInput`` itself (keyed by the
+    near-block flag, the only config knob that changes the compiled
+    arrays).  Inputs loaded through the workload registry additionally
+    carry a ``cache_key`` and persist under ``<cache-dir>/compiled/``.
+    """
+    memo = getattr(fetch_input, "_compiled", None)
+    if memo is None:
+        memo = {}
+        fetch_input._compiled = memo
+    compiled = memo.get(near_block)
+    if compiled is not None:
+        return compiled
+    with profile.phase("compile"):
+        key = getattr(fetch_input, "cache_key", None)
+        if key is not None:
+            name, budget, digest = key
+            data = disk_cache.load_compiled(
+                name, budget, fetch_input.geometry, near_block, digest,
+                fetch_input.trace.n_records)
+            if data is not None:
+                compiled = CompiledBlocks.from_arrays(data, near_block)
+                if compiled.n_blocks != fetch_input.blocks.n_blocks:
+                    compiled = None  # stale artifact; recompile
+        if compiled is None:
+            compiled = _compile(fetch_input, near_block)
+            if key is not None:
+                name, budget, digest = key
+                disk_cache.store_compiled(
+                    compiled.to_arrays(), name, budget,
+                    fetch_input.geometry, near_block, digest,
+                    fetch_input.trace.n_records)
+    memo[near_block] = compiled
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# Batched counter-bank resolution (PHT reads interleaved with training)
+# ----------------------------------------------------------------------
+
+def scan_counters(counters: np.ndarray,
+                  read_blocks: np.ndarray, read_slots: np.ndarray,
+                  write_blocks: np.ndarray, write_slots: np.ndarray,
+                  write_taken: np.ndarray):
+    """Resolve every PHT read against the interleaved training stream.
+
+    Each block's walk reads happen before its own training writes and
+    blocks proceed in stream order — encoded as the time key
+    ``2*block + is_write`` — so one grouped segmented scan yields the
+    exact counter state every read observed.  ``counters`` is a snapshot
+    of the table (each slot's segment starts from its current state).
+
+    Returns ``(read_taken, final_slots, final_states)``: the taken
+    prediction of every read (in input order) and the post-run state of
+    every touched slot, for write-back.
+    """
+    n_r = len(read_slots)
+    n_w = len(write_slots)
+    m = n_r + n_w
+    if m == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return np.zeros(0, dtype=bool), empty, empty
+    slots = np.concatenate([read_slots, write_slots])
+    time_key = np.concatenate([read_blocks * 2, write_blocks * 2 + 1])
+    is_write = np.zeros(m, dtype=bool)
+    is_write[n_r:] = True
+    taken = np.zeros(m, dtype=bool)
+    taken[n_r:] = write_taken
+
+    order_t = np.argsort(time_key, kind="stable")
+    g = _grouping_order(slots[order_t])
+    order = order_t[g]
+    s_slot = slots[order]
+    s_taken = taken[order]
+    s_write = is_write[order]
+    seg_start = np.empty(m, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = s_slot[1:] != s_slot[:-1]
+
+    # Reads are identity transfers; writes are the saturating +/-1.
+    k = np.where(s_write, np.where(s_taken, 1, -1), 0)
+    lo = np.where(s_write & ~s_taken, np.int64(COUNTER_MIN), _NO_LO)
+    hi = np.where(s_write & s_taken, np.int64(COUNTER_MAX), _NO_HI)
+    init = counters[s_slot]
+    before, after = _clamped_scan_transfers(k, lo, hi, seg_start, init)
+
+    pred_all = np.empty(m, dtype=bool)
+    pred_all[order] = before >= TAKEN_MIN
+    seg_end = np.empty(m, dtype=bool)
+    seg_end[:-1] = seg_start[1:]
+    seg_end[-1] = True
+    return (pred_all[:n_r], s_slot[seg_end],
+            after[seg_end].astype(np.int64))
+
+
+# ----------------------------------------------------------------------
+# Batched block walks
+# ----------------------------------------------------------------------
+
+@dataclass
+class WalkArrays:
+    """Per-block results of the batched first-predicted-taken walk.
+
+    ``sel``/``pay`` encode the scalar walk's ``selector`` and
+    ``ghr_payload`` as single integers whose equality matches the
+    scalar dataclass equality; the cold select-table default encodes to
+    ``(0, 0)``.
+    """
+
+    exit_off: np.ndarray    #: int64[n], NO_EXIT for fall-through
+    pred_exit: np.ndarray   #: int64[n], exit_off with FAR for fall-through
+    src: np.ndarray         #: int64[n] SRC_* constant
+    near: np.ndarray        #: int64[n] near BitCode or -1
+    n_not_taken: np.ndarray  #: int64[n]
+    ends_taken: np.ndarray  #: bool[n]
+    sel: np.ndarray         #: int64[n] encoded selector
+    pay: np.ndarray         #: int64[n] encoded GHR payload
+
+
+def encode_selector(width: int, src: int, exit_off: Optional[int],
+                    near: Optional[int]) -> int:
+    """Scalar twin of the walk kernel's selector encoding."""
+    off = NO_EXIT if exit_off is None else exit_off
+    near_code = -1 if near is None else int(near)
+    return (src * (width + 2) + (off + 1)) * 16 + (near_code + 1)
+
+
+def decode_selector(width: int, sel: int) -> Tuple[int, Optional[int],
+                                                   Optional[int]]:
+    """Inverse of :func:`encode_selector` (select-table write-back)."""
+    near_code = sel % 16 - 1
+    rest = sel // 16
+    off = rest % (width + 2) - 1
+    src = rest // (width + 2)
+    return (src, None if off < 0 else off,
+            None if near_code < 0 else near_code)
+
+
+def resolve_walks(window: np.ndarray, width: int,
+                  pred_mat: np.ndarray) -> WalkArrays:
+    """Resolve every block's walk given its window and read predictions.
+
+    ``pred_mat`` holds the PHT taken-prediction at every conditional
+    window position (other positions are ignored).  Predictions at
+    positions past the first exit cannot affect the result — exactly as
+    the scalar walk, which never reads them.
+    """
+    n = len(window)
+    rows = np.arange(n)
+    is_cond = window >= CODE_COND_LONG
+    exit_ev = (window == CODE_RETURN) | (window == CODE_OTHER) \
+        | (is_cond & pred_mat)
+    any_exit = exit_ev.any(axis=1)
+    first = np.argmax(exit_ev, axis=1)
+    exit_off = np.where(any_exit, first, np.int64(NO_EXIT))
+    exit_code = window[rows, first].astype(np.int64)
+
+    src = np.full(n, SRC_FALLTHROUGH, dtype=np.int64)
+    cond_exit = any_exit & (exit_code >= CODE_COND_LONG)
+    near_cond = cond_exit & (exit_code > CODE_COND_LONG)
+    src[any_exit & (exit_code == CODE_RETURN)] = SRC_RAS
+    src[any_exit & (exit_code == CODE_OTHER)] = SRC_ARRAY
+    src[cond_exit] = SRC_ARRAY
+    src[near_cond] = SRC_NEAR
+    near = np.where(near_cond, exit_code, np.int64(-1))
+
+    # Every conditional before the exit was predicted not taken (else it
+    # would have been the exit), so the payload is a prefix count.
+    cond_cum = np.cumsum(is_cond, axis=1)
+    n_not_taken = np.where(
+        any_exit, cond_cum[rows, first] - is_cond[rows, first],
+        cond_cum[:, -1] if width else np.int64(0))
+    ends_taken = cond_exit
+    sel = (src * (width + 2) + (exit_off + 1)) * 16 + (near + 1)
+    pay = n_not_taken * 2 + ends_taken
+    return WalkArrays(
+        exit_off=exit_off,
+        pred_exit=np.where(any_exit, first, FAR),
+        src=src, near=near, n_not_taken=n_not_taken,
+        ends_taken=ends_taken, sel=sel, pay=pay,
+    )
+
+
+# ----------------------------------------------------------------------
+# Bank-conflict pairs (dual / two-ahead)
+# ----------------------------------------------------------------------
+
+def pair_conflicts(compiled: CompiledBlocks,
+                   geometry: CacheGeometry) -> np.ndarray:
+    """``out[j]`` = blocks ``j`` and ``j+1`` collide on a cache bank.
+
+    Vectorised :func:`repro.icache.banks.blocks_conflict` for
+    consecutive block pairs.  Normal/extended blocks read one line each;
+    self-aligned blocks always read their aligned line pair.
+    """
+    n = compiled.n_blocks
+    out = np.zeros(n, dtype=bool)
+    if n < 2:
+        return out
+    nb = geometry.n_banks
+    f1 = compiled.line0[:-1]
+    f2 = compiled.line0[1:]
+    if geometry.kind != SELF_ALIGNED:
+        out[:-1] = (f2 != f1) & ((f2 % nb) == (f1 % nb))
+        return out
+    bf1 = f1 % nb
+    bf2 = (f1 + 1) % nb
+    a, b = f2, f2 + 1
+    a_shared = (a == f1) | (a == f1 + 1)
+    a_bank = a % nb
+    a_hit = ~a_shared & ((a_bank == bf1) | (a_bank == bf2))
+    a_claimed = ~a_shared & ~a_hit
+    b_shared = (b == f1) | (b == f1 + 1)
+    b_bank = b % nb
+    b_hit = ~b_shared & ((b_bank == bf1) | (b_bank == bf2)
+                         | (a_claimed & (b_bank == a_bank)))
+    out[:-1] = a_hit | b_hit
+    return out
+
+
+# ----------------------------------------------------------------------
+# Separate-BIT-table stale windows (Figure 7)
+# ----------------------------------------------------------------------
+
+@dataclass
+class StaleWindows:
+    """Vectorised separate-BIT-table behaviour for a whole run."""
+
+    window: np.ndarray       #: uint8[n, W] stale codes per block
+    accesses: int            #: BITTable.access calls the run performs
+    stale_hits: int          #: aliased non-empty reads
+    final_slots: np.ndarray  #: int64 slots the run filled
+    final_lines: np.ndarray  #: int64 last line filled per slot
+
+
+def stale_bit_windows(compiled: CompiledBlocks, line_size: int,
+                      n_entries: int, width: int,
+                      init_lines: np.ndarray,
+                      init_codes: np.ndarray) -> StaleWindows:
+    """Replay the tag-less BIT table's reads/fills for every block.
+
+    Each block reads its spanned lines' entries (stale if aliased) and
+    then fills them with the true codes.  A per-slot forward fill over
+    the (read, fill) event stream recovers which line each read saw;
+    gathering that line's true codes builds the stale window matrix.
+    ``init_lines``/``init_codes`` seed slots from the table's pre-run
+    state (-1 = never written); reads served by that state use the
+    *stored* codes, which a warm table may have encoded from a different
+    program's static code.
+    """
+    n = compiled.n_blocks
+    start = compiled.start
+    limit = compiled.limit
+    l0 = compiled.line0
+    span1 = np.minimum(limit, line_size - start % line_size)
+    l_last = (start + limit - 1) // line_size
+    second = np.nonzero(l_last > l0)[0]
+
+    # Events: per block, reads of its lines (key 2b) then fills of the
+    # same lines in ascending line order (key 2b+1, stable).
+    blocks_ev = np.concatenate([np.arange(n, dtype=np.int64), second])
+    lines_ev = np.concatenate([l0, l_last[second]])
+    n_reads = len(blocks_ev)
+    ev_block = np.concatenate([blocks_ev, blocks_ev])
+    ev_line = np.concatenate([lines_ev, lines_ev])
+    ev_fill = np.zeros(2 * n_reads, dtype=bool)
+    ev_fill[n_reads:] = True
+    ev_key = ev_block * 2 + ev_fill
+    ev_slot = ev_line % n_entries
+
+    order_t = np.argsort(ev_key, kind="stable")
+    g = _grouping_order(ev_slot[order_t])
+    order = order_t[g]
+    sl = ev_slot[order]
+    ln = ev_line[order]
+    fl = ev_fill[order]
+    m = len(order)
+    seg_start = np.empty(m, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = sl[1:] != sl[:-1]
+
+    # Segmented "index of the latest fill at or before me".
+    idx = np.arange(m, dtype=np.int64)
+    fill_idx = np.where(fl, idx, np.int64(-1))
+    seg_base = np.maximum.accumulate(np.where(seg_start, idx, 0))
+    last_fill = np.maximum.accumulate(fill_idx)
+    filled = last_fill >= seg_base
+    stored_g = np.where(filled, ln[np.maximum(last_fill, 0)],
+                        init_lines[sl])
+
+    stored_all = np.empty(m, dtype=np.int64)
+    stored_all[order] = stored_g
+    from_init_all = np.empty(m, dtype=bool)
+    from_init_all[order] = ~filled
+    stored_reads = stored_all[:n_reads]
+    from_init = from_init_all[:n_reads]
+    stale_hits = int(np.count_nonzero(
+        (stored_reads >= 0) & (stored_reads != lines_ev)))
+
+    # Last fill per touched slot, for table-state write-back.
+    seg_end = np.empty(m, dtype=bool)
+    seg_end[:-1] = seg_start[1:]
+    seg_end[-1] = True
+    end_filled = seg_end & filled
+    final_slots = sl[end_filled]
+    final_lines = ln[np.maximum(last_fill, 0)][end_filled]
+
+    # Stale window: the stored line's codes at each block offset.  Fills
+    # from this run store the current program's true codes; slots still
+    # in their pre-run state supply whatever codes they were seeded with.
+    stored0 = stored_reads[:n]
+    stored1 = np.full(n, -1, dtype=np.int64)
+    stored1[second] = stored_reads[n:]
+    init0 = from_init[:n]
+    init1 = np.zeros(n, dtype=bool)
+    init1[second] = from_init[n:]
+    cols = np.arange(width, dtype=np.int64)
+    use_second = cols[None, :] >= span1[:, None]
+    stored_line = np.where(use_second, stored1[:, None], stored0[:, None])
+    use_init = np.where(use_second, init1[:, None], init0[:, None])
+    slot_mat = np.where(use_second, (l_last % n_entries)[:, None],
+                        (l0 % n_entries)[:, None])
+    offs = (start[:, None] + cols[None, :]) % line_size
+    stale_addr = stored_line * line_size + offs
+    code_pad = np.concatenate(
+        [compiled.code_of_addr, np.zeros(1, dtype=np.uint8)])
+    n_static = len(compiled.code_of_addr)
+    valid = (cols[None, :] < limit[:, None]) & (stored_line >= 0) \
+        & (stale_addr < n_static) & ~use_init
+    window = code_pad[np.where(valid, stale_addr, n_static)]
+    seeded = (cols[None, :] < limit[:, None]) & (stored_line >= 0) \
+        & use_init
+    window = np.where(seeded, init_codes[slot_mat, offs], window)
+    return StaleWindows(window=window, accesses=n_reads,
+                        stale_hits=stale_hits, final_slots=final_slots,
+                        final_lines=final_lines)

@@ -30,6 +30,7 @@ from ..predictors.ghr import GlobalHistory
 from ..targets.nls import NLSTargetArray
 from ..targets.ras import ReturnAddressStack
 from .config import EngineConfig, FetchInput, TARGET_NLS
+from .engine_mode import use_fast_engine
 from .engine_common import (
     ActualBlock,
     BlockCursor,
@@ -115,6 +116,9 @@ class MultiBlockEngine:
     def run(self, fetch_input: FetchInput) -> FetchStats:
         """Replay the block stream N blocks per cycle."""
         config = self.config
+        if use_fast_engine():
+            from .fast import run_multi_fast
+            return run_multi_fast(self, fetch_input)
         geometry = config.geometry
         if geometry != fetch_input.geometry:
             raise ValueError("fetch input was segmented under a different "

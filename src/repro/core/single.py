@@ -23,6 +23,7 @@ from ..targets.btb import BlockBTB
 from ..targets.nls import NLSTargetArray
 from ..targets.ras import ReturnAddressStack
 from .config import EngineConfig, FetchInput, TARGET_BTB
+from .engine_mode import use_fast_engine
 from .engine_common import (
     ActualBlock,
     BlockCursor,
@@ -77,6 +78,11 @@ class SingleBlockEngine:
     def run(self, fetch_input: FetchInput) -> FetchStats:
         """Replay the block stream, returning aggregated fetch metrics."""
         config = self.config
+        # Recovery tracking needs the per-branch scalar walk context, so
+        # it always takes the reference loop.
+        if not config.track_recovery and use_fast_engine():
+            from .fast import run_single_fast
+            return run_single_fast(self, fetch_input)
         geometry = config.geometry
         if geometry != fetch_input.geometry:
             raise ValueError("fetch input was segmented under a different "

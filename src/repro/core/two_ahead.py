@@ -31,6 +31,7 @@ from ..predictors.ghr import GlobalHistory
 from ..targets.nls import DualNLSTargetArray
 from ..targets.ras import ReturnAddressStack
 from .config import EngineConfig, FetchInput, TARGET_NLS
+from .engine_mode import use_fast_engine
 from .engine_common import (
     BlockCursor,
     EARLY_TAKEN,
@@ -67,6 +68,9 @@ class TwoBlockAheadEngine:
     def run(self, fetch_input: FetchInput) -> FetchStats:
         """Replay the block stream with block-ahead predictions."""
         config = self.config
+        if use_fast_engine():
+            from .fast import run_two_ahead_fast
+            return run_two_ahead_fast(self, fetch_input)
         geometry = config.geometry
         if geometry != fetch_input.geometry:
             raise ValueError("fetch input was segmented under a different "

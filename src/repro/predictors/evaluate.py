@@ -190,9 +190,29 @@ def _clamped_scan_states(s_taken: np.ndarray, seg_start: np.ndarray):
     state_after)``: the counter value each visit predicted from and the
     value it left behind.  ``len(s_taken)`` must be positive.
     """
-    n = len(s_taken)
     # Per-visit transfer function as a clamped shift (k, lo, hi):
     # taken  -> s+1 capped at COUNTER_MAX;  not-taken -> s-1 floored at 0.
+    k = np.where(s_taken, 1, -1)
+    lo = np.where(s_taken, _NO_LO, COUNTER_MIN)
+    hi = np.where(s_taken, COUNTER_MAX, _NO_HI)
+    return _clamped_scan_transfers(k, lo, hi, seg_start)
+
+
+def _clamped_scan_transfers(k: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+                            seg_start: np.ndarray, init=None):
+    """Segmented scan over arbitrary per-visit clamped-shift transfers.
+
+    Generalisation of :func:`_clamped_scan_states` used by the engine
+    kernels (:mod:`repro.core.kernels`), whose visit streams interleave
+    counter *reads* — identity transfers ``(0, _NO_LO, _NO_HI)`` — with
+    the training writes.  ``k``/``lo``/``hi`` give each visit's transfer
+    ``s -> min(hi, max(lo, s + k))`` in grouped order; ``seg_start``
+    flags the first visit of each slot.  ``init``, when given, holds each
+    visit's segment's starting counter value (constant within a segment);
+    it defaults to ``COUNTER_INIT`` everywhere.  Returns ``(state_before,
+    state_after)`` exactly as :func:`_clamped_scan_states` does.
+    """
+    n = len(k)
     # The composite over a window is again a clamped shift; its net shift
     # is bounded by the window length, so int16 holds every composite for
     # any segment shorter than 32k visits (int64 otherwise).
@@ -200,9 +220,9 @@ def _clamped_scan_states(s_taken: np.ndarray, seg_start: np.ndarray):
     pos = indices - np.maximum.accumulate(np.where(seg_start, indices, 0))
     max_pos = int(pos.max())
     dtype = np.int16 if max_pos < 30000 else np.int64
-    k = np.where(s_taken, 1, -1).astype(dtype)
-    lo = np.where(s_taken, _NO_LO, COUNTER_MIN).astype(dtype)
-    hi = np.where(s_taken, COUNTER_MAX, _NO_HI).astype(dtype)
+    k = np.asarray(k).astype(dtype)
+    lo = np.asarray(lo).astype(dtype)
+    hi = np.asarray(hi).astype(dtype)
 
     if max_pos > 0:
         # After the pass at distance d, element i's composite covers the
@@ -254,10 +274,19 @@ def _clamped_scan_states(s_taken: np.ndarray, seg_start: np.ndarray):
         lo = lo[rank]
         hi = hi[rank]
 
-    state_after = np.minimum(hi, np.maximum(lo, dtype(COUNTER_INIT) + k))
+    if init is None:
+        base = dtype(COUNTER_INIT)
+        first = dtype(COUNTER_INIT)
+    else:
+        # Composites were reordered and restored by position above, but
+        # the per-visit base survives untouched: it is constant within a
+        # segment, and both uses below index in original grouped order.
+        base = np.asarray(init).astype(dtype)
+        first = base[seg_start]
+    state_after = np.minimum(hi, np.maximum(lo, base + k))
     state_before = np.empty(n, dtype=dtype)
     state_before[1:] = state_after[:-1]
-    state_before[seg_start] = COUNTER_INIT
+    state_before[seg_start] = first
     return state_before, state_after
 
 

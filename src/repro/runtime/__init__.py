@@ -27,7 +27,8 @@ its workers) would create an import cycle.
 
 from __future__ import annotations
 
-from . import cache, faults  # noqa: F401  (light: no workloads import)
+# Light modules only (no workloads import — that would be circular).
+from . import cache, faults, profile  # noqa: F401
 
 _EXECUTOR_NAMES = ("JOBS_ENV", "SuiteSpec", "execute", "n_jobs",
                    "run_suite_specs", "unpicklable_reason",
@@ -37,7 +38,7 @@ _RESILIENCE_NAMES = ("CellOutcome", "Journal", "SweepError", "SweepReport",
                      "SweepResult", "cell_timeout", "drain_reports",
                      "resume_enabled", "retry_limit", "run_resilient")
 
-__all__ = ["cache", "executor", "faults", "resilience",
+__all__ = ["cache", "executor", "faults", "profile", "resilience",
            *_EXECUTOR_NAMES, *_RESILIENCE_NAMES]
 
 

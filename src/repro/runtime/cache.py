@@ -14,6 +14,9 @@ Layout and keying:
   the empty string, ``0``, ``off`` or ``none`` to disable persistence.
 * Traces: ``traces/<name>-<budget>-<digest>.npz``.
 * Segmentations: ``blocks/<name>-<budget>-<geometry>-<digest>.npz``.
+* Compiled engine inputs (structure-of-arrays block streams for the
+  vectorized kernels):
+  ``compiled/<name>-<budget>-<geometry>-nb<0|1>-<digest>.npz``.
 * Integrity: every artifact gets a ``<file>.sha256`` sidecar, verified
   on read.
 * Corrupt artifacts move to ``quarantine/`` (with a warning) instead of
@@ -136,6 +139,14 @@ def _blocks_path(root: Path, name: str, budget: int,
                  geometry: CacheGeometry, digest: str) -> Path:
     return (root / "blocks" /
             f"{name}-{budget}-{_geometry_key(geometry)}-{digest}.npz")
+
+
+def _compiled_path(root: Path, name: str, budget: int,
+                   geometry: CacheGeometry, near_block: bool,
+                   digest: str) -> Path:
+    return (root / "compiled" /
+            f"{name}-{budget}-{_geometry_key(geometry)}"
+            f"-nb{int(bool(near_block))}-{digest}.npz")
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +331,49 @@ def store_blocks(blocks: BlockStream, name: str, budget: int,
 
 
 # ----------------------------------------------------------------------
+# Compiled block streams (structure-of-arrays engine inputs)
+# ----------------------------------------------------------------------
+
+def load_compiled(name: str, budget: int, geometry: CacheGeometry,
+                  near_block: bool, digest: str,
+                  n_records: int) -> Optional[dict]:
+    """Read a cached kernel compilation as a dict of arrays.
+
+    Returns ``None`` on a miss, on a quarantined file, or when the
+    artifact was compiled from a trace with a different record count
+    (stale relative to the caller's trace).
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _compiled_path(root, name, budget, geometry, near_block, digest)
+
+    def load(source: Path) -> Optional[dict]:
+        with np.load(source) as data:
+            if int(data["n_records"]) != n_records:
+                return None  # stale artifact from a different trace
+            return {key: data[key] for key in data.files
+                    if key != "n_records"}
+
+    return _read_artifact(path, load, "compiled", name)
+
+
+def store_compiled(arrays: dict, name: str, budget: int,
+                   geometry: CacheGeometry, near_block: bool,
+                   digest: str, n_records: int) -> None:
+    """Persist a kernel compilation (no-op when the cache is disabled)."""
+    root = cache_dir()
+    if root is None:
+        return
+    path = _compiled_path(root, name, budget, geometry, near_block, digest)
+
+    def save(tmp: Path) -> None:
+        np.savez_compressed(tmp, n_records=np.int64(n_records), **arrays)
+
+    _atomic_write(path, save)
+
+
+# ----------------------------------------------------------------------
 # Maintenance
 # ----------------------------------------------------------------------
 
@@ -336,7 +390,7 @@ def purge() -> int:
     if root is None:
         return 0
     removed = 0
-    for sub in ("traces", "blocks", QUARANTINE_DIR):
+    for sub in ("traces", "blocks", "compiled", QUARANTINE_DIR):
         directory = root / sub
         if not directory.is_dir():
             continue
@@ -378,7 +432,8 @@ def evict(limit: Optional[int] = None) -> int:
 
     entries: List[Tuple[int, float, Path, int]] = []
     total = 0
-    for sub, rank in ((QUARANTINE_DIR, 0), ("traces", 1), ("blocks", 1)):
+    for sub, rank in ((QUARANTINE_DIR, 0), ("traces", 1), ("blocks", 1),
+                      ("compiled", 1)):
         directory = root / sub
         if not directory.is_dir():
             continue

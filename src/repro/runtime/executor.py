@@ -144,14 +144,29 @@ def _suite_names(suite: str) -> List[str]:
 
 
 def _run_engine_cell(cell: Tuple[SuiteSpec, str]):
-    """Worker: run one (spec, workload) cell, returning its FetchStats."""
+    """Worker: run one (spec, workload) cell, returning its FetchStats.
+
+    Under ``REPRO_PROFILE=1`` the cell's phase breakdown (trace /
+    segment / compile / engine) is printed to stderr as it completes —
+    from the worker's stderr when the sweep is parallel.
+    """
     spec, name = cell
     from ..core.dual import DualBlockEngine
     from ..workloads import load_fetch_input
+    from . import profile
 
+    profiling = profile.enabled()
+    base = profile.snapshot() if profiling else None
     fetch_input = load_fetch_input(name, spec.config.geometry, spec.budget)
     factory = spec.engine_factory or DualBlockEngine
-    return factory(spec.config).run(fetch_input)
+    with profile.phase("engine"):
+        stats = factory(spec.config).run(fetch_input)
+    if profiling:
+        engine_name = getattr(factory, "__name__",
+                              factory.__class__.__name__)
+        profile.emit_cell(f"{engine_name}/{name}",
+                          profile.delta_since(base))
+    return stats
 
 
 def _warm_fetch_cell(cell: Tuple[str, object, int]) -> Optional[str]:
@@ -223,18 +238,20 @@ def run_suite_specs(specs: Iterable[SuiteSpec],
     in reports and keys its checkpoint journal.
     """
     from ..experiments.common import SuiteAggregate
+    from . import profile
 
     specs = list(specs)
     cells = [(spec, name) for spec in specs
              for name in _suite_names(spec.suite)]
     results = execute(_run_engine_cell, cells, jobs, warm=_warm_for_specs,
                       label=label)
-    aggregates: List[SuiteAggregate] = []
-    cursor = 0
-    for spec in specs:
-        aggregate = SuiteAggregate()
-        for name in _suite_names(spec.suite):
-            aggregate.add(name, results[cursor])
-            cursor += 1
-        aggregates.append(aggregate)
+    with profile.phase("aggregate"):
+        aggregates: List[SuiteAggregate] = []
+        cursor = 0
+        for spec in specs:
+            aggregate = SuiteAggregate()
+            for name in _suite_names(spec.suite):
+                aggregate.add(name, results[cursor])
+                cursor += 1
+            aggregates.append(aggregate)
     return aggregates

@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from . import cache, faults
+from . import cache, faults, profile
 
 #: Environment variable: per-cell deadline in seconds (parallel sweeps).
 TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
@@ -169,6 +169,11 @@ class SweepReport:
     outcomes: List[CellOutcome] = field(default_factory=list)
     degraded_serial: bool = False  #: parallel execution was abandoned
     pool_respawns: int = 0         #: worker pools killed and respawned
+    #: Wall-clock per phase accumulated in this process during the sweep
+    #: (``REPRO_PROFILE=1``); empty when profiling is off.  Parallel
+    #: sweeps only see the parent's phases — per-cell breakdowns come
+    #: from worker stderr.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def _with_status(self, status: str) -> List[CellOutcome]:
         return [o for o in self.outcomes if o.status == status]
@@ -219,6 +224,11 @@ class SweepReport:
         if self.failed_cells:
             bits.append(f"{len(self.failed_cells)} FAILED "
                         f"(cells {self.failed_cells})")
+        if self.phase_seconds:
+            from . import profile
+
+            bits.append(f"phases: "
+                        f"{profile.format_phases(self.phase_seconds)}")
         return "; ".join(bits)
 
 
@@ -433,6 +443,8 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
     retries = retry_limit()
     resume = resume_enabled()
     cache.max_cache_bytes()  # validate eagerly, before any simulation
+    profiling = profile.enabled()
+    profile_base = profile.snapshot() if profiling else None
     if inject_faults:
         faults.validate()
 
@@ -480,6 +492,8 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
             _run_serial(fn, cells, pending, results, done, report,
                         retries, inject_faults, journal)
     finally:
+        if profiling:
+            report.phase_seconds = profile.delta_since(profile_base)
         _reports.append(report)
         if label is not None:
             try:

@@ -114,37 +114,38 @@ class WorkloadRegistry:
         directory is still honoured when set.
         """
         from ..cpu.machine import Machine
-        from ..runtime import cache as disk_cache
+        from ..runtime import cache as disk_cache, profile
 
         key = (name, max_instructions)
         if key not in self._traces:
-            trace = None
-            legacy = self._disk_cache_path(name, max_instructions)
-            if legacy is not None and legacy.exists():
-                from ..runtime.cache import READ_ERRORS
-                from ..trace.record import Trace
+            with profile.phase("trace"):
+                trace = None
+                legacy = self._disk_cache_path(name, max_instructions)
+                if legacy is not None and legacy.exists():
+                    from ..runtime.cache import READ_ERRORS
+                    from ..trace.record import Trace
 
-                try:
-                    trace = Trace.load(legacy)
-                except READ_ERRORS:
-                    # A torn legacy artifact must not abort the sweep:
-                    # fall through to the digest-keyed cache or the
-                    # interpreter, then rewrite it below.
-                    trace = None
-                    legacy.unlink(missing_ok=True)
-            if trace is None:
-                trace = disk_cache.load_trace(name, max_instructions,
-                                              self.digest(name))
-            if trace is None:
-                program = self.program(name)
-                trace = Machine(program).run(
-                    max_instructions=max_instructions).trace
-                disk_cache.store_trace(trace, name, max_instructions,
-                                       self.digest(name))
-            if legacy is not None and not legacy.exists():
-                legacy.parent.mkdir(parents=True, exist_ok=True)
-                trace.save(legacy)
-            self._traces[key] = trace
+                    try:
+                        trace = Trace.load(legacy)
+                    except READ_ERRORS:
+                        # A torn legacy artifact must not abort the
+                        # sweep: fall through to the digest-keyed cache
+                        # or the interpreter, then rewrite it below.
+                        trace = None
+                        legacy.unlink(missing_ok=True)
+                if trace is None:
+                    trace = disk_cache.load_trace(name, max_instructions,
+                                                  self.digest(name))
+                if trace is None:
+                    program = self.program(name)
+                    trace = Machine(program).run(
+                        max_instructions=max_instructions).trace
+                    disk_cache.store_trace(trace, name, max_instructions,
+                                           self.digest(name))
+                if legacy is not None and not legacy.exists():
+                    legacy.parent.mkdir(parents=True, exist_ok=True)
+                    trace.save(legacy)
+                self._traces[key] = trace
         return self._traces[key]
 
     @staticmethod

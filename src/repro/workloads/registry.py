@@ -11,7 +11,7 @@ from typing import List, Optional
 
 from ..core.config import FetchInput
 from ..icache.geometry import CacheGeometry
-from ..runtime import cache as disk_cache
+from ..runtime import cache as disk_cache, profile
 from ..trace.blocks import segment_blocks
 from .base import REGISTRY, Workload
 
@@ -86,13 +86,18 @@ def load_fetch_input(name: str, geometry: CacheGeometry,
     trace = REGISTRY.trace(name, max_instructions)
     static = REGISTRY.program(name).static_code()
     digest = REGISTRY.digest(name)
-    blocks = disk_cache.load_blocks(trace, geometry, name,
-                                    max_instructions, digest)
-    if blocks is None:
-        blocks = segment_blocks(trace, geometry)
-        disk_cache.store_blocks(blocks, name, max_instructions, digest)
+    with profile.phase("segment"):
+        blocks = disk_cache.load_blocks(trace, geometry, name,
+                                        max_instructions, digest)
+        if blocks is None:
+            blocks = segment_blocks(trace, geometry)
+            disk_cache.store_blocks(blocks, name, max_instructions, digest)
     fetch_input = FetchInput(trace=trace, static=static, geometry=geometry,
                              blocks=blocks)
+    # Identity for the persistent compiled-arrays cache layered on top by
+    # repro.core.kernels.compile_fetch_input; the digest makes workload
+    # edits invalidate compiled blocks exactly like traces and blocks.
+    fetch_input.cache_key = (name, max_instructions, digest)
     _fetch_inputs[key] = fetch_input
     while len(_fetch_inputs) > FETCH_INPUT_CACHE_MAX:
         _fetch_inputs.popitem(last=False)

@@ -1,0 +1,239 @@
+"""Unit tests for the vectorized fetch-engine kernels.
+
+Each kernel is locked against the scalar structure it compiles away:
+the selector encoding against ``BlockPrediction`` equality, the counter
+scan against saturating-counter replay, the batched walk against
+``walk_block``, bank-conflict pairs against ``blocks_conflict``, and
+the compiled-arrays disk cache against a recompile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    CODE_COND_LONG,
+    CODE_NONBRANCH,
+    CODE_OTHER,
+    CODE_RETURN,
+    CompiledBlocks,
+    compile_fetch_input,
+    decode_selector,
+    encode_selector,
+    pair_conflicts,
+    resolve_walks,
+    scan_counters,
+)
+from repro.core.selection import (
+    SRC_ARRAY,
+    SRC_FALLTHROUGH,
+    SRC_NEAR,
+    SRC_RAS,
+    walk_block,
+)
+from repro.icache import CacheGeometry
+from repro.icache.banks import blocks_conflict
+from repro.workloads import load_fetch_input
+
+BUDGET = 5_000
+
+GEOMETRIES = [CacheGeometry.normal(8), CacheGeometry.extended(8),
+              CacheGeometry.self_aligned(8)]
+
+
+# ----------------------------------------------------------------------
+# Selector encoding
+# ----------------------------------------------------------------------
+
+def test_selector_roundtrip_is_injective():
+    width = 8
+    seen = {}
+    for src in (SRC_FALLTHROUGH, SRC_RAS, SRC_ARRAY, SRC_NEAR):
+        for off in (None, *range(width)):
+            for near in (None, 4, 5, 6, 7):
+                sel = encode_selector(width, src, off, near)
+                assert decode_selector(width, sel) == (src, off, near)
+                assert sel not in seen, (seen[sel], (src, off, near))
+                seen[sel] = (src, off, near)
+
+
+def test_cold_selector_encodes_to_zero():
+    # The kernels seed unwritten select-table slots with all-zero
+    # integers; that must decode to the scalar tables' cold entry
+    # (fall-through selector, empty outcomes) for warm-state parity.
+    from repro.core.select_table import SelectEntry
+
+    cold = SelectEntry.default()
+    src, off, near = cold.selector
+    assert encode_selector(8, src, off, near) == 0
+    assert decode_selector(8, 0) == cold.selector
+
+
+# ----------------------------------------------------------------------
+# Counter scan
+# ----------------------------------------------------------------------
+
+def _scalar_counter_replay(counters, reads, writes):
+    """Replay (block-ordered, reads-before-writes) on plain ints."""
+    state = dict(enumerate(counters))
+    events = ([(blk * 2, "r", i, slot, False)
+               for i, (blk, slot) in enumerate(reads)]
+              + [(blk * 2 + 1, "w", i, slot, taken)
+                 for i, (blk, slot, taken) in enumerate(writes)])
+    events.sort(key=lambda e: e[0])
+    out = [None] * len(reads)
+    for _, kind, i, slot, taken in events:
+        if kind == "r":
+            out[i] = state[slot] >= 2
+        elif taken:
+            state[slot] = min(3, state[slot] + 1)
+        else:
+            state[slot] = max(0, state[slot] - 1)
+    return out, state
+
+
+def test_scan_counters_matches_scalar_replay():
+    rng = np.random.default_rng(7)
+    n_slots, n_blocks = 40, 300
+    counters = rng.integers(0, 4, size=n_slots).astype(np.int64)
+    read_blocks = np.sort(rng.integers(0, n_blocks, size=500))
+    read_slots = rng.integers(0, n_slots, size=500)
+    write_blocks = np.sort(rng.integers(0, n_blocks, size=400))
+    write_slots = rng.integers(0, n_slots, size=400)
+    write_taken = rng.random(size=400) < 0.6
+
+    taken, final_slots, final_states = scan_counters(
+        counters, read_blocks.astype(np.int64),
+        read_slots.astype(np.int64), write_blocks.astype(np.int64),
+        write_slots.astype(np.int64), write_taken)
+
+    expect_reads, expect_state = _scalar_counter_replay(
+        counters,
+        list(zip(read_blocks.tolist(), read_slots.tolist())),
+        list(zip(write_blocks.tolist(), write_slots.tolist(),
+                 write_taken.tolist())))
+    assert taken.tolist() == expect_reads
+    for slot, state in zip(final_slots.tolist(), final_states.tolist()):
+        assert expect_state[slot] == state
+
+
+def test_scan_counters_empty():
+    taken, slots, states = scan_counters(
+        np.zeros(4, dtype=np.int64), *[np.zeros(0, dtype=np.int64)] * 4,
+        np.zeros(0, dtype=bool))
+    assert len(taken) == 0 and len(slots) == 0 and len(states) == 0
+
+
+# ----------------------------------------------------------------------
+# Batched walks
+# ----------------------------------------------------------------------
+
+class _MatrixPHT:
+    """Fake blocked PHT answering from a boolean prediction matrix."""
+
+    def __init__(self, width, row_preds):
+        self.block_width = width
+        self._preds = row_preds
+
+    def position(self, pc):
+        return pc % self.block_width
+
+    def predicts_taken(self, base, position):
+        return bool(self._preds[position])
+
+
+def test_resolve_walks_matches_walk_block():
+    rng = np.random.default_rng(11)
+    width = 8
+    window = rng.integers(0, 8, size=(200, width)).astype(np.uint8)
+    # Bias in plain codes so fall-through and RAS paths both occur.
+    window[rng.random(window.shape) < 0.5] = CODE_NONBRANCH
+    pred_mat = rng.random(window.shape) < 0.5
+
+    walks = resolve_walks(window, width, pred_mat)
+    for b in range(len(window)):
+        pht = _MatrixPHT(width, pred_mat[b])
+        scalar = walk_block([int(c) for c in window[b]], 0, width, pht, 0)
+        off = None if walks.exit_off[b] < 0 else int(walks.exit_off[b])
+        near = None if walks.near[b] < 0 else int(walks.near[b])
+        assert (scalar.exit_offset, scalar.source) == (off,
+                                                       int(walks.src[b]))
+        assert (scalar.near_code is None) == (near is None)
+        if near is not None:
+            assert int(scalar.near_code) == near
+        n_nt = sum(1 for o in scalar.outcomes if not o)
+        ends = bool(scalar.outcomes) and scalar.outcomes[-1]
+        assert n_nt == int(walks.n_not_taken[b])
+        assert ends == bool(walks.ends_taken[b])
+        assert int(walks.sel[b]) == encode_selector(
+            width, scalar.source, scalar.exit_offset,
+            None if scalar.near_code is None else int(scalar.near_code))
+        assert int(walks.pay[b]) == n_nt * 2 + ends
+
+
+# ----------------------------------------------------------------------
+# Bank-conflict pairs
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("geometry", GEOMETRIES,
+                         ids=["normal", "extend", "align"])
+def test_pair_conflicts_matches_blocks_conflict(geometry):
+    fetch_input = load_fetch_input("go", geometry, BUDGET)
+    compiled = compile_fetch_input(fetch_input, near_block=False)
+    fast = pair_conflicts(compiled, geometry)
+    blocks = fetch_input.blocks
+    for j in range(blocks.n_blocks - 1):
+        expect = blocks_conflict(
+            geometry,
+            geometry.lines_for_block(int(blocks.start[j]),
+                                     int(blocks.n_instr[j])),
+            geometry.lines_for_block(int(blocks.start[j + 1]),
+                                     int(blocks.n_instr[j + 1])))
+        assert bool(fast[j]) == expect, f"pair {j}"
+
+
+# ----------------------------------------------------------------------
+# Compilation cache
+# ----------------------------------------------------------------------
+
+def test_compile_is_memoised_per_input():
+    geometry = CacheGeometry.normal(8)
+    fetch_input = load_fetch_input("compress", geometry, BUDGET)
+    a = compile_fetch_input(fetch_input, near_block=False)
+    b = compile_fetch_input(fetch_input, near_block=False)
+    assert a is b
+    near = compile_fetch_input(fetch_input, near_block=True)
+    assert near is not a
+
+
+def test_compiled_arrays_roundtrip_through_disk_cache():
+    from repro.runtime import cache as disk_cache
+
+    geometry = CacheGeometry.extended(8)
+    fetch_input = load_fetch_input("li", geometry, BUDGET)
+    assert getattr(fetch_input, "cache_key", None) is not None
+    name, budget, digest = fetch_input.cache_key
+    compiled = compile_fetch_input(fetch_input, near_block=False)
+
+    data = disk_cache.load_compiled(name, budget, geometry, False, digest,
+                                    fetch_input.trace.n_records)
+    assert data is not None
+    loaded = CompiledBlocks.from_arrays(data, near_block=False)
+    for field in vars(compiled):
+        original = getattr(compiled, field)
+        restored = getattr(loaded, field)
+        if isinstance(original, np.ndarray):
+            assert np.array_equal(original, restored), field
+        else:
+            assert original == restored, field
+
+
+def test_compiled_cache_invalidates_on_record_count():
+    from repro.runtime import cache as disk_cache
+
+    geometry = CacheGeometry.extended(8)
+    fetch_input = load_fetch_input("li", geometry, BUDGET)
+    name, budget, digest = fetch_input.cache_key
+    compile_fetch_input(fetch_input, near_block=False)
+    stale = disk_cache.load_compiled(name, budget, geometry, False, digest,
+                                     fetch_input.trace.n_records + 1)
+    assert stale is None

@@ -59,3 +59,42 @@ class TestCLI:
         assert main(["run", "vortex", "--budget", "15000",
                      "--target", "btb", "--target-entries", "32"]) == 0
         assert "IPC_f" in capsys.readouterr().out
+
+    def test_engine_flag_modes_print_identically(self, capsys,
+                                                 monkeypatch):
+        from repro.core.engine_mode import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "fast")  # restored after test
+        assert main(["run", "compress", "--budget", "15000",
+                     "--engine", "scalar"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(["run", "compress", "--budget", "15000",
+                     "--engine", "fast"]) == 0
+        assert capsys.readouterr().out == scalar_out
+
+    def test_bad_engine_env_exits_2(self, capsys, monkeypatch):
+        from repro.core.engine_mode import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "turbo")
+        assert main(["fig6", "--budget", "15000"]) == 2
+        assert ENGINE_ENV in capsys.readouterr().err
+
+    def test_bad_engine_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--engine", "turbo"])
+
+    def test_help_mentions_engine_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "REPRO_ENGINE" in out
+        assert "REPRO_PROFILE" in out
+
+    def test_profile_flag_emits_phase_lines(self, capsys, monkeypatch):
+        from repro.runtime.profile import PROFILE_ENV
+
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        assert main(["fig8", "--budget", "15000"]) == 0
+        err = capsys.readouterr().err
+        assert "[profile]" in err
+        assert "engine=" in err

@@ -125,6 +125,40 @@ def test_engines_are_deterministic(spec, geometry):
     assert a.fetch_cycles == b.fetch_cycles
 
 
+@settings(max_examples=15, deadline=None)
+@given(spec=specs, geometry=geometries, cfg=configs,
+       engine_kind=st.sampled_from(["single", "dual", "multi3",
+                                    "two_ahead"]))
+def test_fast_engine_matches_scalar(spec, geometry, cfg, engine_kind):
+    """Random program x config x engine: fast is bit-exact vs scalar."""
+    import os
+
+    from repro.core.engine_mode import ENGINE_ENV
+    from repro.core.multi import MultiBlockEngine as Multi
+    from repro.core.two_ahead import TwoBlockAheadEngine
+
+    fetch_input = make_input(spec, geometry)
+    factories = {
+        "single": SingleBlockEngine,
+        "dual": DualBlockEngine,
+        "multi3": lambda c: Multi(c, 3),
+        "two_ahead": TwoBlockAheadEngine,
+    }
+    results = {}
+    previous = os.environ.get(ENGINE_ENV)
+    try:
+        for mode in ("scalar", "fast"):
+            os.environ[ENGINE_ENV] = mode
+            config = EngineConfig(geometry=geometry, **cfg)
+            results[mode] = factories[engine_kind](config).run(fetch_input)
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous
+    assert results["fast"] == results["scalar"]
+
+
 @settings(max_examples=10, deadline=None)
 @given(spec=specs)
 def test_separate_bit_never_beats_perfect_bit(spec):

@@ -1,0 +1,52 @@
+"""reprolint — project-specific static analysis for the repro tree.
+
+An AST-based checker framework (``python -m repro.analysis``) that
+turns the repo's dynamic guarantees into static, pre-merge contracts:
+
+* **determinism** (REP1xx) — no ambient RNG, wall-clock reads,
+  hash-ordered iteration, or stray ``os.environ`` reads in the
+  deterministic core;
+* **dtype-safety** (REP2xx) — explicit ``dtype=`` discipline and no
+  implicit integer-width upcasts in the numeric kernel modules;
+* **parity contract** (REP3xx) — scalar engine state fields and the
+  fast engine's snapshot/replay set stay in one-to-one correspondence;
+* **env registry** (REP4xx) — every ``REPRO_*`` variable is declared
+  in :mod:`repro.envvars` and documented;
+* **exception hygiene** (REP5xx) — broad exception trapping only in
+  the sanctioned resilience wrappers.
+
+See ``docs/static-analysis.md`` for the full rule catalogue and
+``[tool.reprolint]`` in ``pyproject.toml`` for the project
+configuration.
+"""
+
+from __future__ import annotations
+
+from .checkers import ALL_CHECKERS, all_rules
+from .config import ConfigError, LintConfig, from_pyproject, load_config
+from .core import (
+    AnalysisResult,
+    Checker,
+    FileContext,
+    Finding,
+    RuleSpec,
+    run_analysis,
+)
+from .report import render_human, render_json
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AnalysisResult",
+    "Checker",
+    "ConfigError",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "RuleSpec",
+    "all_rules",
+    "from_pyproject",
+    "load_config",
+    "render_human",
+    "render_json",
+    "run_analysis",
+]

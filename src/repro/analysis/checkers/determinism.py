@@ -1,0 +1,178 @@
+"""Determinism rules (REP1xx).
+
+The repo's headline guarantee — serial == parallel == resumed sweeps,
+bit for bit — only holds while the simulation core is a pure function
+of its inputs.  These rules flag the classic ways Python code silently
+breaks that: ambient randomness, wall-clock reads, iteration orders
+that depend on hashing, and environment reads scattered outside the
+sanctioned config entry points.
+
+REP101-REP103 apply inside the deterministic core packages
+(``repro.core``, ``repro.predictors``, ``repro.trace`` by default);
+REP104 applies to every linted file because a stray ``os.environ``
+read anywhere undermines the central registry (see REP4xx).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..config import LintConfig
+from ..core import Checker, FileContext, Finding, ImportMap, RuleSpec
+from ..core import in_packages
+
+UNSEEDED_RANDOM = RuleSpec(
+    id="REP101",
+    name="unseeded-random",
+    summary="Ambient RNG use (module-level random / numpy.random "
+            "functions) in deterministic core code.",
+    hint="Thread an explicitly seeded random.Random or "
+         "numpy.random.Generator through the call instead.",
+)
+
+WALL_CLOCK = RuleSpec(
+    id="REP102",
+    name="wall-clock",
+    summary="Wall-clock read (time.time, datetime.now, ...) in "
+            "deterministic core code.",
+    hint="Simulation results must not depend on the clock; pass "
+         "timestamps in from the runtime layer if one is needed.",
+)
+
+ORDER_DEPENDENT = RuleSpec(
+    id="REP103",
+    name="order-dependent-iteration",
+    summary="Iteration over a set (or vars()/globals()/dir()) whose "
+            "order is hash-dependent.",
+    hint="Wrap the iterable in sorted(...) to pin a deterministic "
+         "order.",
+)
+
+ENV_OUTSIDE_CONFIG = RuleSpec(
+    id="REP104",
+    name="env-read-outside-config",
+    summary="os.environ read outside the sanctioned config entry "
+            "points.",
+    hint="Read through repro.envvars.read(...) or add a validated "
+         "accessor to the runtime config entry points.",
+)
+
+#: Constructors that produce *seeded/explicit* RNGs - allowed.
+_RNG_OK = frozenset({
+    "Random", "SystemRandom", "default_rng", "Generator", "RandomState",
+    "SeedSequence", "BitGenerator", "MT19937", "PCG64", "PCG64DXSM",
+    "Philox", "SFC64",
+})
+
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.asctime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_UNORDERED_BUILTINS = frozenset({
+    "set", "frozenset", "vars", "globals", "locals", "dir",
+})
+
+
+class DeterminismChecker(Checker):
+    """REP101-REP104."""
+
+    rules = (UNSEEDED_RANDOM, WALL_CLOCK, ORDER_DEPENDENT,
+             ENV_OUTSIDE_CONFIG)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        imports = ImportMap(ctx.tree)
+        findings: List[Finding] = []
+        core_scope = in_packages(ctx.module,
+                                 self.config.determinism_packages)
+        env_sanctioned = in_packages(ctx.module,
+                                     self.config.env_read_allowed)
+        for node in ast.walk(ctx.tree):
+            if core_scope:
+                self._check_rng_and_clock(ctx, node, imports, findings)
+                self._check_iteration(ctx, node, findings)
+            if not env_sanctioned:
+                self._check_env_read(ctx, node, imports, findings)
+        return findings
+
+    # -- REP101 / REP102 ------------------------------------------------
+
+    def _check_rng_and_clock(self, ctx: FileContext, node: ast.AST,
+                             imports: ImportMap,
+                             findings: List[Finding]) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = imports.resolve(node.func)
+        if dotted is None:
+            return
+        leaf = dotted.rsplit(".", 1)[-1]
+        if (dotted.startswith("random.")
+                or dotted.startswith("numpy.random.")) \
+                and leaf not in _RNG_OK:
+            findings.append(ctx.finding(
+                UNSEEDED_RANDOM, node,
+                f"call to ambient RNG function {dotted}()"))
+        elif dotted in _CLOCK_CALLS:
+            findings.append(ctx.finding(
+                WALL_CLOCK, node, f"wall-clock read {dotted}()"))
+
+    # -- REP103 ---------------------------------------------------------
+
+    def _check_iteration(self, ctx: FileContext, node: ast.AST,
+                         findings: List[Finding]) -> None:
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            reason = _unordered_reason(it)
+            if reason is not None:
+                findings.append(ctx.finding(
+                    ORDER_DEPENDENT, it,
+                    f"iteration over {reason} has hash-dependent "
+                    f"order"))
+
+    # -- REP104 ---------------------------------------------------------
+
+    def _check_env_read(self, ctx: FileContext, node: ast.AST,
+                        imports: ImportMap,
+                        findings: List[Finding]) -> None:
+        if isinstance(node, ast.Call):
+            dotted = imports.resolve(node.func)
+            if dotted in ("os.environ.get", "os.getenv",
+                          "os.environb.get", "os.getenvb"):
+                findings.append(ctx.finding(
+                    ENV_OUTSIDE_CONFIG, node,
+                    f"environment read {dotted}(...) outside the "
+                    f"sanctioned config entry points"))
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, ast.Load):
+            dotted = imports.resolve(node.value)
+            if dotted in ("os.environ", "os.environb"):
+                findings.append(ctx.finding(
+                    ENV_OUTSIDE_CONFIG, node,
+                    f"environment read {dotted}[...] outside the "
+                    f"sanctioned config entry points"))
+
+
+def _unordered_reason(node: ast.expr) -> "str | None":
+    """Why iterating ``node`` is order-unstable, or None if it isn't."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.BinOp) \
+            and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                     ast.BitXor)) \
+            and (_unordered_reason(node.left) is not None
+                 or _unordered_reason(node.right) is not None):
+        return "a set expression"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _UNORDERED_BUILTINS:
+        return f"{node.func.id}(...)"
+    return None

@@ -1,0 +1,120 @@
+"""numpy dtype-safety rules (REP2xx) for the numeric kernel modules.
+
+The vectorized engine core packs 2-bit counters, BIT codes and block
+indices into ``uint8``/``int64`` arrays whose exact widths the parity
+contract depends on.  An array constructed without an explicit
+``dtype=`` inherits whatever numpy infers from the values — which can
+change between platforms (Windows defaults ``int32``) or silently
+upcast when a literal changes — so the kernel modules are held to
+explicit-dtype discipline, and mixed-width scalar arithmetic is
+flagged where it would trigger an implicit upcast.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..core import Checker, FileContext, Finding, ImportMap, RuleSpec
+
+MISSING_DTYPE = RuleSpec(
+    id="REP201",
+    name="array-missing-dtype",
+    summary="numpy array constructor without an explicit dtype= in a "
+            "kernel module.",
+    hint="Pass dtype= explicitly; inferred dtypes are platform- and "
+         "value-dependent.",
+)
+
+MIXED_WIDTH = RuleSpec(
+    id="REP202",
+    name="mixed-int-width",
+    summary="Arithmetic or comparison mixing explicitly different "
+            "integer widths (implicit upcast).",
+    hint="Cast one side explicitly so the result width is stated, not "
+         "inferred.",
+)
+
+#: Constructors whose inferred dtype is value-dependent.
+_INFERRING_CTORS = frozenset({
+    "array", "asarray", "ascontiguousarray", "zeros", "ones", "empty",
+    "full", "arange", "fromiter", "frombuffer",
+})
+
+#: Scalar-constructor names carrying an explicit width.
+_WIDTH_CTORS = frozenset({
+    "int8", "int16", "int32", "int64", "uint8", "uint16", "uint32",
+    "uint64", "intp", "uintp", "bool_", "float32", "float64",
+})
+
+
+class DtypeChecker(Checker):
+    """REP201 / REP202 inside ``config.dtype_modules``."""
+
+    rules = (MISSING_DTYPE, MIXED_WIDTH)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module not in self.config.dtype_modules:
+            return ()
+        imports = ImportMap(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                self._check_ctor(ctx, node, imports, findings)
+            elif isinstance(node, ast.BinOp):
+                self._check_mix(ctx, node, node.left, node.right,
+                                imports, findings)
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for comparator in node.comparators:
+                    self._check_mix(ctx, node, left, comparator,
+                                    imports, findings)
+                    left = comparator
+        return findings
+
+    def _check_ctor(self, ctx: FileContext, node: ast.Call,
+                    imports: ImportMap,
+                    findings: List[Finding]) -> None:
+        dotted = imports.resolve(node.func)
+        if dotted is None or not dotted.startswith("numpy."):
+            return
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf not in _INFERRING_CTORS:
+            return
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            return
+        # np.array(x, np.int64): dtype may be passed positionally as
+        # the second argument for array/asarray/full/empty/....
+        positional_dtype = {"array": 1, "asarray": 1,
+                            "ascontiguousarray": 1, "zeros": 1,
+                            "ones": 1, "empty": 1, "full": 2,
+                            "fromiter": 1, "frombuffer": 1}
+        slot = positional_dtype.get(leaf)
+        if slot is not None and len(node.args) > slot:
+            return
+        findings.append(ctx.finding(
+            MISSING_DTYPE, node,
+            f"numpy.{leaf}(...) without an explicit dtype="))
+
+    def _check_mix(self, ctx: FileContext, node: ast.AST,
+                   left: ast.expr, right: ast.expr, imports: ImportMap,
+                   findings: List[Finding]) -> None:
+        lw = _explicit_width(left, imports)
+        rw = _explicit_width(right, imports)
+        if lw is not None and rw is not None and lw != rw:
+            findings.append(ctx.finding(
+                MIXED_WIDTH, node,
+                f"operation mixes numpy.{lw} with numpy.{rw} "
+                f"(implicit upcast decides the result width)"))
+
+
+def _explicit_width(node: ast.expr,
+                    imports: ImportMap) -> Optional[str]:
+    """Dtype name when ``node`` is ``np.<width>(...)``, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = imports.resolve(node.func)
+    if dotted is None or not dotted.startswith("numpy."):
+        return None
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf if leaf in _WIDTH_CTORS else None

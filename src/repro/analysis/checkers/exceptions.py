@@ -1,0 +1,82 @@
+"""Exception hygiene in resilience paths (REP5xx).
+
+The fault-tolerant sweep runtime deliberately catches broad exception
+classes — that is its job — but only inside the sanctioned wrappers in
+``repro.runtime.resilience``.  Anywhere else, a bare ``except:`` or a
+swallowed ``BaseException`` also traps ``KeyboardInterrupt`` and
+``SystemExit``, turning an operator's Ctrl-C into silently corrupted
+sweep state.  ``except Exception`` remains allowed (it excludes the
+exit signals); the rules target the handlers that do not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..core import Checker, FileContext, Finding, RuleSpec, in_packages
+
+BARE_EXCEPT = RuleSpec(
+    id="REP501",
+    name="bare-except",
+    summary="Bare except: traps KeyboardInterrupt/SystemExit.",
+    hint="Catch a named exception class; even the resilience wrappers "
+         "name what they trap.",
+)
+
+SWALLOWED_BASE = RuleSpec(
+    id="REP502",
+    name="swallowed-base-exception",
+    summary="except BaseException without re-raise outside the "
+            "sanctioned resilience wrappers.",
+    hint="Catch Exception instead, re-raise, or move the wrapper into "
+         "repro.runtime.resilience.",
+)
+
+
+class ExceptionHygieneChecker(Checker):
+    """REP501 / REP502."""
+
+    rules = (BARE_EXCEPT, SWALLOWED_BASE)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        sanctioned = in_packages(ctx.module,
+                                 self.config.exception_sanctioned)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(ctx.finding(
+                    BARE_EXCEPT, node, "bare except: handler"))
+                continue
+            if sanctioned:
+                continue
+            if _catches_base(node.type) and not _reraises(node):
+                findings.append(ctx.finding(
+                    SWALLOWED_BASE, node,
+                    "except BaseException handler never re-raises"))
+        return findings
+
+
+def _catches_base(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "BaseException"
+    if isinstance(node, ast.Tuple):
+        return any(_catches_base(item) for item in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises the caught exception."""
+    caught = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if caught is not None and isinstance(node.exc, ast.Name) \
+                    and node.exc.id == caught:
+                return True
+    return False

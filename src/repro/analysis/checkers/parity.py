@@ -1,0 +1,179 @@
+"""Scalar <-> fast engine parity contract (REP3xx).
+
+The fast engine (``repro.core.fast``) snapshots, replays and writes
+back every piece of predictor state the scalar engines own — PHT
+counters, select tables, BIT table, target arrays, the RAS.  The
+parity test suite proves the *values* match, but only at runtime and
+only for state it knows about: a new ``self.<field>`` added to a scalar
+engine's ``__init__`` that the fast path never touches would sail
+through review and fail twenty minutes into a parity sweep (or worse,
+silently diverge on warm re-runs).
+
+These rules make the correspondence a static contract:
+
+* **REP301** — every state field assigned in a scalar engine's
+  ``__init__`` (classes named ``*Engine`` in the configured scalar
+  modules) must be accessed as ``engine.<field>`` somewhere in the fast
+  module, or be explicitly listed in the ``parity-exempt`` table.
+* **REP302** — every ``engine.<field>`` access in the fast module must
+  correspond to a field some scalar engine assigns (catches renames
+  that leave the fast path reading dead state).
+
+Private fields (leading underscore) are per-run scratch, not engine
+state, and are ignored.  Both rules stay silent unless both sides of
+the contract were part of the lint run, so single-file invocations
+don't produce spurious cross-file findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..config import LintConfig
+from ..core import Checker, FileContext, Finding, RuleSpec
+
+SCALAR_NOT_IN_FAST = RuleSpec(
+    id="REP301",
+    name="scalar-state-not-in-fast",
+    summary="Scalar engine state field with no counterpart access in "
+            "the fast engine module.",
+    hint="Teach the fast engine to snapshot/replay/write back the "
+         "field (and extend the parity tests), or declare it in "
+         "[tool.reprolint] parity.exempt with a comment saying why "
+         "the fast path never needs it.",
+)
+
+FAST_NOT_IN_SCALAR = RuleSpec(
+    id="REP302",
+    name="fast-state-not-in-scalar",
+    summary="Fast engine accesses an engine field no scalar engine "
+            "defines.",
+    hint="The scalar engines are the ground truth; a fast-only field "
+         "access is dead state or a missed rename.",
+)
+
+_ENGINE_SUFFIX = "Engine"
+_ENGINE_PARAM = "engine"
+
+
+@dataclass(frozen=True)
+class _StateField:
+    module: str
+    cls: str
+    attr: str
+    relpath: str
+    line: int
+    col: int
+
+
+class ParityChecker(Checker):
+    """REP301 / REP302 across the engine modules."""
+
+    rules = (SCALAR_NOT_IN_FAST, FAST_NOT_IN_SCALAR)
+
+    def __init__(self, config: LintConfig) -> None:
+        super().__init__(config)
+        self._scalar_fields: List[_StateField] = []
+        self._fast_accesses: Dict[str, _StateField] = {}
+        self._saw_scalar = False
+        self._saw_fast = False
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module in self.config.parity_scalar_modules:
+            self._saw_scalar = True
+            self._collect_scalar(ctx)
+        if ctx.module == self.config.parity_fast_module:
+            self._saw_fast = True
+            self._collect_fast(ctx)
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        if not (self._saw_scalar and self._saw_fast):
+            return ()
+        findings: List[Finding] = []
+        exempt = set(self.config.parity_exempt)
+        handled = set(self._fast_accesses)
+        reported = set()
+        for field in self._scalar_fields:
+            if field.attr in exempt or field.attr in handled:
+                continue
+            key = (field.module, field.cls, field.attr)
+            if key in reported:
+                continue
+            reported.add(key)
+            findings.append(Finding(
+                rule=SCALAR_NOT_IN_FAST.id, path=field.relpath,
+                line=field.line, col=field.col,
+                message=(f"{field.cls}.{field.attr} is scalar engine "
+                         f"state with no counterpart in "
+                         f"{self.config.parity_fast_module}; the "
+                         f"engines would diverge on warm re-runs"),
+                hint=SCALAR_NOT_IN_FAST.hint))
+        defined = {field.attr for field in self._scalar_fields} | exempt
+        for attr, access in sorted(self._fast_accesses.items()):
+            if attr in defined:
+                continue
+            findings.append(Finding(
+                rule=FAST_NOT_IN_SCALAR.id, path=access.relpath,
+                line=access.line, col=access.col,
+                message=(f"fast engine reads engine.{attr}, which no "
+                         f"scalar engine defines"),
+                hint=FAST_NOT_IN_SCALAR.hint))
+        return findings
+
+    # -- collection -----------------------------------------------------
+
+    def _collect_scalar(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) \
+                    or not node.name.endswith(_ENGINE_SUFFIX):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) \
+                        and item.name == "__init__":
+                    self._collect_init(ctx, node.name, item)
+
+    def _collect_init(self, ctx: FileContext, cls: str,
+                      init: ast.FunctionDef) -> None:
+        for node in ast.walk(init):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self" \
+                        and not target.attr.startswith("_"):
+                    self._scalar_fields.append(_StateField(
+                        module=ctx.module, cls=cls, attr=target.attr,
+                        relpath=ctx.relpath, line=target.lineno,
+                        col=target.col_offset + 1))
+
+    def _collect_fast(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            attr: "str | None" = None
+            anchor: ast.AST = node
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == _ENGINE_PARAM:
+                attr = node.attr
+            elif isinstance(node, ast.Call):
+                # getattr(engine, "field", default) counts as access.
+                if isinstance(node.func, ast.Name) \
+                        and node.func.id == "getattr" \
+                        and len(node.args) >= 2 \
+                        and isinstance(node.args[0], ast.Name) \
+                        and node.args[0].id == _ENGINE_PARAM \
+                        and isinstance(node.args[1], ast.Constant) \
+                        and isinstance(node.args[1].value, str):
+                    attr = node.args[1].value
+            if attr is None or attr.startswith("_"):
+                continue
+            self._fast_accesses.setdefault(attr, _StateField(
+                module=ctx.module, cls="", attr=attr,
+                relpath=ctx.relpath, line=anchor.lineno,
+                col=anchor.col_offset + 1))

@@ -1,0 +1,32 @@
+"""Finding renderers: human one-line-per-finding and JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .core import AnalysisResult
+
+#: Schema version for the JSON report (CI artifacts parse this).
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(result: AnalysisResult) -> str:
+    """flake8-style report plus a summary line."""
+    lines = [finding.render() for finding in result.findings]
+    total = len(result.findings)
+    noun = "finding" if total == 1 else "findings"
+    lines.append(f"{total} {noun} ({result.n_files} files checked)")
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Stable machine-readable report (sorted findings, rule counts)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "n_files": result.n_files,
+        "counts": result.counts,
+        "findings": [finding.to_dict()
+                     for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -403,7 +403,8 @@ def run_dual_fast(engine, fetch_input) -> FetchStats:
     width = run.width
 
     match, early, late = run.classify()
-    slot_arr = ((np.arange(n) % 2) == 1).astype(np.int64)  # 0=slot1,1=slot2
+    slot_arr = ((np.arange(n, dtype=np.int64) % 2) == 1) \
+        .astype(np.int64)  # 0=slot1, 1=slot2
     base_arr = np.array(
         [penalty_cycles(scheme, 1, PenaltyKind.COND),
          penalty_cycles(scheme, 2, PenaltyKind.COND)], dtype=np.int64)
@@ -423,7 +424,7 @@ def run_dual_fast(engine, fetch_input) -> FetchStats:
 
     # Bank conflicts: pairs (i+1, i+2) for every completed (i, i+1).
     conflicts = pair_conflicts(compiled, run.geometry)
-    odd = np.arange(1, n - 1, 2)
+    odd = np.arange(1, n - 1, 2, dtype=np.int64)
     count = int(np.count_nonzero(conflicts[odd]))
     _charge_bulk(stats, PenaltyKind.BANK_CONFLICT, count,
                  count * penalty_cycles(scheme, 2,
@@ -729,7 +730,7 @@ def run_two_ahead_fast(engine, fetch_input) -> FetchStats:
 
     match, early, late = run.classify()
     # Pairs are (odd, even): odd indices are slot 1, even are slot 2.
-    index = np.arange(n)
+    index = np.arange(n, dtype=np.int64)
     slot_arr = (index % 2 == 0).astype(np.int64)  # 0=slot1, 1=slot2
     base_arr = np.array(
         [penalty_cycles(scheme, 1, PenaltyKind.COND),
@@ -754,7 +755,7 @@ def run_two_ahead_fast(engine, fetch_input) -> FetchStats:
                      count * engine.serialization_penalty)
 
     conflicts = pair_conflicts(compiled, run.geometry)
-    odd = np.arange(1, n - 1, 2)
+    odd = np.arange(1, n - 1, 2, dtype=np.int64)
     count = int(np.count_nonzero(conflicts[odd]))
     _charge_bulk(stats, PenaltyKind.BANK_CONFLICT, count,
                  count * penalty_cycles(scheme, 2,

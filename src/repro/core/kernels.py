@@ -81,8 +81,8 @@ def encode_static_codes(static: StaticCode, line_size: int,
     Vectorised twin of :func:`repro.targets.bit.encode_instruction`
     applied to every address at once.
     """
-    kind = np.asarray(static.kind)
-    direct = np.asarray(static.direct_target)
+    kind = np.asarray(static.kind, dtype=np.uint8)
+    direct = np.asarray(static.direct_target, dtype=np.int64)
     n = len(kind)
     codes = np.zeros(n, dtype=np.uint8)
     codes[kind == K_RETURN] = CODE_RETURN
@@ -202,7 +202,8 @@ def _compile(fetch_input: FetchInput, near_block: bool) -> CompiledBlocks:
     code_of_addr = encode_static_codes(fetch_input.static, line_size,
                                        near_block)
     n_static = len(code_of_addr)
-    direct = np.asarray(fetch_input.static.direct_target)
+    direct = np.asarray(fetch_input.static.direct_target,
+                        dtype=np.int64)
     exit_direct = np.full(n, -1, dtype=np.int64)
     known = has_exit & (exit_pc < n_static)
     exit_direct[known] = direct[exit_pc[known]]
@@ -391,7 +392,7 @@ def resolve_walks(window: np.ndarray, width: int,
     the scalar walk, which never reads them.
     """
     n = len(window)
-    rows = np.arange(n)
+    rows = np.arange(n, dtype=np.int64)
     is_cond = window >= CODE_COND_LONG
     exit_ev = (window == CODE_RETURN) | (window == CODE_OTHER) \
         | (is_cond & pred_mat)

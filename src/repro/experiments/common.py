@@ -9,10 +9,10 @@ so benchmarks can trade fidelity for wall-clock from the environment.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Tuple
 
+from .. import envvars
 from ..core.config import EngineConfig, FetchInput
 from ..core.single import SingleBlockEngine
 from ..core.stats import FetchStats
@@ -27,7 +27,7 @@ SUITES: Dict[str, List[str]] = {"int": SPECINT95, "fp": SPECFP95}
 
 def instruction_budget(default: int = DEFAULT_BUDGET) -> int:
     """Per-workload dynamic instruction budget (env ``REPRO_TRACE_LEN``)."""
-    raw = os.environ.get("REPRO_TRACE_LEN")
+    raw = envvars.read("REPRO_TRACE_LEN")
     if raw is None:
         return default
     try:

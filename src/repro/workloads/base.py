@@ -150,10 +150,11 @@ class WorkloadRegistry:
 
     @staticmethod
     def _disk_cache_path(name: str, max_instructions: int):
-        import os
         from pathlib import Path
 
-        root = os.environ.get("REPRO_TRACE_CACHE")
+        from .. import envvars
+
+        root = envvars.read("REPRO_TRACE_CACHE")
         if not root:
             return None
         return Path(root) / f"{name}-{max_instructions}.npz"

@@ -1,0 +1,47 @@
+"""Shared fixtures for the reprolint test suite.
+
+The known-bad/known-good corpus under ``fixtures/`` is linted once per
+session with the built-in default config (the same thing the CLI's
+``--isolated`` flag selects) and shared by every per-checker test
+module.  ``project_root`` points at the real repo root so the env
+registry checker sees the real README/docs when judging REP402.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC_DIR = REPO_ROOT / "src"
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    return REPO_ROOT
+
+
+@pytest.fixture(scope="session")
+def fixtures_dir():
+    return FIXTURES
+
+
+@pytest.fixture(scope="session")
+def corpus_result():
+    """The fixture corpus linted with pure default configuration."""
+    config = LintConfig(project_root=REPO_ROOT)
+    return run_analysis([FIXTURES], config)
+
+
+@pytest.fixture(scope="session")
+def findings_at(corpus_result):
+    """Filter the corpus findings down to one fixture file."""
+
+    def _at(filename):
+        return [f for f in corpus_result.findings
+                if f.path.endswith("/" + filename)]
+
+    return _at

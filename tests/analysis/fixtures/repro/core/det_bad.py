@@ -1,0 +1,28 @@
+"""Known-bad determinism fixture (maps to ``repro.core.det_bad``).
+
+Each marked line is an expected finding asserted by
+``tests/analysis/test_determinism.py``.
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + np.random.rand()  # two REP101 on this line
+
+
+def stamp():
+    return time.time()  # REP102
+
+
+def spread(values):
+    for value in set(values):  # REP103
+        yield value
+
+
+def knob():
+    return os.environ.get("REPRO_UNDECLARED_KNOB")  # REP104 (and REP401)

@@ -1,0 +1,31 @@
+"""Known-good twin of ``det_bad``: same behaviours, determinism-safe.
+
+Must produce zero findings — seeded generators, no clock, ordered
+iteration, no ambient environment reads.
+"""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    vec = np.random.default_rng(seed)
+    return rng.random() + float(vec.random())
+
+
+def spread(values):
+    for value in sorted(set(values)):
+        yield value
+
+
+def counter():
+    ticks = 0
+
+    def tick():
+        nonlocal ticks
+        ticks += 1
+        return ticks
+
+    return tick

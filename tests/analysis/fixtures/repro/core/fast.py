@@ -1,0 +1,14 @@
+"""Parity fixture: fast engine touching a field no scalar engine has.
+
+Maps to ``repro.core.fast`` — the default parity fast module.  The
+``select_like_missing`` access has no matching state field in the
+fixture ``single.py``, so the parity checker must report REP302.
+"""
+
+
+def run_single_fast(engine, fetch_input):
+    table = engine.pht  # matches scalar state: clean
+    cfg = engine.config  # matches scalar state: clean
+    ghost = engine.select_like_missing  # REP302: no scalar engine defines it
+    extra = getattr(engine, "select_like_missing", None)  # same field, deduped
+    return table, cfg, ghost, extra

@@ -1,0 +1,21 @@
+"""Known-bad dtype fixture (maps to ``repro.core.kernels``).
+
+The module name puts it inside the default dtype-discipline scope; the
+marked constructors asserted by ``tests/analysis/test_dtype.py``.
+"""
+
+import numpy as np
+
+
+def build(n):
+    starts = np.zeros(n)  # REP201: inferred float64
+    mask = np.array([1, 2, 3])  # REP201: platform-dependent int width
+    rows = np.arange(n, dtype=np.int64)  # explicit dtype: clean
+    taken = np.array([0, 1], np.uint8)  # positional dtype: clean
+    return starts, mask, rows, taken
+
+
+def widths_mixed(flag):
+    if np.uint8(flag) == np.int64(1):  # REP202: mixed widths compared
+        return np.int64(0) + np.int64(1)  # same width: clean
+    return np.int64(0)

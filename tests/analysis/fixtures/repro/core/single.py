@@ -1,0 +1,18 @@
+"""Parity fixture: scalar engine with a field the fast twin ignores.
+
+Maps to ``repro.core.single`` — a default parity scalar module.  The
+``shadow_counters`` field has no counterpart access in the fixture
+``fast.py``, so the parity checker must report REP301 for it.
+"""
+
+
+class SingleBlockEngine:
+    def __init__(self, config):
+        self.config = config
+        self.pht = [0] * 16
+        self.shadow_counters = []  # REP301: fast.py never reads this
+        self._scratch = None  # private: exempt from the contract
+
+
+def run(engine, fetch_input):
+    return engine.pht

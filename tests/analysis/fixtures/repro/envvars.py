@@ -1,0 +1,22 @@
+"""Env-registry fixture (maps to ``repro.envvars``).
+
+Declares one variable that no project doc mentions, so the registry
+checker must report REP402 for it.  ``det_bad.py``'s literal
+``REPRO_UNDECLARED_KNOB`` is absent here, producing REP401.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    name: str
+    summary: str = ""
+    default: str = ""
+    owner: str = ""
+
+
+REGISTRY = (
+    EnvVar(name="REPRO_FIXTURE_UNDOCUMENTED",
+           summary="declared here but documented nowhere"),  # REP402
+)

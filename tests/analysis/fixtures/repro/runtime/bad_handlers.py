@@ -1,0 +1,33 @@
+"""Exception-hygiene fixture (maps to ``repro.runtime.bad_handlers``).
+
+Not the sanctioned ``repro.runtime.resilience`` module, so both marked
+handlers must be reported.
+"""
+
+
+def swallow(action):
+    try:
+        return action()
+    except:  # REP501: bare except
+        return None
+
+
+def swallow_base(action):
+    try:
+        return action()
+    except BaseException:  # REP502: BaseException swallowed
+        return None
+
+
+def relay(action):
+    try:
+        return action()
+    except BaseException:  # re-raised: clean
+        raise
+
+
+def narrow(action):
+    try:
+        return action()
+    except ValueError:  # specific: clean
+        return None

@@ -1,0 +1,124 @@
+"""Determinism checker (REP101-REP104) against the fixture corpus."""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import run_analysis
+
+from .conftest import REPO_ROOT
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+def test_det_bad_findings(findings_at):
+    findings = findings_at("det_bad.py")
+    assert _rules(findings) == [
+        "REP101", "REP101", "REP102", "REP103", "REP104", "REP401"]
+
+
+def test_det_bad_lines(findings_at):
+    by_rule = {}
+    for finding in findings_at("det_bad.py"):
+        by_rule.setdefault(finding.rule, []).append(finding.line)
+    source = (REPO_ROOT / "tests/analysis/fixtures/repro/core/"
+              "det_bad.py").read_text().splitlines()
+    for rule, lines in by_rule.items():
+        if rule == "REP401":
+            continue
+        for line in lines:
+            assert rule in source[line - 1], (rule, line)
+
+
+def test_det_good_is_clean(findings_at):
+    assert findings_at("det_good.py") == []
+
+
+def _lint_module(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    config = LintConfig(project_root=tmp_path)
+    return run_analysis([path], config)
+
+
+def test_import_aliasing_is_resolved(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/aliased.py", (
+        "import numpy.random as npr\n"
+        "from time import time as wall\n"
+        "def f(x):\n"
+        "    npr.shuffle(x)\n"
+        "    return wall()\n"))
+    assert _rules(result.findings) == ["REP101", "REP102"]
+
+
+def test_seeded_constructors_allowed(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/seeded.py", (
+        "import random\n"
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    return (random.Random(seed).random()\n"
+        "            + np.random.default_rng(seed).random())\n"))
+    assert result.findings == []
+
+
+def test_core_rules_scoped_to_determinism_packages(tmp_path):
+    # Same RNG/clock/set-iteration code outside repro.core/predictors/
+    # trace: only the globally-scoped REP104 may fire (none here).
+    result = _lint_module(tmp_path, "repro/experiments/loose.py", (
+        "import random\n"
+        "import time\n"
+        "def f(values):\n"
+        "    random.random()\n"
+        "    time.time()\n"
+        "    return [v for v in set(values)]\n"))
+    assert result.findings == []
+
+
+def test_env_read_flagged_everywhere(tmp_path):
+    result = _lint_module(tmp_path, "repro/experiments/knobs.py", (
+        "import os\n"
+        "def f():\n"
+        "    a = os.environ.get('HOME')\n"
+        "    b = os.getenv('HOME')\n"
+        "    c = os.environ['HOME']\n"
+        "    return a, b, c\n"))
+    assert _rules(result.findings) == ["REP104", "REP104", "REP104"]
+
+
+def test_env_write_not_flagged(tmp_path):
+    result = _lint_module(tmp_path, "repro/experiments/setter.py", (
+        "import os\n"
+        "def f():\n"
+        "    os.environ['HOME'] = '/tmp'\n"))
+    assert result.findings == []
+
+
+def test_sanctioned_modules_may_read_env(tmp_path):
+    for relpath in ("repro/core/engine_mode.py",
+                    "repro/runtime/executor.py",
+                    "repro/envvars.py"):
+        result = _lint_module(tmp_path, relpath, (
+            "import os\n"
+            "def f():\n"
+            "    return os.environ.get('HOME')\n"))
+        assert result.findings == [], relpath
+
+
+def test_set_iteration_variants(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/iters.py", (
+        "def f(a, b):\n"
+        "    for x in a | b:\n"
+        "        pass\n"
+        "    for x in {1, 2, 3}:\n"
+        "        pass\n"
+        "    return [k for k in vars()]\n"))
+    # `a | b` on unknown operands is not provably a set: only the
+    # literal and vars() iterations are flagged.
+    assert _rules(result.findings) == ["REP103", "REP103"]
+
+
+def test_sorted_set_iteration_allowed(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/ordered.py", (
+        "def f(values):\n"
+        "    return [v for v in sorted(set(values))]\n"))
+    assert result.findings == []

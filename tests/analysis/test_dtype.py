@@ -1,0 +1,72 @@
+"""Dtype-safety checker (REP201/REP202) against the fixture corpus."""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import run_analysis
+
+from .conftest import REPO_ROOT
+
+
+def test_kernels_fixture_findings(findings_at):
+    findings = findings_at("kernels.py")
+    assert sorted(f.rule for f in findings) == \
+        ["REP201", "REP201", "REP202"]
+    source = (REPO_ROOT / "tests/analysis/fixtures/repro/core/"
+              "kernels.py").read_text().splitlines()
+    for finding in findings:
+        assert finding.rule in source[finding.line - 1], finding
+
+
+def _lint_module(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    config = LintConfig(project_root=tmp_path)
+    return run_analysis([path], config)
+
+
+def test_explicit_dtype_forms_allowed(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f(n, xs):\n"
+        "    a = np.zeros(n, dtype=np.int64)\n"
+        "    b = np.array(xs, np.uint8)\n"
+        "    c = np.full(n, 0, np.int32)\n"
+        "    d = np.asarray(xs, dtype=np.float64)\n"
+        "    return a, b, c, d\n"))
+    assert result.findings == []
+
+
+def test_inferring_constructors_flagged(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f(n, xs):\n"
+        "    return (np.zeros(n), np.ones(n), np.empty(n),\n"
+        "            np.arange(n), np.asarray(xs), np.array(xs))\n"))
+    assert [f.rule for f in result.findings] == ["REP201"] * 6
+
+
+def test_alias_resolution(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/fast.py", (
+        "import numpy\n"
+        "from numpy import zeros\n"
+        "def f(n):\n"
+        "    return numpy.zeros(n), zeros(n)\n"))
+    assert [f.rule for f in result.findings] == ["REP201", "REP201"]
+
+
+def test_out_of_scope_module_not_checked(tmp_path):
+    result = _lint_module(tmp_path, "repro/metrics/tables.py", (
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    return np.zeros(n)\n"))
+    assert result.findings == []
+
+
+def test_mixed_width_arithmetic_flagged(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f():\n"
+        "    bad = np.int32(1) + np.int64(2)\n"
+        "    ok = np.int64(1) + np.int64(2)\n"
+        "    return bad, ok\n"))
+    assert [f.rule for f in result.findings] == ["REP202"]

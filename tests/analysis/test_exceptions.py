@@ -1,0 +1,78 @@
+"""Exception-hygiene checker (REP501/REP502)."""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import run_analysis
+
+
+def test_bad_handlers_fixture(findings_at):
+    findings = findings_at("bad_handlers.py")
+    assert sorted(f.rule for f in findings) == ["REP501", "REP502"]
+
+
+def test_reraise_and_narrow_handlers_clean(findings_at):
+    # relay() re-raises and narrow() catches ValueError: the fixture
+    # must produce exactly the two marked findings and nothing more.
+    assert len(findings_at("bad_handlers.py")) == 2
+
+
+def _lint_module(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    config = LintConfig(project_root=tmp_path)
+    return run_analysis([path], config)
+
+
+def test_except_exception_allowed(tmp_path):
+    result = _lint_module(tmp_path, "repro/runtime/worker.py", (
+        "def f(action):\n"
+        "    try:\n"
+        "        return action()\n"
+        "    except Exception:\n"
+        "        return None\n"))
+    assert result.findings == []
+
+
+def test_sanctioned_module_may_catch_base(tmp_path):
+    source = ("def f(action):\n"
+              "    try:\n"
+              "        return action()\n"
+              "    except BaseException:\n"
+              "        return None\n")
+    sanctioned = _lint_module(
+        tmp_path, "repro/runtime/resilience.py", source)
+    assert sanctioned.findings == []
+    elsewhere = _lint_module(
+        tmp_path, "repro/runtime/other.py", source)
+    assert [f.rule for f in elsewhere.findings] == ["REP502"]
+
+
+def test_bare_except_flagged_even_in_sanctioned_module(tmp_path):
+    result = _lint_module(tmp_path, "repro/runtime/resilience.py", (
+        "def f(action):\n"
+        "    try:\n"
+        "        return action()\n"
+        "    except:\n"
+        "        return None\n"))
+    assert [f.rule for f in result.findings] == ["REP501"]
+
+
+def test_tuple_catch_including_base_flagged(tmp_path):
+    result = _lint_module(tmp_path, "repro/runtime/worker.py", (
+        "def f(action):\n"
+        "    try:\n"
+        "        return action()\n"
+        "    except (ValueError, BaseException):\n"
+        "        return None\n"))
+    assert [f.rule for f in result.findings] == ["REP502"]
+
+
+def test_named_reraise_allowed(tmp_path):
+    result = _lint_module(tmp_path, "repro/runtime/worker.py", (
+        "def f(action, log):\n"
+        "    try:\n"
+        "        return action()\n"
+        "    except BaseException as exc:\n"
+        "        log(exc)\n"
+        "        raise exc\n"))
+    assert result.findings == []

@@ -1,0 +1,85 @@
+"""Parity-contract checker (REP301/REP302), incl. the live regression.
+
+The last test is the one that matters: it proves that adding a state
+field to the *real* scalar engine without teaching the *real* fast
+engine about it fails lint — the exact drift the rule exists to catch.
+"""
+
+import shutil
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import run_analysis
+
+from .conftest import REPO_ROOT
+
+FIXTURE_CORE = REPO_ROOT / "tests/analysis/fixtures/repro/core"
+REAL_CORE = REPO_ROOT / "src/repro/core"
+
+
+def test_scalar_only_field_reported(findings_at):
+    findings = findings_at("single.py")
+    assert [f.rule for f in findings] == ["REP301"]
+    assert "shadow_counters" in findings[0].message
+    assert "SingleBlockEngine" in findings[0].message
+
+
+def test_fast_only_access_reported(findings_at):
+    findings = findings_at("fast.py")
+    assert [f.rule for f in findings] == ["REP302"]
+    assert "select_like_missing" in findings[0].message
+
+
+def test_private_fields_ignored(findings_at):
+    # single.py assigns self._scratch; it must not be reported.
+    assert all("_scratch" not in f.message
+               for f in findings_at("single.py"))
+
+
+def test_exempt_table_silences_rep301():
+    config = LintConfig(project_root=REPO_ROOT,
+                        parity_exempt=("recovery_log",
+                                       "shadow_counters"))
+    result = run_analysis([FIXTURE_CORE / "single.py",
+                           FIXTURE_CORE / "fast.py"], config)
+    assert not any(f.rule == "REP301" for f in result.findings)
+
+
+def test_silent_when_one_side_missing():
+    config = LintConfig(project_root=REPO_ROOT)
+    result = run_analysis([FIXTURE_CORE / "single.py"], config)
+    assert not any(f.rule.startswith("REP3") for f in result.findings)
+
+
+def _engine_modules():
+    names = ["single.py", "dual.py", "multi.py", "two_ahead.py",
+             "fast.py"]
+    return [REAL_CORE / name for name in names]
+
+
+def test_real_engine_modules_satisfy_contract():
+    config = LintConfig(project_root=REPO_ROOT)
+    result = run_analysis(_engine_modules(), config)
+    rep3 = [f for f in result.findings if f.rule.startswith("REP3")]
+    assert rep3 == []
+
+
+def test_new_scalar_field_breaks_lint(tmp_path):
+    """Acceptance regression: a state field added to the real scalar
+    engine but not to fast.py must produce REP301."""
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    for module in _engine_modules():
+        shutil.copy(module, core / module.name)
+
+    anchor = "        self.recovery_log: List[RecoveryEntry] = []"
+    source = (core / "single.py").read_text()
+    assert anchor in source
+    (core / "single.py").write_text(source.replace(
+        anchor, anchor + "\n        self.shadow_table = []", 1))
+
+    config = LintConfig(project_root=tmp_path)
+    result = run_analysis([tmp_path], config)
+    rep301 = [f for f in result.findings if f.rule == "REP301"]
+    assert len(rep301) == 1
+    assert "shadow_table" in rep301[0].message
+    assert rep301[0].path.endswith("repro/core/single.py")

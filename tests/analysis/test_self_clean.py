@@ -1,0 +1,41 @@
+"""The project tree must be clean under its own lint configuration.
+
+This is the self-hosting check: every rule reprolint enforces is
+satisfied by the real tree (the violations that existed when the tool
+was written were fixed, not exempted).  If this test fails, either fix
+the reported code or — for a deliberate exception — add a justified
+``# reprolint: disable=RULE`` pragma or config entry in the same
+change.
+"""
+
+from repro.analysis.config import from_pyproject
+from repro.analysis.core import run_analysis
+
+from .conftest import REPO_ROOT
+
+
+def _project_config():
+    return from_pyproject(REPO_ROOT / "pyproject.toml")
+
+
+def test_src_tree_is_clean():
+    config = _project_config()
+    result = run_analysis([REPO_ROOT / "src" / "repro"], config)
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings)
+    assert result.n_files > 90  # the whole package was walked
+
+
+def test_tests_tree_is_clean_under_relaxed_rules():
+    # tests/ gets the determinism family and REP401 relaxed via the
+    # per-path-ignores table (pyproject); everything else still holds.
+    config = _project_config()
+    result = run_analysis([REPO_ROOT / "tests"], config)
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings)
+
+
+def test_fixture_corpus_is_excluded_by_project_config():
+    config = _project_config()
+    result = run_analysis([REPO_ROOT / "tests" / "analysis"], config)
+    assert not any("fixtures/" in f.path for f in result.findings)

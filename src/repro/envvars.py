@@ -89,6 +89,13 @@ REGISTRY: Tuple[EnvVar, ...] = (
         owner="repro.runtime.profile",
     ),
     EnvVar(
+        name="REPRO_QA_SEED",
+        summary="Base seed for the repro.qa differential-fuzzing "
+                "campaigns and the test suite's seeded randomness.",
+        default="5",
+        owner="repro.qa",
+    ),
+    EnvVar(
         name="REPRO_RESUME",
         summary="Resume labeled sweeps from their checkpoint journal "
                 "('0'/'off' forces recomputation).",

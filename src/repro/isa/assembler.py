@@ -28,6 +28,12 @@ from .opcodes import (
 from .program import Program
 
 
+#: Register operands: symbolic names ("r4", "sp") or raw indices.
+Reg = Union[str, int]
+#: Branch/jump targets: label names or absolute addresses.
+Target = Union[str, int]
+
+
 class AssemblyError(Exception):
     """Raised for malformed programs (duplicate/undefined labels, ...)."""
 
@@ -88,103 +94,103 @@ class Assembler:
     # ALU mnemonics
     # ------------------------------------------------------------------
 
-    def _alu_rr(self, op: Op, rd, rs1, rs2) -> None:
+    def _alu_rr(self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         self.emit(Instruction(op, rd=parse_register(rd),
                               rs1=parse_register(rs1), rs2=parse_register(rs2)))
 
-    def _alu_ri(self, op: Op, rd, rs1, imm: int) -> None:
+    def _alu_ri(self, op: Op, rd: Reg, rs1: Reg, imm: int) -> None:
         self.emit(Instruction(op, rd=parse_register(rd),
                               rs1=parse_register(rs1), imm=int(imm)))
 
-    def add(self, rd, rs1, rs2):
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 + rs2``"""
         self._alu_rr(Op.ADD, rd, rs1, rs2)
 
-    def sub(self, rd, rs1, rs2):
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 - rs2``"""
         self._alu_rr(Op.SUB, rd, rs1, rs2)
 
-    def mul(self, rd, rs1, rs2):
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 * rs2`` (wraps to 64 bits)"""
         self._alu_rr(Op.MUL, rd, rs1, rs2)
 
-    def div(self, rd, rs1, rs2):
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 / rs2`` (truncating; faults on zero)"""
         self._alu_rr(Op.DIV, rd, rs1, rs2)
 
-    def mod(self, rd, rs1, rs2):
+    def mod(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 mod rs2`` (C semantics; faults on zero)"""
         self._alu_rr(Op.MOD, rd, rs1, rs2)
 
-    def and_(self, rd, rs1, rs2):
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 & rs2``"""
         self._alu_rr(Op.AND, rd, rs1, rs2)
 
-    def or_(self, rd, rs1, rs2):
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 | rs2``"""
         self._alu_rr(Op.OR, rd, rs1, rs2)
 
-    def xor(self, rd, rs1, rs2):
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 ^ rs2``"""
         self._alu_rr(Op.XOR, rd, rs1, rs2)
 
-    def sll(self, rd, rs1, rs2):
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 << (rs2 & 63)``"""
         self._alu_rr(Op.SLL, rd, rs1, rs2)
 
-    def srl(self, rd, rs1, rs2):
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- rs1 >>_logical (rs2 & 63)``"""
         self._alu_rr(Op.SRL, rd, rs1, rs2)
 
-    def slt(self, rd, rs1, rs2):
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- 1 if rs1 < rs2 else 0``"""
         self._alu_rr(Op.SLT, rd, rs1, rs2)
 
-    def seq(self, rd, rs1, rs2):
+    def seq(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         """``rd <- 1 if rs1 == rs2 else 0``"""
         self._alu_rr(Op.SEQ, rd, rs1, rs2)
 
-    def addi(self, rd, rs1, imm):
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 + imm``"""
         self._alu_ri(Op.ADDI, rd, rs1, imm)
 
-    def andi(self, rd, rs1, imm):
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 & imm``"""
         self._alu_ri(Op.ANDI, rd, rs1, imm)
 
-    def ori(self, rd, rs1, imm):
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 | imm``"""
         self._alu_ri(Op.ORI, rd, rs1, imm)
 
-    def xori(self, rd, rs1, imm):
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 ^ imm``"""
         self._alu_ri(Op.XORI, rd, rs1, imm)
 
-    def slli(self, rd, rs1, imm):
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 << (imm & 63)``"""
         self._alu_ri(Op.SLLI, rd, rs1, imm)
 
-    def srli(self, rd, rs1, imm):
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 >>_logical (imm & 63)``"""
         self._alu_ri(Op.SRLI, rd, rs1, imm)
 
-    def slti(self, rd, rs1, imm):
+    def slti(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- 1 if rs1 < imm else 0``"""
         self._alu_ri(Op.SLTI, rd, rs1, imm)
 
-    def muli(self, rd, rs1, imm):
+    def muli(self, rd: Reg, rs1: Reg, imm: int) -> None:
         """``rd <- rs1 * imm`` (wraps to 64 bits)"""
         self._alu_ri(Op.MULI, rd, rs1, imm)
 
-    def li(self, rd, imm):
+    def li(self, rd: Reg, imm: int) -> None:
         """``rd <- imm``"""
         self.emit(Instruction(Op.LI, rd=parse_register(rd), imm=int(imm)))
 
-    def mv(self, rd, rs1):
+    def mv(self, rd: Reg, rs1: Reg) -> None:
         """Pseudo-op: copy ``rs1`` into ``rd``."""
         self.addi(rd, rs1, 0)
 
-    def nop(self):
+    def nop(self) -> None:
         """No operation."""
         self.emit(Instruction(Op.NOP))
 
@@ -192,12 +198,12 @@ class Assembler:
     # Memory
     # ------------------------------------------------------------------
 
-    def ld(self, rd, rs1, imm=0):
+    def ld(self, rd: Reg, rs1: Reg, imm: int = 0) -> None:
         """``rd <- mem[rs1 + imm]``"""
         self.emit(Instruction(Op.LD, rd=parse_register(rd),
                               rs1=parse_register(rs1), imm=int(imm)))
 
-    def st(self, rs2, rs1, imm=0):
+    def st(self, rs2: Reg, rs1: Reg, imm: int = 0) -> None:
         """``mem[rs1 + imm] <- rs2``"""
         self.emit(Instruction(Op.ST, rs2=parse_register(rs2),
                               rs1=parse_register(rs1), imm=int(imm)))
@@ -206,61 +212,61 @@ class Assembler:
     # Control transfer
     # ------------------------------------------------------------------
 
-    def _branch(self, op: Op, rs1, rs2, target: Union[str, int]) -> None:
+    def _branch(self, op: Op, rs1: Reg, rs2: Reg, target: Target) -> None:
         self.emit(Instruction(op, rs1=parse_register(rs1),
                               rs2=parse_register(rs2), target=target))
 
-    def beq(self, rs1, rs2, target):
+    def beq(self, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Branch to ``target`` when ``rs1 == rs2``."""
         self._branch(Op.BEQ, rs1, rs2, target)
 
-    def bne(self, rs1, rs2, target):
+    def bne(self, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Branch to ``target`` when ``rs1 != rs2``."""
         self._branch(Op.BNE, rs1, rs2, target)
 
-    def blt(self, rs1, rs2, target):
+    def blt(self, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Branch to ``target`` when ``rs1 < rs2``."""
         self._branch(Op.BLT, rs1, rs2, target)
 
-    def bge(self, rs1, rs2, target):
+    def bge(self, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Branch to ``target`` when ``rs1 >= rs2``."""
         self._branch(Op.BGE, rs1, rs2, target)
 
-    def ble(self, rs1, rs2, target):
+    def ble(self, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Branch to ``target`` when ``rs1 <= rs2``."""
         self._branch(Op.BLE, rs1, rs2, target)
 
-    def bgt(self, rs1, rs2, target):
+    def bgt(self, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Branch to ``target`` when ``rs1 > rs2``."""
         self._branch(Op.BGT, rs1, rs2, target)
 
-    def branch(self, op: Op, rs1, rs2, target):
+    def branch(self, op: Op, rs1: Reg, rs2: Reg, target: Target) -> None:
         """Emit an arbitrary conditional-branch opcode."""
         if op not in COND_BRANCH_OPS:
             raise AssemblyError(f"not a conditional branch: {op}")
         self._branch(op, rs1, rs2, target)
 
-    def j(self, target):
+    def j(self, target: Target) -> None:
         """Unconditional direct jump to ``target``."""
         self.emit(Instruction(Op.J, target=target))
 
-    def jal(self, target):
+    def jal(self, target: Target) -> None:
         """Direct call: jumps to ``target`` and writes PC+1 into ``ra``."""
         self.emit(Instruction(Op.JAL, rd=1, target=target))
 
-    def jr(self, rs1):
+    def jr(self, rs1: Reg) -> None:
         """Indirect jump to the address in ``rs1``."""
         self.emit(Instruction(Op.JR, rs1=parse_register(rs1)))
 
-    def jalr(self, rs1):
+    def jalr(self, rs1: Reg) -> None:
         """Indirect call through ``rs1``; writes PC+1 into ``ra``."""
         self.emit(Instruction(Op.JALR, rd=1, rs1=parse_register(rs1)))
 
-    def ret(self):
+    def ret(self) -> None:
         """Return through the link register (classified as a return)."""
         self.emit(Instruction(Op.RET, rs1=1))
 
-    def halt(self):
+    def halt(self) -> None:
         """Stop execution and terminate the trace."""
         self.emit(Instruction(Op.HALT))
 

@@ -1,0 +1,80 @@
+"""Differential fuzzing and metamorphic invariants for the fetch engines.
+
+The parity contract — scalar reference loops and ``REPRO_ENGINE=fast``
+SoA kernels bit-exact in stats *and* predictor state — is checked on a
+fixed workload matrix by ``tests/core``.  This package turns it into a
+continuously-searched property:
+
+* :mod:`repro.qa.cases` — replayable JSON case model;
+* :mod:`repro.qa.generators` — seeded workload families (loop nests,
+  correlated pairs, call/return towers, near-block targets, mixed
+  synthetic) and config samplers;
+* :mod:`repro.qa.state` / :mod:`repro.qa.oracle` — full-state
+  differential oracle across all four engines in both modes;
+* :mod:`repro.qa.invariants` — paper-derived metamorphic checks
+  (B=1 degeneracy, accounting conservation, GHR truncation,
+  select-table dominance);
+* :mod:`repro.qa.shrink` / :mod:`repro.qa.corpus` — greedy case
+  minimization and the committed regression corpus;
+* :mod:`repro.qa.campaign` + ``python -m repro.qa`` — the seeded
+  search loop (``campaign`` / ``replay`` / ``shrink``).
+
+Seeding: campaigns default to ``REPRO_QA_SEED`` (registered in
+:mod:`repro.envvars`); the ``i``-th case of a seed is identical on
+every machine, so any CI failure reproduces from its logged
+``seed``/``case`` pair.
+"""
+
+from __future__ import annotations
+
+from .campaign import CampaignResult, Finding, check_full, \
+    replay_corpus, run_campaign
+from .cases import CASE_FORMAT, ENGINE_KINDS, CaseError, QACase, \
+    case_engine, load_case
+from .corpus import DEFAULT_CORPUS, iter_corpus, load_artifact, \
+    write_artifact
+from .generators import FAMILIES, CaseStream, build_family_program, \
+    case_stream, sample_case
+from .invariants import accounting_conservation, \
+    blocked_b1_equivalence, check_case_invariants, \
+    ghr_length_extension, select_table_dominance
+from .oracle import OracleVerdict, check_case, engine_mode_env, run_mode
+from .shrink import ShrinkResult, shrink_case
+from .state import describe_diff, engine_state, stats_snapshot
+
+__all__ = [
+    "CASE_FORMAT",
+    "CampaignResult",
+    "CaseError",
+    "CaseStream",
+    "DEFAULT_CORPUS",
+    "ENGINE_KINDS",
+    "FAMILIES",
+    "Finding",
+    "OracleVerdict",
+    "QACase",
+    "ShrinkResult",
+    "accounting_conservation",
+    "blocked_b1_equivalence",
+    "build_family_program",
+    "case_engine",
+    "case_stream",
+    "check_case",
+    "check_case_invariants",
+    "check_full",
+    "describe_diff",
+    "engine_mode_env",
+    "engine_state",
+    "ghr_length_extension",
+    "iter_corpus",
+    "load_artifact",
+    "load_case",
+    "replay_corpus",
+    "run_campaign",
+    "run_mode",
+    "sample_case",
+    "select_table_dominance",
+    "shrink_case",
+    "stats_snapshot",
+    "write_artifact",
+]

@@ -1,0 +1,169 @@
+"""``python -m repro.qa`` — campaign / replay / shrink.
+
+Subcommands::
+
+    campaign  --seed N --budget SECONDS [--engines ...] [--corpus DIR]
+              [--max-cases N]
+        Run a seeded differential-fuzzing campaign.  Exit 0 when every
+        case passed, 1 when a failure was found (its shrunk artifact is
+        written to --corpus), 2 on bad usage.
+
+    replay    DIRECTORY-OR-ARTIFACT ...
+        Re-check committed corpus artifacts (or single files) through
+        the full oracle.  Exit 0 when all pass, 1 otherwise.
+
+    shrink    ARTIFACT [--output PATH]
+        Re-shrink an artifact's case (useful after the generators or
+        the oracle learn new rewrites) and rewrite it in place or to
+        --output.  Exit 0 when the case still fails and was rewritten,
+        1 when the case no longer fails (nothing to shrink).
+
+The seed defaults to ``REPRO_QA_SEED`` (itself defaulting to 5), so CI
+logs and local reproductions agree without flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .. import envvars
+from .campaign import check_full, replay_corpus, run_campaign
+from .cases import ENGINE_KINDS, CaseError
+from .corpus import load_artifact, write_artifact
+from .shrink import shrink_case
+
+__all__ = ["main"]
+
+_DEFAULT_SEED = 5
+
+
+def _say(message: str) -> None:
+    print(message, flush=True)
+
+
+def default_seed() -> int:
+    """Seed from ``REPRO_QA_SEED`` (ValueError on a non-integer)."""
+    raw = envvars.read("REPRO_QA_SEED")
+    if raw is None or not raw.strip():
+        return _DEFAULT_SEED
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"REPRO_QA_SEED must be an integer, got {raw!r}") from None
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    engines = tuple(args.engines) if args.engines else ENGINE_KINDS
+    seed = args.seed if args.seed is not None else default_seed()
+    _say(f"campaign: seed={seed} budget={args.budget:g}s "
+         f"engines={','.join(engines)}")
+    result = run_campaign(
+        seed=seed, budget_seconds=args.budget, engines=engines,
+        corpus_dir=args.corpus, max_cases=args.max_cases,
+        progress=_say)
+    _say(f"campaign: {result.n_cases} cases in {result.elapsed:.1f}s "
+         f"({'clean' if result.passed else 'FAILED'})")
+    if not result.passed:
+        finding = result.findings[0]
+        _say(f"reproduce with: seed={result.seed} case={finding.index}")
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    failures = 0
+    checked = 0
+    for target in args.paths:
+        path = Path(target)
+        if path.is_dir():
+            results = replay_corpus(path, progress=_say)
+            checked += len(results)
+            failures += sum(1 for _p, reason in results
+                            if reason is not None)
+            continue
+        case, recorded = load_artifact(path)
+        reason = check_full(case)
+        checked += 1
+        status = "PASS" if reason is None else f"FAIL: {reason}"
+        _say(f"{path.name} ({case.label()}): {status}")
+        if reason is not None:
+            if recorded:
+                _say(f"  originally failed as: {recorded}")
+            failures += 1
+    _say(f"replay: {checked} artifact(s), {failures} failing")
+    return 1 if failures else 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    path = Path(args.artifact)
+    case, recorded = load_artifact(path)
+    reason = check_full(case)
+    if reason is None:
+        _say(f"{path.name}: case no longer fails; nothing to shrink")
+        return 1
+    _say(f"{path.name}: still failing ({reason}); shrinking ...")
+    result = shrink_case(case, lambda c: check_full(c) is not None,
+                         on_step=lambda c: _say(f"  -> {c.label()}"))
+    out_dir = Path(args.output) if args.output else path.parent
+    written = write_artifact(result.case, recorded or reason, out_dir)
+    _say(f"shrunk in {result.steps} steps / {result.probes} probes "
+         f"-> {written}")
+    if written != path and written.parent == path.parent:
+        _say(f"note: digest changed; consider removing {path.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa",
+        description="Differential fuzzing for the fetch engines.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a seeded fuzzing campaign")
+    campaign.add_argument("--seed", type=int, default=None,
+                          help="base seed (default: REPRO_QA_SEED or 5)")
+    campaign.add_argument("--budget", type=float, default=60.0,
+                          help="wall-clock budget in seconds")
+    campaign.add_argument("--engines", nargs="+",
+                          choices=list(ENGINE_KINDS), default=None,
+                          help="restrict to these engine kinds")
+    campaign.add_argument("--corpus", default=None,
+                          help="write shrunk failure artifacts here")
+    campaign.add_argument("--max-cases", type=int, default=None,
+                          help="stop after this many cases")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    replay = sub.add_parser(
+        "replay", help="re-check corpus artifacts or single files")
+    replay.add_argument("paths", nargs="+",
+                        help="corpus directories and/or artifact files")
+    replay.set_defaults(func=_cmd_replay)
+
+    shrink = sub.add_parser(
+        "shrink", help="re-shrink an artifact's case")
+    shrink.add_argument("artifact", help="artifact .json file")
+    shrink.add_argument("--output", default=None,
+                        help="directory for the rewritten artifact "
+                             "(default: alongside the input)")
+    shrink.set_defaults(func=_cmd_shrink)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        result: int = args.func(args)
+        return result
+    except (CaseError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

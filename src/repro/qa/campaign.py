@@ -1,0 +1,146 @@
+"""The campaign loop: search the case space until the time budget ends.
+
+A campaign is fully determined by its seed: cases come from
+:class:`~repro.qa.generators.CaseStream`, whose ``i``-th case depends
+only on ``(seed, i)``, cycling engines ``single -> dual -> multi ->
+two_ahead``.  Each case goes through the differential oracle
+(scalar vs fast, stats + full state) and the metamorphic invariants;
+the first failure is shrunk to a minimal case and written to the corpus
+directory, and the campaign stops so CI surfaces exactly one readable
+artifact per run.
+
+Only the *number* of cases a wall-clock budget covers varies between
+machines — never which case any index denotes, so "seed 5, case 17"
+in a CI log is enough to reproduce a finding anywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from pathlib import Path
+
+from .cases import ENGINE_KINDS, QACase
+from .generators import CaseStream
+from .invariants import check_case_invariants
+from .oracle import check_case
+from .shrink import shrink_case
+
+__all__ = ["CampaignResult", "Finding", "run_campaign", "check_full",
+           "replay_corpus"]
+
+#: How often (case count) the progress callback fires.
+_PROGRESS_EVERY = 10
+
+
+@dataclass
+class Finding:
+    """One failure, as found and as shrunk."""
+
+    index: int
+    reason: str
+    original: QACase
+    shrunk: QACase
+    artifact: Optional[Path] = None
+
+
+@dataclass
+class CampaignResult:
+    """Summary of one campaign run."""
+
+    seed: int
+    n_cases: int = 0
+    elapsed: float = 0.0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+
+def check_full(case: QACase) -> Optional[str]:
+    """Oracle plus invariants; the campaign's per-case verdict.
+
+    Returns ``None`` when the case passes, else a reason string.
+    """
+    verdict = check_case(case)
+    if not verdict.passed:
+        return f"differential: {verdict.reason}"
+    scalar_stats = None
+    if verdict.scalar is not None and verdict.scalar.stats:
+        scalar_stats = verdict.scalar.stats[0]
+    return check_case_invariants(case, stats=scalar_stats)
+
+
+def run_campaign(seed: int, budget_seconds: float,
+                 engines: Tuple[str, ...] = ENGINE_KINDS,
+                 corpus_dir: Optional[Union[str, Path]] = None,
+                 max_cases: Optional[int] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> CampaignResult:
+    """Run a seeded campaign for up to ``budget_seconds`` of wall clock.
+
+    Stops at the first failure (after shrinking it and, when
+    ``corpus_dir`` is given, writing its artifact), when the time budget
+    runs out, or after ``max_cases`` cases — whichever comes first.  At
+    least one case always runs, so a tiny budget still checks something.
+    """
+    from .corpus import write_artifact
+
+    result = CampaignResult(seed=seed)
+    stream = CaseStream(seed, engines)
+    start = time.monotonic()
+    say = progress or (lambda _msg: None)
+    while True:
+        index, case = stream.next()
+        reason = check_full(case)
+        result.n_cases += 1
+        if reason is not None:
+            say(f"case {index} FAILED ({case.label()}): {reason}")
+            say("shrinking ...")
+            shrunk = shrink_case(
+                case, lambda c: check_full(c) is not None)
+            say(f"shrunk in {shrunk.steps} steps / "
+                f"{shrunk.probes} probes -> {shrunk.case.label()}")
+            finding = Finding(index=index, reason=reason,
+                              original=case, shrunk=shrunk.case)
+            if corpus_dir is not None:
+                finding.artifact = write_artifact(
+                    shrunk.case, reason, corpus_dir,
+                    found={"seed": seed, "index": index})
+                say(f"artifact written: {finding.artifact}")
+            result.findings.append(finding)
+            break
+        if result.n_cases % _PROGRESS_EVERY == 0:
+            say(f"{result.n_cases} cases ok "
+                f"({time.monotonic() - start:.0f}s)")
+        if max_cases is not None and result.n_cases >= max_cases:
+            break
+        if time.monotonic() - start >= budget_seconds:
+            break
+    result.elapsed = time.monotonic() - start
+    return result
+
+
+def replay_corpus(directory: Union[str, Path],
+                  progress: Optional[Callable[[str], None]] = None,
+                  ) -> List[Tuple[Path, Optional[str]]]:
+    """Re-check every corpus artifact; returns ``(path, reason)`` pairs.
+
+    ``reason`` is ``None`` for artifacts that pass (the regression is
+    still fixed) and the failure string for any that regress.
+    """
+    from .corpus import iter_corpus
+
+    say = progress or (lambda _msg: None)
+    results: List[Tuple[Path, Optional[str]]] = []
+    for path, case, recorded in iter_corpus(directory):
+        reason = check_full(case)
+        status = "PASS" if reason is None else f"FAIL: {reason}"
+        say(f"{path.name} ({case.label()}): {status}")
+        if reason is not None and recorded:
+            say(f"  originally failed as: {recorded}")
+        results.append((path, reason))
+    return results

@@ -1,0 +1,104 @@
+"""The versioned regression corpus: shrunk failures as ``.json`` files.
+
+Every failure a campaign finds is shrunk and written to
+``tests/qa/corpus/qa-<digest>.json`` as::
+
+    {
+      "format": 1,
+      "reason": "<why it failed when found>",
+      "found": {"seed": 5, "index": 17},
+      "case": { ...QACase fields... }
+    }
+
+Committing the file turns the one-off finding into a permanent
+regression test: ``python -m repro.qa replay tests/qa/corpus`` (and the
+``qa-fuzz-smoke`` CI job, and ``tests/qa/test_corpus.py``) re-check
+every artifact through the full differential oracle on every run.
+
+The ``format`` tag is the artifact schema version; readers refuse
+versions they do not understand instead of misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from .cases import CASE_FORMAT, CaseError, QACase, load_case
+
+__all__ = ["DEFAULT_CORPUS", "artifact_payload", "write_artifact",
+           "iter_corpus", "load_artifact"]
+
+#: Repo-relative home of the committed regression corpus.
+DEFAULT_CORPUS = Path("tests") / "qa" / "corpus"
+
+
+def artifact_payload(case: QACase, reason: str,
+                     found: Optional[Dict[str, int]] = None
+                     ) -> Dict[str, Any]:
+    """The JSON document written for one shrunk failure."""
+    payload: Dict[str, Any] = {
+        "format": CASE_FORMAT,
+        "reason": reason,
+        "case": case.to_dict(),
+    }
+    if found:
+        payload["found"] = dict(found)
+    return payload
+
+
+def write_artifact(case: QACase, reason: str,
+                   directory: Union[str, Path],
+                   found: Optional[Dict[str, int]] = None) -> Path:
+    """Write the artifact for ``case``; returns its path.
+
+    The file name is derived from the case digest, so re-finding the
+    same minimal case overwrites (rather than duplicates) its artifact.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"qa-{case.digest()}.json"
+    payload = artifact_payload(case, reason, found)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n", encoding="ascii")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Tuple[QACase, str]:
+    """Read one artifact; returns (case, recorded reason)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="ascii"))
+    except (OSError, ValueError) as exc:
+        raise CaseError(f"{path}: unreadable artifact: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CaseError(f"{path}: artifact must be a JSON object")
+    case = load_case(data)
+    reason = data.get("reason", "")
+    if not isinstance(reason, str):
+        raise CaseError(f"{path}: 'reason' must be a string")
+    return case, reason
+
+
+def iter_corpus(directory: Union[str, Path]
+                ) -> Iterator[Tuple[Path, QACase, str]]:
+    """Yield ``(path, case, reason)`` for every artifact, sorted by name.
+
+    A corpus directory that does not exist yields nothing (an empty
+    corpus replays clean); an unreadable artifact raises
+    :class:`CaseError` naming the file.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return
+    for path in sorted(root.glob("*.json")):
+        case, reason = load_artifact(path)
+        yield path, case, reason
+
+
+def corpus_paths(directory: Union[str, Path]) -> List[Path]:
+    """Artifact paths in replay order (for reporting)."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))

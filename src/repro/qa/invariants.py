@@ -1,0 +1,267 @@
+"""Paper-derived metamorphic invariants.
+
+Beyond "scalar == fast", some properties must hold because of what the
+structures *mean* in the paper, independent of implementation mode:
+
+* **B=1 degeneracy** — a blocked PHT with block width 1 holds exactly
+  one counter per entry and indexes it with ``GHR XOR address``, which
+  is the per-branch gshare baseline of :mod:`repro.predictors.scalar`
+  with one table.  Training both on the same conditional-branch stream
+  must produce identical predictions and identical counter arrays.
+* **Accounting conservation** — every penalty category a run charges
+  must reconcile with the run's population: counts bounded by the
+  branch mix, cycles bounded by Table 3's per-event costs, totals
+  additive.
+* **GHR length extension** — a shorter history register is a bit
+  truncation of a longer one fed the same outcome stream, after every
+  single- and block-shift (the paper's per-block update changes *when*
+  bits arrive, never their values).
+* **Select-table dominance (dual)** — the select table only chooses
+  which predicted path is fetched and which GHR-update bits are stored;
+  resizing it may change MISSELECT/GHR charges but can never alter the
+  retired population, the base cycles, or any other penalty category.
+
+Each check returns ``None`` on success or a human-readable violation
+string — same contract as :func:`repro.qa.state.describe_diff` — so the
+campaign loop treats oracle and invariant findings uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.penalties import PenaltyKind
+from ..isa.kinds import InstrKind
+from ..predictors.blocked import BlockedPHT
+from ..predictors.ghr import GlobalHistory
+from ..predictors.scalar import INDEX_GSHARE, ScalarPHT
+from .cases import QACase, case_engine
+
+__all__ = ["blocked_b1_equivalence", "accounting_conservation",
+           "ghr_length_extension", "select_table_dominance",
+           "conditional_stream", "check_case_invariants"]
+
+
+def conditional_stream(case: QACase,
+                       limit: int = 4000) -> List[Tuple[int, bool]]:
+    """The case's conditional branches as a ``(pc, taken)`` stream."""
+    trace = case.fetch_input().trace
+    out: List[Tuple[int, bool]] = []
+    for pc, kind, taken, _target in trace.records():
+        if kind == int(InstrKind.COND):
+            out.append((pc, taken))
+            if len(out) >= limit:
+                break
+    return out
+
+
+# ----------------------------------------------------------------------
+# Invariant 1: B=1 blocked PHT == one-table gshare baseline
+# ----------------------------------------------------------------------
+
+def blocked_b1_equivalence(stream: Iterable[Tuple[int, bool]],
+                           history_length: int = 10) -> Optional[str]:
+    """Train both predictors on ``stream``; any divergence is a finding.
+
+    With ``block_width=1`` every instruction is its own fetch block, so
+    the blocked scheme's per-block GHR update degenerates to the scalar
+    per-branch update and its ``(GHR XOR block address)`` entry index
+    coincides with one-table gshare — structure for structure.
+    """
+    blocked = BlockedPHT(history_length=history_length, block_width=1,
+                         n_tables=1)
+    scalar = ScalarPHT(history_length=history_length, n_tables=1,
+                       index_mode=INDEX_GSHARE)
+    ghr = GlobalHistory(history_length)
+    for i, (pc, taken) in enumerate(stream):
+        base = blocked.index(ghr.value, pc)
+        position = blocked.position(pc)
+        p_blocked = blocked.predicts_taken(base, position)
+        p_scalar = scalar.predicts_taken(ghr.value, pc)
+        if p_blocked != p_scalar:
+            return (f"B=1 prediction diverged at event {i} "
+                    f"(pc={pc:#x}): blocked={p_blocked} "
+                    f"scalar={p_scalar}")
+        blocked.update(base, position, taken)
+        scalar.update(ghr.value, pc, taken)
+        ghr.shift_in(taken)
+    if blocked._counters != scalar._counters:
+        return "B=1 counter arrays diverged after training"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Invariant 2: penalty accounting conservation
+# ----------------------------------------------------------------------
+
+def accounting_conservation(stats: Any, case: QACase) -> Optional[str]:
+    """Reconcile a run's penalty ledger with its population."""
+    counts = stats.event_counts
+    cycles = stats.event_cycles
+    if set(counts) != set(cycles):
+        return (f"count/cycle key sets differ: {sorted(counts, key=str)} "
+                f"vs {sorted(cycles, key=str)}")
+    for kind, n in counts.items():
+        if n < 1:
+            return f"non-positive event count for {kind}: {n}"
+        if cycles[kind] < 0:
+            return f"negative cycles for {kind}: {cycles[kind]}"
+    if stats.penalty_cycles != sum(cycles.values()):
+        return "penalty_cycles does not equal the sum of event_cycles"
+    if stats.fetch_cycles != stats.base_cycles + stats.penalty_cycles:
+        return "fetch_cycles is not base + penalty"
+    if not (0 <= stats.n_cond <= stats.n_branches
+            <= stats.n_instructions):
+        return (f"population out of order: cond={stats.n_cond} "
+                f"branches={stats.n_branches} "
+                f"instructions={stats.n_instructions}")
+    if stats.n_instructions and stats.n_blocks < 1:
+        return "instructions delivered without any fetched block"
+    if counts.get(PenaltyKind.COND, 0) > stats.n_cond:
+        return (f"more COND mispredictions "
+                f"({counts[PenaltyKind.COND]}) than conditional "
+                f"branches ({stats.n_cond})")
+    non_cond = stats.n_branches - stats.n_cond
+    if counts.get(PenaltyKind.RETURN, 0) > non_cond:
+        return (f"more RETURN mispredictions "
+                f"({counts[PenaltyKind.RETURN]}) than unconditional "
+                f"transfers ({non_cond})")
+    # Table 3 charges at most 5 cycles per event at two blocks per
+    # cycle; the Section 5 extrapolation adds one per extra slot, the
+    # footnote one re-fetch cycle (also charged for any slot-2 COND
+    # miss), untracked not-taken targets one resolution re-read, and
+    # two-ahead serialization its own per-pair surcharge.
+    tracked = bool(case.config.get("track_not_taken_targets", True))
+    per_event_cap = (5 + max(0, case.n_blocks - 2) + 1
+                     + (0 if tracked else 1)
+                     + case.serialization_penalty)
+    for kind, n in counts.items():
+        if cycles[kind] > n * per_event_cap:
+            return (f"{kind} cycles {cycles[kind]} exceed "
+                    f"{n} events x cap {per_event_cap}")
+    if stats.timeline is not None:
+        delivered = sum(stats.timeline)
+        if delivered != stats.n_instructions:
+            return (f"timeline delivers {delivered} instructions, "
+                    f"stats say {stats.n_instructions}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Invariant 3: GHR length-extension truncation
+# ----------------------------------------------------------------------
+
+def ghr_length_extension(outcome_blocks: Sequence[Sequence[bool]],
+                         short_length: int,
+                         long_length: int) -> Optional[str]:
+    """A short GHR is always a truncation of a longer one.
+
+    ``outcome_blocks`` is a stream of per-block outcome groups (a group
+    of one models the scalar per-branch update).  After every shift the
+    short register must equal the long register's low bits — the
+    paper's block update changes the shift *granularity*, never the bit
+    values.
+    """
+    if not (1 <= short_length <= long_length):
+        return (f"bad lengths: short={short_length} "
+                f"long={long_length}")
+    short = GlobalHistory(short_length)
+    long = GlobalHistory(long_length)
+    for i, block in enumerate(outcome_blocks):
+        short.shift_in_block(block)
+        long.shift_in_block(block)
+        if short.value != (long.value & short.mask):
+            return (f"after block {i} ({list(block)}): "
+                    f"short={short.value:#x} is not the low "
+                    f"{short_length} bits of long={long.value:#x}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Invariant 4: select-table dominance (dual-block engine)
+# ----------------------------------------------------------------------
+
+#: Categories the select table is allowed to influence.
+_SELECT_KINDS = (PenaltyKind.MISSELECT, PenaltyKind.GHR)
+
+
+def select_table_dominance(case: QACase) -> Optional[str]:
+    """Resizing the dual engine's select table only moves MISSELECT/GHR.
+
+    The select table picks which predicted block pair is fetched and
+    caches the GHR-update bits; it feeds no target address and no
+    direction counter.  So two runs differing only in
+    ``n_select_tables`` must agree on the retired population, base
+    cycles, and every penalty category outside MISSELECT/GHR.
+    """
+    if case.engine != "dual":
+        return None
+    sizes = sorted({case.config.get("n_select_tables", 1), 1, 8})
+    runs = []
+    fetch_input = case.fetch_input()
+    for size in sizes:
+        variant = replace(case,
+                          config={**case.config,
+                                  "n_select_tables": size})
+        engine = case_engine(variant)
+        runs.append((size, engine.run(fetch_input)))
+    base_size, base = runs[0]
+    for size, stats in runs[1:]:
+        for field_name in ("n_blocks", "n_instructions", "n_branches",
+                           "n_cond", "base_cycles"):
+            a = getattr(base, field_name)
+            b = getattr(stats, field_name)
+            if a != b:
+                return (f"{field_name} changed with select-table size "
+                        f"({base_size}->{size}): {a} != {b}")
+        for kind in PenaltyKind:
+            if kind in _SELECT_KINDS:
+                continue
+            a = base.event_cycles.get(kind, 0)
+            b = stats.event_cycles.get(kind, 0)
+            if a != b:
+                return (f"{kind} cycles changed with select-table size "
+                        f"({base_size}->{size}): {a} != {b}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-case driver
+# ----------------------------------------------------------------------
+
+def check_case_invariants(case: QACase,
+                          stats: Optional[Any] = None) -> Optional[str]:
+    """Run every invariant that applies to ``case``.
+
+    ``stats`` is a scalar-mode run result when the campaign already has
+    one (saves re-running the engine); accounting conservation is
+    skipped otherwise.
+    """
+    if stats is not None:
+        violation = accounting_conservation(stats, case)
+        if violation is not None:
+            return f"accounting: {violation}"
+    stream = conditional_stream(case, limit=2000)
+    violation = blocked_b1_equivalence(
+        stream, history_length=int(case.config.get("history_length", 10)))
+    if violation is not None:
+        return f"b1-equivalence: {violation}"
+    blocks: List[List[bool]] = []
+    group: List[bool] = []
+    for i, (_pc, taken) in enumerate(stream[:512]):
+        group.append(taken)
+        if len(group) == 1 + (i % 3):      # vary the shift granularity
+            blocks.append(group)
+            group = []
+    if group:
+        blocks.append(group)
+    history = int(case.config.get("history_length", 10))
+    violation = ghr_length_extension(blocks, max(1, history // 2),
+                                     history + 4)
+    if violation is not None:
+        return f"ghr-extension: {violation}"
+    violation = select_table_dominance(case)
+    if violation is not None:
+        return f"select-dominance: {violation}"
+    return None

@@ -1,0 +1,154 @@
+"""The differential oracle: scalar vs fast, stats and state bit-exact.
+
+One :func:`check_case` call runs a :class:`~repro.qa.cases.QACase`
+through its engine twice — once with ``REPRO_ENGINE=scalar`` (the
+reference loops) and once with ``REPRO_ENGINE=fast`` (the SoA kernels)
+— on *fresh* engines, replaying the same :class:`FetchInput` ``repeats``
+times on each so warm-table behaviour is covered too.  The verdict is
+strict equality of:
+
+* every per-run :class:`~repro.core.stats.FetchStats` (including the
+  delivery timeline when recorded),
+* the complete final predictor state (:func:`repro.qa.state.engine_state`),
+* the recovery log, when the case tracks recovery.
+
+An exception raised by either mode is itself a verdict: the oracle
+captures it and reports the case as failing (a crash that only one mode
+hits *is* a divergence).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .. import envvars
+from ..core.engine_mode import ENGINE_ENV
+from .cases import QACase, case_engine
+from .state import describe_diff, engine_state, stats_snapshot
+
+__all__ = ["ModeRun", "OracleVerdict", "engine_mode_env", "run_mode",
+           "check_case"]
+
+
+@contextmanager
+def engine_mode_env(mode: str) -> Iterator[None]:
+    """Temporarily pin ``REPRO_ENGINE`` to ``mode``."""
+    previous = envvars.read(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous
+
+
+@dataclass
+class ModeRun:
+    """Everything one engine mode produced for a case."""
+
+    mode: str
+    stats: List[Any] = field(default_factory=list)
+    state: Optional[Dict[str, Any]] = None
+    recovery_log: Optional[List[Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.error is not None
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of one differential check."""
+
+    case: QACase
+    passed: bool
+    reason: Optional[str] = None
+    scalar: Optional[ModeRun] = None
+    fast: Optional[ModeRun] = None
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        text = f"{status} {self.case.label()}"
+        if self.reason:
+            text += f": {self.reason}"
+        return text
+
+
+def run_mode(case: QACase, mode: str) -> ModeRun:
+    """Run ``case`` on a fresh engine under one ``REPRO_ENGINE`` mode."""
+    run = ModeRun(mode=mode)
+    try:
+        with engine_mode_env(mode):
+            engine = case_engine(case)
+            fetch_input = case.fetch_input()
+            for _ in range(case.repeats):
+                if case.engine == "dual" and case.record_timeline:
+                    stats = engine.run(fetch_input, record_timeline=True)
+                else:
+                    stats = engine.run(fetch_input)
+                run.stats.append(stats)
+            run.state = engine_state(engine)
+            if case.track_recovery:
+                run.recovery_log = list(engine.recovery_log)
+    except Exception:
+        run.error = traceback.format_exc(limit=8)
+    return run
+
+
+def check_case(case: QACase) -> OracleVerdict:
+    """Differential verdict for one case (never raises for a finding)."""
+    scalar = run_mode(case, "scalar")
+    fast = run_mode(case, "fast")
+    verdict = OracleVerdict(case=case, passed=True, scalar=scalar,
+                            fast=fast)
+
+    if scalar.crashed and fast.crashed:
+        # Both modes rejecting/crashing identically is not a parity
+        # break; it usually means the generator produced a config the
+        # engine legitimately refuses.  Still surface it as a failure
+        # when the tracebacks disagree on the exception type.
+        scalar_last = scalar.error.strip().splitlines()[-1] \
+            if scalar.error else ""
+        fast_last = fast.error.strip().splitlines()[-1] \
+            if fast.error else ""
+        if scalar_last != fast_last:
+            verdict.passed = False
+            verdict.reason = (f"modes crashed differently: scalar "
+                              f"{scalar_last!r} vs fast {fast_last!r}")
+        return verdict
+    if scalar.crashed or fast.crashed:
+        crashed = scalar if scalar.crashed else fast
+        verdict.passed = False
+        verdict.reason = (f"{crashed.mode} mode crashed: "
+                          + (crashed.error or "").strip()
+                          .splitlines()[-1])
+        return verdict
+
+    for i, (s, f) in enumerate(zip(scalar.stats, fast.stats)):
+        if s != f:
+            verdict.passed = False
+            diff = describe_diff(stats_snapshot(s), stats_snapshot(f),
+                                 label=f"stats[{i}]")
+            verdict.reason = diff or f"stats[{i}] differ"
+            return verdict
+
+    state_diff = describe_diff(scalar.state, fast.state, label="state")
+    if state_diff is not None:
+        verdict.passed = False
+        verdict.reason = state_diff
+        return verdict
+
+    if case.track_recovery and scalar.recovery_log != fast.recovery_log:
+        verdict.passed = False
+        verdict.reason = describe_diff(scalar.recovery_log,
+                                       fast.recovery_log,
+                                       label="recovery_log") \
+            or "recovery logs differ"
+    return verdict

@@ -1,0 +1,139 @@
+"""Greedy case minimization.
+
+When the oracle (or an invariant) fails, the raw case is usually noisy:
+a 10k-instruction workload, a stack of config overrides, extra repeats.
+:func:`shrink_case` walks a fixed menu of simplifying rewrites — shrink
+the budget, drop repeats, shrink family parameters, remove config
+overrides (i.e. return knobs to their :class:`EngineConfig` defaults),
+normalise the geometry — keeping a rewrite only when the failure
+*persists*, until no rewrite helps.  The result is the artifact worth
+committing to the corpus: small enough to read, still failing for the
+same class of reason.
+
+The predicate is caller-supplied (``still_fails(case) -> bool``), so the
+same shrinker serves differential failures, invariant violations and
+deliberately-broken-kernel canary tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterator, Optional
+
+from .cases import CaseError, QACase, is_valid_case
+
+__all__ = ["shrink_case", "ShrinkResult"]
+
+#: Hard ceiling on predicate evaluations per shrink (each one may run
+#: the engines twice, so this bounds shrink cost at roughly
+#: ``2 * MAX_PROBES`` engine runs).
+MAX_PROBES = 200
+
+#: Floors for family parameters, so shrinking never produces a
+#: degenerate builder input.
+_PARAM_FLOORS: Dict[str, int] = {
+    "depth": 1, "trips": 2, "rounds": 1, "pairs": 1, "iterations": 2,
+    "branches": 1, "span": 1, "loop_depth": 1, "body_ops": 0,
+    "n_functions": 0, "stride": 0, "invert": 0, "early": 0,
+    "irregularity_pct": 0, "seed": 0,
+}
+
+
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    def __init__(self, case: QACase, probes: int, steps: int) -> None:
+        self.case = case          #: the minimized case
+        self.probes = probes      #: predicate evaluations spent
+        self.steps = steps        #: rewrites that were kept
+
+    def __repr__(self) -> str:
+        return (f"ShrinkResult(case={self.case.label()!r}, "
+                f"probes={self.probes}, steps={self.steps})")
+
+
+def _candidates(case: QACase) -> Iterator[QACase]:
+    """Simplifying rewrites of ``case``, most aggressive first.
+
+    Every yielded case is strictly "smaller" under a well-founded order
+    (budget + repeats + param magnitudes + override count + flag count
+    strictly decreases), so the greedy loop terminates.
+    """
+    # 1. Workload size: halve the budget toward the 100 floor.
+    if case.budget > 100:
+        yield replace(case, budget=max(100, case.budget // 2))
+    # 2. Warm re-runs rarely matter; try a single run first.
+    if case.repeats > 1:
+        yield replace(case, repeats=1)
+    # 3. Family parameters: halve toward their floors, largest first.
+    for key in sorted(case.params,
+                      key=lambda k: -abs(case.params.get(k, 0))):
+        value = case.params[key]
+        floor = _PARAM_FLOORS.get(key, 0)
+        if value > floor:
+            smaller = dict(case.params)
+            smaller[key] = max(floor, value // 2)
+            yield replace(case, params=smaller)
+    # 4. Config overrides: drop each one (back to EngineConfig default).
+    for key in sorted(case.config):
+        trimmed = {k: v for k, v in case.config.items() if k != key}
+        yield replace(case, config=trimmed)
+    # 5. Structure: simplest geometry, default width, fewer blocks.
+    if case.geometry_kind != "normal":
+        yield replace(case, geometry_kind="normal")
+    if case.block_width != 8:
+        yield replace(case, block_width=8)
+    if case.engine == "multi" and case.n_blocks > 1:
+        yield replace(case, n_blocks=case.n_blocks - 1)
+    if case.serialization_penalty > 0:
+        yield replace(case, serialization_penalty=0)
+    # 6. Diagnostic flags last: they select whole code paths, so
+    #    dropping them usually changes the failure — but when it
+    #    doesn't, the smaller case is much easier to debug.
+    if case.track_recovery:
+        yield replace(case, track_recovery=False)
+    if case.record_timeline:
+        yield replace(case, record_timeline=False)
+
+
+def shrink_case(case: QACase, still_fails: Callable[[QACase], bool],
+                max_probes: int = MAX_PROBES,
+                on_step: Optional[Callable[[QACase], None]] = None
+                ) -> ShrinkResult:
+    """Greedily minimize ``case`` while ``still_fails`` holds.
+
+    ``still_fails(case)`` must be True for the input case; the function
+    probes rewrites one at a time and restarts the menu after every
+    accepted rewrite (an accepted budget cut can unlock further param
+    cuts, and vice versa).
+    """
+    probes = 0
+    steps = 0
+    current = case
+    progress = True
+    while progress and probes < max_probes:
+        progress = False
+        for candidate in _candidates(current):
+            if probes >= max_probes:
+                break
+            try:
+                if not is_valid_case(candidate):
+                    continue
+            except CaseError:
+                continue
+            probes += 1
+            failed: bool
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                # A predicate crash on a rewrite means the rewrite
+                # changed the failure mode; keep the current case.
+                failed = False
+            if failed:
+                current = candidate
+                steps += 1
+                if on_step is not None:
+                    on_step(current)
+                progress = True
+                break
+    return ShrinkResult(current, probes, steps)

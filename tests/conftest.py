@@ -1,15 +1,46 @@
-"""Shared fixtures: keep the persistent cache out of the user's home.
+"""Shared fixtures: hermetic cache dir and the session's QA seed.
 
 The runtime's disk cache (``REPRO_CACHE_DIR``) defaults to
 ``~/.cache/repro``.  Tests must neither read a developer's warm cache
 (hiding interpreter regressions) nor litter it, so the whole session is
 pointed at a throwaway directory — while keeping the cache *enabled* so
 its code paths stay exercised.
+
+All seeded randomness in the suite flows from one session seed, taken
+from ``REPRO_QA_SEED`` (default 5) and printed in the pytest header: a
+failure seen in a CI log reproduces locally with the same variable set.
+Tests take the ``qa_seed`` fixture (an int) and derive their own
+``random.Random`` instances from it — never the global RNG.
 """
 
 import os
 
 import pytest
+
+from repro import envvars
+
+_DEFAULT_QA_SEED = 5
+
+
+def _session_seed() -> int:
+    raw = envvars.read("REPRO_QA_SEED")
+    if raw is None or not raw.strip():
+        return _DEFAULT_QA_SEED
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_QA_SEED must be an integer, got {raw!r}")
+
+
+def pytest_report_header(config):
+    return f"repro: REPRO_QA_SEED={_session_seed()}"
+
+
+@pytest.fixture(scope="session")
+def qa_seed() -> int:
+    """The session's base seed for all test randomness."""
+    return _session_seed()
 
 
 @pytest.fixture(scope="session", autouse=True)

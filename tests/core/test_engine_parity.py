@@ -27,6 +27,7 @@ from repro.core.engine_mode import ENGINE_ENV
 from repro.core.multi import MultiBlockEngine
 from repro.core.two_ahead import TwoBlockAheadEngine
 from repro.icache import CacheGeometry
+from repro.qa.state import engine_state
 from repro.workloads import load_fetch_input
 
 BUDGET = 6_000
@@ -66,48 +67,8 @@ ENGINES = {
 }
 
 
-def _target_state(targets):
-    """Comparable snapshot of any target-array implementation.
-
-    BTB entries carry no ``__eq__`` (they are slotted mutable cells), so
-    buckets are flattened to ``(key, targets)`` tuples — which also
-    captures LRU order, since ``OrderedDict`` iteration is
-    recency-ordered.
-    """
-    if targets is None:
-        return None
-    if hasattr(targets, "_targets"):                 # NLSTargetArray
-        return list(targets._targets)
-    if hasattr(targets, "first"):                    # DualNLSTargetArray
-        return (list(targets.first._targets),
-                list(targets.second._targets))
-    if hasattr(targets, "_arrays"):                  # MultiTargetArray
-        return [list(a._targets) for a in targets._arrays]
-    btb = getattr(targets, "_btb", targets)          # (Dual)BTB
-    return [[(key, tuple(entry.targets))
-             for key, entry in bucket.items()]
-            for bucket in btb._sets]
-
-
-def engine_state(engine):
-    """Every piece of mutable predictor state, in comparable form."""
-    state = {"pht": list(engine.pht._counters),
-             "targets": _target_state(getattr(engine, "targets", None))}
-    ras = getattr(engine, "ras", None)
-    if ras is not None:
-        state["ras"] = (list(ras._slots), ras._top, ras._depth)
-    select = getattr(engine, "select", None)
-    if select is not None:
-        state["select"] = list(select._entries)
-    selects = getattr(engine, "selects", None)
-    if selects is not None:
-        state["selects"] = [list(t._entries) for t in selects]
-    bit = getattr(engine, "bit_table", None)
-    if bit is not None:
-        state["bit"] = (list(bit._lines), list(bit._codes),
-                        bit.accesses, bit.stale_hits)
-    return state
-
+# "Full engine state" is defined once, in repro.qa.state, shared by this
+# fixed matrix and the fuzz oracle so the two can never drift apart.
 
 def run_both(factory, cfg_kw, geometry, monkeypatch,
              workloads=("compress",)):

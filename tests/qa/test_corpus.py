@@ -1,0 +1,108 @@
+"""The committed regression corpus and the campaign/CLI around it.
+
+``tests/qa/corpus/*.json`` are shrunk findings from past campaigns;
+each must replay clean through the full oracle on every build (the
+regression stays fixed).  The same check runs in CI via
+``python -m repro.qa replay tests/qa/corpus``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.qa.campaign import check_full, replay_corpus, run_campaign
+from repro.qa.cases import CASE_FORMAT, CaseError, QACase
+from repro.qa.corpus import (
+    corpus_paths,
+    iter_corpus,
+    load_artifact,
+    write_artifact,
+)
+from repro.qa.__main__ import main as qa_main
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def test_corpus_is_not_empty():
+    assert corpus_paths(CORPUS_DIR), \
+        "the committed corpus must hold at least one artifact"
+
+
+@pytest.mark.parametrize("path", corpus_paths(CORPUS_DIR),
+                         ids=lambda p: p.name)
+def test_corpus_artifact_replays_clean(path):
+    case, reason = load_artifact(path)
+    assert reason, f"{path.name} must record why it was committed"
+    assert check_full(case) is None, \
+        f"regression returned: {path.name} ({reason})"
+
+
+def test_corpus_file_names_match_digests():
+    for path, case, _reason in iter_corpus(CORPUS_DIR):
+        assert path.name == f"qa-{case.digest()}.json"
+        payload = json.loads(path.read_text())
+        assert payload["format"] == CASE_FORMAT
+
+
+def test_write_and_load_round_trip(tmp_path):
+    case = QACase(engine="dual", family="near", budget=400)
+    path = write_artifact(case, "unit-test artifact", tmp_path,
+                          found={"seed": 1, "index": 2})
+    loaded, reason = load_artifact(path)
+    assert loaded == case
+    assert reason == "unit-test artifact"
+    # Same minimal case -> same file, not a duplicate.
+    assert write_artifact(case, "again", tmp_path) == path
+
+
+def test_load_artifact_rejects_garbage(tmp_path):
+    bad = tmp_path / "qa-bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(CaseError):
+        load_artifact(bad)
+    bad.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(CaseError):
+        load_artifact(bad)
+
+
+def test_missing_corpus_dir_replays_empty(tmp_path):
+    assert replay_corpus(tmp_path / "nope") == []
+
+
+def test_campaign_smoke(tmp_path, qa_seed):
+    result = run_campaign(seed=qa_seed, budget_seconds=5, max_cases=4,
+                          corpus_dir=tmp_path)
+    assert result.passed, result.findings
+    assert result.n_cases == 4
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_cli_campaign_and_replay_exit_codes(tmp_path, capsys):
+    assert qa_main(["campaign", "--seed", "7", "--budget", "5",
+                    "--max-cases", "2"]) == 0
+    assert qa_main(["replay", str(CORPUS_DIR)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign:" in out and "replay:" in out
+
+
+def test_cli_replay_fails_on_bad_artifact(tmp_path, capsys):
+    bad = tmp_path / "qa-broken.json"
+    bad.write_text("{not json")
+    assert qa_main(["replay", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_seed_from_environment(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_QA_SEED", "11")
+    assert qa_main(["campaign", "--budget", "5", "--max-cases", "1"]) == 0
+    assert "seed=11" in capsys.readouterr().out
+    monkeypatch.setenv("REPRO_QA_SEED", "eleven")
+    assert qa_main(["campaign", "--budget", "5", "--max-cases", "1"]) == 2
+
+
+def test_cli_shrink_reports_fixed_case(tmp_path, capsys):
+    case = QACase(engine="single", budget=400)
+    path = write_artifact(case, "already fixed", tmp_path)
+    assert qa_main(["shrink", str(path)]) == 1
+    assert "no longer fails" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Workload families and case sampling: determinism and legality."""
+
+import random
+
+import pytest
+
+from repro.qa.cases import ENGINE_KINDS, CaseError, is_valid_case
+from repro.qa.generators import (
+    FAMILIES,
+    CaseStream,
+    build_family_program,
+    case_stream,
+    sample_case,
+)
+from repro.isa.kinds import InstrKind
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_families_build_and_run(family):
+    from repro.qa.cases import QACase
+
+    program = build_family_program(family, {})
+    assert len(program.instructions) > 0
+    case = QACase(engine="single", family=family, budget=2000)
+    assert case.fetch_input().trace.n_records > 0
+
+
+def test_unknown_family_is_a_case_error():
+    with pytest.raises(CaseError):
+        build_family_program("fractal", {})
+
+
+def test_family_builders_are_deterministic():
+    params = {"depth": 2, "trips": 5, "rounds": 2}
+    a = build_family_program("loops", params)
+    b = build_family_program("loops", params)
+    assert [str(i) for i in a.instructions] \
+        == [str(i) for i in b.instructions]
+
+
+def test_towers_overflow_small_ras():
+    """depth beyond any RAS size produces nested calls to match."""
+    program = build_family_program("towers", {"depth": 40, "rounds": 1})
+    kinds = program.static_code().kind
+    assert (kinds == int(InstrKind.CALL)).sum() >= 40
+
+
+def test_correlated_emits_branch_pairs():
+    program = build_family_program(
+        "correlated", {"pairs": 3, "iterations": 2})
+    kinds = program.static_code().kind
+    # Two conditionals per pair, plus the loop branch.
+    assert (kinds == int(InstrKind.COND)).sum() >= 6
+
+def test_case_stream_is_index_deterministic(qa_seed):
+    stream_a = case_stream(qa_seed)
+    drawn = [stream_a.next()[1] for _ in range(8)]
+    stream_b = CaseStream(qa_seed, ENGINE_KINDS)
+    # case(i) depends only on (seed, i): random access == iteration.
+    for i, case in enumerate(drawn):
+        assert stream_b.case(i) == case
+    assert case_stream(qa_seed + 1).next()[1] != drawn[0]
+
+
+def test_case_stream_cycles_engines(qa_seed):
+    stream = case_stream(qa_seed)
+    engines = [stream.next()[1].engine for _ in range(8)]
+    assert engines == list(ENGINE_KINDS) * 2
+
+
+def test_sampled_cases_are_engine_legal(qa_seed):
+    rng = random.Random(qa_seed)
+    for engine in ENGINE_KINDS:
+        for _ in range(10):
+            case = sample_case(rng, engine)
+            assert case.engine == engine
+            assert is_valid_case(case), case.to_dict()
+            if engine != "multi":
+                assert case.n_blocks == 2
+            if engine != "two_ahead":
+                assert case.serialization_penalty == 0
+
+
+def test_stream_rejects_unknown_engines(qa_seed):
+    with pytest.raises(CaseError):
+        CaseStream(qa_seed, ("single", "quantum"))
+    with pytest.raises(CaseError):
+        CaseStream(qa_seed, ())

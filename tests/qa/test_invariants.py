@@ -1,0 +1,157 @@
+"""Metamorphic invariants: hold on healthy structures, catch tampering."""
+
+import random
+
+import pytest
+
+from repro.core.penalties import PenaltyKind
+from repro.qa.campaign import check_full
+from repro.qa.cases import QACase
+from repro.qa.generators import case_stream, counter_op_stream
+from repro.qa.invariants import (
+    accounting_conservation,
+    blocked_b1_equivalence,
+    check_case_invariants,
+    conditional_stream,
+    ghr_length_extension,
+    select_table_dominance,
+)
+from repro.qa.oracle import run_mode
+
+
+@pytest.fixture
+def rng(qa_seed, request):
+    return random.Random(f"{qa_seed}:{request.node.nodeid}")
+
+
+def _branch_stream(rng, n=400):
+    pcs = [rng.randrange(0, 1 << 12) for _ in range(12)]
+    return [(rng.choice(pcs), rng.random() < 0.6) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# B=1 degeneracy
+# ----------------------------------------------------------------------
+
+def test_b1_equivalence_holds(rng):
+    assert blocked_b1_equivalence(_branch_stream(rng),
+                                  history_length=8) is None
+
+
+def test_b1_equivalence_holds_on_real_workloads(qa_seed):
+    case = QACase(engine="single", family="correlated",
+                  params={"pairs": 2, "iterations": 20}, budget=2000)
+    stream = conditional_stream(case)
+    assert len(stream) > 50
+    assert blocked_b1_equivalence(stream) is None
+
+
+def test_b1_equivalence_detects_tampering(rng, monkeypatch):
+    """An off-by-one in the scalar baseline's index must be reported."""
+    from repro.predictors import scalar
+
+    original = scalar.ScalarPHT._slot
+    monkeypatch.setattr(
+        scalar.ScalarPHT, "_slot",
+        lambda self, ghr_value, pc: original(self, ghr_value, pc + 1))
+    assert blocked_b1_equivalence(_branch_stream(rng)) is not None
+
+
+# ----------------------------------------------------------------------
+# Accounting conservation
+# ----------------------------------------------------------------------
+
+def _scalar_stats(case):
+    run = run_mode(case, "scalar")
+    assert not run.crashed, run.error
+    return run.stats[0]
+
+
+def test_accounting_holds_for_each_engine(qa_seed):
+    for engine in ("single", "dual", "multi", "two_ahead"):
+        case = QACase(engine=engine, family="synthetic",
+                      params={"seed": qa_seed}, budget=2000)
+        assert accounting_conservation(_scalar_stats(case), case) is None
+
+
+def test_accounting_detects_corruption(qa_seed):
+    case = QACase(engine="single", family="synthetic",
+                  params={"seed": qa_seed}, budget=2000)
+    stats = _scalar_stats(case)
+
+    broken = _scalar_stats(case)
+    broken.n_cond = broken.n_branches + 1
+    assert accounting_conservation(broken, case) is not None
+
+    broken = _scalar_stats(case)
+    broken.event_cycles[PenaltyKind.COND] = 10 ** 9
+    assert accounting_conservation(broken, case) is not None
+
+    broken = _scalar_stats(case)
+    broken.event_counts[PenaltyKind.COND] = stats.n_cond + 1
+    assert accounting_conservation(broken, case) is not None
+
+
+def test_accounting_honours_untracked_not_taken_cap(qa_seed):
+    """track_not_taken_targets=False legitimately charges up to 7
+    cycles per COND event; the cap must not misfire on it."""
+    case = QACase(engine="dual", family="correlated",
+                  params={"pairs": 4, "iterations": 20}, budget=2000,
+                  config={"track_not_taken_targets": False})
+    assert accounting_conservation(_scalar_stats(case), case) is None
+
+
+# ----------------------------------------------------------------------
+# GHR length extension
+# ----------------------------------------------------------------------
+
+def test_ghr_extension_holds(rng):
+    blocks = []
+    stream = counter_op_stream(rng, 300)
+    while stream:
+        n = rng.randint(1, 4)
+        blocks.append(stream[:n])
+        stream = stream[n:]
+    assert ghr_length_extension(blocks, 4, 12) is None
+    assert ghr_length_extension(blocks, 1, 1) is None
+
+
+def test_ghr_extension_rejects_bad_lengths(rng):
+    assert ghr_length_extension([[True]], 8, 4) is not None
+
+
+# ----------------------------------------------------------------------
+# Select-table dominance
+# ----------------------------------------------------------------------
+
+def test_select_dominance_holds_for_dual(qa_seed):
+    case = QACase(engine="dual", family="near",
+                  params={"branches": 6, "iterations": 15}, budget=2000,
+                  config={"n_select_tables": 4})
+    assert select_table_dominance(case) is None
+
+
+def test_select_dominance_skips_other_engines(qa_seed):
+    case = QACase(engine="single", budget=500)
+    assert select_table_dominance(case) is None
+
+
+# ----------------------------------------------------------------------
+# Campaign-facing driver
+# ----------------------------------------------------------------------
+
+def test_check_case_invariants_clean_on_stream(qa_seed):
+    stream = case_stream(qa_seed)
+    for _ in range(4):
+        _idx, case = stream.next()
+        assert check_full(case) is None
+
+
+def test_check_case_invariants_uses_supplied_stats(qa_seed):
+    case = QACase(engine="single", family="loops",
+                  params={"depth": 2}, budget=800)
+    stats = _scalar_stats(case)
+    stats.event_cycles[PenaltyKind.COND] = 10 ** 9
+    stats.event_counts.setdefault(PenaltyKind.COND, 1)
+    reason = check_case_invariants(case, stats=stats)
+    assert reason is not None and reason.startswith("accounting:")

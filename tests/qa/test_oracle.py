@@ -1,0 +1,132 @@
+"""The differential oracle and the mutation canary.
+
+The canary is the harness's own smoke detector: deliberately corrupt
+one index computation in ``core/fast.py`` (flip the low bit of every
+PHT entry index) and require the oracle to (a) catch it within a few
+cases and (b) shrink the finding to a minimal replayable artifact.  If
+this test ever passes with the mutation in place, the oracle has gone
+blind.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import fast
+from repro.qa.campaign import check_full
+from repro.qa.cases import QACase
+from repro.qa.corpus import load_artifact, write_artifact
+from repro.qa.generators import case_stream
+from repro.qa.oracle import check_case, engine_mode_env, run_mode
+from repro.qa.shrink import shrink_case
+
+
+def test_sampled_cases_pass_oracle(qa_seed):
+    """A slice of the campaign stream is clean on a healthy build."""
+    stream = case_stream(qa_seed)
+    for _ in range(8):
+        index, case = stream.next()
+        verdict = check_case(case)
+        assert verdict.passed, f"case {index}: {verdict.summary()}"
+
+
+def test_oracle_checks_full_state(qa_seed):
+    """Both mode runs expose stats and complete predictor state."""
+    _idx, case = case_stream(qa_seed).next()
+    verdict = check_case(case)
+    assert verdict.passed
+    for run in (verdict.scalar, verdict.fast):
+        assert run.stats and run.state is not None
+        assert "pht" in run.state and "targets" in run.state
+
+
+def test_engine_mode_env_restores(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "scalar")
+    with engine_mode_env("fast"):
+        import os
+        assert os.environ["REPRO_ENGINE"] == "fast"
+    import os
+    assert os.environ["REPRO_ENGINE"] == "scalar"
+
+
+def test_crash_in_one_mode_is_a_finding(monkeypatch, qa_seed):
+    _idx, case = case_stream(qa_seed).next()
+
+    def boom(self):
+        raise RuntimeError("injected kernel fault")
+
+    monkeypatch.setattr(fast._Run, "pht_bases", boom)
+    verdict = check_case(case)
+    assert not verdict.passed
+    assert "crashed" in (verdict.reason or "")
+    assert "injected kernel fault" in verdict.reason
+
+
+@pytest.fixture
+def broken_pht_indexing(monkeypatch):
+    """Flip the low entry bit of every fast-engine PHT base index —
+    the canonical one-offset kernel mutation."""
+    original = fast._Run.pht_bases
+
+    def mutated(self):
+        bases = original(self)
+        return (bases // self.pht.block_width ^ 1) * self.pht.block_width
+
+    monkeypatch.setattr(fast._Run, "pht_bases", mutated)
+
+
+def test_mutation_canary_is_caught_and_shrunk(broken_pht_indexing,
+                                              qa_seed, tmp_path):
+    stream = case_stream(qa_seed)
+    finding = None
+    for _ in range(20):
+        index, case = stream.next()
+        reason = check_full(case)
+        if reason is not None:
+            finding = (index, case, reason)
+            break
+    assert finding is not None, \
+        "oracle missed a corrupted PHT index in 20 cases"
+    index, case, reason = finding
+    assert reason.startswith("differential:")
+
+    result = shrink_case(case, lambda c: check_full(c) is not None,
+                         max_probes=80)
+    shrunk = result.case
+    assert check_full(shrunk) is not None
+    # Minimal means minimal: the floor budget, no warm re-runs, and no
+    # leftover config overrides beyond what the failure needs.
+    assert shrunk.budget <= case.budget
+    assert shrunk.repeats == 1
+
+    path = write_artifact(shrunk, reason, tmp_path,
+                          found={"seed": qa_seed, "index": index})
+    loaded, recorded = load_artifact(path)
+    assert loaded == shrunk
+    assert recorded == reason
+    payload = json.loads(path.read_text())
+    assert payload["format"] == 1
+    assert payload["found"] == {"seed": qa_seed, "index": index}
+
+
+def test_canary_case_is_clean_without_mutation(qa_seed):
+    """The same stream the canary searches is clean when unpatched, so
+    the canary's failures are attributable to the mutation alone."""
+    stream = case_stream(qa_seed)
+    for _ in range(3):
+        _index, case = stream.next()
+        assert check_full(case) is None
+
+
+def test_run_mode_repeats_warm_engine(qa_seed):
+    rng = random.Random(qa_seed)
+    case = QACase(engine="single", family="loops",
+                  params={"depth": 2, "trips": 4 + rng.randint(0, 3)},
+                  budget=800, repeats=3)
+    run = run_mode(case, "scalar")
+    assert not run.crashed
+    assert len(run.stats) == 3
+    # Warm tables learn: later runs never mispredict more.
+    first, last = run.stats[0], run.stats[-1]
+    assert last.penalty_cycles <= first.penalty_cycles

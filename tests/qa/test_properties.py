@@ -1,0 +1,198 @@
+"""Property tests for the small predictor structures.
+
+Seeded stdlib ``random`` only (the session seed comes from the
+``qa_seed`` fixture), driving the structures against simple reference
+models: a saturating counter is a clamped integer, a GHR is a masked
+shift register, a circular RAS is a bounded stack that drops its oldest
+entry on overflow.
+"""
+
+import random
+
+import pytest
+
+from repro.predictors.counters import (
+    COUNTER_INIT,
+    COUNTER_MAX,
+    COUNTER_MIN,
+    SaturatingCounter,
+    counter_predicts_taken,
+    counter_update,
+)
+from repro.predictors.ghr import GlobalHistory, pack_block_outcomes
+from repro.qa.generators import counter_op_stream, ras_op_stream
+from repro.targets.ras import ReturnAddressStack
+
+
+@pytest.fixture
+def rng(qa_seed, request):
+    """Per-test RNG derived from the session seed and the test's id."""
+    return random.Random(f"{qa_seed}:{request.node.nodeid}")
+
+
+# ----------------------------------------------------------------------
+# Saturating counters
+# ----------------------------------------------------------------------
+
+def test_counter_stays_in_bounds(rng):
+    state = COUNTER_INIT
+    for taken in counter_op_stream(rng, 500):
+        state = counter_update(state, taken)
+        assert COUNTER_MIN <= state <= COUNTER_MAX
+
+
+def test_counter_matches_clamped_integer_model(rng):
+    state = COUNTER_INIT
+    model = COUNTER_INIT
+    for taken in counter_op_stream(rng, 500):
+        state = counter_update(state, taken)
+        model = max(COUNTER_MIN,
+                    min(COUNTER_MAX, model + (1 if taken else -1)))
+        assert state == model
+        assert counter_predicts_taken(state) == (model >= 2)
+
+
+def test_counter_second_chance(rng):
+    """From any state, two same-direction updates fix the prediction;
+    one opposite outcome never flips a strong counter."""
+    for start in range(COUNTER_MIN, COUNTER_MAX + 1):
+        for taken in (False, True):
+            state = counter_update(counter_update(start, taken), taken)
+            assert counter_predicts_taken(state) == taken
+    assert counter_predicts_taken(counter_update(COUNTER_MAX, False))
+    assert not counter_predicts_taken(counter_update(COUNTER_MIN, True))
+
+
+def test_counter_class_mirrors_helpers(rng):
+    counter = SaturatingCounter()
+    state = COUNTER_INIT
+    for taken in counter_op_stream(rng, 200):
+        counter.update(taken)
+        state = counter_update(state, taken)
+        assert counter.state == state
+        assert counter.taken == counter_predicts_taken(state)
+
+
+# ----------------------------------------------------------------------
+# Global history register
+# ----------------------------------------------------------------------
+
+def test_ghr_truncates_to_width(rng):
+    for length in (1, 3, 7, 12):
+        ghr = GlobalHistory(length)
+        model = 0
+        for taken in counter_op_stream(rng, 300):
+            ghr.shift_in(taken)
+            model = ((model << 1) | int(taken)) & ((1 << length) - 1)
+            assert ghr.value == model
+            assert ghr.value <= ghr.mask
+
+
+def test_ghr_block_shift_equals_serial_shifts(rng):
+    wide = GlobalHistory(11)
+    serial = GlobalHistory(11)
+    for _ in range(100):
+        block = counter_op_stream(rng, rng.randint(0, 5))
+        wide.shift_in_block(block)
+        for taken in block:
+            serial.shift_in(taken)
+        assert wide.value == serial.value
+
+
+def test_ghr_restore_masks_stray_bits(rng):
+    ghr = GlobalHistory(6)
+    for _ in range(50):
+        raw = rng.getrandbits(16)
+        ghr.restore(raw)
+        assert ghr.value == (raw & ghr.mask)
+
+
+def test_pack_block_outcomes_implies_same_update(rng):
+    """The select table's compressed payload loses nothing the GHR uses
+    for blocks that end at their first taken branch."""
+    for _ in range(100):
+        n_not_taken = rng.randint(0, 6)
+        ends_taken = rng.random() < 0.5
+        outcomes = [False] * n_not_taken + ([True] if ends_taken else [])
+        direct = GlobalHistory(10)
+        via_payload = GlobalHistory(10)
+        direct.shift_in_block(outcomes)
+        pack_block_outcomes(outcomes).apply(via_payload)
+        assert direct.value == via_payload.value
+
+
+# ----------------------------------------------------------------------
+# Return address stack
+# ----------------------------------------------------------------------
+
+class _BoundedStackModel:
+    """Reference model: a list that drops its oldest entry on overflow."""
+
+    def __init__(self, size):
+        self.size = size
+        self.items = []
+
+    def push(self, address):
+        self.items.append(address)
+        if len(self.items) > self.size:
+            del self.items[0]
+
+    def pop(self):
+        return self.items.pop() if self.items else None
+
+    def peek(self, depth):
+        if depth >= len(self.items):
+            return None
+        return self.items[-1 - depth]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 8])
+def test_ras_matches_bounded_stack_model(size, rng):
+    ras = ReturnAddressStack(size)
+    model = _BoundedStackModel(size)
+    for op, value in ras_op_stream(rng, 600):
+        if op == "push":
+            ras.push(value)
+            model.push(value)
+        elif op == "pop":
+            assert ras.pop() == model.pop()
+        else:
+            assert ras.peek(value) == model.peek(value)
+        assert ras.depth == len(model.items)
+
+
+def test_ras_overflow_wraparound(rng):
+    """Pushing size+k entries keeps the newest `size`; the way back out
+    then yields them newest-first and underflows to None."""
+    size = 4
+    ras = ReturnAddressStack(size)
+    addresses = [rng.randint(1, 1 << 20) for _ in range(size + 3)]
+    for address in addresses:
+        ras.push(address)
+    assert ras.depth == size
+    for expected in reversed(addresses[-size:]):
+        assert ras.pop() == expected
+    assert ras.pop() is None
+    assert ras.depth == 0
+
+
+def test_ras_underflow_is_sticky(rng):
+    ras = ReturnAddressStack(3)
+    assert ras.pop() is None
+    assert ras.peek(0) is None
+    ras.push(0x40)
+    assert ras.pop() == 0x40
+    for _ in range(5):
+        assert ras.pop() is None
+
+
+def test_ras_second_block_bypass(rng):
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    ras.push(0x200)
+    # First block calls: the second block sees the call's return point.
+    assert ras.predict_for_second_block(True, False, 0x999) == 0x999
+    # First block returns: the second block needs the next-older entry.
+    assert ras.predict_for_second_block(False, True, 0) == 0x100
+    # Plain fall-through: top of stack.
+    assert ras.predict_for_second_block(False, False, 0) == 0x200

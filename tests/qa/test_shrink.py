@@ -1,0 +1,87 @@
+"""The greedy shrinker: minimization, termination, validity."""
+
+from repro.qa.cases import QACase
+from repro.qa.shrink import shrink_case
+
+
+def _fat_case(**kw):
+    base = dict(
+        engine="dual", geometry_kind="align", block_width=16,
+        family="correlated",
+        params={"pairs": 5, "iterations": 30, "invert": 1, "stride": 4},
+        budget=8000, repeats=3,
+        config={"history_length": 12, "n_select_tables": 8,
+                "near_block": True, "ras_size": 1,
+                "track_not_taken_targets": False})
+    base.update(kw)
+    return QACase(**base)
+
+
+def test_shrink_reaches_floor_when_anything_fails():
+    """With an always-true predicate the shrinker must drive every
+    dimension to its floor — the fully minimal case."""
+    result = shrink_case(_fat_case(), lambda c: True)
+    case = result.case
+    assert case.budget == 100
+    assert case.repeats == 1
+    assert case.geometry_kind == "normal"
+    assert case.block_width == 8
+    assert case.config == {}
+    assert case.params == {"pairs": 1, "iterations": 2, "invert": 0,
+                           "stride": 0}
+
+
+def test_shrink_preserves_the_failing_ingredient():
+    """A predicate keyed on one config override keeps exactly that
+    override and sheds the rest."""
+    def fails(case):
+        return case.config.get("track_not_taken_targets", True) is False
+
+    result = shrink_case(_fat_case(), fails)
+    assert result.case.config == {"track_not_taken_targets": False}
+    assert result.case.budget == 100
+
+
+def test_shrink_keeps_case_when_nothing_smaller_fails():
+    fat = _fat_case()
+
+    def only_original_fails(case):
+        return case == fat
+
+    result = shrink_case(fat, only_original_fails)
+    assert result.case == fat
+    assert result.steps == 0
+
+
+def test_shrink_respects_probe_budget():
+    result = shrink_case(_fat_case(), lambda c: True, max_probes=5)
+    assert result.probes <= 5
+
+
+def test_shrink_treats_predicate_crash_as_not_failing():
+    def crashy(case):
+        if case.budget < 8000:
+            raise RuntimeError("different failure mode")
+        return True
+
+    result = shrink_case(_fat_case(), crashy)
+    # Budget could never shrink, but other dimensions still did.
+    assert result.case.budget == 8000
+    assert result.case.repeats == 1
+
+
+def test_shrink_only_yields_engine_valid_cases():
+    """A predicate that records every probe must never see a case the
+    engines would reject."""
+    from repro.qa.cases import is_valid_case
+
+    seen = []
+
+    def fails(case):
+        seen.append(case)
+        return True
+
+    shrink_case(_fat_case(engine="multi", n_blocks=4,
+                          config={"history_length": 12}), fails)
+    assert seen
+    assert all(is_valid_case(case) for case in seen)

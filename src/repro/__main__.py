@@ -141,8 +141,11 @@ def _apply_runtime(args) -> None:
     import os
 
     from .core import engine_mode
+    from .cpu import tracer_mode
     from .runtime import faults, profile, resilience
     from .runtime.executor import JOBS_ENV
+    from .trace.chunks import chunk_records
+    from .workloads.base import stream_threshold
 
     if getattr(args, "engine", None) is not None:
         os.environ[engine_mode.ENGINE_ENV] = args.engine
@@ -155,6 +158,9 @@ def _apply_runtime(args) -> None:
     if getattr(args, "resume", None) is not None:
         os.environ[resilience.RESUME_ENV] = "1" if args.resume else "0"
     engine_mode.engine_mode()
+    tracer_mode()
+    chunk_records()
+    stream_threshold()
     profile.enabled()
     n_jobs()
     resilience.retry_limit()

@@ -81,8 +81,9 @@ class FetchInput:
     @classmethod
     def from_program(cls, program: Program, geometry: CacheGeometry,
                      max_instructions: int = 10_000_000) -> "FetchInput":
-        """Execute ``program`` and bundle its trace."""
-        from ..cpu.machine import Machine
+        """Execute ``program`` (via the ``REPRO_TRACER`` tier) and bundle."""
+        from ..cpu import capture_machine
 
-        trace = Machine(program).run(max_instructions=max_instructions).trace
+        trace = capture_machine(program).run(
+            max_instructions=max_instructions).trace
         return cls.from_trace(trace, program.static_code(), geometry)

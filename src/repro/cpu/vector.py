@@ -1,0 +1,1155 @@
+"""Batched loop stepper: many iterations of a hot loop per numpy call.
+
+The generated-code tier of :mod:`repro.cpu.codegen` removes dispatch
+overhead but still runs one Python statement per instruction.  Most of a
+workload's dynamic instructions, however, sit inside innermost loops
+whose bodies are forward-branching DAGs — counted fills, stencil sweeps,
+LCG chains, probe loops.  This module compiles such a loop once into a
+symbolic form and then *vectorizes over the iteration axis*: one batch
+evaluates N prospective iterations with a handful of numpy array
+operations, emits all their control records at once, and advances the
+architectural state past every iteration the closed forms cover.
+
+How a batch stays bit-exact with the scalar interpreter:
+
+* **Closed forms** — every loop-carried register must classify as
+  invariant, affine (``x -> (a*x + c) mod 2^64``, optionally masked by a
+  final ``& (2^k - 1)``; this covers counters, pointers and the LCG) or
+  accumulator (``x += delta`` with an iteration-evaluable delta, closed
+  by a cumulative sum).  Anything else rejects the loop, which then runs
+  on the generated-code tier.  All wrap-sensitive arithmetic happens in
+  ``uint64`` so numpy's silent wraparound reproduces the interpreter's
+  signed 64-bit wrap; results are reinterpreted as ``int64`` views.
+* **Predication** — internal forward branches become per-block lane
+  masks; merge points become selects.  Because all internal edges go
+  forward, address order equals execution order, so records, loads and
+  stores assemble in the scalar interleaving.
+* **The cut** — the batch commits only iterations ``[0, T)`` where ``T``
+  is the first lane that exits the loop, faults (out-of-range access,
+  division by zero — re-executed by the scalar tiers so the exception
+  and its message are identical), reads memory a same-batch store may
+  have written (load/store aliasing), or would exceed the instruction
+  budget.  Lane ``T`` and everything after it are recomputed exactly by
+  the other tiers.
+* **Stores** — applied for committed lanes only, in execution order with
+  an explicit keep-last deduplication, so duplicate addresses resolve
+  the way sequential execution would.
+
+Batching is adaptive but deterministic: batch sizes grow on full
+batches, shrink toward the observed trip count, and loops that keep
+exiting after a handful of iterations are permanently handed back to
+the generated-code tier.  No wall clock, no randomness — the decision
+sequence depends only on the executed program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from .tables import CompiledProgram, LOOP_SHAPE_COND, LoopInfo
+from ..isa.kinds import InstrKind
+from ..isa.opcodes import Op
+
+_M = (1 << 64) - 1
+_S = 1 << 63
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_K_COND = int(InstrKind.COND)
+_K_JUMP = int(InstrKind.JUMP)
+
+_CMP = {
+    int(Op.BEQ): "eq", int(Op.BNE): "ne", int(Op.BLT): "lt",
+    int(Op.BGE): "ge", int(Op.BLE): "le", int(Op.BGT): "gt",
+}
+
+#: Batch-size schedule: start small, grow ×4 on full batches.
+_N_START = 64
+_N_MAX = 1 << 16
+#: Trips below this are not worth a batch; repeated offenders back off.
+_MIN_TRIP = 12
+#: Header visits before the first batch attempt.
+_WARMUP_VISITS = 48
+#: Consecutive short/aliasing batches before the loop is handed back to
+#: the generated-code tier for good.
+_MAX_STRIKES = 10
+#: Backoff (in header visits) added per strike before the next attempt.
+_STRIKE_BACKOFF = 128
+#: A stepper whose batches average fewer committed instructions than
+#: this is paying more in batch overhead than the generated-code tier
+#: costs outright; it hands the loop back for good.
+_MIN_YIELD = 2500
+#: Batches observed before the yield test applies.
+_YIELD_PROBATION = 8
+
+
+def _wrap(value: int) -> int:
+    value &= _M
+    return value - (1 << 64) if value & _S else value
+
+
+# ----------------------------------------------------------------------
+# Symbolic expression nodes (hash-consed tuples)
+# ----------------------------------------------------------------------
+# ("const", v)                  wrapped python int
+# ("constb", v)                 folded branch condition (python bool)
+# ("entry", r)                  register value at iteration start
+# ("bin", op, a, b)             int64 ALU result
+# ("cmp", op, a, b)             branch condition (bool)
+# ("div", which, a, b, site)    DIV/MOD with a fault site
+# ("load", addr, site)          LD with a fault site
+# ("phi", ((edge, node), ...))  merge over CFG edges
+#
+# ``site`` indexes ``plan.fault_sites`` (which remembers the block), so
+# fault predicates only count lanes that actually execute the site.
+
+
+class _Reject(Exception):
+    """Internal: the loop cannot be vectorized."""
+
+
+class _Sym:
+    """Hash-consing node builder with constant folding."""
+
+    def __init__(self) -> None:
+        self._intern: Dict[tuple, tuple] = {}
+        self._info: Dict[int, Tuple[FrozenSet[int], bool]] = {}
+
+    def mk(self, *parts) -> tuple:
+        node = self._intern.get(parts)
+        if node is None:
+            node = parts
+            self._intern[parts] = node
+        return node
+
+    def const(self, v: int) -> tuple:
+        return self.mk("const", _wrap(v))
+
+    def entry(self, r: int) -> tuple:
+        if r == 0:
+            return self.const(0)
+        return self.mk("entry", r)
+
+    def bin(self, op: str, a: tuple, b: tuple) -> tuple:
+        if a[0] == "const" and b[0] == "const":
+            return self.const(_scalar_bin(op, a[1], b[1]))
+        return self.mk("bin", op, a, b)
+
+    def cmp(self, op: str, a: tuple, b: tuple) -> tuple:
+        if a[0] == "const" and b[0] == "const":
+            return self.mk("constb", bool(_scalar_cmp(op, a[1], b[1])))
+        return self.mk("cmp", op, a, b)
+
+    def info(self, node: tuple) -> Tuple[FrozenSet[int], bool]:
+        """``(entry registers referenced, tainted)`` for ``node``.
+
+        ``tainted`` is True when the value depends on memory, faults or
+        control flow (load/div/phi) — anything that stops it from being
+        a uniform per-batch scalar.
+        """
+        key = id(node)
+        cached = self._info.get(key)
+        if cached is not None:
+            return cached
+        tag = node[0]
+        if tag in ("const", "constb"):
+            out: Tuple[FrozenSet[int], bool] = (frozenset(), False)
+        elif tag == "entry":
+            out = (frozenset((node[1],)), False)
+        elif tag in ("bin", "cmp"):
+            ra, fa = self.info(node[2])
+            rb, fb = self.info(node[3])
+            out = (ra | rb, fa or fb)
+        elif tag == "div":
+            ra, _ = self.info(node[2])
+            rb, _ = self.info(node[3])
+            out = (ra | rb, True)
+        elif tag == "load":
+            ra, _ = self.info(node[1])
+            out = (ra, True)
+        else:  # phi
+            refs: FrozenSet[int] = frozenset()
+            for _edge, sub in node[1]:
+                rs, _ = self.info(sub)
+                refs = refs | rs
+            out = (refs, True)
+        self._info[key] = out
+        return out
+
+
+def _scalar_bin(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return _wrap(a + b)
+    if op == "sub":
+        return _wrap(a - b)
+    if op == "mul":
+        return _wrap(a * b)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "sll":
+        return _wrap(a << (b & 63))
+    if op == "srl":
+        return (a & _M) >> (b & 63)
+    if op == "slt":
+        return 1 if a < b else 0
+    if op == "seq":
+        return 1 if a == b else 0
+    raise AssertionError(f"unknown scalar bin op {op!r}")
+
+
+def _scalar_cmp(op: str, a: int, b: int) -> bool:
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "ge":
+        return a >= b
+    if op == "le":
+        return a <= b
+    return a > b
+
+
+def _apply_bin(op: str, a, b):
+    """Lane-wise ALU op over int64 arrays and/or python-int uniforms."""
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return _scalar_bin(op, a, b)
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "slt":
+        return np.asarray(a < b, dtype=bool).astype(np.int64)
+    if op == "seq":
+        return np.asarray(a == b, dtype=bool).astype(np.int64)
+    if op in ("sll", "srl"):
+        if isinstance(b, np.ndarray):
+            shift = (b & 63).astype(np.uint64)
+        else:
+            shift = np.uint64(b & 63)
+        if isinstance(a, np.ndarray):
+            value = a.view(np.uint64) if a.dtype == np.int64 \
+                else a.astype(np.uint64)
+        else:
+            value = np.uint64(a & _M)
+        out = (value << shift) if op == "sll" else (value >> shift)
+        return np.asarray(out, dtype=np.uint64).view(np.int64)
+    raise AssertionError(f"unknown bin op {op!r}")
+
+
+def _apply_cmp(op: str, a, b) -> np.ndarray:
+    if op == "eq":
+        return np.asarray(a == b, dtype=bool)
+    if op == "ne":
+        return np.asarray(a != b, dtype=bool)
+    if op == "lt":
+        return np.asarray(a < b, dtype=bool)
+    if op == "ge":
+        return np.asarray(a >= b, dtype=bool)
+    if op == "le":
+        return np.asarray(a <= b, dtype=bool)
+    return np.asarray(a > b, dtype=bool)
+
+
+# ----------------------------------------------------------------------
+# Loop plan: blocks, sites, classification
+# ----------------------------------------------------------------------
+
+class _Block:
+    """One basic block of the loop body DAG."""
+
+    __slots__ = ("index", "start", "end", "term", "cond_node",
+                 "taken_block", "fall_block", "jump_block", "is_latch",
+                 "is_exit", "n_instr")
+
+    def __init__(self, index: int, start: int) -> None:
+        self.index = index
+        self.start = start
+        self.end = start            # inclusive
+        self.term = "fall"          # "cond" | "jump" | "fall"
+        self.cond_node: Optional[tuple] = None
+        self.taken_block: Optional[int] = None
+        self.fall_block: Optional[int] = None
+        self.jump_block: Optional[int] = None
+        self.is_latch = False
+        self.is_exit = False        # cond whose taken edge leaves the loop
+        self.n_instr = 0
+
+
+class _Site:
+    """One control record emitted per executing iteration lane."""
+
+    __slots__ = ("pc", "kind", "target", "block", "taken_node")
+
+    def __init__(self, pc: int, kind: int, target: int, block: int,
+                 taken_node: Optional[tuple]) -> None:
+        self.pc = pc
+        self.kind = kind
+        self.target = target
+        self.block = block
+        self.taken_node = taken_node   # None means constant True (J)
+
+
+class LoopPlan:
+    """Everything needed to batch one loop, built once per program."""
+
+    def __init__(self, cp: CompiledProgram, info: LoopInfo) -> None:
+        self.cp = cp
+        self.info = info
+        self.sym = _Sym()
+        self.blocks: List[_Block] = []
+        self.in_edges: List[List[Tuple[int, str]]] = []
+        self.sites: List[_Site] = []
+        self.fault_sites: List[Tuple[tuple, int]] = []  # (node, block)
+        self.load_sites: List[Tuple[tuple, int, int]] = []  # (node, blk, pc)
+        #: ``(addr node, value node, block, pc)`` in address order.
+        self.store_sites: List[Tuple[tuple, tuple, int, int]] = []
+        self.latch_state: Dict[int, tuple] = {}
+        self.written: FrozenSet[int] = frozenset()
+        self.classes: Dict[int, tuple] = {}
+        self.acc_order: List[int] = []
+        self.body_len = info.latch - info.header + 1
+        self._build()
+        self._classify()
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self) -> None:
+        cp = self.cp
+        info = self.info
+        header, latch = info.header, info.latch
+        op_j = int(Op.J)
+
+        leaders = {header}
+        for pc in range(header, latch + 1):
+            if cp.kind_l[pc] == _K_COND:
+                if pc + 1 <= latch:
+                    leaders.add(pc + 1)
+                tgt = cp.imm_l[pc]
+                if header < tgt <= latch and pc != latch:
+                    leaders.add(tgt)
+            elif cp.ops_l[pc] == op_j and pc != latch:
+                tgt = cp.imm_l[pc]
+                if header < tgt <= latch:
+                    leaders.add(tgt)
+                if pc + 1 <= latch:
+                    leaders.add(pc + 1)
+        order = sorted(leaders)
+        index_of = {pc: i for i, pc in enumerate(order)}
+
+        for i, start in enumerate(order):
+            blk = _Block(i, start)
+            end = order[i + 1] - 1 if i + 1 < len(order) else latch
+            pc = start
+            while pc <= end:
+                if cp.kind_l[pc] == _K_COND or cp.ops_l[pc] == op_j:
+                    end = pc
+                    break
+                pc += 1
+            blk.end = end
+            blk.n_instr = end - start + 1
+            self.blocks.append(blk)
+
+        for blk in self.blocks:
+            pc = blk.end
+            tgt = cp.imm_l[pc]
+            if cp.kind_l[pc] == _K_COND:
+                blk.term = "cond"
+                if pc == latch and info.shape == LOOP_SHAPE_COND:
+                    blk.is_latch = True           # taken = back edge
+                elif header <= tgt <= latch:
+                    blk.taken_block = index_of[tgt]
+                else:
+                    blk.is_exit = True            # taken leaves the loop
+                if not blk.is_latch:
+                    blk.fall_block = blk.index + 1
+            elif cp.ops_l[pc] == op_j:
+                blk.term = "jump"
+                if pc == latch:
+                    blk.is_latch = True           # unconditional back edge
+                else:
+                    blk.jump_block = index_of[tgt]
+            else:
+                blk.term = "fall"
+                blk.jump_block = blk.index + 1
+
+        self.in_edges = [[] for _ in self.blocks]
+        for blk in self.blocks:
+            if blk.taken_block is not None:
+                self.in_edges[blk.taken_block].append((blk.index, "taken"))
+            if blk.fall_block is not None:
+                self.in_edges[blk.fall_block].append((blk.index, "fall"))
+            if blk.jump_block is not None:
+                self.in_edges[blk.jump_block].append((blk.index, "jump"))
+
+        # Symbolic execution in address order (all edges go forward).
+        states: List[Dict[int, tuple]] = []
+        for blk in self.blocks:
+            state = self._merge(blk, states)
+            self._exec_block(blk, state)
+            states.append(state)
+        self.latch_state = states[-1]
+        self.written = frozenset(self.latch_state)
+
+    def _merge(self, blk: _Block,
+               states: List[Dict[int, tuple]]) -> Dict[int, tuple]:
+        preds = self.in_edges[blk.index]
+        sym = self.sym
+        if not preds:
+            return {}
+        if len(preds) == 1:
+            return dict(states[preds[0][0]])
+        merged: Dict[int, tuple] = {}
+        regs: set = set()
+        for pred, _kind in preds:
+            regs.update(states[pred])
+        for r in regs:
+            values = [states[pred].get(r, sym.entry(r))
+                      for pred, _kind in preds]
+            if all(v is values[0] for v in values):
+                merged[r] = values[0]
+            else:
+                edges = tuple(
+                    ((pred, kind), states[pred].get(r, sym.entry(r)))
+                    for pred, kind in preds)
+                merged[r] = sym.mk("phi", edges)
+        return merged
+
+    def _exec_block(self, blk: _Block, state: Dict[int, tuple]) -> None:
+        cp = self.cp
+        sym = self.sym
+
+        def read(r: int) -> tuple:
+            if r == 0:
+                return sym.const(0)
+            return state.get(r, sym.entry(r))
+
+        bin_ops = {
+            int(Op.ADD): "add", int(Op.SUB): "sub", int(Op.MUL): "mul",
+            int(Op.AND): "and", int(Op.OR): "or", int(Op.XOR): "xor",
+            int(Op.SLL): "sll", int(Op.SRL): "srl", int(Op.SLT): "slt",
+            int(Op.SEQ): "seq",
+        }
+        imm_ops = {
+            int(Op.ADDI): "add", int(Op.ANDI): "and", int(Op.ORI): "or",
+            int(Op.XORI): "xor", int(Op.MULI): "mul", int(Op.SLTI): "slt",
+        }
+
+        for pc in range(blk.start, blk.end + 1):
+            op = cp.ops_l[pc]
+            rd = cp.rd_l[pc]
+            rs1 = cp.rs1_l[pc]
+            rs2 = cp.rs2_l[pc]
+            imm = cp.imm_l[pc]
+
+            if cp.kind_l[pc] == _K_COND:
+                node = sym.cmp(_CMP[op], read(rs1), read(rs2))
+                blk.cond_node = node
+                self.sites.append(_Site(pc, _K_COND, imm, blk.index, node))
+            elif op == int(Op.J):
+                self.sites.append(_Site(pc, _K_JUMP, imm, blk.index, None))
+            elif op in bin_ops:
+                if rd:
+                    state[rd] = sym.bin(bin_ops[op], read(rs1), read(rs2))
+            elif op in imm_ops:
+                if rd:
+                    state[rd] = sym.bin(imm_ops[op], read(rs1),
+                                        sym.const(imm))
+            elif op in (int(Op.SLLI), int(Op.SRLI)):
+                if rd:
+                    which = "sll" if op == int(Op.SLLI) else "srl"
+                    state[rd] = sym.bin(which, read(rs1),
+                                        sym.const(imm & 63))
+            elif op == int(Op.LI):
+                if rd:
+                    state[rd] = sym.const(imm)
+            elif op == int(Op.LD):
+                addr = sym.bin("add", read(rs1), sym.const(imm)) \
+                    if imm else read(rs1)
+                site = len(self.fault_sites)
+                node = sym.mk("load", addr, site)
+                self.fault_sites.append((node, blk.index))
+                self.load_sites.append((node, blk.index, pc))
+                # An ``ld r0, ...`` still bounds-checks: the fault site
+                # stays registered though the register write vanishes.
+                if rd:
+                    state[rd] = node
+            elif op == int(Op.ST):
+                addr = sym.bin("add", read(rs1), sym.const(imm)) \
+                    if imm else read(rs1)
+                self.store_sites.append((addr, read(rs2), blk.index, pc))
+            elif op in (int(Op.DIV), int(Op.MOD)):
+                which = "div" if op == int(Op.DIV) else "mod"
+                site = len(self.fault_sites)
+                node = sym.mk("div", which, read(rs1), read(rs2), site)
+                self.fault_sites.append((node, blk.index))
+                if rd:
+                    state[rd] = node
+            elif op == int(Op.NOP):
+                pass
+            else:
+                raise _Reject(f"op {op} in loop body")
+
+    # -- classification -------------------------------------------------
+
+    def _classify(self) -> None:
+        sym = self.sym
+        roots: List[tuple] = [s.taken_node for s in self.sites
+                              if s.taken_node is not None]
+        for addr, value, _blk, _pc in self.store_sites:
+            roots.append(addr)
+            roots.append(value)
+        roots += [node for node, _blk, _pc in self.load_sites]
+        roots += list(self.latch_state.values())
+
+        carried: set = set()
+        for node in roots:
+            refs, _ = sym.info(node)
+            carried.update(refs)
+
+        invariant = {r for r in carried
+                     if r not in self.written
+                     or self.latch_state[r] is sym.entry(r)}
+        classes: Dict[int, tuple] = {r: ("inv",) for r in invariant}
+
+        def is_uniform(node: tuple) -> bool:
+            refs, tainted = sym.info(node)
+            return not tainted and refs <= invariant
+
+        def affine_of(node: tuple, r: int):
+            """``(a_node, c_node, k)``: value ``((a*x + c) & mask(k))``.
+
+            Deferred masking is exact because add/sub/mul commute with
+            reduction mod ``2^k`` — valid only while the mask is the
+            final operation, hence the ``k == 64`` requirement on every
+            composition step.
+            """
+            tag = node[0]
+            if tag == "entry" and node[1] == r:
+                return sym.const(1), sym.const(0), 64
+            if is_uniform(node):
+                return sym.const(0), node, 64
+            if tag != "bin":
+                return None
+            op, x, y = node[1], node[2], node[3]
+            if op == "and":
+                for chain, mask in ((x, y), (y, x)):
+                    if mask[0] == "const" and mask[1] > 0 \
+                            and (mask[1] + 1) & mask[1] == 0:
+                        sub = affine_of(chain, r)
+                        if sub is not None and sub[2] == 64:
+                            return sub[0], sub[1], mask[1].bit_length()
+                return None
+            if op not in ("add", "sub", "mul"):
+                return None
+            x_has = r in sym.info(x)[0]
+            y_has = r in sym.info(y)[0]
+            if x_has and is_uniform(y):
+                sub = affine_of(x, r)
+                if sub is None or sub[2] != 64:
+                    return None
+                a, c, _k = sub
+                if op == "add":
+                    return a, sym.bin("add", c, y), 64
+                if op == "sub":
+                    return a, sym.bin("sub", c, y), 64
+                return sym.bin("mul", a, y), sym.bin("mul", c, y), 64
+            if y_has and is_uniform(x):
+                sub = affine_of(y, r)
+                if sub is None or sub[2] != 64:
+                    return None
+                a, c, _k = sub
+                if op == "add":
+                    return a, sym.bin("add", c, x), 64
+                if op == "sub":
+                    return (sym.bin("mul", a, sym.const(-1)),
+                            sym.bin("sub", x, c), 64)
+                return sym.bin("mul", a, x), sym.bin("mul", c, x), 64
+            return None
+
+        def delta_of(node: tuple, r: int):
+            """Extract ``d`` from ``x_{i+1} = x_i + d`` shapes."""
+            tag = node[0]
+            if tag == "entry" and node[1] == r:
+                return sym.const(0)
+            if tag == "bin" and node[1] in ("add", "sub"):
+                x, y = node[2], node[3]
+                if x is sym.entry(r) and r not in sym.info(y)[0]:
+                    return y if node[1] == "add" \
+                        else sym.bin("mul", y, sym.const(-1))
+                if node[1] == "add" and y is sym.entry(r) \
+                        and r not in sym.info(x)[0]:
+                    return x
+                return None
+            if tag == "phi":
+                edges = []
+                for edge, sub in node[1]:
+                    d = delta_of(sub, r)
+                    if d is None:
+                        return None
+                    edges.append((edge, d))
+                return sym.mk("phi", tuple(edges))
+            return None
+
+        acc_delta: Dict[int, tuple] = {}
+        for r in sorted(carried):
+            if r in classes:
+                continue
+            latch = self.latch_state[r]
+            aff = affine_of(latch, r)
+            if aff is not None:
+                classes[r] = ("affine", aff[0], aff[1], aff[2])
+                continue
+            d = delta_of(latch, r)
+            if d is not None:
+                acc_delta[r] = d
+                continue
+            raise _Reject(f"register r{r} is not closed-form")
+
+        # Accumulator deltas may reference other accumulators, but only
+        # acyclically; internal branch conditions may not reference any
+        # accumulator (their masks gate the deltas — a cycle).
+        allowed = set(classes)
+        remaining = dict(acc_delta)
+        while remaining:
+            progressed = False
+            for r in sorted(remaining):
+                refs, _ = sym.info(remaining[r])
+                if refs <= allowed:
+                    self.acc_order.append(r)
+                    allowed.add(r)
+                    del remaining[r]
+                    progressed = True
+            if not progressed:
+                raise _Reject("cyclic accumulator dependencies")
+        for r in self.acc_order:
+            classes[r] = ("acc", acc_delta[r])
+
+        safe_for_masks = {r for r, c in classes.items()
+                          if c[0] in ("inv", "affine")}
+        for blk in self.blocks:
+            if blk.cond_node is None or blk.is_latch or blk.is_exit:
+                continue
+            refs, _ = sym.info(blk.cond_node)
+            if not refs <= safe_for_masks:
+                raise _Reject("internal branch depends on an accumulator")
+
+        self.classes = classes
+
+
+def compile_loop(cp: CompiledProgram,
+                 info: LoopInfo) -> Optional[LoopPlan]:
+    """Build a :class:`LoopPlan`, or ``None`` when the loop rejects."""
+    try:
+        return LoopPlan(cp, info)
+    except _Reject:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Batch evaluation
+# ----------------------------------------------------------------------
+
+class _Eval:
+    """Evaluates plan expressions over one batch of N iteration lanes."""
+
+    def __init__(self, plan: LoopPlan, regs: List[int], mem: np.ndarray,
+                 n: int) -> None:
+        self.plan = plan
+        self.regs = regs
+        self.mem = mem
+        self.n = n
+        #: carried reg -> int64 closed-form array of length ``n + 1``.
+        self.closed: Dict[int, np.ndarray] = {}
+        self.masks: List[np.ndarray] = []
+        self.condb: List[Optional[np.ndarray]] = []
+        self.memo: Dict[int, object] = {}
+        self.fault: List[Tuple[np.ndarray, int]] = []
+        self.load_addrs: Dict[int, np.ndarray] = {}
+
+    def lanes(self, value) -> np.ndarray:
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(self.n, value, dtype=np.int64)
+
+    def lanes_bool(self, value) -> np.ndarray:
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(self.n, bool(value), dtype=bool)
+
+    def eval(self, node: tuple):
+        key = id(node)
+        if key in self.memo:
+            return self.memo[key]
+        out = self._eval(node)
+        self.memo[key] = out
+        return out
+
+    def _eval(self, node: tuple):
+        tag = node[0]
+        if tag in ("const", "constb"):
+            return node[1]
+        if tag == "entry":
+            r = node[1]
+            arr = self.closed.get(r)
+            if arr is not None:
+                return arr[:self.n]
+            return self.regs[r]
+        if tag == "bin":
+            a = self.eval(node[2])
+            b = self.eval(node[3])
+            if node[1] == "srl":
+                return self._eval_srl(a, b)
+            return _apply_bin(node[1], a, b)
+        if tag == "cmp":
+            a = self.eval(node[2])
+            b = self.eval(node[3])
+            if not isinstance(a, np.ndarray) \
+                    and not isinstance(b, np.ndarray):
+                return _scalar_cmp(node[1], a, b)
+            return _apply_cmp(node[1], a, b)
+        if tag == "div":
+            return self._eval_div(node)
+        if tag == "load":
+            return self._eval_load(node)
+        return self._eval_phi(node)
+
+    def _eval_srl(self, a, b):
+        # SRL with a zero shift count leaves a negative operand
+        # unwrapped — the interpreter's result exceeds int64 — while
+        # the uint64 view below wraps.  Cut any lane where the two
+        # disagree so the scalar tiers reproduce the exact value.
+        if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+            out = _scalar_bin("srl", a, b)
+            if out > _I64_MAX:
+                raise OverflowError("unwrapped srl result exceeds int64")
+            return out
+        out = _apply_bin("srl", a, b)
+        bad = np.asarray(np.logical_and((b & 63) == 0, a < 0),
+                         dtype=bool)
+        if bad.ndim == 0:
+            if bool(bad):
+                raise OverflowError("unwrapped srl result exceeds int64")
+        elif bad.any():
+            # Block 0 is the header: its mask is all-true, so this is
+            # conservative for lanes that never reach the SRL.
+            self.fault.append((bad, 0))
+        return out
+
+    def _eval_div(self, node: tuple):
+        which, site = node[1], node[4]
+        a = self.lanes(self.eval(node[2]))
+        b = self.lanes(self.eval(node[3]))
+        # Lanes the closed form cannot handle re-run on the scalar
+        # tiers: division by zero (which must raise there) and
+        # INT64_MIN inputs (Python-int abs() has no wraparound,
+        # numpy's does).
+        bad = (b == 0) | (a == _I64_MIN) | (b == _I64_MIN)
+        self.fault.append((bad, self.plan.fault_sites[site][1]))
+        safe_b = np.where(bad, np.int64(1), b)
+        q = np.abs(a) // np.abs(safe_b)
+        q = np.where((a < 0) != (safe_b < 0), -q, q)
+        if which == "div":
+            return q
+        return a - q * safe_b
+
+    def _eval_load(self, node: tuple):
+        addr = self.lanes(self.eval(node[1]))
+        site = node[2]
+        size = self.mem.shape[0]
+        bad = (addr < 0) | (addr >= size)
+        self.fault.append((bad, self.plan.fault_sites[site][1]))
+        self.load_addrs[site] = addr
+        if size == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        return self.mem[np.clip(addr, 0, size - 1)]
+
+    def _eval_phi(self, node: tuple):
+        edges = node[1]
+        result = self.lanes(self.eval(edges[0][1]))
+        for (pred, kind), sub in edges[1:]:
+            value = self.eval(sub)
+            result = np.where(self.edge_mask(pred, kind), value, result)
+        return result
+
+    def edge_mask(self, pred: int, kind: str) -> np.ndarray:
+        if kind == "jump":
+            return self.masks[pred]
+        cond = self.condb[pred]
+        if cond is None:
+            # Fall edge of an exit block: for every committed lane the
+            # exit did not fire, so the fall-through mask is the block
+            # mask itself.  (Lanes at or past the cut carry garbage
+            # anyway; the cut excludes them from the commit.)
+            assert kind == "fall"
+            return self.masks[pred]
+        if kind == "taken":
+            return self.masks[pred] & cond
+        return self.masks[pred] & ~cond
+
+
+def _closed_affine(x0: int, a: int, c: int, k: int, n: int,
+                   pow_cache: Dict[Tuple[int, int],
+                                   Tuple[np.ndarray, np.ndarray]]
+                   ) -> np.ndarray:
+    """``x_i`` for ``i in [0, n]`` of ``x -> ((a*x + c) & mask(k))``.
+
+    Index 0 is the raw entry value (the mask applies to the update, not
+    to the incoming state).  Arithmetic runs in ``uint64``; the deferred
+    mask is exact because add/mul commute with reduction mod ``2^k``.
+    """
+    x0_u = np.uint64(x0 & _M)
+    a_u = a & _M
+    c_u = np.uint64(c & _M)
+    if a_u == 1:
+        idx = np.arange(n + 1, dtype=np.uint64)
+        x = x0_u + c_u * idx
+    else:
+        key = (a_u, n)
+        cached = pow_cache.get(key)
+        if cached is None:
+            powers = np.empty(n + 1, dtype=np.uint64)
+            powers[0] = 1
+            powers[1:] = a_u
+            np.cumprod(powers, out=powers)
+            geo = np.empty(n + 1, dtype=np.uint64)
+            geo[0] = 0
+            np.cumsum(powers[:n], out=geo[1:])
+            pow_cache[key] = (powers, geo)
+        else:
+            powers, geo = cached
+        x = powers * x0_u + geo * c_u
+    if k < 64:
+        x = x & np.uint64((1 << k) - 1)
+        x[0] = x0_u
+    return x.view(np.int64)
+
+
+def _closed_acc(x0: int, delta, n: int) -> np.ndarray:
+    """``x_i`` for ``i in [0, n]`` of ``x += delta_i`` (uint64 wrap)."""
+    x = np.empty(n + 1, dtype=np.uint64)
+    x[0] = x0 & _M
+    if isinstance(delta, np.ndarray):
+        d_u = delta.view(np.uint64) if delta.dtype == np.int64 \
+            else delta.astype(np.uint64)
+        np.cumsum(d_u, out=x[1:])
+        x[1:] += x[0]
+    else:
+        x[1:] = x[0] + np.uint64(delta & _M) * np.arange(
+            1, n + 1, dtype=np.uint64)
+    return x.view(np.int64)
+
+
+class Stepper:
+    """Adaptive batched executor installed at one loop header.
+
+    Callable with the dispatch-function protocol of
+    :class:`repro.cpu.fast.FastMachine`: invoking it executes some
+    amount of work starting at the header and returns the next PC.
+    Until warmed up — and whenever batching is not profitable — it
+    delegates to the header's generated superblock function.
+    """
+
+    def __init__(self, machine, plan: LoopPlan, fallback) -> None:
+        self._m = machine
+        self.plan = plan
+        self.header = plan.info.header
+        self._fallback = fallback
+        self._n = _N_START
+        self._visits = 0
+        self._next_try = _WARMUP_VISITS
+        self._strikes = 0
+        self._skip = False
+        self._disabled = False
+        self._pow_cache: Dict[Tuple[int, int],
+                              Tuple[np.ndarray, np.ndarray]] = {}
+        #: Telemetry: instructions committed by batches, batch count,
+        #: and cut counts by reason ("exit", "budget", "alias", "zero").
+        self.stats: Dict[str, int] = {
+            "committed": 0, "batches": 0,
+            "exit": 0, "budget": 0, "alias": 0, "zero": 0,
+            "overflow": 0,
+        }
+        sites = plan.sites
+        self._site_pc = np.array([s.pc for s in sites], dtype=np.int64)
+        self._site_kind = np.array([s.kind for s in sites],
+                                   dtype=np.uint8)
+        self._site_tgt = np.array([s.target for s in sites],
+                                  dtype=np.int64)
+
+    def __call__(self) -> int:
+        if self._disabled:
+            return self._fallback()
+        self._visits += 1
+        if self._skip:
+            self._skip = False
+            return self._fallback()
+        if self._visits < self._next_try:
+            return self._fallback()
+        return self._batch()
+
+    def _strike(self) -> None:
+        self._strikes += 1
+        if self._strikes >= _MAX_STRIKES:
+            self._disabled = True
+        else:
+            self._next_try = self._visits + _STRIKE_BACKOFF * self._strikes
+
+    def _batch(self) -> int:
+        try:
+            return self._batch_inner()
+        except OverflowError:
+            # A value outside int64 leaked into a numpy op (unwrapped
+            # SRL-by-0 semantics); the scalar tiers handle it exactly.
+            # No state has mutated: the commit step runs only after
+            # every expression is already evaluated.
+            self.stats["overflow"] += 1
+            self._strike()
+            return self._fallback()
+
+    def _batch_inner(self) -> int:
+        m = self._m
+        plan = self.plan
+        allowed = m.soft - m.ctr[0]
+        if allowed <= plan.body_len:
+            # Not enough budget for even one full iteration; let the
+            # generated-code tier drain toward the scalar tail.
+            return self._fallback()
+        if m.hi_mem:
+            # Some memory word holds an unwrapped (above-int64) value;
+            # vector gathers would read the wrapped mirror.
+            return self._fallback()
+        for value in m.regs:
+            if value < _I64_MIN or value > _I64_MAX:
+                # An unwrapped register value would make lane 0 of a
+                # closed form diverge from the interpreter.
+                return self._fallback()
+        n = self._n
+        ev = _Eval(plan, m.regs, m.mem, n)
+
+        # 1. Closed-form arrays for affine carried registers.
+        for r, cls in plan.classes.items():
+            if cls[0] == "affine":
+                a = ev.eval(cls[1])
+                c = ev.eval(cls[2])
+                ev.closed[r] = _closed_affine(m.regs[r], a, c, cls[3],
+                                              n, self._pow_cache)
+        # 2. Block masks and *internal* branch conditions, in address
+        #    order.  Exit and latch conditions may reference
+        #    accumulators, whose closed forms do not exist yet; they do
+        #    not feed masks (see ``edge_mask``) and evaluate in step 5.
+        for blk in plan.blocks:
+            if blk.index == 0:
+                mask = np.ones(n, dtype=bool)
+            else:
+                mask = np.zeros(n, dtype=bool)
+                for pred, kind in plan.in_edges[blk.index]:
+                    mask |= ev.edge_mask(pred, kind)
+            ev.masks.append(mask)
+            cond = None
+            if blk.cond_node is not None \
+                    and not (blk.is_exit or blk.is_latch):
+                cond = ev.lanes_bool(ev.eval(blk.cond_node))
+            ev.condb.append(cond)
+        # 3. Accumulators (their deltas may reach masks through phis).
+        for r in plan.acc_order:
+            delta = ev.eval(plan.classes[r][1])
+            if isinstance(delta, np.ndarray):
+                delta = ev.lanes(delta)
+            ev.closed[r] = _closed_acc(m.regs[r], delta, n)
+        # 4. Evaluate stores and every fault site (including ones whose
+        #    results are otherwise unused, e.g. an ``ld r0``).
+        store_addr = [ev.lanes(ev.eval(addr))
+                      for addr, _v, _b, _pc in plan.store_sites]
+        store_val = [ev.lanes(ev.eval(value))
+                     for _a, value, _b, _pc in plan.store_sites]
+        size = m.mem.shape[0]
+        for addr, (_a, _v, blk, _pc) in zip(store_addr,
+                                            plan.store_sites):
+            ev.fault.append(((addr < 0) | (addr >= size), blk))
+        for node, _blk in plan.fault_sites:
+            ev.eval(node)
+        # Force every value the commit will need: a lazily-referenced
+        # expression (e.g. an SRL feeding only a register's end state)
+        # must register its fault lanes before the cut is chosen, and
+        # an overflow must abort before any state mutates.
+        for r in plan.written:
+            cls = plan.classes.get(r)
+            if cls is not None and cls[0] == "inv":
+                continue
+            if r not in ev.closed:
+                ev.eval(plan.latch_state[r])
+        # 5. Fold exits and faults into the cut.
+        stop = np.zeros(n, dtype=bool)
+        for blk in plan.blocks:
+            if blk.is_exit:
+                fired = ev.lanes_bool(ev.eval(blk.cond_node))
+                stop |= ev.masks[blk.index] & fired
+        last = plan.blocks[-1]
+        if last.is_latch and last.cond_node is not None:
+            back = ev.lanes_bool(ev.eval(last.cond_node))
+            stop |= ev.masks[last.index] & ~back
+        for bad, blk in ev.fault:
+            stop |= bad & ev.masks[blk]
+        t = int(np.argmax(stop)) if stop.any() else n
+        exit_cut = t < n
+        # 6. Budget cut: committed instruction counts must stay under
+        #    the soft limit so the dispatch loop keeps its invariant.
+        counts = np.zeros(n, dtype=np.int64)
+        for blk in plan.blocks:
+            counts += ev.masks[blk.index] * np.int64(blk.n_instr)
+        cum = np.cumsum(counts)
+        t_budget = int(np.searchsorted(cum, allowed, side="right"))
+        budget_cut = t_budget < t
+        if budget_cut:
+            t = t_budget
+        # 7. Alias cut.  The gathers in step 4 read pre-batch memory, so
+        #    a load is invalid when an *earlier lane* stores its address
+        #    — or its own lane does at an earlier body PC.  A same-lane
+        #    store at a later PC is harmless (the interpreter's load
+        #    happens first), which is what lets ``a[i] = f(a[i])``
+        #    sweeps batch at full width.
+        if t > 0 and plan.store_sites and plan.load_sites:
+            lane_idx = np.arange(t, dtype=np.int64)
+            st_addr_parts = []
+            st_lane_parts = []
+            for addr, (_a, _v, blk, _pc) in zip(store_addr,
+                                                plan.store_sites):
+                active = ev.masks[blk][:t]
+                st_addr_parts.append(addr[:t][active])
+                st_lane_parts.append(lane_idx[active])
+            all_addr = np.concatenate(st_addr_parts)
+            if all_addr.size:
+                all_lane = np.concatenate(st_lane_parts)
+                order = np.lexsort((all_lane, all_addr))
+                sa = all_addr[order]
+                sl = all_lane[order]
+                head = np.ones(sa.size, dtype=bool)
+                head[1:] = sa[1:] != sa[:-1]
+                uaddr = sa[head]      # unique store addresses ...
+                ulane = sl[head]      # ... and the first lane storing each
+                hit = np.zeros(t, dtype=bool)
+                for node, lblk, lpc in plan.load_sites:
+                    la = ev.load_addrs[node[2]][:t]
+                    lmask = ev.masks[lblk][:t]
+                    pos = np.clip(np.searchsorted(uaddr, la),
+                                  0, uaddr.size - 1)
+                    hit |= lmask & (uaddr[pos] == la) \
+                        & (ulane[pos] < lane_idx)
+                    for saddr, (_a2, _v2, sblk, spc) in zip(
+                            store_addr, plan.store_sites):
+                        if spc < lpc:
+                            hit |= lmask & ev.masks[sblk][:t] \
+                                & (saddr[:t] == la)
+                if hit.any():
+                    cut = int(np.argmax(hit))
+                    if cut < t:
+                        t = cut
+                        budget_cut = False
+                        exit_cut = False
+                        self.stats["alias"] += 1
+
+        if t <= 0:
+            self.stats["zero"] += 1
+            if not budget_cut:
+                self._strike()
+            return self._fallback()
+
+        # 8. Commit: records, stores, registers, instruction count.
+        self._emit_records(ev, t)
+        self._apply_stores(ev, store_addr, store_val, t)
+        for r in plan.written:
+            cls = plan.classes.get(r)
+            if cls is not None and cls[0] == "inv":
+                continue
+            arr = ev.closed.get(r)
+            if arr is not None:
+                m.regs[r] = int(arr[t])
+            else:
+                value = ev.eval(plan.latch_state[r])
+                m.regs[r] = int(value[t - 1]) \
+                    if isinstance(value, np.ndarray) else value
+        m.ctr[0] += int(cum[t - 1])
+        self.stats["batches"] += 1
+        self.stats["committed"] += int(cum[t - 1])
+        if budget_cut:
+            self.stats["budget"] += 1
+        elif exit_cut:
+            self.stats["exit"] += 1
+        if self.stats["batches"] >= _YIELD_PROBATION \
+                and self.stats["committed"] \
+                < _MIN_YIELD * self.stats["batches"]:
+            self._disabled = True
+
+        # 9. Adapt.  A cut batch means the next header visit is the
+        #    exiting / faulting / aliasing iteration: run it on the
+        #    generated-code tier once before batching again.
+        if t == n:
+            self._n = min(self._n * 4, _N_MAX)
+        else:
+            self._skip = True
+            if budget_cut:
+                pass
+            elif t >= _MIN_TRIP:
+                self._n = max(_N_START, min(_N_MAX, 2 * t))
+                self._strikes = 0
+            else:
+                self._strike()
+        return self.header
+
+    def _emit_records(self, ev: _Eval, t: int) -> None:
+        plan = self.plan
+        n_sites = len(plan.sites)
+        act = np.empty((t, n_sites), dtype=bool)
+        taken = np.empty((t, n_sites), dtype=bool)
+        for j, site in enumerate(plan.sites):
+            act[:, j] = ev.masks[site.block][:t]
+            if site.taken_node is None:
+                taken[:, j] = True
+            else:
+                taken[:, j] = ev.lanes_bool(ev.eval(site.taken_node))[:t]
+        sel = act.ravel()
+        shape = (t, n_sites)
+        pc = np.broadcast_to(self._site_pc, shape).ravel()[sel]
+        kind = np.broadcast_to(self._site_kind, shape).ravel()[sel]
+        tgt = np.broadcast_to(self._site_tgt, shape).ravel()[sel]
+        self._m.emit_batch(pc, kind, taken.ravel()[sel], tgt)
+
+    def _apply_stores(self, ev: _Eval, store_addr: List[np.ndarray],
+                      store_val: List[np.ndarray], t: int) -> None:
+        plan = self.plan
+        if not plan.store_sites:
+            return
+        n_sites = len(plan.store_sites)
+        addrs = np.empty((t, n_sites), dtype=np.int64)
+        vals = np.empty((t, n_sites), dtype=np.int64)
+        keep = np.empty((t, n_sites), dtype=bool)
+        for j, (_a, _v, blk, _pc) in enumerate(plan.store_sites):
+            addrs[:, j] = store_addr[j][:t]
+            vals[:, j] = store_val[j][:t]
+            keep[:, j] = ev.masks[blk][:t]
+        flat_keep = keep.ravel()
+        flat_addr = addrs.ravel()[flat_keep]
+        flat_val = vals.ravel()[flat_keep]
+        if flat_addr.size == 0:
+            return
+        # Execution order is lane-major / site-minor; keep-last so that
+        # duplicate addresses resolve the way sequential stores would.
+        rev_addr = flat_addr[::-1]
+        unique, first = np.unique(rev_addr, return_index=True)
+        self._m.mem[unique] = flat_val[::-1][first]

@@ -3,8 +3,10 @@
 A campaign is fully determined by its seed: cases come from
 :class:`~repro.qa.generators.CaseStream`, whose ``i``-th case depends
 only on ``(seed, i)``, cycling engines ``single -> dual -> multi ->
-two_ahead``.  Each case goes through the differential oracle
-(scalar vs fast, stats + full state) and the metamorphic invariants;
+two_ahead``.  Each case goes through the engine differential oracle
+(``REPRO_ENGINE`` scalar vs fast, stats + full state), the trace-capture
+parity oracle (``REPRO_TRACER`` scalar vs fast, every record plus the
+architectural end state) and the metamorphic invariants;
 the first failure is shrunk to a minimal case and written to the corpus
 directory, and the campaign stops so CI surfaces exactly one readable
 artifact per run.
@@ -25,7 +27,7 @@ from pathlib import Path
 from .cases import ENGINE_KINDS, QACase
 from .generators import CaseStream
 from .invariants import check_case_invariants
-from .oracle import check_case
+from .oracle import check_case, check_tracer_parity
 from .shrink import shrink_case
 
 __all__ = ["CampaignResult", "Finding", "run_campaign", "check_full",
@@ -68,6 +70,9 @@ def check_full(case: QACase) -> Optional[str]:
     verdict = check_case(case)
     if not verdict.passed:
         return f"differential: {verdict.reason}"
+    tracer_reason = check_tracer_parity(case)
+    if tracer_reason is not None:
+        return f"tracer: {tracer_reason}"
     scalar_stats = None
     if verdict.scalar is not None and verdict.scalar.stats:
         scalar_stats = verdict.scalar.stats[0]

@@ -40,7 +40,8 @@ from .cases import QACase, case_engine
 
 __all__ = ["blocked_b1_equivalence", "accounting_conservation",
            "ghr_length_extension", "select_table_dominance",
-           "conditional_stream", "check_case_invariants"]
+           "kmp_search_bounds", "conditional_stream",
+           "check_case_invariants"]
 
 
 def conditional_stream(case: QACase,
@@ -223,6 +224,60 @@ def select_table_dominance(case: QACase) -> Optional[str]:
             if a != b:
                 return (f"{kind} cycles changed with select-table size "
                         f"({base_size}->{size}): {a} != {b}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Invariant 5: analytic comparison-count bounds of the kmp workload
+# ----------------------------------------------------------------------
+
+def kmp_search_bounds(outer: int = 3,
+                      budget: int = 3_000_000) -> Optional[str]:
+    """Check the :mod:`repro.workloads.kmp` analytic bounds on a live run.
+
+    The workload accumulates character-comparison and match counters in
+    fixed memory cells; textbook results pin them regardless of the
+    random pattern/text content:
+
+    * Morris-Pratt makes between ``n`` and ``2n - 1`` comparisons per
+      ``n``-symbol scan, so over ``p`` completed passes the accumulated
+      counter lies in ``[p*n, p*(2n - 1)]``;
+    * the strong (KMP) failure function only removes guaranteed
+      re-mismatches, so its counter never exceeds Morris-Pratt's;
+    * both automata report the same occurrences, so match counts agree.
+
+    Runs under the ambient ``REPRO_TRACER`` mode — invoking it once per
+    mode makes it a capture-tier oracle too.  ``None`` on success, else
+    a violation string.
+    """
+    from ..cpu import capture_machine
+    from ..workloads import kmp
+
+    machine = capture_machine(kmp.build(outer=outer))
+    result = machine.run(max_instructions=budget)
+    if not result.halted:
+        return (f"kmp with outer={outer} did not halt within "
+                f"{budget} instructions")
+    mem = machine.mem
+    passes = int(mem[kmp.PASSES])
+    mp_comp = int(mem[kmp.MP_COMP])
+    kmp_comp = int(mem[kmp.KMP_COMP])
+    mp_match = int(mem[kmp.MP_MATCH])
+    kmp_match = int(mem[kmp.KMP_MATCH])
+    if passes != outer:
+        return f"completed {passes} passes, expected {outer}"
+    n = kmp.TEXT_LEN
+    low, high = passes * n, passes * (2 * n - 1)
+    if not low <= mp_comp <= high:
+        return (f"MP comparisons {mp_comp} outside the amortized "
+                f"bound [{low}, {high}] for {passes} passes of "
+                f"{n}-symbol text")
+    if kmp_comp > mp_comp:
+        return (f"KMP comparisons {kmp_comp} exceed MP's {mp_comp}: "
+                f"the strong failure function added work")
+    if mp_match != kmp_match:
+        return (f"automata disagree on occurrences: MP {mp_match} "
+                f"vs KMP {kmp_match}")
     return None
 
 

@@ -27,25 +27,40 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from .. import envvars
 from ..core.engine_mode import ENGINE_ENV
+from ..cpu.tracer_mode import TRACER_ENV
 from .cases import QACase, case_engine
 from .state import describe_diff, engine_state, stats_snapshot
 
-__all__ = ["ModeRun", "OracleVerdict", "engine_mode_env", "run_mode",
-           "check_case"]
+__all__ = ["ModeRun", "OracleVerdict", "engine_mode_env",
+           "tracer_mode_env", "run_mode", "check_case",
+           "check_tracer_parity"]
+
+
+@contextmanager
+def _pinned_env(variable: str, mode: str) -> Iterator[None]:
+    previous = envvars.read(variable)
+    os.environ[variable] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(variable, None)
+        else:
+            os.environ[variable] = previous
 
 
 @contextmanager
 def engine_mode_env(mode: str) -> Iterator[None]:
     """Temporarily pin ``REPRO_ENGINE`` to ``mode``."""
-    previous = envvars.read(ENGINE_ENV)
-    os.environ[ENGINE_ENV] = mode
-    try:
+    with _pinned_env(ENGINE_ENV, mode):
         yield
-    finally:
-        if previous is None:
-            os.environ.pop(ENGINE_ENV, None)
-        else:
-            os.environ[ENGINE_ENV] = previous
+
+
+@contextmanager
+def tracer_mode_env(mode: str) -> Iterator[None]:
+    """Temporarily pin ``REPRO_TRACER`` to ``mode``."""
+    with _pinned_env(TRACER_ENV, mode):
+        yield
 
 
 @dataclass
@@ -152,3 +167,92 @@ def check_case(case: QACase) -> OracleVerdict:
                                        label="recovery_log") \
             or "recovery logs differ"
     return verdict
+
+
+# ----------------------------------------------------------------------
+# Trace-capture parity: scalar interpreter vs tiered fast tracer
+# ----------------------------------------------------------------------
+
+def _capture(case: QACase, program) -> Dict[str, Any]:
+    """One capture of ``case``'s program under the ambient tracer."""
+    from ..cpu import capture_machine
+
+    machine = capture_machine(program)
+    result = machine.run(max_instructions=case.budget)
+    return {"machine": machine, "result": result}
+
+
+def check_tracer_parity(case: QACase) -> Optional[str]:
+    """Bit-exact capture parity for ``case``'s program, or a reason.
+
+    Runs the case's synthetic workload through both ``REPRO_TRACER``
+    modes and compares the full observable outcome: every trace record
+    (pc, kind, direction, target), the run counters, and the
+    architectural end state (all 32 registers and the data memory,
+    including the fast tracer's wide-value overlay).  A crash that only
+    one mode hits is itself a finding; identical faults pass.
+    """
+    import numpy as np
+
+    from .generators import build_family_program
+
+    program = build_family_program(case.family, case.params)
+    runs: Dict[str, Any] = {}
+    errors: Dict[str, str] = {}
+    for mode in ("scalar", "fast"):
+        with tracer_mode_env(mode):
+            try:
+                runs[mode] = _capture(case, program)
+            except Exception as exc:
+                errors[mode] = f"{type(exc).__name__}: {exc}"
+    if errors:
+        if set(errors) == {"scalar", "fast"}:
+            if errors["scalar"] != errors["fast"]:
+                return (f"tracers crashed differently: scalar "
+                        f"{errors['scalar']!r} vs fast "
+                        f"{errors['fast']!r}")
+            return None
+        mode, message = next(iter(errors.items()))
+        return f"{mode} tracer crashed alone: {message}"
+
+    scalar, fast = runs["scalar"], runs["fast"]
+    s_res, f_res = scalar["result"], fast["result"]
+    for field_name in ("instructions", "halted"):
+        a = getattr(s_res, field_name)
+        b = getattr(f_res, field_name)
+        if a != b:
+            return f"RunResult.{field_name}: scalar {a} vs fast {b}"
+    s_tr, f_tr = s_res.trace, f_res.trace
+    if (s_tr.entry_pc, s_tr.n_instructions, s_tr.truncated) \
+            != (f_tr.entry_pc, f_tr.n_instructions, f_tr.truncated):
+        return (f"trace header differs: scalar "
+                f"({s_tr.entry_pc}, {s_tr.n_instructions}, "
+                f"{s_tr.truncated}) vs fast ({f_tr.entry_pc}, "
+                f"{f_tr.n_instructions}, {f_tr.truncated})")
+    for field_name in ("pc", "kind", "taken", "target"):
+        a = getattr(s_tr, field_name)
+        b = getattr(f_tr, field_name)
+        if not np.array_equal(np.asarray(a), np.asarray(b)):
+            first = int(np.flatnonzero(
+                np.asarray(a) != np.asarray(b))[0])
+            return (f"trace.{field_name} diverges at record {first}: "
+                    f"scalar {a[first]} vs fast {b[first]}")
+
+    s_m, f_m = scalar["machine"], fast["machine"]
+    if list(s_m.regs) != list(f_m.regs):
+        bad = next(i for i in range(32)
+                   if s_m.regs[i] != f_m.regs[i])
+        return (f"register r{bad} differs: scalar {s_m.regs[bad]} "
+                f"vs fast {f_m.regs[bad]}")
+    hi = getattr(f_m, "hi_mem", {})
+    s_mem = s_m.mem
+    f_mem = f_m.mem
+    for addr in range(len(s_mem)):
+        expected = s_mem[addr]
+        actual = hi.get(addr)
+        if actual is None:
+            actual = int(f_mem[addr])
+        if expected != actual:
+            return (f"mem[{addr}] differs: scalar {expected} "
+                    f"vs fast {actual}")
+    return None

@@ -12,7 +12,10 @@ Layout and keying:
 
 * Directory: ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``); set it to
   the empty string, ``0``, ``off`` or ``none`` to disable persistence.
-* Traces: ``traces/<name>-<budget>-<digest>.npz``.
+* Traces: ``traces/<name>-<budget>-<digest>-v<version>.npz`` (flat) or
+  ``....chunks`` (streamed chunk containers for paper-scale budgets);
+  ``<version>`` is :data:`repro.trace.record.CAPTURE_VERSION`, so
+  artifacts from an older capture pipeline are never served.
 * Segmentations: ``blocks/<name>-<budget>-<geometry>-<digest>.npz``.
 * Compiled engine inputs (structure-of-arrays block streams for the
   vectorized kernels):
@@ -47,7 +50,8 @@ import numpy as np
 
 from ..icache.geometry import CacheGeometry
 from ..trace.blocks import BlockStream
-from ..trace.record import Trace
+from ..trace.chunks import ChunkedTrace
+from ..trace.record import CAPTURE_VERSION, Trace
 from . import faults
 
 #: Environment variable naming the cache directory.
@@ -132,7 +136,16 @@ def _geometry_key(geometry: CacheGeometry) -> str:
 
 
 def _trace_path(root: Path, name: str, budget: int, digest: str) -> Path:
-    return root / "traces" / f"{name}-{budget}-{digest}.npz"
+    # The capture version is part of the file name *and* embedded in the
+    # artifact: renaming the key retires every pre-versioning cache
+    # entry, and the embedded stamp catches hand-copied files.
+    return (root / "traces" /
+            f"{name}-{budget}-{digest}-v{CAPTURE_VERSION}.npz")
+
+
+def _chunked_path(root: Path, name: str, budget: int, digest: str) -> Path:
+    return (root / "traces" /
+            f"{name}-{budget}-{digest}-v{CAPTURE_VERSION}.chunks")
 
 
 def _blocks_path(root: Path, name: str, budget: int,
@@ -275,6 +288,47 @@ def store_trace(trace: Trace, name: str, budget: int, digest: str) -> None:
     if root is None:
         return
     _atomic_write(_trace_path(root, name, budget, digest), trace.save)
+
+
+# ----------------------------------------------------------------------
+# Chunked traces (streamed capture of paper-scale runs)
+# ----------------------------------------------------------------------
+
+def chunked_trace_path(name: str, budget: int,
+                       digest: str) -> Optional[Path]:
+    """Where a streamed capture should write its chunk container.
+
+    ``None`` when the cache is disabled — streaming capture then has
+    nowhere durable to spool and callers fall back to materialising.
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    return _chunked_path(root, name, budget, digest)
+
+
+def load_chunked_trace(name: str, budget: int,
+                       digest: str) -> Optional[ChunkedTrace]:
+    """Open a cached chunk container, or ``None`` on a miss.
+
+    Version-mismatched or corrupt containers are quarantined exactly
+    like flat trace artifacts (:class:`ChunkedTrace` raises
+    :class:`ValueError` for both, which is in :data:`READ_ERRORS`).
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _chunked_path(root, name, budget, digest)
+    return _read_artifact(path, ChunkedTrace, "trace", name)
+
+
+def seal_chunked_trace(path: Path) -> None:
+    """Write the integrity sidecar for a freshly captured container.
+
+    :class:`~repro.trace.chunks.TraceChunkWriter` already renames a
+    temporary file into place, so only the checksum is left to add.
+    """
+    _write_checksum(path)
 
 
 # ----------------------------------------------------------------------

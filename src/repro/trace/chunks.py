@@ -1,0 +1,407 @@
+"""Chunked trace capture: bounded-memory streaming of huge traces.
+
+A paper-scale run (``REPRO_TRACE_LEN`` of 10^8 and beyond) produces tens
+of millions of control records.  Materialising them as one
+:class:`~repro.trace.record.Trace` — four parallel arrays plus the
+Python lists they were accumulated in — costs multiple gigabytes of peak
+memory.  This module stores such traces as a sequence of fixed-size
+compressed *chunks* inside a single zip container, so that
+
+* **capture** never holds more than one chunk of records (the tracer's
+  ``run_streaming`` hands bounded segments to :class:`TraceChunkWriter`,
+  which compresses and appends them as it goes), and
+* **consumption** walks the chunks in order — block segmentation
+  (:func:`repro.trace.blocks.segment_blocks`) and the engine compiler's
+  conditional stream (:meth:`ChunkedTrace.cond_stream`) both read one
+  chunk at a time.
+
+Container layout (one ``zipfile`` with ``ZIP_DEFLATED`` members):
+
+* ``meta.json`` — capture version, entry PC, instruction/record/chunk
+  counts, chunk size, truncation flag and workload name;
+* ``<chunk>.pc.npy`` / ``.kind.npy`` / ``.taken.npy`` / ``.target.npy``
+  — the record arrays of chunk ``i``, dtypes matching
+  :class:`~repro.trace.record.Trace` (int64 / uint8 / bool / int64).
+
+Writes go to a same-directory temporary file renamed into place on
+:meth:`TraceChunkWriter.close`, so a crashed capture never leaves a
+half-written container behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..isa.kinds import InstrKind
+from .record import CAPTURE_VERSION, Trace
+
+#: Environment variable setting the records-per-chunk granularity.
+CHUNK_ENV = "REPRO_TRACE_CHUNK"
+
+#: Default records per chunk (2^20 records ~ 18 MiB uncompressed).
+DEFAULT_CHUNK_RECORDS = 1 << 20
+
+#: Zip member holding the container metadata.
+_META_MEMBER = "meta.json"
+
+_K_COND = int(InstrKind.COND)
+_K_HALT = int(InstrKind.HALT)
+
+#: One chunk of trace records: (pc, kind, taken, target) arrays.
+Chunk = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def chunk_records() -> int:
+    """Records per chunk from ``REPRO_TRACE_CHUNK`` (validated).
+
+    Unset or empty yields :data:`DEFAULT_CHUNK_RECORDS`.  Anything that
+    is not a positive integer raises :class:`ValueError` naming the
+    variable.
+    """
+    from .. import envvars
+
+    raw = envvars.read(CHUNK_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_CHUNK_RECORDS
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{CHUNK_ENV} must be a positive integer, got {raw!r}") \
+            from None
+    if value < 1:
+        raise ValueError(
+            f"{CHUNK_ENV} must be a positive integer, got {value}")
+    return value
+
+
+def _member_names(index: int) -> Tuple[str, str, str, str]:
+    base = f"{index:06d}"
+    return (f"{base}.pc.npy", f"{base}.kind.npy",
+            f"{base}.taken.npy", f"{base}.target.npy")
+
+
+class TraceChunkWriter:
+    """A :data:`~repro.cpu.fast.RecordSink` that spools chunks to disk.
+
+    Feed it record segments (directly usable as the sink of
+    :meth:`repro.cpu.fast.FastMachine.run_streaming`), then call
+    :meth:`close` with the final instruction count.  Peak memory is one
+    chunk of records regardless of trace length.
+
+    Usable as a context manager: leaving the ``with`` block without a
+    :meth:`close` aborts the capture and removes the temporary file.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 entry_pc: int, name: str = "",
+                 records_per_chunk: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.entry_pc = int(entry_pc)
+        self.name = name
+        self.records_per_chunk = (chunk_records()
+                                  if records_per_chunk is None
+                                  else int(records_per_chunk))
+        if self.records_per_chunk < 1:
+            raise ValueError("records_per_chunk must be positive")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(
+            f".{self.path.name}.{os.getpid()}.tmp")
+        self._zf: Optional[zipfile.ZipFile] = zipfile.ZipFile(
+            self._tmp, "w", zipfile.ZIP_DEFLATED)
+        self._parts: List[Chunk] = []
+        self._buffered = 0
+        self.n_records = 0
+        self.n_chunks = 0
+        self._last_kind = -1
+
+    # -- RecordSink protocol --------------------------------------------
+
+    def __call__(self, pc: np.ndarray, kind: np.ndarray,
+                 taken: np.ndarray, target: np.ndarray) -> None:
+        """Append one record segment, spilling full chunks to disk."""
+        n = int(pc.shape[0])
+        if not (kind.shape[0] == taken.shape[0] == target.shape[0] == n):
+            raise ValueError("record segment arrays must have equal length")
+        if n == 0:
+            return
+        self._parts.append((np.asarray(pc, dtype=np.int64),
+                            np.asarray(kind, dtype=np.uint8),
+                            np.asarray(taken, dtype=bool),
+                            np.asarray(target, dtype=np.int64)))
+        self._buffered += n
+        self.n_records += n
+        self._last_kind = int(kind[-1])
+        while self._buffered >= self.records_per_chunk:
+            self._spill(self.records_per_chunk)
+
+    # -- persistence ----------------------------------------------------
+
+    def _gather(self) -> Chunk:
+        if len(self._parts) == 1:
+            merged = self._parts[0]
+        else:
+            merged = (np.concatenate([p[0] for p in self._parts]),
+                      np.concatenate([p[1] for p in self._parts]),
+                      np.concatenate([p[2] for p in self._parts]),
+                      np.concatenate([p[3] for p in self._parts]))
+        return merged
+
+    def _spill(self, count: int) -> None:
+        merged = self._gather()
+        head = tuple(a[:count] for a in merged)
+        rest = tuple(a[count:] for a in merged)
+        self._parts = [rest] if rest[0].shape[0] else []
+        self._buffered -= count
+        self._write_chunk(head)
+
+    def _write_chunk(self, chunk) -> None:
+        assert self._zf is not None
+        names = _member_names(self.n_chunks)
+        for member, array in zip(names, chunk):
+            with self._zf.open(member, "w", force_zip64=True) as fp:
+                np.lib.format.write_array(fp, array)
+        self.n_chunks += 1
+
+    def close(self, n_instructions: int, truncated: bool = False) -> None:
+        """Flush remaining records, write metadata, rename into place."""
+        if self._zf is None:
+            raise ValueError("TraceChunkWriter already closed")
+        if self.n_records == 0:
+            self.abort()
+            raise ValueError("a trace must contain at least the HALT record")
+        if self._last_kind != _K_HALT:
+            self.abort()
+            raise ValueError("trace must end with a HALT record")
+        if self._buffered:
+            self._spill(self._buffered)
+        meta = {
+            "capture_version": CAPTURE_VERSION,
+            "entry_pc": self.entry_pc,
+            "n_instructions": int(n_instructions),
+            "n_records": self.n_records,
+            "n_chunks": self.n_chunks,
+            "records_per_chunk": self.records_per_chunk,
+            "truncated": bool(truncated),
+            "name": self.name,
+        }
+        self._zf.writestr(_META_MEMBER, json.dumps(meta, sort_keys=True))
+        self._zf.close()
+        self._zf = None
+        os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        """Discard the capture, removing the temporary container."""
+        if self._zf is not None:
+            self._zf.close()
+            self._zf = None
+        self._tmp.unlink(missing_ok=True)
+
+    def __enter__(self) -> "TraceChunkWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._zf is not None:
+            self.abort()
+
+
+class ChunkedTrace:
+    """Read-side view of a chunked trace container.
+
+    Duck-compatible with :class:`~repro.trace.record.Trace` everywhere
+    the pipeline needs it: scalar metadata (``entry_pc``,
+    ``n_instructions``, ``n_records``, ``truncated``, ``name``), chunked
+    record access (:meth:`chunk`, :meth:`iter_chunks`) for streaming
+    consumers, and the engine compiler's :meth:`cond_stream`.  The full
+    record arrays (``pc`` and friends) are also available but
+    materialise lazily — streaming consumers never touch them, so a
+    10^8-instruction capture stays within one chunk of memory.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._zf: Optional[zipfile.ZipFile] = zipfile.ZipFile(self.path)
+        try:
+            raw = self._zf.read(_META_MEMBER)
+        except KeyError:
+            self.close()
+            raise ValueError(
+                f"{self.path.name}: not a chunked trace (no meta.json)") \
+                from None
+        meta = json.loads(raw)
+        version = int(meta.get("capture_version", 1))
+        if version != CAPTURE_VERSION:
+            self.close()
+            raise ValueError(
+                f"{self.path.name}: capture version {version}, "
+                f"expected {CAPTURE_VERSION}")
+        self.version = version
+        self.entry_pc = int(meta["entry_pc"])
+        self.n_instructions = int(meta["n_instructions"])
+        self._n_records = int(meta["n_records"])
+        self.n_chunks = int(meta["n_chunks"])
+        self.records_per_chunk = int(meta["records_per_chunk"])
+        self.truncated = bool(meta["truncated"])
+        self.name = str(meta["name"])
+        self._cond: Optional[Tuple[np.ndarray, np.ndarray,
+                                   np.ndarray]] = None
+        self._full: Optional[Chunk] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the underlying zip handle (reads fail afterwards)."""
+        if self._zf is not None:
+            self._zf.close()
+            self._zf = None
+
+    def __enter__(self) -> "ChunkedTrace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- metadata -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    @property
+    def n_records(self) -> int:
+        """Number of explicit control records (including HALT)."""
+        return self._n_records
+
+    @property
+    def n_branches(self) -> int:
+        """Executed control-transfer instructions (HALT excluded)."""
+        return self._n_records - 1
+
+    # -- chunked access -------------------------------------------------
+
+    def chunk(self, index: int) -> Chunk:
+        """The ``index``-th record chunk as four parallel arrays."""
+        if self._zf is None:
+            raise ValueError(f"{self.path.name}: chunked trace is closed")
+        if not 0 <= index < self.n_chunks:
+            raise IndexError(
+                f"chunk {index} out of range ({self.n_chunks} chunks)")
+        names = _member_names(index)
+        arrays = []
+        for member in names:
+            with self._zf.open(member) as fp:
+                arrays.append(np.lib.format.read_array(
+                    fp, allow_pickle=False))
+        pc, kind, taken, target = arrays
+        return (pc.astype(np.int64, copy=False),
+                kind.astype(np.uint8, copy=False),
+                taken.astype(bool, copy=False),
+                target.astype(np.int64, copy=False))
+
+    def iter_chunks(self) -> Iterator[Chunk]:
+        """Yield every record chunk in execution order."""
+        for index in range(self.n_chunks):
+            yield self.chunk(index)
+
+    def cond_stream(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The conditional-branch stream, built one chunk at a time.
+
+        Returns ``(cond_prefix, cond_pc, cond_taken)`` where
+        ``cond_prefix[r]`` counts conditionals among records ``[0, r)``
+        — exactly the arrays the engine compiler derives from a
+        materialised trace's ``cond_mask``, without the four full record
+        arrays ever coexisting in memory.
+        """
+        if self._cond is None:
+            prefix = np.zeros(self._n_records + 1, dtype=np.int64)
+            pc_parts: List[np.ndarray] = []
+            taken_parts: List[np.ndarray] = []
+            base = np.int64(0)
+            pos = 0
+            for pc, kind, taken, _target in self.iter_chunks():
+                mask = kind == _K_COND
+                n = pc.shape[0]
+                np.cumsum(mask, out=prefix[pos + 1:pos + 1 + n])
+                prefix[pos + 1:pos + 1 + n] += base
+                base = prefix[pos + n]
+                pos += n
+                pc_parts.append(pc[mask])
+                taken_parts.append(taken[mask])
+            self._cond = (
+                prefix,
+                np.concatenate(pc_parts) if pc_parts
+                else np.zeros(0, dtype=np.int64),
+                np.concatenate(taken_parts) if taken_parts
+                else np.zeros(0, dtype=bool),
+            )
+        return self._cond
+
+    @property
+    def n_cond(self) -> int:
+        """Number of executed conditional branches."""
+        return int(self.cond_stream()[0][-1])
+
+    # -- materialised compatibility surface -----------------------------
+    #
+    # Scalar consumers (the reference engines' BlockCursor) index the
+    # full record arrays; these properties satisfy them by materialising
+    # once.  Streaming consumers never touch them.
+
+    def _materialise(self) -> Chunk:
+        if self._full is None:
+            chunks = list(self.iter_chunks())
+            self._full = (
+                np.concatenate([c[0] for c in chunks]),
+                np.concatenate([c[1] for c in chunks]),
+                np.concatenate([c[2] for c in chunks]),
+                np.concatenate([c[3] for c in chunks]),
+            )
+        return self._full
+
+    @property
+    def pc(self) -> np.ndarray:
+        """Record addresses (materialises the full array)."""
+        return self._materialise()[0]
+
+    @property
+    def kind(self) -> np.ndarray:
+        """Record kinds (materialises the full array)."""
+        return self._materialise()[1]
+
+    @property
+    def taken(self) -> np.ndarray:
+        """Record directions (materialises the full array)."""
+        return self._materialise()[2]
+
+    @property
+    def target(self) -> np.ndarray:
+        """Record targets (materialises the full array)."""
+        return self._materialise()[3]
+
+    @property
+    def cond_mask(self) -> np.ndarray:
+        """Boolean mask over records selecting conditional branches."""
+        return self.kind == _K_COND
+
+    def records(self) -> Iterator[Tuple[int, int, bool, int]]:
+        """Iterate ``(pc, kind, taken, target)`` without materialising."""
+        for pc, kind, taken, target in self.iter_chunks():
+            for i in range(pc.shape[0]):
+                yield (int(pc[i]), int(kind[i]), bool(taken[i]),
+                       int(target[i]))
+
+    def materialize(self) -> Trace:
+        """The equivalent in-memory :class:`Trace` (for small traces)."""
+        pc, kind, taken, target = self._materialise()
+        return Trace(
+            entry_pc=self.entry_pc,
+            n_instructions=self.n_instructions,
+            pc=pc, kind=kind, taken=taken, target=target,
+            truncated=self.truncated,
+            name=self.name,
+        )

@@ -21,6 +21,15 @@ import numpy as np
 
 from ..isa.kinds import InstrKind
 
+#: Version stamp of the trace-capture pipeline, embedded in every saved
+#: trace artifact (flat ``.npz`` and chunked containers alike).  Version
+#: 1 is the unstamped scalar-era format; version 2 introduced the tiered
+#: fast tracer and chunked capture.  Loading an artifact with a
+#: different version raises :class:`ValueError` — the cache layer
+#: translates that into quarantine-and-recompute, so a stale capture
+#: can never be served as current.
+CAPTURE_VERSION = 2
+
 
 @dataclass
 class Trace:
@@ -100,6 +109,7 @@ class Trace:
         """Write the trace to an ``.npz`` file."""
         np.savez_compressed(
             Path(path),
+            capture_version=np.int64(CAPTURE_VERSION),
             entry_pc=np.int64(self.entry_pc),
             n_instructions=np.int64(self.n_instructions),
             pc=self.pc,
@@ -112,8 +122,20 @@ class Trace:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
-        """Read a trace previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
+        """Read a trace previously written by :meth:`save`.
+
+        Raises :class:`ValueError` when the artifact was captured by a
+        different pipeline version (including unstamped scalar-era
+        files) — callers treat that exactly like corruption.
+        """
+        source = Path(path)
+        with np.load(source) as data:
+            version = (int(data["capture_version"])
+                       if "capture_version" in data.files else 1)
+            if version != CAPTURE_VERSION:
+                raise ValueError(
+                    f"{source.name}: capture version {version}, "
+                    f"expected {CAPTURE_VERSION}")
             return cls(
                 entry_pc=int(data["entry_pc"]),
                 n_instructions=int(data["n_instructions"]),

@@ -21,6 +21,38 @@ from ..isa.program import Program
 
 SUITE_INT = "int"
 SUITE_FP = "fp"
+#: Non-SPEC workloads: registered (and covered by every parity suite)
+#: but outside the paper's Figure 9 program lists.
+SUITE_EXTRA = "extra"
+
+_SUITES = (SUITE_INT, SUITE_FP, SUITE_EXTRA)
+
+#: Environment variable: instruction budget above which trace capture
+#: streams fixed-size chunks to the disk cache instead of materialising
+#: the whole record stream in memory.
+STREAM_ENV = "REPRO_TRACE_STREAM"
+
+#: Default streaming threshold (10^7 instructions).
+DEFAULT_STREAM_THRESHOLD = 10_000_000
+
+
+def stream_threshold() -> int:
+    """Streaming threshold from ``REPRO_TRACE_STREAM`` (validated)."""
+    from .. import envvars
+
+    raw = envvars.read(STREAM_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_STREAM_THRESHOLD
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{STREAM_ENV} must be a positive integer, got {raw!r}") \
+            from None
+    if value < 1:
+        raise ValueError(
+            f"{STREAM_ENV} must be a positive integer, got {value}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -58,7 +90,7 @@ class WorkloadRegistry:
     def register(self, name: str, suite: str,
                  description: str) -> Callable:
         """Decorator registering a builder function as a workload."""
-        if suite not in (SUITE_INT, SUITE_FP):
+        if suite not in _SUITES:
             raise ValueError(f"unknown suite: {suite!r}")
 
         def wrap(builder: Callable[[], Program]) -> Callable[[], Program]:
@@ -107,14 +139,26 @@ class WorkloadRegistry:
     def trace(self, name: str, max_instructions: int):
         """Execute (and cache) the workload's trace.
 
+        Capture goes through the tracer selected by ``REPRO_TRACER``
+        (:func:`repro.cpu.capture_machine`).  Budgets at or above
+        ``REPRO_TRACE_STREAM`` are captured *streaming*: the fast tracer
+        hands bounded record segments to a chunk writer spooling
+        straight into the disk cache, and a lazily-read
+        :class:`~repro.trace.chunks.ChunkedTrace` is returned instead of
+        a materialised trace — peak capture memory is one chunk
+        (``REPRO_TRACE_CHUNK`` records) regardless of budget.
+
         Traces are memoised per process and, unless disabled via
         ``REPRO_CACHE_DIR``, persisted by :mod:`repro.runtime.cache` so
         repeated invocations — including parallel sweep workers — skip
         the interpreter entirely.  The legacy ``REPRO_TRACE_CACHE``
-        directory is still honoured when set.
+        directory is still honoured when set; capture-version-stamped
+        artifacts mean a scalar-era cache entry is quarantined and
+        recomputed, never served.
         """
-        from ..cpu.machine import Machine
+        from ..cpu import capture_machine
         from ..runtime import cache as disk_cache, profile
+        from ..trace.record import Trace
 
         key = (name, max_instructions)
         if key not in self._traces:
@@ -123,30 +167,72 @@ class WorkloadRegistry:
                 legacy = self._disk_cache_path(name, max_instructions)
                 if legacy is not None and legacy.exists():
                     from ..runtime.cache import READ_ERRORS
-                    from ..trace.record import Trace
 
                     try:
                         trace = Trace.load(legacy)
                     except READ_ERRORS:
-                        # A torn legacy artifact must not abort the
-                        # sweep: fall through to the digest-keyed cache
-                        # or the interpreter, then rewrite it below.
+                        # A torn or version-stale legacy artifact must
+                        # not abort the sweep: fall through to the
+                        # digest-keyed cache or the tracer, then
+                        # rewrite it below.
                         trace = None
                         legacy.unlink(missing_ok=True)
                 if trace is None:
                     trace = disk_cache.load_trace(name, max_instructions,
                                                   self.digest(name))
+                if trace is None \
+                        and max_instructions >= stream_threshold():
+                    trace = disk_cache.load_chunked_trace(
+                        name, max_instructions, self.digest(name))
+                    if trace is None:
+                        trace = self._capture_chunked(name,
+                                                      max_instructions)
                 if trace is None:
                     program = self.program(name)
-                    trace = Machine(program).run(
+                    trace = capture_machine(program).run(
                         max_instructions=max_instructions).trace
                     disk_cache.store_trace(trace, name, max_instructions,
                                            self.digest(name))
-                if legacy is not None and not legacy.exists():
+                if legacy is not None and not legacy.exists() \
+                        and isinstance(trace, Trace):
                     legacy.parent.mkdir(parents=True, exist_ok=True)
                     trace.save(legacy)
                 self._traces[key] = trace
         return self._traces[key]
+
+    def _capture_chunked(self, name: str, max_instructions: int):
+        """Stream one capture into the disk cache as a chunk container.
+
+        Returns the resulting
+        :class:`~repro.trace.chunks.ChunkedTrace`, or ``None`` when
+        streaming is unavailable — the scalar reference tracer has no
+        streaming path, and with the disk cache disabled there is
+        nowhere durable to spool — in which case the caller falls back
+        to materialised capture.
+        """
+        from ..cpu import use_fast_tracer
+        from ..cpu.fast import FastMachine
+        from ..runtime import cache as disk_cache
+        from ..trace.chunks import (ChunkedTrace, TraceChunkWriter,
+                                    chunk_records)
+
+        if not use_fast_tracer():
+            return None
+        path = disk_cache.chunked_trace_path(name, max_instructions,
+                                             self.digest(name))
+        if path is None:
+            return None
+        program = self.program(name)
+        per_chunk = chunk_records()
+        with TraceChunkWriter(path, entry_pc=program.entry, name=name,
+                              records_per_chunk=per_chunk) as writer:
+            executed, halted, truncated = FastMachine(
+                program).run_streaming(writer,
+                                       max_instructions=max_instructions,
+                                       flush_records=per_chunk)
+            writer.close(executed, truncated=truncated)
+        disk_cache.seal_chunked_trace(path)
+        return ChunkedTrace(path)
 
     @staticmethod
     def _disk_cache_path(name: str, max_instructions: int):

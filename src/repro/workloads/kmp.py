@@ -1,0 +1,214 @@
+"""``kmp`` workload: Morris-Pratt and Knuth-Morris-Pratt string search.
+
+Not a SPEC95 analog — a *verification* workload whose dynamic branch
+counts are analytically known.  Each pass draws a skewed binary pattern
+and text from the shared LCG, builds the Morris-Pratt failure function
+(weak borders) and the KMP strong failure function in ISA code, then
+scans the text with both automata, accumulating character-comparison
+and match counters at fixed memory addresses.
+
+What makes it useful as an oracle:
+
+* Morris-Pratt performs between ``n`` and ``2n - 1`` character
+  comparisons per scan of an ``n``-symbol text — the classic amortized
+  bound, independent of pattern or text content;
+* the strong failure function only ever *removes* guaranteed-mismatch
+  comparisons, so the KMP counter can never exceed the MP counter;
+* both automata must report exactly the same match count.
+
+:func:`repro.qa.invariants.kmp_search_bounds` checks all three against
+a live run, and the golden-model test replays the LCG in Python and
+compares every counter and table bit for bit.  The search loops
+themselves are irregular, data-dependent branch code — the same
+character that makes the SPECint analogs hard for target arrays.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .base import REGISTRY, SUITE_EXTRA
+from .codegen import rand_into, seed_rng
+
+# Data-memory layout (words).
+TEXT = 0
+TEXT_LEN = 2048
+PATTERN = 2048
+PAT_LEN = 8
+FAIL_MP = 2112       # weak borders, indexed by matched count (0..PAT_LEN)
+FAIL_KMP = 2176      # strong failure function, same indexing
+MP_COMP = 2240       # accumulated MP character comparisons
+MP_MATCH = 2241      # accumulated MP match count
+KMP_COMP = 2242      # accumulated KMP character comparisons
+KMP_MATCH = 2243     # accumulated KMP match count
+PASSES = 2244        # completed passes
+N_SYMBOLS = 2        # binary alphabet: rich borders, frequent matches
+OUTER_PASSES = 10_000  # effectively unbounded; the trace budget truncates
+
+SEED = 0x5EED
+
+
+def _skewed_symbol(b: ProgramBuilder, dest: str) -> None:
+    """``dest = min(two uniform draws)`` — biased toward symbol 0."""
+    rand_into(b, dest, N_SYMBOLS)
+    rand_into(b, "r19", N_SYMBOLS)
+    with b.if_("lt", "r19", dest):
+        b.asm.mv(dest, "r19")
+
+
+@REGISTRY.register("kmp", SUITE_EXTRA,
+                   "Morris-Pratt/KMP text search with analytic "
+                   "comparison-count bounds")
+def build(outer: int = OUTER_PASSES) -> Program:
+    """Build the workload; ``outer`` bounds the search passes (tests use
+    small bounds to run to HALT for golden-model comparison)."""
+    b = ProgramBuilder(name="kmp", data_size=1 << 13)
+
+    r_i = "r3"        # loop index
+    r_j = "r4"        # matched-prefix length / border scratch
+    r_t = "r5"        # current text/pattern symbol
+    r_a = "r6"        # address scratch
+    r_v = "r7"        # value scratch
+    r_comp = "r8"     # per-call comparison accumulator
+    r_match = "r9"    # per-call match accumulator
+    r_table = "r13"   # argument: failure-table base
+    r_caddr = "r14"   # argument: comparison-counter address
+    r_maddr = "r15"   # argument: match-counter address
+    r_outer = "r16"   # outer pass counter (not clobbered by callees)
+
+    with b.function("fill_pattern", leaf=True):
+        with b.for_range(r_i, 0, PAT_LEN):
+            _skewed_symbol(b, r_t)
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.st(r_t, r_a, 0)
+
+    with b.function("fill_text", leaf=True):
+        with b.for_range(r_i, 0, TEXT_LEN):
+            _skewed_symbol(b, r_t)
+            b.asm.li(r_a, TEXT)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.st(r_t, r_a, 0)
+
+    with b.function("build_fail", leaf=True):
+        # Weak borders: FAIL_MP[j] = longest proper border of P[:j].
+        b.asm.li(r_a, FAIL_MP)
+        b.asm.st("r0", r_a, 0)
+        b.asm.st("r0", r_a, 1)
+        b.asm.li(r_j, 0)                      # k = border so far
+        with b.for_range(r_i, 1, PAT_LEN):
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.ld(r_t, r_a, 0)             # P[j]
+            shrink_top = b.asm.unique_label("shrink")
+            shrink_done = b.asm.unique_label("shrink_done")
+            b.asm.place(shrink_top)
+            b.asm.beq(r_j, "r0", shrink_done)
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_j)
+            b.asm.ld(r_v, r_a, 0)             # P[k]
+            b.asm.beq(r_t, r_v, shrink_done)
+            b.asm.li(r_a, FAIL_MP)
+            b.asm.add(r_a, r_a, r_j)
+            b.asm.ld(r_j, r_a, 0)             # k = FAIL_MP[k]
+            b.asm.j(shrink_top)
+            b.asm.place(shrink_done)
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_j)
+            b.asm.ld(r_v, r_a, 0)
+            with b.if_("eq", r_t, r_v):       # extend the border
+                b.asm.addi(r_j, r_j, 1)
+            b.asm.addi(r_v, r_i, 1)
+            b.asm.li(r_a, FAIL_MP)
+            b.asm.add(r_a, r_a, r_v)
+            b.asm.st(r_j, r_a, 0)             # FAIL_MP[j+1] = k
+
+    with b.function("build_strong", leaf=True):
+        # FAIL_KMP[j]: on a mismatch after j matched symbols, the next
+        # matched count that is not a guaranteed re-mismatch.
+        b.asm.li(r_a, FAIL_KMP)
+        b.asm.st("r0", r_a, 0)
+        with b.for_range(r_i, 1, PAT_LEN):
+            b.asm.li(r_a, FAIL_MP)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.ld(r_j, r_a, 0)             # f = FAIL_MP[j]
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.ld(r_t, r_a, 0)             # P[j]
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_j)
+            b.asm.ld(r_v, r_a, 0)             # P[f]
+            with b.if_("eq", r_t, r_v):
+                # P[f] == P[j]: retrying P[f] must mismatch too — skip
+                # straight to the already-final FAIL_KMP[f].
+                b.asm.li(r_a, FAIL_KMP)
+                b.asm.add(r_a, r_a, r_j)
+                b.asm.ld(r_j, r_a, 0)
+            b.asm.li(r_a, FAIL_KMP)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.st(r_j, r_a, 0)
+        # After a full match there is no mismatched symbol to skip
+        # against: restart from the weak border of the whole pattern.
+        b.asm.li(r_a, FAIL_MP)
+        b.asm.ld(r_j, r_a, PAT_LEN)
+        b.asm.li(r_a, FAIL_KMP)
+        b.asm.st(r_j, r_a, PAT_LEN)
+
+    with b.function("search", leaf=True):
+        # In: r13 = failure-table base, r14/r15 = counter addresses.
+        b.asm.li(r_comp, 0)
+        b.asm.li(r_match, 0)
+        b.asm.li(r_j, 0)
+        with b.for_range(r_i, 0, TEXT_LEN):
+            b.asm.li(r_a, TEXT)
+            b.asm.add(r_a, r_a, r_i)
+            b.asm.ld(r_t, r_a, 0)             # t = T[i]
+            try_top = b.asm.unique_label("try")
+            hit = b.asm.unique_label("hit")
+            next_i = b.asm.unique_label("next_i")
+            b.asm.place(try_top)
+            b.asm.addi(r_comp, r_comp, 1)     # one character comparison
+            b.asm.li(r_a, PATTERN)
+            b.asm.add(r_a, r_a, r_j)
+            b.asm.ld(r_v, r_a, 0)             # P[j]
+            b.asm.beq(r_t, r_v, hit)
+            b.asm.beq(r_j, "r0", next_i)      # j == 0: advance the text
+            b.asm.add(r_a, r_table, r_j)
+            b.asm.ld(r_j, r_a, 0)             # j = F[j]
+            b.asm.j(try_top)
+            b.asm.place(hit)
+            b.asm.addi(r_j, r_j, 1)
+            b.asm.li(r_v, PAT_LEN)
+            b.asm.bne(r_j, r_v, next_i)
+            b.asm.addi(r_match, r_match, 1)   # full occurrence
+            b.asm.add(r_a, r_table, r_v)
+            b.asm.ld(r_j, r_a, 0)             # j = F[m]
+            b.asm.place(next_i)
+        b.asm.ld(r_v, r_caddr, 0)
+        b.asm.add(r_v, r_v, r_comp)
+        b.asm.st(r_v, r_caddr, 0)
+        b.asm.ld(r_v, r_maddr, 0)
+        b.asm.add(r_v, r_v, r_match)
+        b.asm.st(r_v, r_maddr, 0)
+
+    with b.function("main"):
+        seed_rng(b, SEED)
+        with b.for_range(r_outer, 0, outer):
+            b.call("fill_pattern")
+            b.call("fill_text")
+            b.call("build_fail")
+            b.call("build_strong")
+            b.asm.li(r_table, FAIL_MP)
+            b.asm.li(r_caddr, MP_COMP)
+            b.asm.li(r_maddr, MP_MATCH)
+            b.call("search")
+            b.asm.li(r_table, FAIL_KMP)
+            b.asm.li(r_caddr, KMP_COMP)
+            b.asm.li(r_maddr, KMP_MATCH)
+            b.call("search")
+            b.asm.li(r_a, PASSES)
+            b.asm.ld(r_v, r_a, 0)
+            b.asm.addi(r_v, r_v, 1)
+            b.asm.st(r_v, r_a, 0)
+
+    return b.build()

@@ -24,6 +24,7 @@ from . import gcc        # noqa: F401
 from . import go         # noqa: F401
 from . import hydro2d    # noqa: F401
 from . import ijpeg      # noqa: F401
+from . import kmp        # noqa: F401
 from . import li         # noqa: F401
 from . import m88ksim    # noqa: F401
 from . import mgrid      # noqa: F401

@@ -79,6 +79,17 @@ class TestCLI:
         assert main(["fig6", "--budget", "15000"]) == 2
         assert ENGINE_ENV in capsys.readouterr().err
 
+    @pytest.mark.parametrize("variable,value", [
+        ("REPRO_TRACER", "bogus"),
+        ("REPRO_TRACE_CHUNK", "abc"),
+        ("REPRO_TRACE_STREAM", "-5"),
+    ])
+    def test_bad_capture_env_exits_2(self, capsys, monkeypatch,
+                                     variable, value):
+        monkeypatch.setenv(variable, value)
+        assert main(["fig6", "--budget", "15000"]) == 2
+        assert variable in capsys.readouterr().err
+
     def test_bad_engine_flag_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig6", "--engine", "turbo"])

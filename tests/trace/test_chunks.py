@@ -1,0 +1,184 @@
+"""Chunked trace containers: round-trip, streaming parity, versioning."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.cpu import FastMachine, Machine
+from repro.icache import CacheGeometry
+from repro.trace.blocks import segment_blocks
+from repro.trace.chunks import (
+    CHUNK_ENV,
+    DEFAULT_CHUNK_RECORDS,
+    ChunkedTrace,
+    TraceChunkWriter,
+    chunk_records,
+)
+from repro.trace.record import CAPTURE_VERSION
+from repro.workloads.registry import REGISTRY
+
+BUDGET = 30_000
+PER_CHUNK = 1024
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """A materialised compress trace small enough to inspect fully."""
+    program = REGISTRY.program("compress")
+    return program, Machine(program).run(max_instructions=BUDGET).trace
+
+
+@pytest.fixture(scope="module")
+def container(reference, tmp_path_factory):
+    """The same capture streamed into a chunk container."""
+    program, trace = reference
+    path = tmp_path_factory.mktemp("chunks") / "compress.chunks"
+    with TraceChunkWriter(path, entry_pc=program.entry, name="compress",
+                          records_per_chunk=PER_CHUNK) as writer:
+        executed, halted, truncated = FastMachine(program).run_streaming(
+            writer, max_instructions=BUDGET, flush_records=PER_CHUNK)
+        writer.close(executed, truncated=truncated)
+    assert trace.n_instructions == executed
+    return path
+
+
+class TestRoundTrip:
+    def test_metadata_matches(self, reference, container):
+        _program, trace = reference
+        with ChunkedTrace(container) as chunked:
+            assert chunked.entry_pc == trace.entry_pc
+            assert chunked.n_instructions == trace.n_instructions
+            assert chunked.truncated == trace.truncated
+            assert chunked.name == "compress"
+            assert chunked.n_records == len(trace.pc)
+            assert chunked.n_branches == len(trace.pc) - 1
+            assert chunked.n_chunks > 1
+
+    def test_chunks_partition_the_records(self, reference, container):
+        _program, trace = reference
+        with ChunkedTrace(container) as chunked:
+            for i, field in enumerate(("pc", "kind", "taken", "target")):
+                streamed = np.concatenate(
+                    [chunk[i] for chunk in chunked.iter_chunks()])
+                np.testing.assert_array_equal(streamed,
+                                              getattr(trace, field))
+
+    def test_every_chunk_is_bounded(self, container):
+        with ChunkedTrace(container) as chunked:
+            sizes = [chunk[0].shape[0]
+                     for chunk in chunked.iter_chunks()]
+            assert all(s == PER_CHUNK for s in sizes[:-1])
+            assert 0 < sizes[-1] <= PER_CHUNK
+
+    def test_lazy_materialisation_matches(self, reference, container):
+        _program, trace = reference
+        with ChunkedTrace(container) as chunked:
+            np.testing.assert_array_equal(chunked.pc, trace.pc)
+            np.testing.assert_array_equal(chunked.cond_mask,
+                                          trace.cond_mask)
+            full = chunked.materialize()
+            assert full.n_instructions == trace.n_instructions
+            np.testing.assert_array_equal(full.target, trace.target)
+
+    def test_cond_stream_matches_materialised_derivation(
+            self, reference, container):
+        _program, trace = reference
+        with ChunkedTrace(container) as chunked:
+            prefix, cond_pc, cond_taken = chunked.cond_stream()
+            mask = trace.cond_mask
+            expected_prefix = np.zeros(len(trace.pc) + 1, dtype=np.int64)
+            np.cumsum(mask, out=expected_prefix[1:])
+            np.testing.assert_array_equal(prefix, expected_prefix)
+            np.testing.assert_array_equal(cond_pc, trace.pc[mask])
+            np.testing.assert_array_equal(cond_taken, trace.taken[mask])
+            assert chunked.n_cond == int(mask.sum())
+
+    def test_segmentation_parity(self, reference, container):
+        _program, trace = reference
+        geometry = CacheGeometry.normal(8)
+        expected = segment_blocks(trace, geometry)
+        with ChunkedTrace(container) as chunked:
+            streamed = segment_blocks(chunked, geometry)
+        for field in ("start", "n_instr", "exit_kind", "exit_target",
+                      "first_rec", "n_recs"):
+            np.testing.assert_array_equal(getattr(streamed, field),
+                                          getattr(expected, field))
+
+
+class TestWriterContract:
+    def _records(self, trace):
+        return (np.asarray(trace.pc), np.asarray(trace.kind),
+                np.asarray(trace.taken), np.asarray(trace.target))
+
+    def test_abort_on_exit_leaves_nothing(self, reference, tmp_path):
+        _program, trace = reference
+        path = tmp_path / "aborted.chunks"
+        with TraceChunkWriter(path, entry_pc=0) as writer:
+            writer(*self._records(trace))
+        assert not path.exists()
+        assert not list(tmp_path.iterdir())
+
+    def test_close_requires_halt_terminated_stream(self, reference,
+                                                   tmp_path):
+        _program, trace = reference
+        path = tmp_path / "torn.chunks"
+        pc, kind, taken, target = self._records(trace)
+        writer = TraceChunkWriter(path, entry_pc=0)
+        writer(pc[:-1], kind[:-1], taken[:-1], target[:-1])
+        with pytest.raises(ValueError, match="HALT"):
+            writer.close(trace.n_instructions)
+        assert not path.exists()
+
+    def test_close_rejects_empty_capture(self, tmp_path):
+        writer = TraceChunkWriter(tmp_path / "empty.chunks", entry_pc=0)
+        with pytest.raises(ValueError, match="at least"):
+            writer.close(0)
+
+    def test_mismatched_segment_lengths_rejected(self, reference,
+                                                 tmp_path):
+        _program, trace = reference
+        pc, kind, taken, target = self._records(trace)
+        with TraceChunkWriter(tmp_path / "bad.chunks", entry_pc=0) as w:
+            with pytest.raises(ValueError, match="equal length"):
+                w(pc, kind[:-1], taken, target)
+
+
+class TestVersioning:
+    def test_stale_version_rejected(self, container, tmp_path):
+        stale = tmp_path / "stale.chunks"
+        with zipfile.ZipFile(container) as src, \
+                zipfile.ZipFile(stale, "w") as dst:
+            for member in src.namelist():
+                data = src.read(member)
+                if member == "meta.json":
+                    meta = json.loads(data)
+                    meta["capture_version"] = CAPTURE_VERSION - 1
+                    data = json.dumps(meta).encode()
+                dst.writestr(member, data)
+        with pytest.raises(ValueError, match="capture version"):
+            ChunkedTrace(stale)
+
+    def test_non_container_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.chunks"
+        with zipfile.ZipFile(bogus, "w") as zf:
+            zf.writestr("unrelated.txt", "nope")
+        with pytest.raises(ValueError, match="not a chunked trace"):
+            ChunkedTrace(bogus)
+
+
+class TestChunkKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        assert chunk_records() == DEFAULT_CHUNK_RECORDS
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "4096")
+        assert chunk_records() == 4096
+
+    @pytest.mark.parametrize("bad", ["zero", "0", "-5", "1.5"])
+    def test_invalid_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(CHUNK_ENV, bad)
+        with pytest.raises(ValueError, match=CHUNK_ENV):
+            chunk_records()

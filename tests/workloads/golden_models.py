@@ -524,3 +524,71 @@ def ijpeg_golden(outer: int) -> Dict[str, List[int]]:
                         out += 1
                         run = 0
     return {"image": image, "block": block, "output": output}
+
+
+def kmp_golden(outer: int) -> Dict[str, List[int]]:
+    """Mirror of the ``kmp`` analog after ``outer`` search passes."""
+    from repro.workloads import kmp as m
+
+    rng = LCG(m.SEED)
+
+    def skewed() -> int:
+        a = rng.rand(m.N_SYMBOLS)
+        c = rng.rand(m.N_SYMBOLS)
+        return c if c < a else a
+
+    counters = {"mp_comp": 0, "mp_match": 0,
+                "kmp_comp": 0, "kmp_match": 0, "passes": 0}
+    pattern: List[int] = []
+    text: List[int] = []
+    fail: List[int] = []
+    strong: List[int] = []
+    for _ in range(outer):
+        pattern = [skewed() for _ in range(m.PAT_LEN)]
+        text = [skewed() for _ in range(m.TEXT_LEN)]
+        # Weak borders (Morris-Pratt failure function).
+        fail = [0] * (m.PAT_LEN + 1)
+        k = 0
+        for j in range(1, m.PAT_LEN):
+            while k > 0 and pattern[j] != pattern[k]:
+                k = fail[k]
+            if pattern[j] == pattern[k]:
+                k += 1
+            fail[j + 1] = k
+        # Strong failure function (KMP refinement).
+        strong = [0] * (m.PAT_LEN + 1)
+        for j in range(1, m.PAT_LEN):
+            f = fail[j]
+            strong[j] = strong[f] if pattern[j] == pattern[f] else f
+        strong[m.PAT_LEN] = fail[m.PAT_LEN]
+
+        def search(table: List[int]) -> "tuple[int, int]":
+            comparisons = matches = 0
+            j = 0
+            for i in range(m.TEXT_LEN):
+                t = text[i]
+                while True:
+                    comparisons += 1
+                    if t == pattern[j]:
+                        j += 1
+                        if j == m.PAT_LEN:
+                            matches += 1
+                            j = table[m.PAT_LEN]
+                        break
+                    if j == 0:
+                        break
+                    j = table[j]
+            return comparisons, matches
+
+        c, hits = search(fail)
+        counters["mp_comp"] += c
+        counters["mp_match"] += hits
+        c, hits = search(strong)
+        counters["kmp_comp"] += c
+        counters["kmp_match"] += hits
+        counters["passes"] += 1
+    return {"pattern": pattern, "text": text, "fail_mp": fail,
+            "fail_kmp": strong,
+            "counters": [counters["mp_comp"], counters["mp_match"],
+                         counters["kmp_comp"], counters["kmp_match"],
+                         counters["passes"]]}

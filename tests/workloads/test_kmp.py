@@ -1,0 +1,69 @@
+"""The ``kmp`` verification workload: golden model and analytic bounds.
+
+The workload exists *because* its dynamic behaviour is provable: the
+Morris-Pratt automaton's amortized comparison bound, the strong failure
+function's dominance, and the match-count agreement hold for every
+pattern and text.  The golden test pins the implementation bit-for-bit;
+the bound tests pin the mathematics.
+"""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.qa.invariants import kmp_search_bounds
+from repro.qa.oracle import tracer_mode_env
+from repro.workloads import kmp as kmp_mod
+from repro.workloads.registry import workload_names
+
+from .golden_models import kmp_golden
+from .test_golden import run_bounded
+
+OUTER = 3
+
+
+class TestKmpGolden:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return run_bounded(kmp_mod, OUTER), kmp_golden(OUTER)
+
+    def test_pattern_and_text_match(self, pair):
+        machine, golden = pair
+        m = kmp_mod
+        assert machine.mem[m.PATTERN:m.PATTERN + m.PAT_LEN] == \
+            golden["pattern"]
+        assert machine.mem[m.TEXT:m.TEXT + m.TEXT_LEN] == golden["text"]
+
+    def test_failure_tables_match(self, pair):
+        machine, golden = pair
+        m = kmp_mod
+        assert machine.mem[m.FAIL_MP:m.FAIL_MP + m.PAT_LEN + 1] == \
+            golden["fail_mp"]
+        assert machine.mem[m.FAIL_KMP:m.FAIL_KMP + m.PAT_LEN + 1] == \
+            golden["fail_kmp"]
+
+    def test_counters_match(self, pair):
+        machine, golden = pair
+        m = kmp_mod
+        assert machine.mem[m.MP_COMP:m.PASSES + 1] == golden["counters"]
+
+    def test_strong_table_dominates_weak(self, pair):
+        _machine, golden = pair
+        # The strong function always jumps at least as far back.
+        for weak, hard in zip(golden["fail_mp"], golden["fail_kmp"]):
+            assert hard <= weak
+
+
+class TestAnalyticBounds:
+    def test_registered_in_extra_suite(self):
+        assert "kmp" in workload_names("extra")
+
+    @pytest.mark.parametrize("mode", ["scalar", "fast"])
+    def test_bounds_hold_under_both_tracers(self, mode):
+        with tracer_mode_env(mode):
+            assert kmp_search_bounds(outer=2, budget=2_000_000) is None
+
+    def test_unbounded_build_truncates_cleanly(self):
+        machine = Machine(kmp_mod.build())
+        result = machine.run(max_instructions=50_000)
+        assert not result.halted
+        assert result.trace.truncated

@@ -35,7 +35,8 @@ class TestSuites:
     def test_suite_filters(self):
         assert set(workload_names("int")) == set(SPECINT95)
         assert set(workload_names("fp")) == set(SPECFP95)
-        assert set(workload_names()) == set(SPEC95)
+        assert set(workload_names("extra")) == {"kmp"}
+        assert set(workload_names()) == set(SPEC95) | {"kmp"}
 
 
 class TestLookup:

@@ -110,6 +110,41 @@ REGISTRY: Tuple[EnvVar, ...] = (
         owner="repro.runtime.resilience",
     ),
     EnvVar(
+        name="REPRO_SERVE_BATCH",
+        summary="Max requests the prediction service dispatches per "
+                "sweep batch.",
+        default="32",
+        owner="repro.serve.config",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_BREAKER_COOLDOWN",
+        summary="Seconds an open per-workload circuit breaker waits "
+                "before half-opening for a probe request.",
+        default="5.0",
+        owner="repro.serve.config",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_BREAKER_THRESHOLD",
+        summary="Consecutive fast-path failures that trip a workload "
+                "family's circuit breaker.",
+        default="5",
+        owner="repro.serve.config",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_DEADLINE",
+        summary="Default per-request deadline in seconds for the "
+                "prediction service ('off' disables).",
+        default="no deadline",
+        owner="repro.serve.config",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_QUEUE",
+        summary="Bounded admission-queue depth of the prediction "
+                "service; a full queue sheds with a typed overload.",
+        default="256",
+        owner="repro.serve.config",
+    ),
+    EnvVar(
         name="REPRO_TRACER",
         summary="Trace-capture tier: 'fast' (vectorized tiered tracer) "
                 "or 'scalar' (reference interpreter), bit-identical.",

@@ -190,18 +190,27 @@ def _write_checksum(path: Path) -> None:
         tmp.unlink(missing_ok=True)
 
 
-def _verify_checksum(path: Path) -> bool:
-    """False when the artifact's bytes disagree with its sidecar.
+def _verify_checksum(path: Path) -> Optional[bool]:
+    """Three-way integrity verdict for an artifact against its sidecar.
 
-    Artifacts without a sidecar (written before checksums existed) are
-    accepted — their structural parse still guards against truncation.
+    ``True``: bytes match (or no sidecar exists — artifacts from before
+    checksums are accepted; their structural parse still guards against
+    truncation).  ``False``: bytes disagree — genuine corruption.
+    ``None``: the artifact vanished mid-verification — a concurrent
+    :func:`evict` or :func:`quarantine` won the race, and the caller
+    should treat the read as a plain miss, *not* corruption.
     """
     side = _checksum_path(path)
-    if not side.exists():
-        return True
     try:
         expected = side.read_text().strip()
+    except FileNotFoundError:
+        return True
+    except OSError:
+        return False
+    try:
         return _file_sha256(path) == expected
+    except FileNotFoundError:
+        return None
     except OSError:
         return False
 
@@ -222,6 +231,12 @@ def quarantine(path: Path, reason: str) -> Optional[Path]:
             qdir.mkdir(parents=True, exist_ok=True)
             dest = qdir / path.name
             os.replace(path, dest)
+        except FileNotFoundError:
+            # Another process evicted or quarantined it first; the key
+            # no longer shadows the cache, so there is nothing to report
+            # — warning here would turn one corrupt file into a storm.
+            _checksum_path(path).unlink(missing_ok=True)
+            return None
         except OSError:
             dest = None
     if dest is None:
@@ -246,11 +261,16 @@ def _read_artifact(path: Path, loader: Callable[[Path], object],
     if not path.exists():
         return None
     faults.corrupt_artifact(path, kind, name)
-    if not _verify_checksum(path):
+    verdict = _verify_checksum(path)
+    if verdict is None:
+        return None  # lost a race with eviction: clean miss
+    if not verdict:
         quarantine(path, "checksum mismatch")
         return None
     try:
         return loader(path)
+    except FileNotFoundError:
+        return None  # vanished between verify and open: clean miss
     except READ_ERRORS as exc:
         quarantine(path, f"unreadable: {exc!r}")
         return None

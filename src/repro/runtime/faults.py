@@ -28,6 +28,27 @@ In a worker process a ``crash`` really kills the interpreter; when the
 sweep runs serially there is no isolation boundary to sacrifice, so
 ``crash`` and ``hang`` degrade to a raised :class:`FaultInjected` and
 exercise the retry path instead.
+
+**Service-level faults** (consumed by :mod:`repro.serve`) extend the
+same grammar to long-lived prediction serving, where requests — not
+sweep-cell indexes — are the stable identity::
+
+    crash:request=3f2a    the worker running any request whose digest
+                          starts with ``3f2a`` dies hard on its first
+                          attempt (``hang``/``fail`` analogous)
+    fail:request=kmp      request faults also match by workload name,
+                          so one directive can fault a whole family
+    corrupt:entry=3f2a    the service's cached result payload for the
+                          matching entry reads corrupt once, forcing a
+                          verified recompute instead of a wrong answer
+
+Request faults keep the attempt gating of cell faults: the service maps
+``crash``/``hang`` onto the translated per-batch cell faults of the
+resilient executor (so worker death and deadline kill paths are the real
+ones), applies ``fail`` inside the worker body as a typed failure, and
+replays still-faulted requests on its in-process degradation ladder
+where every action degrades to :class:`FaultInjected` — exactly the
+serial semantics above.
 """
 
 from __future__ import annotations
@@ -49,7 +70,7 @@ CRASH_EXIT_CODE = 86
 HANG_SECONDS = 600.0
 
 _CELL_ACTIONS = ("crash", "hang", "fail")
-_ARTIFACT_KINDS = ("trace", "blocks")
+_ARTIFACT_KINDS = ("trace", "blocks", "entry")
 
 _CORRUPTION_MARKER = b"repro-injected-corruption"
 
@@ -108,9 +129,14 @@ def parse_spec(raw: Optional[str]) -> Tuple[Fault, ...]:
             if times < 1:
                 raise _bad_spec(raw, f"times must be >= 1, got {times}")
         if action in _CELL_ACTIONS:
+            if key == "request":
+                # Service-level fault: the target names a request by
+                # digest prefix or workload name (repro.serve).
+                parsed.append(Fault(action, "request", value, times))
+                continue
             if key != "cell":
-                raise _bad_spec(raw, f"{action} faults target 'cell', "
-                                     f"not {key!r}")
+                raise _bad_spec(raw, f"{action} faults target 'cell' or "
+                                     f"'request', not {key!r}")
             try:
                 index = int(value)
             except ValueError:
@@ -159,6 +185,57 @@ def apply_cell_faults(index: int, attempt: int, isolated: bool) -> None:
             f"injected {fault.action}: cell {index}, attempt {attempt}")
 
 
+# ----------------------------------------------------------------------
+# Service-level faults (repro.serve)
+# ----------------------------------------------------------------------
+
+def _matches_request(fault: Fault, digest: str, workload: str) -> bool:
+    """Whether a request-targeted fault selects this request.
+
+    Targets match either a digest prefix (the content address of the
+    request, precise) or the workload name (coarse: one directive faults
+    a whole request family).
+    """
+    return bool(fault.target) and (digest.startswith(fault.target)
+                                   or fault.target == workload)
+
+
+def request_faults(digest: str, workload: str,
+                   spec: Optional[Tuple[Fault, ...]] = None,
+                   ) -> Tuple[Fault, ...]:
+    """The request-targeted faults selecting ``(digest, workload)``.
+
+    ``spec`` defaults to the environment's parsed spec; the service
+    passes its construction-time snapshot so mid-campaign environment
+    mutation cannot change the plan.
+    """
+    faults_ = active() if spec is None else spec
+    return tuple(f for f in faults_ if f.kind == "request"
+                 and _matches_request(f, digest, workload))
+
+
+def apply_request_faults(digest: str, workload: str, attempt: int,
+                         hard: bool,
+                         spec: Optional[Tuple[Fault, ...]] = None) -> None:
+    """Fire request faults matching ``(digest, workload, attempt)``.
+
+    ``hard=False`` is the worker-side call inside the request body:
+    only ``fail`` directives fire (as :class:`FaultInjected`), because
+    ``crash``/``hang`` are delivered through the translated per-batch
+    cell faults of the resilient executor — the worker genuinely dies
+    or wedges there.  ``hard=True`` is the service's in-process
+    degradation ladder, where — exactly like serial sweeps — every
+    action degrades to a raised :class:`FaultInjected`.
+    """
+    for fault in request_faults(digest, workload, spec):
+        if attempt >= fault.times:
+            continue
+        if fault.action == "fail" or hard:
+            raise FaultInjected(
+                f"injected {fault.action}: request {digest[:12]} "
+                f"({workload}), attempt {attempt}")
+
+
 #: (kind, name) -> number of times a corruption fault already fired,
 #: so ``times=N`` is honoured within one process.
 _corruptions_fired: Dict[Tuple[str, str], int] = {}
@@ -177,6 +254,30 @@ def corrupt_artifact(path: Path, kind: str, name: str) -> None:
             continue
         path.write_bytes(_CORRUPTION_MARKER)
         _corruptions_fired[key] = _corruptions_fired.get(key, 0) + 1
+
+
+def corrupt_entry(digest: str, workload: str,
+                  spec: Optional[Tuple[Fault, ...]] = None) -> bool:
+    """Whether a ``corrupt:entry`` fault fires for this store read.
+
+    The serve result store calls this before serving a cached payload;
+    a ``True`` return means the store must hand back corrupted bytes so
+    its checksum verification path is exercised.  ``times=N`` is
+    honoured per target within one process, mirroring artifact
+    corruption.
+    """
+    faults_ = active() if spec is None else spec
+    for fault in faults_:
+        if fault.action != "corrupt" or fault.kind != "entry":
+            continue
+        if not _matches_request(fault, digest, workload):
+            continue
+        key = ("entry", fault.target)
+        if _corruptions_fired.get(key, 0) >= fault.times:
+            continue
+        _corruptions_fired[key] = _corruptions_fired.get(key, 0) + 1
+        return True
+    return False
 
 
 def reset() -> None:

@@ -43,9 +43,11 @@ import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from . import cache, faults, profile
 
@@ -132,6 +134,33 @@ def resume_enabled() -> bool:
 
 def _backoff(attempts_done: int) -> float:
     return min(BACKOFF_CAP, BACKOFF_BASE * (2 ** attempts_done))
+
+
+@contextmanager
+def scoped_environ(overrides: Mapping[str, Optional[str]],
+                   ) -> Iterator[None]:
+    """Temporarily set (or, with ``None``, unset) environment variables.
+
+    The sanctioned way for callers outside the runtime config entry
+    points (notably :mod:`repro.serve`) to scope runtime knobs like
+    ``REPRO_CELL_TIMEOUT`` or ``REPRO_FAULT_SPEC`` around one dispatch:
+    the previous values are restored on exit even when the body raises.
+    Worker pools forked inside the scope inherit the overridden values.
+    """
+    saved = {name: os.environ.get(name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""Prediction-as-a-service on top of the resilient sweep runtime.
+
+``repro.serve`` turns the batch reproduction into a long-lived service:
+:class:`PredictionService` admits (workload, geometry, predictor
+config) request cells, batches them through the fault-tolerant executor
+into the vectorized engines, and answers every request with a typed
+response — served bit-exact, failed with a named error, or shed with a
+retry-after hint.  :mod:`repro.serve.traffic` and
+:mod:`repro.serve.chaos` drive it with seeded production-shaped
+traffic and deterministic fault campaigns.
+
+Run ``python -m repro.serve --help`` for the drivers.
+"""
+
+from .breaker import CircuitBreaker
+from .chaos import ChaosPlan, ChaosResult, plan_chaos, run_chaos
+from .requests import (
+    RequestError,
+    ServeRequest,
+    ServeResponse,
+    ServiceOverload,
+    execute_request_cell,
+    payload_digest,
+    stats_payload,
+)
+from .service import PredictionService, ServiceMetrics
+from .store import ResultStore
+from .traffic import (
+    TrafficModel,
+    TrafficSummary,
+    build_universe,
+    request_stream,
+    run_traffic,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosResult",
+    "CircuitBreaker",
+    "PredictionService",
+    "RequestError",
+    "ResultStore",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceMetrics",
+    "ServiceOverload",
+    "TrafficModel",
+    "TrafficSummary",
+    "build_universe",
+    "execute_request_cell",
+    "payload_digest",
+    "plan_chaos",
+    "request_stream",
+    "run_chaos",
+    "run_traffic",
+    "stats_payload",
+]

@@ -1,0 +1,97 @@
+"""Per-workload-family circuit breaker.
+
+A breaker guards the expensive fast path (worker-pool dispatch) for one
+workload family.  Consecutive fast-path failures trip it OPEN; while
+open, requests for the family are answered from the result store or
+shed with a retry-after hint instead of burning worker attempts.  After
+a cooldown the breaker HALF-OPENs and admits exactly one probe request;
+a successful probe closes it, a failed probe re-opens it and restarts
+the cooldown.
+
+The clock is injectable so tests can drive state transitions without
+sleeping; the default is ``time.monotonic`` (never wall-clock — see
+reprolint REP102).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Admission verdicts.
+ALLOW = "allow"
+PROBE = "probe"
+REJECT = "reject"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(self, family: str, threshold: int, cooldown: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.family = family
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0          #: consecutive fast-path failures
+        self.opened_at = 0.0
+        self._probing = False      #: a half-open probe is in flight
+        #: (from_state, to_state) transition log, for metrics and tests.
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _move(self, state: str) -> None:
+        if state != self.state:
+            self.transitions.append((self.state, state))
+            self.state = state
+
+    def admit(self) -> str:
+        """Whether a request for this family may hit the fast path.
+
+        Returns :data:`ALLOW` (closed), :data:`PROBE` (half-open, this
+        request is the single probe), or :data:`REJECT` (open, or a
+        probe is already in flight).
+        """
+        if self.state == CLOSED:
+            return ALLOW
+        if self.state == OPEN \
+                and self._clock() - self.opened_at >= self.cooldown:
+            self._move(HALF_OPEN)
+            self._probing = False
+        if self.state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return PROBE
+        return REJECT
+
+    def record_success(self) -> None:
+        """A fast-path attempt (or probe) for this family succeeded."""
+        self.failures = 0
+        self._probing = False
+        self._move(CLOSED)
+
+    def record_failure(self) -> None:
+        """A fast-path attempt (or probe) for this family failed."""
+        self.failures += 1
+        self._probing = False
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.opened_at = self._clock()
+            self._move(OPEN)
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would next admit a probe."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.opened_at + self.cooldown - self._clock())
+
+    @property
+    def n_trips(self) -> int:
+        """How many times the breaker has transitioned to OPEN."""
+        return sum(1 for _, to in self.transitions if to == OPEN)

@@ -1,0 +1,97 @@
+"""Validated environment knobs for the prediction service.
+
+Follows the project's environment-variable discipline: every knob is
+declared in :mod:`repro.envvars` (so reprolint REP4xx covers it), read
+through :func:`repro.envvars.read` (the sanctioned read for modules
+outside the runtime config entry points), and validated eagerly with an
+error naming the variable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import envvars
+
+QUEUE_ENV = "REPRO_SERVE_QUEUE"
+BATCH_ENV = "REPRO_SERVE_BATCH"
+DEADLINE_ENV = "REPRO_SERVE_DEADLINE"
+BREAKER_THRESHOLD_ENV = "REPRO_SERVE_BREAKER_THRESHOLD"
+BREAKER_COOLDOWN_ENV = "REPRO_SERVE_BREAKER_COOLDOWN"
+
+DEFAULT_QUEUE_LIMIT = 256
+DEFAULT_BATCH_LIMIT = 32
+DEFAULT_BREAKER_THRESHOLD = 5
+DEFAULT_BREAKER_COOLDOWN = 5.0
+
+_OFF = {"", "0", "off", "none", "disable", "disabled"}
+
+
+def _positive_int(name: str, default: int) -> int:
+    raw = envvars.read(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(name: str, default: float) -> float:
+    raw = envvars.read(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive number of seconds, "
+            f"got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def queue_limit() -> int:
+    """Bounded admission-queue depth (``REPRO_SERVE_QUEUE``)."""
+    return _positive_int(QUEUE_ENV, DEFAULT_QUEUE_LIMIT)
+
+
+def batch_limit() -> int:
+    """Max requests dispatched per batch (``REPRO_SERVE_BATCH``)."""
+    return _positive_int(BATCH_ENV, DEFAULT_BATCH_LIMIT)
+
+
+def default_deadline() -> Optional[float]:
+    """Default per-request deadline in seconds, or None when off
+    (``REPRO_SERVE_DEADLINE``).  Clients may still set a per-request
+    deadline explicitly."""
+    raw = envvars.read(DEADLINE_ENV)
+    if raw is None or raw.strip().lower() in _OFF:
+        return None
+    return _positive_float(DEADLINE_ENV, 0.0)
+
+
+def breaker_threshold() -> int:
+    """Consecutive fast-path failures that trip a workload family's
+    circuit breaker (``REPRO_SERVE_BREAKER_THRESHOLD``)."""
+    return _positive_int(BREAKER_THRESHOLD_ENV, DEFAULT_BREAKER_THRESHOLD)
+
+
+def breaker_cooldown() -> float:
+    """Seconds an open breaker waits before half-opening for a probe
+    (``REPRO_SERVE_BREAKER_COOLDOWN``)."""
+    return _positive_float(BREAKER_COOLDOWN_ENV, DEFAULT_BREAKER_COOLDOWN)
+
+
+def validate() -> None:
+    """Eagerly validate every serve knob (CLI startup)."""
+    queue_limit()
+    batch_limit()
+    default_deadline()
+    breaker_threshold()
+    breaker_cooldown()

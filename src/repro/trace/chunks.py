@@ -23,9 +23,12 @@ Container layout (one ``zipfile`` with ``ZIP_DEFLATED`` members):
   — the record arrays of chunk ``i``, dtypes matching
   :class:`~repro.trace.record.Trace` (int64 / uint8 / bool / int64).
 
-Writes go to a same-directory temporary file renamed into place on
-:meth:`TraceChunkWriter.close`, so a crashed capture never leaves a
-half-written container behind.
+Writes go to a same-directory temporary file that is flushed to stable
+storage (``os.fsync``) *before* being renamed into place on
+:meth:`TraceChunkWriter.close`, so a capture killed at any point — even
+by power loss straddling the rename — leaves either nothing behind the
+final name or a complete container, never a torn one.  At worst an
+abandoned ``.tmp`` file remains, which readers never open.
 """
 
 from __future__ import annotations
@@ -194,7 +197,23 @@ class TraceChunkWriter:
         self._zf.writestr(_META_MEMBER, json.dumps(meta, sort_keys=True))
         self._zf.close()
         self._zf = None
+        # Durability: the container's bytes must be on stable storage
+        # before the rename publishes them — otherwise a crash after the
+        # rename but before writeback leaves a torn file behind the
+        # *final* name, which no reader can distinguish from corruption.
+        with open(self._tmp, "rb") as handle:
+            os.fsync(handle.fileno())
         os.replace(self._tmp, self.path)
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return  # platform without openable directories: best effort
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass  # the rename itself is still atomic
+        finally:
+            os.close(dir_fd)
 
     def abort(self) -> None:
         """Discard the capture, removing the temporary container."""

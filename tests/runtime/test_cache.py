@@ -1,5 +1,11 @@
 """Persistent disk cache: keying, round trips, atomicity, purging."""
 
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -240,3 +246,81 @@ class TestPurge:
         cache.store_trace(trace, NAME, BUDGET, digest)
         cache.purge()
         assert foreign.exists()
+
+
+class TestEvictionRace:
+    """Readers racing a concurrent evictor must miss cleanly.
+
+    Eviction deletes the artifact and its sidecar in two steps; a reader
+    can observe any interleaving.  None of them may look like corruption
+    — a quarantine warning per racing read would turn routine cache
+    maintenance into a storm.
+    """
+
+    def test_artifact_vanishing_mid_verify_is_none(self, cache_dir,
+                                                   trace, digest):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        path.unlink()  # evictor deleted the artifact, sidecar not yet
+        assert cache._verify_checksum(path) is None
+
+    def test_load_racing_eviction_is_a_clean_miss(self, cache_dir,
+                                                  trace, digest,
+                                                  monkeypatch):
+        cache.store_trace(trace, NAME, BUDGET, digest)
+        path, = (cache_dir / "traces").glob("*.npz")
+        real_verify = cache._verify_checksum
+
+        def evict_after_verify(target):
+            verdict = real_verify(target)
+            target.unlink(missing_ok=True)  # evictor wins the race here
+            cache._checksum_path(target).unlink(missing_ok=True)
+            return verdict
+
+        monkeypatch.setattr(cache, "_verify_checksum", evict_after_verify)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load_trace(NAME, BUDGET, digest) is None
+
+    def test_quarantine_of_vanished_file_is_silent(self, cache_dir):
+        gone = cache_dir / "traces" / "already-evicted.npz"
+        gone.parent.mkdir(parents=True, exist_ok=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.quarantine(gone, "checksum mismatch") is None
+
+    def test_two_process_store_evict_load_stress(self, cache_dir, trace,
+                                                 digest):
+        """A child stores and evicts in a loop while we read.
+
+        Every read must be a hit or a clean miss: zero quarantine
+        warnings, and the quarantine directory stays empty.
+        """
+        src = str(Path(cache.__file__).resolve().parents[2])
+        child_code = (
+            "from repro.runtime import cache\n"
+            "from repro.workloads import get_workload, load_trace\n"
+            f"trace = load_trace({NAME!r}, {BUDGET})\n"
+            f"digest = cache.program_digest("
+            f"get_workload({NAME!r}).build())\n"
+            "for _ in range(200):\n"
+            f"    cache.store_trace(trace, {NAME!r}, {BUDGET}, digest)\n"
+            "    cache.evict(limit=0)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=src,
+                   **{cache.CACHE_DIR_ENV: str(cache_dir)})
+        child = subprocess.Popen([sys.executable, "-c", child_code],
+                                 env=env)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                while child.poll() is None:
+                    loaded = cache.load_trace(NAME, BUDGET, digest)
+                    if loaded is not None:
+                        assert loaded.n_records == trace.n_records
+        finally:
+            child.wait(timeout=120)
+        assert child.returncode == 0
+        quarantine_dir = cache_dir / cache.QUARANTINE_DIR
+        assert not quarantine_dir.exists() \
+            or not list(quarantine_dir.iterdir())

@@ -118,3 +118,53 @@ class TestCorruptArtifact:
         cache.store_trace(trace, "go", 5_000, digest)
         monkeypatch.setenv(faults.FAULTS_ENV, "corrupt:trace=compress")
         assert cache.load_trace("go", 5_000, digest) is not None
+
+
+class TestRequestFaults:
+    def test_request_directives_parse(self):
+        parsed = faults.parse_spec(
+            "crash:request=3f2a;fail:request=kmp,times=2;"
+            "corrupt:entry=3f2a")
+        assert parsed[0] == faults.Fault("crash", "request", "3f2a", 1)
+        assert parsed[1] == faults.Fault("fail", "request", "kmp", 2)
+        assert parsed[2] == faults.Fault("corrupt", "entry", "3f2a", 1)
+
+    def test_request_matching_by_prefix_and_workload(self):
+        spec = faults.parse_spec("fail:request=ab12;crash:request=go")
+        assert len(faults.request_faults("ab12ffff", "kmp", spec)) == 1
+        assert len(faults.request_faults("0000ffff", "go", spec)) == 1
+        assert faults.request_faults("0000ffff", "kmp", spec) == ()
+
+    def test_soft_application_only_fires_fail(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "crash:request=ab;hang:request=ab")
+        # crash/hang ride the translated cell faults, not the body.
+        faults.apply_request_faults("abcd", "kmp", 0, hard=False)
+        monkeypatch.setenv(faults.FAULTS_ENV, "fail:request=ab")
+        with pytest.raises(faults.FaultInjected):
+            faults.apply_request_faults("abcd", "kmp", 0, hard=False)
+
+    def test_hard_application_degrades_every_action(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash:request=ab,times=2")
+        with pytest.raises(faults.FaultInjected):
+            faults.apply_request_faults("abcd", "kmp", 0, hard=True)
+        with pytest.raises(faults.FaultInjected):
+            faults.apply_request_faults("abcd", "kmp", 1, hard=True)
+        faults.apply_request_faults("abcd", "kmp", 2, hard=True)
+
+    def test_explicit_spec_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "fail:request=ab,times=9")
+        snapshot = faults.parse_spec(None)
+        faults.apply_request_faults("abcd", "kmp", 0, hard=True,
+                                    spec=snapshot)  # snapshot is empty
+
+    def test_corrupt_entry_honours_times(self):
+        spec = faults.parse_spec("corrupt:entry=ab,times=2")
+        assert faults.corrupt_entry("abcd", "kmp", spec)
+        assert faults.corrupt_entry("abcd", "kmp", spec)
+        assert not faults.corrupt_entry("abcd", "kmp", spec)
+        assert not faults.corrupt_entry("ffff", "kmp", spec)
+
+    def test_cell_faults_reject_other_targets(self):
+        with pytest.raises(ValueError, match="request"):
+            faults.parse_spec("crash:slot=3")

@@ -1,0 +1,105 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.serve.breaker import (
+    ALLOW,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    PROBE,
+    REJECT,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker("kmp", threshold=3, cooldown=5.0, clock=clock)
+
+
+def test_starts_closed_and_allows(breaker):
+    assert breaker.state == CLOSED
+    assert breaker.admit() == ALLOW
+
+
+def test_trips_after_consecutive_failures(breaker):
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.admit() == REJECT
+    assert breaker.n_trips == 1
+
+
+def test_success_resets_the_failure_streak(breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_half_opens_after_cooldown_with_single_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.admit() == REJECT
+    clock.now += 5.0
+    assert breaker.admit() == PROBE
+    assert breaker.state == HALF_OPEN
+    # Only one probe may be in flight.
+    assert breaker.admit() == REJECT
+
+
+def test_probe_success_closes(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now += 5.0
+    assert breaker.admit() == PROBE
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.admit() == ALLOW
+
+
+def test_probe_failure_reopens_and_restarts_cooldown(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now += 5.0
+    assert breaker.admit() == PROBE
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.n_trips == 2
+    assert breaker.admit() == REJECT
+    assert breaker.retry_after() == pytest.approx(5.0)
+    clock.now += 5.0
+    assert breaker.admit() == PROBE
+
+
+def test_retry_after_counts_down(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.retry_after() == pytest.approx(5.0)
+    clock.now += 2.0
+    assert breaker.retry_after() == pytest.approx(3.0)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", threshold=0, cooldown=1.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", threshold=1, cooldown=0.0)

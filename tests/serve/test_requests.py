@@ -1,0 +1,112 @@
+"""Request model: round-trips, digests, canonical payloads."""
+
+import json
+
+import pytest
+
+from repro.serve.requests import (
+    RequestError,
+    ServeRequest,
+    ServeResponse,
+    execute_request_cell,
+    payload_digest,
+    stats_payload,
+)
+
+
+class TestServeRequest:
+    def test_round_trip(self):
+        request = ServeRequest(workload="kmp", engine="multi",
+                               n_blocks=3, config={"history_length": 6})
+        rebuilt = ServeRequest.from_dict(request.to_dict())
+        assert rebuilt == request
+        assert rebuilt.digest() == request.digest()
+
+    def test_digest_is_content_addressed(self):
+        a = ServeRequest(workload="kmp", budget=2000)
+        b = ServeRequest(workload="kmp", budget=2000)
+        c = ServeRequest(workload="kmp", budget=2001)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(RequestError, match="unknown request fields"):
+            ServeRequest.from_dict({"workload": "kmp", "bogus": 1})
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(RequestError, match="engine"):
+            ServeRequest(workload="kmp", engine="warp")
+
+    def test_unknown_workload_rejected_by_validate(self):
+        request = ServeRequest(workload="nosuch")
+        with pytest.raises(RequestError, match="unknown workload"):
+            request.validate()
+
+    def test_invalid_config_rejected_by_validate(self):
+        request = ServeRequest(workload="kmp",
+                               config={"history_length": -3})
+        with pytest.raises(RequestError):
+            request.validate()
+
+    def test_label_mentions_workload_and_engine(self):
+        request = ServeRequest(workload="kmp", engine="two_ahead")
+        assert "kmp" in request.label()
+        assert "two_ahead" in request.label()
+
+
+class TestPayloads:
+    def test_payload_matches_direct_run(self):
+        request = ServeRequest(workload="kmp", engine="dual", budget=2000)
+        payload = stats_payload(request.run())
+        assert payload["n_instructions"] > 0
+        assert payload["n_branches"] > 0
+        # Canonical encoding is JSON-stable and digestable.
+        encoded = json.dumps(payload, sort_keys=True)
+        assert json.loads(encoded) == payload
+        assert len(payload_digest(payload)) == 64
+
+    def test_payload_digest_is_deterministic(self):
+        request = ServeRequest(workload="kmp", engine="single",
+                               budget=2000)
+        first = payload_digest(stats_payload(request.run()))
+        second = payload_digest(stats_payload(request.run()))
+        assert first == second
+
+
+class TestExecuteRequestCell:
+    def test_ok_cell(self):
+        request = ServeRequest(workload="kmp", budget=2000)
+        out = execute_request_cell((request.to_dict(), 0))
+        assert out["ok"] is True
+        assert out["payload"]["n_instructions"] > 0
+
+    def test_failure_is_typed_not_raised(self):
+        request = ServeRequest(workload="nosuch", budget=2000)
+        out = execute_request_cell((request.to_dict(), 0))
+        assert out["ok"] is False
+        assert out["error_type"] == "KeyError"
+
+    def test_fail_fault_becomes_typed_payload(self, monkeypatch):
+        from repro.runtime import faults
+
+        request = ServeRequest(workload="kmp", budget=2000)
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           f"fail:request={request.digest()[:8]}")
+        out = execute_request_cell((request.to_dict(), 0))
+        assert out == {"ok": False, "error_type": "FaultInjected",
+                       "error": out["error"]}
+        # The next service attempt runs clean.
+        out = execute_request_cell((request.to_dict(), 1))
+        assert out["ok"] is True
+
+
+class TestServeResponse:
+    def test_to_dict_round_trips_through_json(self):
+        response = ServeResponse(request_digest="ab", workload="kmp",
+                                 status="served", rung="fast",
+                                 payload={"n_blocks": 1},
+                                 payload_digest="ff")
+        data = json.loads(json.dumps(response.to_dict()))
+        assert data["status"] == "served"
+        assert data["rung"] == "fast"
+        assert response.ok

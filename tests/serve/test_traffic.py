@@ -1,0 +1,115 @@
+"""Traffic models: determinism, skew shapes, and a live run."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import PredictionService, ServeRequest
+from repro.serve.traffic import (
+    TrafficModel,
+    build_universe,
+    key_weights,
+    request_stream,
+    run_traffic,
+)
+
+
+class TestUniverse:
+    def test_deterministic_and_distinct(self, qa_seed):
+        first = build_universe(qa_seed, 12, budget=2000)
+        second = build_universe(qa_seed, 12, budget=2000)
+        digests = [r.digest() for r in first]
+        assert digests == [r.digest() for r in second]
+        assert len(set(digests)) == 12
+
+    def test_all_members_valid(self, qa_seed):
+        for request in build_universe(qa_seed, 8, budget=2000):
+            request.validate()  # must not raise
+
+    def test_different_seeds_differ(self):
+        a = [r.digest() for r in build_universe(1, 10, budget=2000)]
+        b = [r.digest() for r in build_universe(2, 10, budget=2000)]
+        assert a != b
+
+
+class TestStreams:
+    def test_deterministic(self, qa_seed):
+        model = TrafficModel(pattern="zipfian")
+        a = request_stream(model, 20, 500, qa_seed)
+        b = request_stream(model, 20, 500, qa_seed)
+        assert np.array_equal(a, b)
+
+    def test_zipfian_is_more_skewed_than_uniform(self, qa_seed):
+        n = 20
+        zipf = request_stream(TrafficModel(pattern="zipfian", zipf_s=1.4),
+                              n, 2000, qa_seed)
+        flat = request_stream(TrafficModel(pattern="uniform"),
+                              n, 2000, qa_seed)
+        top_zipf = np.bincount(zipf, minlength=n).max()
+        top_flat = np.bincount(flat, minlength=n).max()
+        assert top_zipf > 2 * top_flat
+
+    def test_hotspot_mass_lands_on_hot_keys(self, qa_seed):
+        model = TrafficModel(pattern="hotspot", hot_fraction=0.9,
+                             hot_keys=2)
+        stream = request_stream(model, 20, 2000, qa_seed)
+        hot_share = np.isin(stream, [0, 1]).mean()
+        assert hot_share > 0.8
+
+    def test_sequential_round_robin(self, qa_seed):
+        stream = request_stream(TrafficModel(pattern="sequential"),
+                                4, 10, qa_seed)
+        assert list(stream) == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_weights_normalized(self):
+        for pattern in ("zipfian", "hotspot"):
+            weights = key_weights(TrafficModel(pattern=pattern), 16)
+            assert weights is not None
+            assert weights.sum() == pytest.approx(1.0)
+        assert key_weights(TrafficModel(pattern="uniform"), 16) is None
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError, match="pattern"):
+            TrafficModel(pattern="stampede")
+        with pytest.raises(ValueError, match="arrival"):
+            TrafficModel(arrival="never")
+        with pytest.raises(ValueError):
+            TrafficModel(hot_fraction=0.0)
+
+
+class TestLiveTraffic:
+    def test_sequential_run_accounts_for_every_request(self, qa_seed):
+        universe = build_universe(qa_seed, 4, budget=2000)
+        model = TrafficModel(pattern="sequential", arrival="steady")
+        indexes = request_stream(model, len(universe), 24, qa_seed)
+
+        async def body():
+            async with PredictionService(queue_limit=16, batch_limit=8,
+                                         jobs=2) as svc:
+                return await run_traffic(svc, universe, indexes, model)
+
+        summary, responses = asyncio.run(body())
+        assert summary.n_requests == 24
+        assert summary.served == 24
+        assert summary.shed_overload == 0
+        # 4 distinct requests, 24 arrivals: the rest must be cache hits.
+        assert summary.served_cached == 20
+        assert summary.hit_rate == pytest.approx(20 / 24)
+        assert summary.latency_p95_s >= summary.latency_p50_s
+        assert all(r is not None for r in responses)
+
+    def test_bursty_arrivals_dedup_identical_keys(self, qa_seed):
+        universe = build_universe(qa_seed, 2, budget=2000)
+        model = TrafficModel(pattern="sequential", arrival="bursty",
+                             burst=8)
+        indexes = request_stream(model, len(universe), 16, qa_seed)
+
+        async def body():
+            async with PredictionService(queue_limit=16, batch_limit=8,
+                                         jobs=2) as svc:
+                return await run_traffic(svc, universe, indexes, model)
+
+        summary, _ = asyncio.run(body())
+        assert summary.served == 16
+        assert summary.deduped + summary.served_cached >= 12

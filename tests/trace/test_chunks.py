@@ -145,6 +145,78 @@ class TestWriterContract:
                 w(pc, kind[:-1], taken, target)
 
 
+class TestDurability:
+    def _records(self, trace):
+        return (np.asarray(trace.pc), np.asarray(trace.kind),
+                np.asarray(trace.taken), np.asarray(trace.target))
+
+    def test_close_fsyncs_container_before_rename(self, reference,
+                                                  tmp_path, monkeypatch):
+        import os
+
+        _program, trace = reference
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = tmp_path / "durable.chunks"
+        writer = TraceChunkWriter(path, entry_pc=0,
+                                  records_per_chunk=PER_CHUNK)
+        writer(*self._records(trace))
+        writer.close(trace.n_instructions)
+        assert path.exists()
+        assert "replace" in events
+        # The file's bytes reach disk before the rename publishes them.
+        assert events.index("fsync") < events.index("replace")
+
+    def test_torn_container_is_quarantined_on_next_read(
+            self, container, tmp_path, monkeypatch):
+        from repro.runtime import cache
+
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+        digest = "deadbeefdeadbeef"
+        dest = cache.chunked_trace_path("compress", BUDGET, digest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        data = container.read_bytes()
+        # A capture killed mid-write (without the fsync-before-rename
+        # discipline) leaves a prefix of the container behind.
+        dest.write_bytes(data[:len(data) // 2])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.load_chunked_trace("compress", BUDGET,
+                                            digest) is None
+        assert not dest.exists()
+        quarantined = list((tmp_path / cache.QUARANTINE_DIR).iterdir())
+        assert [p.name for p in quarantined] == [dest.name]
+
+    def test_abandoned_tmp_file_is_a_clean_miss(self, tmp_path,
+                                                monkeypatch):
+        import os
+        import warnings
+
+        from repro.runtime import cache
+
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+        digest = "deadbeefdeadbeef"
+        dest = cache.chunked_trace_path("compress", BUDGET, digest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        tmp = dest.with_name(f".{dest.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(b"partial capture, never renamed")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load_chunked_trace("compress", BUDGET,
+                                            digest) is None
+        assert tmp.exists()  # left for post-mortems, never opened
+
+
 class TestVersioning:
     def test_stale_version_rejected(self, container, tmp_path):
         stale = tmp_path / "stale.chunks"

@@ -1,0 +1,452 @@
+"""Exec-compiled residual kernels for ``REPRO_BACKEND=compiled``.
+
+Mirrors the superblock compiler of :mod:`repro.cpu.codegen` (PR 7):
+for every (engine kind, geometry, predictor-config) cell a small
+Python source file is generated with *all* shape constants folded in —
+line size, table extents, slot masks, Table 3 penalty cycles — then
+``exec``-compiled and memoized.  The generated function replays the
+run's select-table / target-array event stream through the backend's
+keyed last-write replay primitive, so the per-block Python loops of
+the reference residual disappear into a handful of straight-line
+integer numpy ops.
+
+Kernels persist under ``<cache>/compiled/kernels/<kind>-<digest>.py``
+so later processes skip generation; a corrupt or stale file is
+regenerated and overwritten.  Bump :data:`KERNEL_VERSION` whenever the
+templates change — the digest covers it, so old artifacts simply stop
+being referenced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Template version; part of every spec digest.
+KERNEL_VERSION = 1
+
+#: Signature of a generated kernel: (backend, engine, run, stats) -> stats.
+KernelFunc = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One specialization cell: engine kind + folded shape constants."""
+
+    kind: str
+    constants: Tuple[Tuple[str, Any], ...]
+
+    def digest(self) -> str:
+        """Stable content digest naming the persisted kernel."""
+        payload = json.dumps(
+            {"version": KERNEL_VERSION, "kind": self.kind,
+             "constants": list(self.constants)},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Source templates
+# ----------------------------------------------------------------------
+
+def _header(spec: KernelSpec) -> List[str]:
+    return [
+        f'"""Generated {spec.kind} residual kernel (do not edit).',
+        "",
+        "Executed inside a namespace providing np / PenaltyKind /",
+        "SRC_NEAR / DualSelectEntry / seed_combined / seed_targets;",
+        "everything else is folded constants.",
+        f'kernel-version: {KERNEL_VERSION}',
+        f'spec: {json.dumps(dict(spec.constants), sort_keys=True)}',
+        '"""',
+        "",
+        "",
+    ]
+
+
+def _single_source(c: Dict[str, Any]) -> List[str]:
+    return [
+        "def kernel(backend, engine, run, stats):",
+        "    compiled = run.compiled",
+        "    walk = run.walk",
+        "    todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]",
+        "    if todo.shape[0] == 0:",
+        "        return stats",
+        "    exit_pc = compiled.exit_pc[todo]",
+        f"    keys = (exit_pc // {c['LS']} % {c['NBE']}) * {c['TLS']}"
+        f" + exit_pc % {c['LS']}",
+        "    values = compiled.exit_target[todo]",
+        "    writes = ~run.near_ok[todo]",
+        "    store = engine.targets._targets",
+        "    observed, fin_k, fin_v = backend.replay(",
+        "        keys, values, writes, seed_targets(store))",
+        "    wrong = (run.match[todo] & (walk.src[todo] != SRC_NEAR)",
+        "             & (observed != values))",
+        "    kind = run.mf[todo]",
+        "    imm = int(np.count_nonzero(wrong & (kind == 1)))",
+        "    ind = int(np.count_nonzero(wrong & (kind == 2)))",
+        "    backend.charge(stats, PenaltyKind.MISFETCH_IMMEDIATE, imm,",
+        f"                   imm * {c['IMM']})",
+        "    backend.charge(stats, PenaltyKind.MISFETCH_INDIRECT, ind,",
+        f"                   ind * {c['IND']})",
+        "    for k, v in zip(fin_k.tolist(), fin_v.tolist()):",
+        "        store[k] = v",
+        "    return stats",
+    ]
+
+
+def _dual_select_double(c: Dict[str, Any]) -> List[str]:
+    return [
+        f"    keys = np.concatenate([st_slot[even],"
+        f" st_slot[eo] + {c['TOTAL']}])",
+        "    values = np.concatenate([comb[even], comb[eo + 1]])",
+        "    writes = np.concatenate(",
+        "        [odd_ok, np.ones(eo.shape[0], dtype=bool)])",
+        "    init = np.concatenate([",
+        f"        seed_combined({c['W']}, {c['PAYL']},",
+        "                      [None if e is None else e.first",
+        "                       for e in entries]),",
+        f"        seed_combined({c['W']}, {c['PAYL']},",
+        "                      [None if e is None else e.second",
+        "                       for e in entries])])",
+        "    observed, fin_k, fin_v = backend.replay(keys, values,",
+        "                                            writes, init)",
+        "    p = even.shape[0]",
+        "    obs1 = observed[:p]",
+        f"    mis1 = (obs1 // {c['PAYL']}) != walk.sel[even]",
+        "    g1 = ~mis1 & (obs1 != comb[even])",
+        "    obs2 = observed[p:]",
+        f"    mis2 = (obs2 // {c['PAYL']}) != walk.sel[eo + 1]",
+        "    g2 = ~mis2 & (obs2 != comb[eo + 1])",
+        "    c1 = int(np.count_nonzero(mis1))",
+        "    c2 = int(np.count_nonzero(mis2))",
+        "    backend.charge(stats, PenaltyKind.MISSELECT, c1 + c2,",
+        f"                   c1 * {c['MS1']} + c2 * {c['MS2']})",
+        "    c1 = int(np.count_nonzero(g1))",
+        "    c2 = int(np.count_nonzero(g2))",
+        "    backend.charge(stats, PenaltyKind.GHR, c1 + c2,",
+        f"                   c1 * {c['G1']} + c2 * {c['G2']})",
+        "    fin = dict(zip(fin_k.tolist(), fin_v.tolist()))",
+        "    for k, v in fin.items():",
+        f"        if k >= {c['TOTAL']}:",
+        "            continue",
+        f"        w = fin[k + {c['TOTAL']}]",
+        "        entries[k] = DualSelectEntry(",
+        f"            backend.decode_select_entry({c['W']},"
+        f" v // {c['PAYL']}, v % {c['PAYL']}),",
+        f"            backend.decode_select_entry({c['W']},"
+        f" w // {c['PAYL']}, w % {c['PAYL']}))",
+    ]
+
+
+def _dual_select_single(c: Dict[str, Any]) -> List[str]:
+    return [
+        "    keys = st_slot[eo]",
+        "    values = comb[eo + 1]",
+        "    writes = np.ones(eo.shape[0], dtype=bool)",
+        f"    init = seed_combined({c['W']}, {c['PAYL']}, entries)",
+        "    observed, fin_k, fin_v = backend.replay(keys, values,",
+        "                                            writes, init)",
+        f"    mis2 = (observed // {c['PAYL']}) != walk.sel[eo + 1]",
+        "    g2 = ~mis2 & (observed != values)",
+        "    c2 = int(np.count_nonzero(mis2))",
+        f"    backend.charge(stats, PenaltyKind.MISSELECT, c2,"
+        f" c2 * {c['MS2']})",
+        "    c2 = int(np.count_nonzero(g2))",
+        f"    backend.charge(stats, PenaltyKind.GHR, c2, c2 * {c['G2']})",
+        "    for k, v in zip(fin_k.tolist(), fin_v.tolist()):",
+        f"        entries[k] = backend.decode_select_entry(",
+        f"            {c['W']}, v // {c['PAYL']}, v % {c['PAYL']})",
+    ]
+
+
+def _dual_source(c: Dict[str, Any]) -> List[str]:
+    lines = [
+        "def kernel(backend, engine, run, stats):",
+        "    compiled = run.compiled",
+        "    walk = run.walk",
+        "    n = run.n",
+        f"    comb = walk.sel * {c['PAYL']} + walk.pay",
+        f"    st_slot = ((run.anchor_start % {c['LS']}) % {c['NT']})"
+        f" * {c['NE']} + (run.base & {c['MASK']})",
+        "    even = np.arange(0, n, 2, dtype=np.int64)",
+        "    odd_ok = even + 1 < n",
+        "    eo = even[odd_ok]",
+        "    entries = engine.select._entries",
+    ]
+    if c["DOUBLE"]:
+        lines.extend(_dual_select_double(c))
+    else:
+        lines.extend(_dual_select_single(c))
+    lines.extend([
+        "    todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]",
+        "    if todo.shape[0] == 0:",
+        "        return stats",
+        "    which2 = (todo % 2) == 1",
+        "    anchor = compiled.line0[todo - todo % 2]",
+        "    exit_pc = compiled.exit_pc[todo]",
+        f"    keys = (which2.astype(np.int64) * {c['HALF']}",
+        f"            + (anchor % {c['NBE']}) * {c['TLS']}"
+        f" + exit_pc % {c['LS']})",
+    ])
+    lines.extend(_pair_target_tail(c))
+    return lines
+
+
+def _two_ahead_source(c: Dict[str, Any]) -> List[str]:
+    lines = [
+        "def kernel(backend, engine, run, stats):",
+        "    compiled = run.compiled",
+        "    walk = run.walk",
+        "    todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]",
+        "    if todo.shape[0] == 0:",
+        "        return stats",
+        "    which2 = (todo % 2) == 0",
+        f"    anchor = run.anchor_start[todo] // {c['LS']}",
+        "    exit_pc = compiled.exit_pc[todo]",
+        f"    keys = (which2.astype(np.int64) * {c['HALF']}",
+        f"            + (anchor % {c['NBE']}) * {c['TLS']}"
+        f" + exit_pc % {c['LS']})",
+    ]
+    lines.extend(_pair_target_tail(c))
+    return lines
+
+
+def _pair_target_tail(c: Dict[str, Any]) -> List[str]:
+    """Dual-half NLS target replay shared by dual and two-ahead."""
+    return [
+        "    values = compiled.exit_target[todo]",
+        "    writes = ~run.near_ok[todo]",
+        "    first = engine.targets.first._targets",
+        "    second = engine.targets.second._targets",
+        "    init = np.concatenate(",
+        "        [seed_targets(first), seed_targets(second)])",
+        "    observed, fin_k, fin_v = backend.replay(keys, values,",
+        "                                            writes, init)",
+        "    wrong = (run.match[todo] & (walk.src[todo] != SRC_NEAR)",
+        "             & (observed != values))",
+        "    kind = run.mf[todo]",
+        "    i1 = int(np.count_nonzero(wrong & (kind == 1) & ~which2))",
+        "    i2 = int(np.count_nonzero(wrong & (kind == 1) & which2))",
+        "    d1 = int(np.count_nonzero(wrong & (kind == 2) & ~which2))",
+        "    d2 = int(np.count_nonzero(wrong & (kind == 2) & which2))",
+        "    backend.charge(stats, PenaltyKind.MISFETCH_IMMEDIATE,",
+        f"                   i1 + i2, i1 * {c['C11']} + i2 * {c['C12']})",
+        "    backend.charge(stats, PenaltyKind.MISFETCH_INDIRECT,",
+        f"                   d1 + d2, d1 * {c['C21']} + d2 * {c['C22']})",
+        "    for k, v in zip(fin_k.tolist(), fin_v.tolist()):",
+        f"        if k < {c['HALF']}:",
+        "            first[k] = v",
+        "        else:",
+        f"            second[k - {c['HALF']}] = v",
+        "    return stats",
+    ]
+
+
+def _multi_source(c: Dict[str, Any]) -> List[str]:
+    lines = [
+        "def kernel(backend, engine, run, stats):",
+        "    compiled = run.compiled",
+        "    walk = run.walk",
+        "    n = run.n",
+    ]
+    if c["T"]:
+        lines.extend([
+            f"    comb = walk.sel * {c['PAYL']} + walk.pay",
+            f"    st_slot = ((run.anchor_start % {c['LS']}) % {c['NT']})"
+            f" * {c['NE']} + (run.base & {c['MASK']})",
+            "    idx = np.arange(n, dtype=np.int64)",
+            f"    slot_key = st_slot[idx - idx % {c['G']}]",
+            f"    mods = {tuple(c['MODS'])!r}",
+            f"    ms_cyc = {tuple(c['MS'])!r}",
+            f"    gh_cyc = {tuple(c['GH'])!r}",
+            "    parts_j = []",
+            "    parts_k = []",
+            "    parts_v = []",
+            f"    for t in range({c['T']}):",
+            f"        js = np.arange(mods[t], n, {c['G']}, dtype=np.int64)",
+            "        parts_j.append(js)",
+            f"        parts_k.append(slot_key[js] + t * {c['TOTAL']})",
+            "        parts_v.append(comb[js])",
+            "    keys = np.concatenate(parts_k)",
+            "    values = np.concatenate(parts_v)",
+            "    writes = np.ones(keys.shape[0], dtype=bool)",
+            "    init = np.concatenate(",
+            f"        [seed_combined({c['W']}, {c['PAYL']}, tbl._entries)",
+            "         for tbl in engine.selects])",
+            "    observed, fin_k, fin_v = backend.replay(keys, values,",
+            "                                            writes, init)",
+            "    ms_n = ms_c = gh_n = gh_c = 0",
+            "    lo = 0",
+            f"    for t in range({c['T']}):",
+            "        hi = lo + parts_j[t].shape[0]",
+            "        obs = observed[lo:hi]",
+            f"        mis = (obs // {c['PAYL']}) != walk.sel[parts_j[t]]",
+            "        g = ~mis & (obs != parts_v[t])",
+            "        cm = int(np.count_nonzero(mis))",
+            "        cg = int(np.count_nonzero(g))",
+            "        ms_n += cm",
+            "        ms_c += cm * ms_cyc[t]",
+            "        gh_n += cg",
+            "        gh_c += cg * gh_cyc[t]",
+            "        lo = hi",
+            "    backend.charge(stats, PenaltyKind.MISSELECT, ms_n, ms_c)",
+            "    backend.charge(stats, PenaltyKind.GHR, gh_n, gh_c)",
+            "    for k, v in zip(fin_k.tolist(), fin_v.tolist()):",
+            f"        engine.selects[k // {c['TOTAL']}]._entries["
+            f"k % {c['TOTAL']}] = \\",
+            f"            backend.decode_select_entry({c['W']},"
+            f" v // {c['PAYL']}, v % {c['PAYL']})",
+        ])
+    lines.extend([
+        "    todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]",
+        "    if todo.shape[0] == 0:",
+        "        return stats",
+        f"    slot_of = todo % {c['G']}",
+        "    anchor = compiled.line0[todo - slot_of]",
+        "    exit_pc = compiled.exit_pc[todo]",
+        f"    keys = (slot_of * {c['ARRSZ']}",
+        f"            + (anchor % {c['NBE']}) * {c['TLS']}"
+        f" + exit_pc % {c['LS']})",
+        "    values = compiled.exit_target[todo]",
+        "    writes = ~run.near_ok[todo]",
+        "    arrays = engine.targets._arrays",
+        "    init = np.concatenate(",
+        "        [seed_targets(arr._targets) for arr in arrays])",
+        "    observed, fin_k, fin_v = backend.replay(keys, values,",
+        "                                            writes, init)",
+        "    wrong = (run.match[todo] & (walk.src[todo] != SRC_NEAR)",
+        "             & (observed != values))",
+        "    kind = run.mf[todo]",
+        f"    imm_cyc = np.array({tuple(c['IMMS'])!r}, dtype=np.int64)",
+        f"    ind_cyc = np.array({tuple(c['INDS'])!r}, dtype=np.int64)",
+        "    w_imm = wrong & (kind == 1)",
+        "    w_ind = wrong & (kind == 2)",
+        "    n_imm = int(np.count_nonzero(w_imm))",
+        "    n_ind = int(np.count_nonzero(w_ind))",
+        "    c_imm = int(imm_cyc[slot_of[w_imm]].sum()) if n_imm else 0",
+        "    c_ind = int(ind_cyc[slot_of[w_ind]].sum()) if n_ind else 0",
+        "    backend.charge(stats, PenaltyKind.MISFETCH_IMMEDIATE,",
+        "                   n_imm, c_imm)",
+        "    backend.charge(stats, PenaltyKind.MISFETCH_INDIRECT,",
+        "                   n_ind, c_ind)",
+        "    for k, v in zip(fin_k.tolist(), fin_v.tolist()):",
+        f"        arrays[k // {c['ARRSZ']}]._targets[k % {c['ARRSZ']}] = v",
+        "    return stats",
+    ])
+    return lines
+
+
+_GENERATORS = {
+    "single": _single_source,
+    "dual": _dual_source,
+    "multi": _multi_source,
+    "two_ahead": _two_ahead_source,
+}
+
+
+def generate_source(spec: KernelSpec) -> str:
+    """Render the specialized kernel source for one spec cell."""
+    generator = _GENERATORS.get(spec.kind)
+    if generator is None:
+        raise ValueError(f"unknown kernel kind: {spec.kind!r}")
+    lines = _header(spec) + generator(dict(spec.constants))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Loading: in-process memo + on-disk persistence
+# ----------------------------------------------------------------------
+
+def _kernel_namespace() -> Dict[str, Any]:
+    import numpy as np
+
+    from ..penalties import PenaltyKind
+    from ..select_table import DualSelectEntry
+    from ..selection import SRC_NEAR
+    from .compiled import _seed_combined, _seed_targets
+    return {
+        "np": np,
+        "PenaltyKind": PenaltyKind,
+        "SRC_NEAR": SRC_NEAR,
+        "DualSelectEntry": DualSelectEntry,
+        "seed_combined": _seed_combined,
+        "seed_targets": _seed_targets,
+    }
+
+
+def _compile_source(source: str, filename: str) -> KernelFunc:
+    """Exec one kernel source; KeyError when it defines no ``kernel``."""
+    namespace = _kernel_namespace()
+    code = compile(source, filename, "exec")
+    exec(code, namespace)
+    fn: KernelFunc = namespace["kernel"]
+    return fn
+
+
+def _persist(path: Path, source: str) -> None:
+    """Best-effort atomic write; a read-only cache never breaks a run."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(source, encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+class KernelLoader:
+    """Loads generated kernels: memo, then disk, then generation.
+
+    ``last_origin`` records where the most recent :meth:`load` found
+    its kernel (``memo`` / ``disk`` / ``generated``) so tests can
+    assert cross-process reuse of persisted artifacts.
+    """
+
+    def __init__(self, cache_root: Optional[Path] = None) -> None:
+        self._memo: Dict[str, KernelFunc] = {}
+        self._cache_root = cache_root
+        self.last_origin: Optional[str] = None
+
+    def kernel_dir(self) -> Optional[Path]:
+        """Directory persisted kernels live in (None: cache disabled)."""
+        if self._cache_root is not None:
+            return self._cache_root
+        from ...runtime.cache import cache_dir
+        root = cache_dir()
+        if root is None:
+            return None
+        return root / "compiled" / "kernels"
+
+    def load(self, spec: KernelSpec) -> KernelFunc:
+        digest = spec.digest()
+        fn = self._memo.get(digest)
+        if fn is not None:
+            self.last_origin = "memo"
+            return fn
+        directory = self.kernel_dir()
+        path = (directory / f"{spec.kind}-{digest}.py"
+                if directory is not None else None)
+        origin = "generated"
+        if path is not None and path.exists():
+            try:
+                fn = _compile_source(path.read_text(encoding="utf-8"),
+                                     str(path))
+                origin = "disk"
+            except (OSError, SyntaxError, KeyError):
+                fn = None  # corrupt artifact: fall through and regenerate
+        if fn is None:
+            source = generate_source(spec)
+            fn = _compile_source(
+                source, str(path) if path is not None
+                else f"<kernel {spec.kind}-{digest}>")
+            origin = "generated"
+            if path is not None:
+                _persist(path, source)
+        self._memo[digest] = fn
+        self.last_origin = origin
+        return fn

@@ -1,0 +1,249 @@
+"""Exec-compiled backend (``REPRO_BACKEND=compiled``).
+
+Runs the shared :mod:`repro.core.fast` prep, then replaces the
+reference serial residual with an exec-generated kernel specialized to
+the engine's exact (geometry, predictor-config) cell — see
+:mod:`repro.core.backends.codegen`.  The generated kernels resolve
+select-table and target-array aliasing through the backend's keyed
+last-write replay primitive instead of a per-block Python loop.
+
+Shapes the templates do not specialize — the set-associative BTB
+target variants, whose LRU stacks side-effect on every lookup — fall
+back to the reference numpy residual after the shared prep, keeping
+behaviour exact for every configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .base import IntArray, KernelBackend
+from .codegen import KernelLoader, KernelSpec
+
+
+def _seed_targets(store: List[Optional[int]]) -> IntArray:
+    """Encoded NLS target store; -1 marks cold slots (targets are >= 0)."""
+    size = len(store)
+    if store.count(None) == size:  # fresh array: skip the per-slot loop
+        return np.full(size, -1, dtype=np.int64)
+    return np.asarray([-1 if t is None else t for t in store],
+                      dtype=np.int64)
+
+
+def _seed_combined(width: int, payl: int, entries: Any) -> IntArray:
+    """Select entries packed as ``sel * payl + pay`` (cold reads as 0)."""
+    size = len(entries)
+    if entries.count(None) == size:  # cold entries all encode to (0, 0)
+        return np.zeros(size, dtype=np.int64)
+    from .. import fast
+    sels, pays = fast._seed_select_arrays(width, entries)
+    return (np.asarray(sels, dtype=np.int64) * payl
+            + np.asarray(pays, dtype=np.int64))
+
+
+class CompiledKernelBackend(KernelBackend):
+    """Shape-specialized exec-compiled kernels with exact fallback."""
+
+    name = "compiled"
+
+    def __init__(self) -> None:
+        self.loader = KernelLoader()
+        self._decode_memo: Dict[Any, Any] = {}
+
+    def decode_select_entry(self, width: int, sel: int, pay: int) -> Any:
+        """Memoized selector decode.
+
+        Generated kernels decode one entry per written slot per run;
+        the (width, sel, pay) space is tiny and entries are immutable
+        records, so shared instances are safe and save the rebuild.
+        """
+        key = (width, sel, pay)
+        entry = self._decode_memo.get(key)
+        if entry is None:
+            from ..fast import _decode_select_entry
+            entry = _decode_select_entry(width, sel, pay)
+            self._decode_memo[key] = entry
+        return entry
+
+    # -- engine entry points --------------------------------------------
+
+    def run_single(self, engine: Any, fetch_input: Any) -> Any:
+        from .. import fast
+        run, stats = fast._prep_single(engine, fetch_input)
+        if run.n == 0:
+            return stats
+        spec = self._single_spec(engine, run)
+        if spec is None:
+            return fast._residual_single_numpy(engine, run, stats)
+        return self.loader.load(spec)(self, engine, run, stats)
+
+    def run_dual(self, engine: Any, fetch_input: Any) -> Any:
+        from .. import fast
+        run, stats = fast._prep_dual(engine, fetch_input)
+        if run.n == 0:
+            return stats
+        spec = self._dual_spec(engine, run)
+        if spec is None:
+            return fast._residual_dual_numpy(engine, run, stats)
+        return self.loader.load(spec)(self, engine, run, stats)
+
+    def run_multi(self, engine: Any, fetch_input: Any) -> Any:
+        from .. import fast
+        run, stats = fast._prep_multi(engine, fetch_input)
+        if run.n == 0:
+            return stats
+        return self.loader.load(self._multi_spec(engine, run))(
+            self, engine, run, stats)
+
+    def run_two_ahead(self, engine: Any, fetch_input: Any) -> Any:
+        from .. import fast
+        run, stats = fast._prep_two_ahead(engine, fetch_input)
+        if run.n == 0:
+            return stats
+        spec = self._two_ahead_spec(engine, run)
+        if spec is None:
+            return fast._residual_two_ahead_numpy(engine, run, stats)
+        return self.loader.load(spec)(self, engine, run, stats)
+
+    # -- specialization cells --------------------------------------------
+
+    def _single_spec(self, engine: Any, run: Any) -> Optional[KernelSpec]:
+        from ...targets.nls import NLSTargetArray
+        from ..penalties import PenaltyKind, SINGLE_SELECT, penalty_cycles
+        targets = engine.targets
+        if type(targets) is not NLSTargetArray:
+            return None  # BlockBTB: LRU lookups side-effect, keep exact
+        scheme = SINGLE_SELECT
+        consts: Dict[str, Any] = {
+            "LS": run.line_size,
+            "NBE": targets.n_block_entries,
+            "TLS": targets.line_size,
+            "IMM": penalty_cycles(scheme, 1,
+                                  PenaltyKind.MISFETCH_IMMEDIATE),
+            "IND": penalty_cycles(scheme, 1,
+                                  PenaltyKind.MISFETCH_INDIRECT),
+        }
+        return KernelSpec("single", tuple(sorted(consts.items())))
+
+    def _dual_spec(self, engine: Any, run: Any) -> Optional[KernelSpec]:
+        from ...targets.nls import DualNLSTargetArray
+        from ..penalties import (DOUBLE_SELECT, PenaltyKind, SINGLE_SELECT,
+                                 penalty_cycles)
+        targets = engine.targets
+        if type(targets) is not DualNLSTargetArray:
+            return None  # dual BTB variant: keep the exact residual
+        scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
+        select = engine.select
+        double = bool(engine.double)
+        nbe = targets.first.n_block_entries
+        tls = targets.first.line_size
+        consts: Dict[str, Any] = {
+            "DOUBLE": double,
+            "W": run.width,
+            "PAYL": 2 * run.width + 4,
+            "LS": run.line_size,
+            "NT": select.n_tables,
+            "NE": select.n_entries,
+            "MASK": select.n_entries - 1,
+            "TOTAL": select.n_tables * select.n_entries,
+            "MS1": (penalty_cycles(scheme, 1, PenaltyKind.MISSELECT)
+                    if double else 0),
+            "G1": (penalty_cycles(scheme, 1, PenaltyKind.GHR)
+                   if double else 0),
+            "MS2": penalty_cycles(scheme, 2, PenaltyKind.MISSELECT),
+            "G2": penalty_cycles(scheme, 2, PenaltyKind.GHR),
+            "NBE": nbe,
+            "TLS": tls,
+            "HALF": nbe * tls,
+            "C11": penalty_cycles(scheme, 1,
+                                  PenaltyKind.MISFETCH_IMMEDIATE),
+            "C12": penalty_cycles(scheme, 2,
+                                  PenaltyKind.MISFETCH_IMMEDIATE),
+            "C21": penalty_cycles(scheme, 1,
+                                  PenaltyKind.MISFETCH_INDIRECT),
+            "C22": penalty_cycles(scheme, 2,
+                                  PenaltyKind.MISFETCH_INDIRECT),
+        }
+        return KernelSpec("dual", tuple(sorted(consts.items())))
+
+    def _multi_spec(self, engine: Any, run: Any) -> KernelSpec:
+        from ..penalties import (DOUBLE_SELECT, PenaltyKind, SINGLE_SELECT,
+                                 penalty_cycles_slot)
+        scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
+        double = bool(engine.double)
+        group = engine.n
+        n_tables = len(engine.selects)
+        first = engine.targets._arrays[0]
+        nbe = first.n_block_entries
+        tls = first.line_size
+        consts: Dict[str, Any] = {
+            "DOUBLE": double,
+            "G": group,
+            "T": n_tables,
+            "W": run.width,
+            "PAYL": 2 * run.width + 4,
+            "LS": run.line_size,
+            "NBE": nbe,
+            "TLS": tls,
+            "ARRSZ": nbe * tls,
+            "IMMS": tuple(
+                penalty_cycles_slot(scheme, s,
+                                    PenaltyKind.MISFETCH_IMMEDIATE)
+                for s in range(1, group + 1)),
+            "INDS": tuple(
+                penalty_cycles_slot(scheme, s,
+                                    PenaltyKind.MISFETCH_INDIRECT)
+                for s in range(1, group + 1)),
+        }
+        if n_tables:
+            select = engine.selects[0]
+            # Table t serves blocks at group residue t (double: the
+            # anchor's own table is t=0) fetched in slot t+1 / t+2.
+            slots = tuple((t + 1 if double else t + 2)
+                          for t in range(n_tables))
+            consts.update({
+                "NT": select.n_tables,
+                "NE": select.n_entries,
+                "MASK": select.n_entries - 1,
+                "TOTAL": select.n_tables * select.n_entries,
+                "MODS": tuple((t if double else t + 1)
+                              for t in range(n_tables)),
+                "MS": tuple(
+                    penalty_cycles_slot(scheme, s, PenaltyKind.MISSELECT)
+                    for s in slots),
+                "GH": tuple(
+                    penalty_cycles_slot(scheme, s, PenaltyKind.GHR)
+                    for s in slots),
+            })
+        else:
+            consts.update({"NT": 0, "NE": 0, "MASK": 0, "TOTAL": 0,
+                           "MODS": (), "MS": (), "GH": ()})
+        return KernelSpec("multi", tuple(sorted(consts.items())))
+
+    def _two_ahead_spec(self, engine: Any,
+                        run: Any) -> Optional[KernelSpec]:
+        from ...targets.nls import DualNLSTargetArray
+        from ..penalties import PenaltyKind, SINGLE_SELECT, penalty_cycles
+        targets = engine.targets
+        if type(targets) is not DualNLSTargetArray:
+            return None
+        scheme = SINGLE_SELECT
+        nbe = targets.first.n_block_entries
+        tls = targets.first.line_size
+        consts: Dict[str, Any] = {
+            "LS": run.line_size,
+            "NBE": nbe,
+            "TLS": tls,
+            "HALF": nbe * tls,
+            "C11": penalty_cycles(scheme, 1,
+                                  PenaltyKind.MISFETCH_IMMEDIATE),
+            "C12": penalty_cycles(scheme, 2,
+                                  PenaltyKind.MISFETCH_IMMEDIATE),
+            "C21": penalty_cycles(scheme, 1,
+                                  PenaltyKind.MISFETCH_INDIRECT),
+            "C22": penalty_cycles(scheme, 2,
+                                  PenaltyKind.MISFETCH_INDIRECT),
+        }
+        return KernelSpec("two_ahead", tuple(sorted(consts.items())))

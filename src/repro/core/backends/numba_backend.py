@@ -1,0 +1,77 @@
+"""Optional numba backend (``REPRO_BACKEND=numba``).
+
+Reuses the compiled backend's generated kernels unchanged — every
+generated source routes its primitives through the backend object — and
+overrides only the keyed replay with a dense ``@njit`` loop over the
+event stream.  Registers only when :mod:`numba` imports; the registry
+degrades the request to ``compiled`` otherwise, so selecting this
+backend is always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import BoolArray, IntArray, ReplayResult
+from .compiled import CompiledKernelBackend
+
+
+def dense_replay(keys: IntArray, values: IntArray, writes: BoolArray,
+                 state: IntArray, observed: IntArray,
+                 written: BoolArray) -> None:
+    """Dense O(events) replay loop; the njit kernel of this backend.
+
+    Kept a plain-Python callable so its logic is testable without
+    numba installed; the backend jits it on first use.  ``state`` and
+    ``written`` are mutated in place.
+    """
+    for i in range(keys.shape[0]):
+        k = keys[i]
+        observed[i] = state[k]
+        if writes[i]:
+            state[k] = values[i]
+            written[k] = True
+
+
+class NumbaBackend(CompiledKernelBackend):
+    """Compiled-kernel backend with an njit event-replay loop."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._replay_loop: Any = None
+
+    def available(self) -> bool:
+        try:
+            import numba  # noqa: F401  (availability probe only)
+        except ImportError:
+            return False
+        return True
+
+    def _loop(self) -> Any:
+        if self._replay_loop is None:
+            try:
+                from numba import njit
+                self._replay_loop = njit(dense_replay)
+            except ImportError:
+                self._replay_loop = dense_replay
+        return self._replay_loop
+
+    def replay(self, keys: IntArray, values: IntArray,
+               writes: BoolArray, init: IntArray) -> ReplayResult:
+        m = int(keys.shape[0])
+        observed = np.zeros(m, dtype=np.int64)
+        state = np.array(init, dtype=np.int64)
+        written = np.zeros(state.shape[0], dtype=bool)
+        if m:
+            self._loop()(
+                np.ascontiguousarray(keys, dtype=np.int64),
+                np.ascontiguousarray(values, dtype=np.int64),
+                np.ascontiguousarray(writes, dtype=bool),
+                state, observed, written)
+        final_keys = np.nonzero(written)[0].astype(np.int64)
+        return (observed, final_keys,
+                np.asarray(state[final_keys], dtype=np.int64))

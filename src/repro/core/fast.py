@@ -12,6 +12,14 @@ which ``tests/core/test_engine_parity.py`` locks down.
 The scalar loops in ``single.py``/``dual.py``/``multi.py``/
 ``two_ahead.py`` remain the readable ground truth; the engines
 dispatch here based on :func:`repro.core.engine_mode.use_fast_engine`.
+
+Since the backend tier (``REPRO_BACKEND``, :mod:`repro.core.backends`)
+each run is split into a backend-shared ``_prep_*`` front half (counter
+scan, divergence charges, RAS replay — everything vectorizable without
+aliasing state) and a per-backend residual that replays the
+select-table and target-array event streams: ``_residual_*_numpy``
+below is the reference serial form, the ``compiled`` backend replaces
+it with exec-generated keyed-replay kernels.
 """
 
 from __future__ import annotations
@@ -90,6 +98,9 @@ class _Run:
         self.walk: WalkArrays = None  # set by resolve()
         self.stale_walk = None
         self.stale = None
+        self.match = None    # divergence masks + residual inputs,
+        self.near_ok = None  # populated by the engine preps for the
+        self.mf = None       # backend residual kernels
 
     # -- PHT base indices ------------------------------------------------
 
@@ -266,13 +277,31 @@ def _line_codes_tuple(compiled: CompiledBlocks, line: int,
 # ----------------------------------------------------------------------
 
 def run_single_fast(engine, fetch_input) -> FetchStats:
-    """Vectorized :meth:`SingleBlockEngine.run` (no recovery tracking)."""
+    """Vectorized :meth:`SingleBlockEngine.run` (no recovery tracking).
+
+    Dispatches to the kernel backend selected by ``REPRO_BACKEND``
+    (see :mod:`repro.core.backends`).
+    """
+    from .backends import active_backend
+    return active_backend().run_single(engine, fetch_input)
+
+
+def _prep_single(engine, fetch_input) -> tuple:
+    """Backend-shared front half of the single-block run.
+
+    Runs every vectorized phase (counter scan, BIT handling, COND and
+    RETURN charges, RAS replay) and all engine-state mutation *except*
+    the target array, then returns ``(run, stats)`` with ``run.match``
+    / ``run.near_ok`` / ``run.mf`` populated for the residual replay
+    (``run.match`` stays ``None`` when ``run.n == 0``).
+    """
     run = _Run(engine, fetch_input)
     compiled = run.compiled
     n = run.n
     stats = _empty_stats(run.trace, n, base_cycles=n)
+    run.match = None
     if n == 0:
-        return stats
+        return run, stats
     scheme = SINGLE_SELECT
     run.resolve(bit_table=engine.bit_table)
     walk = run.walk
@@ -309,17 +338,26 @@ def run_single_fast(engine, fetch_input) -> FetchStats:
     _charge_bulk(stats, PenaltyKind.RETURN, count,
                  count * penalty_cycles(scheme, 1, PenaltyKind.RETURN))
 
-    # Serial residual: the tag-less/LRU target array.
-    mf = run.misfetch_kinds()
+    run.match = match
+    run.near_ok = (walk.src == SRC_NEAR) \
+        & (walk.pred_exit == compiled.act_exit)
+    run.mf = run.misfetch_kinds()
+    return run, stats
+
+
+def _residual_single_numpy(engine, run, stats) -> FetchStats:
+    """Reference serial residual: the tag-less/LRU target array."""
+    compiled = run.compiled
+    walk = run.walk
+    scheme = SINGLE_SELECT
     mf_cycles = (0, penalty_cycles(scheme, 1,
                                    PenaltyKind.MISFETCH_IMMEDIATE),
                  penalty_cycles(scheme, 1, PenaltyKind.MISFETCH_INDIRECT))
-    near_ok = (walk.src == SRC_NEAR) & (walk.pred_exit == compiled.act_exit)
     todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]
-    match_l = match.tolist()
+    match_l = run.match.tolist()
     src_l = walk.src.tolist()
-    near_l = near_ok.tolist()
-    mf_l = mf.tolist()
+    near_l = run.near_ok.tolist()
+    mf_l = run.mf.tolist()
     exit_pc_l = compiled.exit_pc.tolist()
     target_l = compiled.exit_target.tolist()
     line_size = run.line_size
@@ -390,17 +428,30 @@ def _st_slots(run: _Run) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 def run_dual_fast(engine, fetch_input) -> FetchStats:
-    """Vectorized :meth:`DualBlockEngine.run` (no timeline recording)."""
+    """Vectorized :meth:`DualBlockEngine.run` (no timeline recording).
+
+    Dispatches to the kernel backend selected by ``REPRO_BACKEND``.
+    """
+    from .backends import active_backend
+    return active_backend().run_dual(engine, fetch_input)
+
+
+def _prep_dual(engine, fetch_input) -> tuple:
+    """Backend-shared front half of the dual-block run.
+
+    Everything up to (and including) the bank-conflict charges; the
+    residual select-table / dual-target replay is backend-specific.
+    """
     run = _Run(engine, fetch_input)
     compiled = run.compiled
     n = run.n
     stats = _empty_stats(run.trace, n, base_cycles=1 + (n - 1 + 1) // 2)
+    run.match = None
     if n == 0:
-        return stats
+        return run, stats
     scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
     run.resolve()
     walk = run.walk
-    width = run.width
 
     match, early, late = run.classify()
     slot_arr = ((np.arange(n, dtype=np.int64) % 2) == 1) \
@@ -430,7 +481,21 @@ def run_dual_fast(engine, fetch_input) -> FetchStats:
                  count * penalty_cycles(scheme, 2,
                                         PenaltyKind.BANK_CONFLICT))
 
-    # Serial residual: select table + dual target array.
+    run.match = match
+    run.near_ok = (walk.src == SRC_NEAR) \
+        & (walk.pred_exit == compiled.act_exit)
+    run.mf = run.misfetch_kinds()
+    return run, stats
+
+
+def _residual_dual_numpy(engine, run, stats) -> FetchStats:
+    """Reference serial residual: select table + dual target array."""
+    compiled = run.compiled
+    walk = run.walk
+    match = run.match
+    n = run.n
+    width = run.width
+    scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
     run.select_like = engine.select
     st_slot = _st_slots(run).tolist()
     if engine.double:
@@ -449,7 +514,7 @@ def run_dual_fast(engine, fetch_input) -> FetchStats:
     ms2 = penalty_cycles(scheme, 2, PenaltyKind.MISSELECT)
     g2 = penalty_cycles(scheme, 2, PenaltyKind.GHR)
 
-    mf = run.misfetch_kinds().tolist()
+    mf = run.mf.tolist()
     mf_cycles = {
         (1, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_IMMEDIATE)
         for s in (1, 2)
@@ -458,8 +523,7 @@ def run_dual_fast(engine, fetch_input) -> FetchStats:
         (2, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_INDIRECT)
         for s in (1, 2)
     })
-    near_ok = ((walk.src == SRC_NEAR)
-               & (walk.pred_exit == compiled.act_exit)).tolist()
+    near_ok = run.near_ok.tolist()
     has_exit = compiled.has_exit.tolist()
     is_ret = run.is_ret.tolist()
     match_l = match.tolist()
@@ -545,7 +609,21 @@ def run_dual_fast(engine, fetch_input) -> FetchStats:
 # ----------------------------------------------------------------------
 
 def run_multi_fast(engine, fetch_input) -> FetchStats:
-    """Vectorized :meth:`MultiBlockEngine.run`."""
+    """Vectorized :meth:`MultiBlockEngine.run`.
+
+    Dispatches to the kernel backend selected by ``REPRO_BACKEND``.
+    """
+    from .backends import active_backend
+    return active_backend().run_multi(engine, fetch_input)
+
+
+def _prep_multi(engine, fetch_input) -> tuple:
+    """Backend-shared front half of the N-block run.
+
+    Includes the bank claim-set charges (pure geometry, no predictor
+    state); the residual select-table / target-array replay is
+    backend-specific.
+    """
     run = _Run(engine, fetch_input)
     compiled = run.compiled
     n = run.n
@@ -553,12 +631,12 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
     stats = _empty_stats(
         run.trace, n,
         base_cycles=1 + (n - 2 + group) // group if n > 1 else 1)
+    run.match = None
     if n == 0:
-        return stats
+        return run, stats
     scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
     run.resolve()
     walk = run.walk
-    width = run.width
 
     match, early, late = run.classify()
     slot_arr = np.arange(n, dtype=np.int64) % group  # slot - 1
@@ -580,7 +658,56 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
                      count * penalty_cycles_slot(scheme, slot,
                                                  PenaltyKind.RETURN))
 
-    # Serial residual: select tables, target arrays, bank claim sets.
+    # Bank claim sets over each group fetched together (a+1..a+n);
+    # depends only on line geometry, so it is backend-shared.
+    bank = [0] + [penalty_cycles_slot(scheme, s,
+                                      PenaltyKind.BANK_CONFLICT)
+                  for s in range(1, group + 2)]
+    line0 = compiled.line0.tolist()
+    n_banks = run.geometry.n_banks
+    self_aligned = run.geometry.kind == SELF_ALIGNED
+    bank_count = 0
+    bank_cycles = 0
+    for a in range(0, n, group):
+        claimed_lines = set()
+        claimed_banks = set()
+        slot_i = 0
+        for b in range(a + 1, min(a + group + 1, n)):
+            slot_i += 1
+            first = line0[b]
+            lines = (first, first + 1) if self_aligned else (first,)
+            conflict = False
+            for line in lines:
+                if line in claimed_lines:
+                    continue
+                bank_of = line % n_banks
+                if bank_of in claimed_banks:
+                    conflict = True
+                else:
+                    claimed_lines.add(line)
+                    claimed_banks.add(bank_of)
+            if conflict and slot_i >= 2:
+                bank_count += 1
+                bank_cycles += bank[slot_i]
+    _charge_bulk(stats, PenaltyKind.BANK_CONFLICT, bank_count, bank_cycles)
+
+    run.match = match
+    run.near_ok = (walk.src == SRC_NEAR) \
+        & (walk.pred_exit == compiled.act_exit)
+    run.mf = run.misfetch_kinds()
+    return run, stats
+
+
+def _residual_multi_numpy(engine, run, stats) -> FetchStats:
+    """Reference serial residual: select tables + per-slot targets."""
+    compiled = run.compiled
+    walk = run.walk
+    match = run.match
+    n = run.n
+    group = engine.n
+    width = run.width
+    max_slot = group
+    scheme = DOUBLE_SELECT if engine.double else SINGLE_SELECT
     if engine.selects:
         run.select_like = engine.selects[0]
         st_slot = _st_slots(run).tolist()
@@ -597,9 +724,6 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
     gh = [0] + [penalty_cycles_slot(scheme, s, PenaltyKind.GHR)
                 if (engine.double or s >= 2) else 0
                 for s in range(1, max_slot + 1)]
-    bank = [0] + [penalty_cycles_slot(scheme, s,
-                                      PenaltyKind.BANK_CONFLICT)
-                  for s in range(1, max_slot + 2)]
     mf_cycles = {}
     for s in range(1, max_slot + 1):
         mf_cycles[(1, s)] = penalty_cycles_slot(
@@ -607,9 +731,8 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
         mf_cycles[(2, s)] = penalty_cycles_slot(
             scheme, s, PenaltyKind.MISFETCH_INDIRECT)
 
-    mf = run.misfetch_kinds().tolist()
-    near_ok = ((walk.src == SRC_NEAR)
-               & (walk.pred_exit == compiled.act_exit)).tolist()
+    mf = run.mf.tolist()
+    near_ok = run.near_ok.tolist()
     has_exit = compiled.has_exit.tolist()
     is_ret = run.is_ret.tolist()
     match_l = match.tolist()
@@ -620,8 +743,6 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
     target_l = compiled.exit_target.tolist()
     line0 = compiled.line0.tolist()
     line_size = run.line_size
-    n_banks = run.geometry.n_banks
-    self_aligned = run.geometry.kind == SELF_ALIGNED
     lookup = engine.targets.lookup
     update = engine.targets.update
     double = engine.double
@@ -679,27 +800,6 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
             written[k if double else k - 1].add(slot_a)
             handle_target(j, slot=k + 1, anchor_line=anchor_line)
 
-        # Bank claim set over the group fetched together (a+1..a+n).
-        claimed_lines = set()
-        claimed_banks = set()
-        slot_i = 0
-        for b in range(a + 1, min(a + group + 1, n)):
-            slot_i += 1
-            first = line0[b]
-            lines = (first, first + 1) if self_aligned else (first,)
-            conflict = False
-            for line in lines:
-                if line in claimed_lines:
-                    continue
-                bank_of = line % n_banks
-                if bank_of in claimed_banks:
-                    conflict = True
-                else:
-                    claimed_lines.add(line)
-                    claimed_banks.add(bank_of)
-            if conflict and slot_i >= 2:
-                bump(PenaltyKind.BANK_CONFLICT, bank[slot_i])
-
     for kind, (count, cycles) in tallies.items():
         _charge_bulk(stats, kind, count, cycles)
 
@@ -717,13 +817,23 @@ def run_multi_fast(engine, fetch_input) -> FetchStats:
 # ----------------------------------------------------------------------
 
 def run_two_ahead_fast(engine, fetch_input) -> FetchStats:
-    """Vectorized :meth:`TwoBlockAheadEngine.run`."""
+    """Vectorized :meth:`TwoBlockAheadEngine.run`.
+
+    Dispatches to the kernel backend selected by ``REPRO_BACKEND``.
+    """
+    from .backends import active_backend
+    return active_backend().run_two_ahead(engine, fetch_input)
+
+
+def _prep_two_ahead(engine, fetch_input) -> tuple:
+    """Backend-shared front half of the two-block-ahead run."""
     run = _Run(engine, fetch_input, ahead=True)
     compiled = run.compiled
     n = run.n
     stats = _empty_stats(run.trace, n, base_cycles=1 + n // 2)
+    run.match = None
     if n == 0:
-        return stats
+        return run, stats
     scheme = SINGLE_SELECT
     run.resolve()
     walk = run.walk
@@ -761,8 +871,20 @@ def run_two_ahead_fast(engine, fetch_input) -> FetchStats:
                  count * penalty_cycles(scheme, 2,
                                         PenaltyKind.BANK_CONFLICT))
 
-    # Serial residual: the dual NLS target array, ahead-line indexed.
-    mf = run.misfetch_kinds().tolist()
+    run.match = match
+    run.near_ok = (walk.src == SRC_NEAR) \
+        & (walk.pred_exit == compiled.act_exit)
+    run.mf = run.misfetch_kinds()
+    return run, stats
+
+
+def _residual_two_ahead_numpy(engine, run, stats) -> FetchStats:
+    """Reference serial residual: ahead-line indexed dual NLS array."""
+    compiled = run.compiled
+    walk = run.walk
+    match = run.match
+    scheme = SINGLE_SELECT
+    mf = run.mf.tolist()
     mf_cycles = {
         (1, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_IMMEDIATE)
         for s in (1, 2)
@@ -771,8 +893,7 @@ def run_two_ahead_fast(engine, fetch_input) -> FetchStats:
         (2, s): penalty_cycles(scheme, s, PenaltyKind.MISFETCH_INDIRECT)
         for s in (1, 2)
     })
-    near_ok = ((walk.src == SRC_NEAR)
-               & (walk.pred_exit == compiled.act_exit)).tolist()
+    near_ok = run.near_ok.tolist()
     anchor_line = (run.anchor_start // run.line_size).tolist()
     match_l = match.tolist()
     src_l = walk.src.tolist()

@@ -300,51 +300,72 @@ def scan_counters(counters: np.ndarray,
 
     Each block's walk reads happen before its own training writes and
     blocks proceed in stream order — encoded as the time key
-    ``2*block + is_write`` — so one grouped segmented scan yields the
-    exact counter state every read observed.  ``counters`` is a snapshot
-    of the table (each slot's segment starts from its current state).
+    ``2*block + is_write`` — so the counter state a read observes is
+    determined by the writes to its slot with a smaller time key.
+    ``counters`` is a snapshot of the table (each slot starts from its
+    current state).
+
+    Reads are pure observers, so only the write stream needs grouping
+    and the clamped saturating scan; each read then finds its preceding
+    same-slot write count with a binary search over the packed
+    ``slot * stride + time`` write keys — the read array itself is
+    never sorted or scattered.
 
     Returns ``(read_taken, final_slots, final_states)``: the taken
     prediction of every read (in input order) and the post-run state of
-    every touched slot, for write-back.
+    every written slot (ascending), for write-back.
     """
     n_r = len(read_slots)
     n_w = len(write_slots)
-    m = n_r + n_w
-    if m == 0:
+    if n_r + n_w == 0 or n_w == 0:
         empty = np.zeros(0, dtype=np.int64)
-        return np.zeros(0, dtype=bool), empty, empty
-    slots = np.concatenate([read_slots, write_slots])
-    time_key = np.concatenate([read_blocks * 2, write_blocks * 2 + 1])
-    is_write = np.zeros(m, dtype=bool)
-    is_write[n_r:] = True
-    taken = np.zeros(m, dtype=bool)
-    taken[n_r:] = write_taken
+        reads = (counters[read_slots] >= TAKEN_MIN
+                 if n_r else np.zeros(0, dtype=bool))
+        return reads, empty, empty.copy()
 
-    order_t = np.argsort(time_key, kind="stable")
-    g = _grouping_order(slots[order_t])
-    order = order_t[g]
-    s_slot = slots[order]
-    s_taken = taken[order]
-    s_write = is_write[order]
-    seg_start = np.empty(m, dtype=bool)
-    seg_start[0] = True
-    seg_start[1:] = s_slot[1:] != s_slot[:-1]
+    # Group writes by slot, time-ascending inside each group.  The
+    # write stream arrives in block order from the compiled cond
+    # arrays, so a stable grouping sort preserves time; fall back to a
+    # full (slot, time) sort if it is ever out of order.
+    if np.all(write_blocks[1:] >= write_blocks[:-1]):
+        wg = _grouping_order(write_slots)
+    else:
+        wg = np.lexsort((write_blocks, write_slots))
+    ws = write_slots[wg]
+    wb = write_blocks[wg]
+    wt = write_taken[wg]
+    w_start = np.empty(n_w, dtype=bool)
+    w_start[0] = True
+    w_start[1:] = ws[1:] != ws[:-1]
+    k = np.where(wt, 1, -1)
+    lo = np.where(wt, _NO_LO, np.int64(COUNTER_MIN))
+    hi = np.where(wt, np.int64(COUNTER_MAX), _NO_HI)
+    _, after_w = _clamped_scan_transfers(k, lo, hi, w_start,
+                                         counters[ws])
 
-    # Reads are identity transfers; writes are the saturating +/-1.
-    k = np.where(s_write, np.where(s_taken, 1, -1), 0)
-    lo = np.where(s_write & ~s_taken, np.int64(COUNTER_MIN), _NO_LO)
-    hi = np.where(s_write & s_taken, np.int64(COUNTER_MAX), _NO_HI)
-    init = counters[s_slot]
-    before, after = _clamped_scan_transfers(k, lo, hi, seg_start, init)
+    w_end = np.empty(n_w, dtype=bool)
+    w_end[:-1] = w_start[1:]
+    w_end[-1] = True
+    final_slots = ws[w_end]
+    final_states = after_w[w_end].astype(np.int64)
 
-    pred_all = np.empty(m, dtype=bool)
-    pred_all[order] = before >= TAKEN_MIN
-    seg_end = np.empty(m, dtype=bool)
-    seg_end[:-1] = seg_start[1:]
-    seg_end[-1] = True
-    return (pred_all[:n_r], s_slot[seg_end],
-            after[seg_end].astype(np.int64))
+    if n_r == 0:
+        return np.zeros(0, dtype=bool), final_slots, final_states
+
+    # Packed search keys: stride past the largest time key so keys
+    # ascend with (slot, time).  Reads use time 2*block, writes
+    # 2*block + 1, so a read at block b observes only writes at blocks
+    # strictly before b — exactly the scalar interleaving.
+    stride = 2 * np.int64(max(int(read_blocks.max()),
+                              int(write_blocks.max()))) + 2
+    wkey = ws * stride + 2 * wb + 1
+    pos = np.searchsorted(wkey, read_slots * stride + 2 * read_blocks,
+                          side="left")
+    slot_base = np.searchsorted(wkey, read_slots * stride, side="left")
+    has_prior = pos > slot_base
+    state = np.where(has_prior, after_w[np.maximum(pos - 1, 0)],
+                     counters[read_slots])
+    return state >= TAKEN_MIN, final_slots, final_states
 
 
 # ----------------------------------------------------------------------
@@ -402,8 +423,10 @@ def resolve_walks(window: np.ndarray, width: int,
     n = len(window)
     rows = np.arange(n, dtype=np.int64)
     is_cond = window >= CODE_COND_LONG
-    exit_ev = (window == CODE_RETURN) | (window == CODE_OTHER) \
-        | (is_cond & pred_mat)
+    # RETURN/OTHER always exit; conditionals exit when predicted taken.
+    # Codes are 0 non-branch / 1 return / 2 other / >=3 cond, so this
+    # is "branch and (unconditional or predicted taken)".
+    exit_ev = (window != CODE_NONBRANCH) & (~is_cond | pred_mat)
     any_exit = exit_ev.any(axis=1)
     first = np.argmax(exit_ev, axis=1)
     exit_off = np.where(any_exit, first, np.int64(NO_EXIT))
@@ -419,11 +442,16 @@ def resolve_walks(window: np.ndarray, width: int,
     near = np.where(near_cond, exit_code, np.int64(-1))
 
     # Every conditional before the exit was predicted not taken (else it
-    # would have been the exit), so the payload is a prefix count.
-    cond_cum = np.cumsum(is_cond, axis=1)
-    n_not_taken = np.where(
-        any_exit, cond_cum[rows, first] - is_cond[rows, first],
-        cond_cum[:, -1] if width else np.int64(0))
+    # would have been the exit), so the payload is a prefix count — only
+    # the count strictly before the exit (or the row total) is needed,
+    # so count under a column mask instead of materializing a cumsum.
+    if width:
+        cols = np.arange(width, dtype=np.int64)
+        limit = np.where(any_exit, first, np.int64(width))
+        n_not_taken = np.count_nonzero(
+            is_cond & (cols < limit[:, None]), axis=1)
+    else:
+        n_not_taken = np.zeros(n, dtype=np.int64)
     ends_taken = cond_exit
     sel = (src * (width + 2) + (exit_off + 1)) * 16 + (near + 1)
     pay = n_not_taken * 2 + ends_taken

@@ -40,6 +40,16 @@ class EnvVar:
 #: Every environment variable the project reads, alphabetically.
 REGISTRY: Tuple[EnvVar, ...] = (
     EnvVar(
+        name="REPRO_BACKEND",
+        summary="Kernel backend for the fast engine tier: 'numpy' "
+                "(pure-numpy kernels), 'compiled' (exec-generated "
+                "shape-specialized kernels) or 'numba' (njit loops; "
+                "degrades to 'compiled' when numba is absent); all "
+                "bit-identical.",
+        default="numpy",
+        owner="repro.core.backends",
+    ),
+    EnvVar(
         name="REPRO_CACHE_DIR",
         summary="Persistent disk-cache root for traces, blocks, "
                 "compiled arrays and sweep journals ('off' disables).",

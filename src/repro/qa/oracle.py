@@ -26,14 +26,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from .. import envvars
+from ..core.backends import BACKEND_ENV, available_backends
 from ..core.engine_mode import ENGINE_ENV
 from ..cpu.tracer_mode import TRACER_ENV
 from .cases import QACase, case_engine
 from .state import describe_diff, engine_state, stats_snapshot
 
 __all__ = ["ModeRun", "OracleVerdict", "engine_mode_env",
-           "tracer_mode_env", "run_mode", "check_case",
-           "check_tracer_parity"]
+           "backend_mode_env", "tracer_mode_env", "run_mode",
+           "check_case", "check_tracer_parity"]
 
 
 @contextmanager
@@ -57,6 +58,13 @@ def engine_mode_env(mode: str) -> Iterator[None]:
 
 
 @contextmanager
+def backend_mode_env(mode: str) -> Iterator[None]:
+    """Temporarily pin ``REPRO_BACKEND`` to ``mode``."""
+    with _pinned_env(BACKEND_ENV, mode):
+        yield
+
+
+@contextmanager
 def tracer_mode_env(mode: str) -> Iterator[None]:
     """Temporarily pin ``REPRO_TRACER`` to ``mode``."""
     with _pinned_env(TRACER_ENV, mode):
@@ -68,10 +76,16 @@ class ModeRun:
     """Everything one engine mode produced for a case."""
 
     mode: str
+    backend: Optional[str] = None
     stats: List[Any] = field(default_factory=list)
     state: Optional[Dict[str, Any]] = None
     recovery_log: Optional[List[Any]] = None
     error: Optional[str] = None
+
+    def label(self) -> str:
+        if self.backend is not None:
+            return f"{self.mode}/{self.backend}"
+        return self.mode
 
     @property
     def crashed(self) -> bool:
@@ -87,6 +101,8 @@ class OracleVerdict:
     reason: Optional[str] = None
     scalar: Optional[ModeRun] = None
     fast: Optional[ModeRun] = None
+    #: Extra fast-tier runs keyed by kernel backend (``REPRO_BACKEND``).
+    backends: Dict[str, ModeRun] = field(default_factory=dict)
 
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
@@ -96,11 +112,26 @@ class OracleVerdict:
         return text
 
 
-def run_mode(case: QACase, mode: str) -> ModeRun:
-    """Run ``case`` on a fresh engine under one ``REPRO_ENGINE`` mode."""
-    run = ModeRun(mode=mode)
+@contextmanager
+def _maybe_backend_env(backend: Optional[str]) -> Iterator[None]:
+    if backend is None:
+        yield
+    else:
+        with backend_mode_env(backend):
+            yield
+
+
+def run_mode(case: QACase, mode: str,
+             backend: Optional[str] = None) -> ModeRun:
+    """Run ``case`` on a fresh engine under one ``REPRO_ENGINE`` mode.
+
+    ``backend`` additionally pins ``REPRO_BACKEND`` for the run, giving
+    the oracle a second differential axis over the fast tier's kernel
+    backends (the scalar reference never consults the backend).
+    """
+    run = ModeRun(mode=mode, backend=backend)
     try:
-        with engine_mode_env(mode):
+        with engine_mode_env(mode), _maybe_backend_env(backend):
             engine = case_engine(case)
             fetch_input = case.fetch_input()
             for _ in range(case.repeats):
@@ -117,55 +148,91 @@ def run_mode(case: QACase, mode: str) -> ModeRun:
     return run
 
 
-def check_case(case: QACase) -> OracleVerdict:
-    """Differential verdict for one case (never raises for a finding)."""
+def _compare_runs(verdict: OracleVerdict, reference: ModeRun,
+                  candidate: ModeRun) -> bool:
+    """Fold a reference/candidate comparison into ``verdict``.
+
+    Returns False (and marks the verdict failed) on the first
+    divergence; crash handling mirrors the scalar-vs-fast contract.
+    """
+    who = candidate.label()
+    if reference.crashed and candidate.crashed:
+        ref_last = reference.error.strip().splitlines()[-1] \
+            if reference.error else ""
+        cand_last = candidate.error.strip().splitlines()[-1] \
+            if candidate.error else ""
+        if ref_last != cand_last:
+            verdict.passed = False
+            verdict.reason = (f"modes crashed differently: "
+                              f"{reference.label()} {ref_last!r} vs "
+                              f"{who} {cand_last!r}")
+            return False
+        return True
+    if reference.crashed or candidate.crashed:
+        crashed = reference if reference.crashed else candidate
+        verdict.passed = False
+        verdict.reason = (f"{crashed.label()} mode crashed: "
+                          + (crashed.error or "").strip()
+                          .splitlines()[-1])
+        return False
+
+    for i, (s, f) in enumerate(zip(reference.stats, candidate.stats)):
+        if s != f:
+            verdict.passed = False
+            diff = describe_diff(stats_snapshot(s), stats_snapshot(f),
+                                 label=f"{who} stats[{i}]")
+            verdict.reason = diff or f"{who} stats[{i}] differ"
+            return False
+
+    state_diff = describe_diff(reference.state, candidate.state,
+                               label=f"{who} state")
+    if state_diff is not None:
+        verdict.passed = False
+        verdict.reason = state_diff
+        return False
+
+    if verdict.case.track_recovery \
+            and reference.recovery_log != candidate.recovery_log:
+        verdict.passed = False
+        verdict.reason = describe_diff(reference.recovery_log,
+                                       candidate.recovery_log,
+                                       label=f"{who} recovery_log") \
+            or f"{who} recovery logs differ"
+        return False
+    return True
+
+
+def check_case(case: QACase,
+               backends: Optional[List[str]] = None) -> OracleVerdict:
+    """Differential verdict for one case (never raises for a finding).
+
+    ``backends`` pins the fast tier to each named kernel backend in
+    turn and requires every run to match the scalar reference bit-exact
+    (stats, full predictor state, recovery log).  ``None`` keeps the
+    classic two-run scalar-vs-fast check under the ambient backend; an
+    empty list expands to every backend available in this interpreter.
+    """
     scalar = run_mode(case, "scalar")
     fast = run_mode(case, "fast")
     verdict = OracleVerdict(case=case, passed=True, scalar=scalar,
                             fast=fast)
 
-    if scalar.crashed and fast.crashed:
-        # Both modes rejecting/crashing identically is not a parity
-        # break; it usually means the generator produced a config the
-        # engine legitimately refuses.  Still surface it as a failure
-        # when the tracebacks disagree on the exception type.
-        scalar_last = scalar.error.strip().splitlines()[-1] \
-            if scalar.error else ""
-        fast_last = fast.error.strip().splitlines()[-1] \
-            if fast.error else ""
-        if scalar_last != fast_last:
-            verdict.passed = False
-            verdict.reason = (f"modes crashed differently: scalar "
-                              f"{scalar_last!r} vs fast {fast_last!r}")
+    # Both modes rejecting/crashing identically is not a parity break;
+    # it usually means the generator produced a config the engine
+    # legitimately refuses.  Crash handling (including the both-crashed
+    # traceback comparison) lives in _compare_runs.
+    if not _compare_runs(verdict, scalar, fast):
         return verdict
-    if scalar.crashed or fast.crashed:
-        crashed = scalar if scalar.crashed else fast
-        verdict.passed = False
-        verdict.reason = (f"{crashed.mode} mode crashed: "
-                          + (crashed.error or "").strip()
-                          .splitlines()[-1])
-        return verdict
+    if scalar.crashed:
+        return verdict  # identical refusal; no backend axis to probe
 
-    for i, (s, f) in enumerate(zip(scalar.stats, fast.stats)):
-        if s != f:
-            verdict.passed = False
-            diff = describe_diff(stats_snapshot(s), stats_snapshot(f),
-                                 label=f"stats[{i}]")
-            verdict.reason = diff or f"stats[{i}] differ"
-            return verdict
-
-    state_diff = describe_diff(scalar.state, fast.state, label="state")
-    if state_diff is not None:
-        verdict.passed = False
-        verdict.reason = state_diff
-        return verdict
-
-    if case.track_recovery and scalar.recovery_log != fast.recovery_log:
-        verdict.passed = False
-        verdict.reason = describe_diff(scalar.recovery_log,
-                                       fast.recovery_log,
-                                       label="recovery_log") \
-            or "recovery logs differ"
+    if backends is not None:
+        names = backends or available_backends()
+        for name in names:
+            pinned = run_mode(case, "fast", backend=name)
+            verdict.backends[name] = pinned
+            if not _compare_runs(verdict, scalar, pinned):
+                return verdict
     return verdict
 
 

@@ -1,0 +1,83 @@
+"""Numba backend: the dense replay loop, jitted or plain.
+
+``dense_replay`` is deliberately a plain-Python callable so its logic
+tests everywhere; the njit lane runs only where numba is installed
+(the optional CI lane) and asserts the jitted loop stays equivalent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backends.base import replay_last_write
+from repro.core.backends.numba_backend import NumbaBackend, dense_replay
+
+
+def _random_stream(rng, m, n_keys):
+    return (rng.integers(0, n_keys, m).astype(np.int64),
+            rng.integers(0, 100, m).astype(np.int64),
+            (rng.random(m) < 0.5),
+            rng.integers(-1, 50, n_keys).astype(np.int64))
+
+
+def _run_dense(keys, values, writes, init):
+    state = init.copy()
+    observed = np.zeros(len(keys), dtype=np.int64)
+    written = np.zeros(len(init), dtype=bool)
+    dense_replay(keys, values, writes, state, observed, written)
+    final_keys = np.nonzero(written)[0].astype(np.int64)
+    return observed, final_keys, state[final_keys]
+
+
+def test_dense_replay_matches_vectorized_primitive():
+    rng = np.random.default_rng(7)
+    for _ in range(20):
+        keys, values, writes, init = _random_stream(
+            rng, int(rng.integers(0, 150)), 12)
+        dense = _run_dense(keys, values, writes, init)
+        vectorized = replay_last_write(keys, values, writes, init)
+        for d, v in zip(dense, vectorized):
+            assert np.array_equal(d, v)
+
+
+def test_backend_replay_uses_plain_loop_without_numba():
+    backend = NumbaBackend()
+    rng = np.random.default_rng(11)
+    keys, values, writes, init = _random_stream(rng, 80, 9)
+    got = backend.replay(keys, values, writes, init)
+    want = replay_last_write(keys, values, writes, init)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+    # init must not be mutated by the backend's in-place loop
+    assert init.dtype == np.int64
+
+
+def test_backend_replay_empty_stream():
+    backend = NumbaBackend()
+    empty = np.zeros(0, dtype=np.int64)
+    observed, final_keys, final_values = backend.replay(
+        empty, empty, np.zeros(0, dtype=bool),
+        np.arange(4, dtype=np.int64))
+    assert observed.shape == (0,)
+    assert final_keys.shape == (0,)
+    assert final_values.shape == (0,)
+
+
+def test_jitted_loop_matches_plain():
+    pytest.importorskip("numba")
+    backend = NumbaBackend()
+    assert backend.available()
+    rng = np.random.default_rng(23)
+    keys, values, writes, init = _random_stream(rng, 200, 16)
+    jitted = backend.replay(keys, values, writes, init)
+    plain = _run_dense(keys, values, writes, init.copy())
+    for j, p in zip(jitted, plain):
+        assert np.array_equal(j, p)
+
+
+def test_availability_reflects_import():
+    backend = NumbaBackend()
+    try:
+        import numba  # noqa: F401
+        assert backend.available()
+    except ImportError:
+        assert not backend.available()

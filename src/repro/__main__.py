@@ -173,8 +173,11 @@ def _apply_runtime(args) -> None:
         os.environ[resilience.TIMEOUT_ENV] = args.cell_timeout
     if getattr(args, "resume", None) is not None:
         os.environ[resilience.RESUME_ENV] = "1" if args.resume else "0"
+    from .core.backends import codegen
+
     engine_mode.engine_mode()
     backends.backend_mode()
+    codegen.gate_mode()
     tracer_mode()
     chunk_records()
     stream_threshold()

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Tuple, Type
 
 from ..core import Checker, PARSE_RULE, RuleSpec
+from .async_safety import AsyncSafetyChecker
 from .determinism import DeterminismChecker
 from .dtype import DtypeChecker
 from .envreg import EnvRegistryChecker
@@ -18,12 +19,21 @@ ALL_CHECKERS: Tuple[Type[Checker], ...] = (
     ParityChecker,
     EnvRegistryChecker,
     ExceptionHygieneChecker,
+    AsyncSafetyChecker,
 )
 
 
 def all_rules() -> List[RuleSpec]:
-    """Every rule id the tool can emit, sorted by id."""
+    """Every rule id the tool can emit, sorted by id.
+
+    Includes the generated-kernel gate rules (REP7xx), which are
+    emitted by the codegen hook and the ``--kernels`` sweep rather
+    than a per-file checker.
+    """
+    from ..kernelgate import KERNEL_RULES
+
     rules: List[RuleSpec] = [PARSE_RULE]
     for checker in ALL_CHECKERS:
         rules.extend(checker.rules)
+    rules.extend(KERNEL_RULES)
     return sorted(rules, key=lambda rule: rule.id)

@@ -1,0 +1,231 @@
+"""Async-safety rules for the prediction service (REP6xx).
+
+``repro.serve`` is an asyncio resilience envelope: one blocking call on
+the event loop stalls every in-flight request and silently wrecks the
+tail-latency and degradation guarantees the chaos benchmarks certify.
+These rules run on the :mod:`repro.analysis.flow` dataflow tier — the
+call-context summaries say which module-local helpers may block (even
+transitively), and reaching definitions say which names hold sync
+locks — so the judgement is about what the code *does*, not just what
+a single call site spells.
+
+Scope: ``async def`` functions in the packages listed under
+``[tool.reprolint.async] packages`` (default ``repro.serve``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..core import Checker, FileContext, Finding, RuleSpec, in_packages
+from ..flow import (FunctionNode, ModuleFlow, _is_blocking_dotted,
+                    _is_blocking_method, _method_label, _walk_in_scope)
+from .exceptions import _reraises
+
+BLOCKING_IN_ASYNC = RuleSpec(
+    id="REP601",
+    name="blocking-call-in-async",
+    summary="Blocking call on the event loop inside async def.",
+    hint="Dispatch through the service executor "
+         "(loop.run_in_executor) like _process_batch does, or use the "
+         "asyncio equivalent (asyncio.sleep, asyncio.subprocess).",
+)
+
+UNAWAITED_CORO = RuleSpec(
+    id="REP602",
+    name="unawaited-coroutine",
+    summary="Coroutine created but never awaited.",
+    hint="await it, or wrap it in asyncio.create_task(...) and keep "
+         "the task reference so cancellation can reach it.",
+)
+
+AWAIT_HOLDING_LOCK = RuleSpec(
+    id="REP603",
+    name="await-holding-sync-lock",
+    summary="await while holding a synchronous lock.",
+    hint="A threading.Lock held across an await blocks every other "
+         "coroutine that needs it; use asyncio.Lock, or confine the "
+         "sync lock to executor-side code.",
+)
+
+CANCELLED_SWALLOWED = RuleSpec(
+    id="REP604",
+    name="cancelled-error-swallowed",
+    summary="Handler can swallow asyncio.CancelledError.",
+    hint="Catch Exception (CancelledError derives from BaseException "
+         "on 3.8+), or re-raise CancelledError so deadline "
+         "cancellation still tears the request down.",
+)
+
+
+class AsyncSafetyChecker(Checker):
+    """REP601-REP604."""
+
+    rules = (BLOCKING_IN_ASYNC, UNAWAITED_CORO, AWAIT_HOLDING_LOCK,
+             CANCELLED_SWALLOWED)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not in_packages(ctx.module, self.config.async_packages):
+            return ()
+        flow = ctx.flow()
+        findings: List[Finding] = []
+        for func_flow in flow.functions.values():
+            if not func_flow.is_async:
+                continue
+            func = func_flow.func
+            findings.extend(self._blocking_calls(ctx, flow, func,
+                                                 func_flow.qualname))
+            findings.extend(self._unawaited(ctx, flow, func,
+                                            func_flow.qualname))
+            findings.extend(self._locked_awaits(ctx, flow, func))
+            findings.extend(self._cancelled(ctx, func))
+        return findings
+
+    # -- REP601 ---------------------------------------------------------
+
+    def _blocking_calls(self, ctx: FileContext, flow: ModuleFlow,
+                        func: FunctionNode,
+                        qualname: str) -> Iterable[Finding]:
+        for node in _walk_async_body(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if _in_executor_dispatch(node):
+                continue
+            dotted = flow.imports.resolve(node.func)
+            if dotted is not None and _is_blocking_dotted(dotted):
+                yield ctx.finding(
+                    BLOCKING_IN_ASYNC, node,
+                    f"blocking call {dotted}() inside async def "
+                    f"{func.name}")
+                continue
+            if _is_blocking_method(node):
+                yield ctx.finding(
+                    BLOCKING_IN_ASYNC, node,
+                    f"blocking call {_method_label(node)} inside "
+                    f"async def {func.name}")
+                continue
+            summary = flow.summary_for_call(node, qualname)
+            if summary is not None and summary.may_block \
+                    and not summary.is_async:
+                evidence = summary.blocking_evidence or "transitive"
+                yield ctx.finding(
+                    BLOCKING_IN_ASYNC, node,
+                    f"call to {summary.name}() may block the event "
+                    f"loop ({evidence}) inside async def {func.name}",
+                    hint="Run it via loop.run_in_executor on the "
+                         "service executor, as _process_batch does "
+                         "for engine dispatch.")
+
+    # -- REP602 ---------------------------------------------------------
+
+    def _unawaited(self, ctx: FileContext, flow: ModuleFlow,
+                   func: FunctionNode,
+                   qualname: str) -> Iterable[Finding]:
+        for stmt in _statements(func):
+            if not isinstance(stmt, ast.Expr) \
+                    or not isinstance(stmt.value, ast.Call):
+                continue
+            call = stmt.value
+            summary = flow.summary_for_call(call, qualname)
+            if summary is not None and summary.is_async:
+                yield ctx.finding(
+                    UNAWAITED_CORO, call,
+                    f"coroutine {summary.name}() is never awaited")
+
+    # -- REP603 ---------------------------------------------------------
+
+    def _locked_awaits(self, ctx: FileContext, flow: ModuleFlow,
+                       func: FunctionNode) -> Iterable[Finding]:
+        for node in _walk_async_body(func):
+            if isinstance(node, ast.With):
+                if not any(flow.lock_like(item.context_expr, func)
+                           for item in node.items):
+                    continue
+                for inner in node.body:
+                    for sub in _walk_in_scope(inner):
+                        if isinstance(sub, (ast.Await, ast.AsyncFor,
+                                            ast.AsyncWith)):
+                            yield ctx.finding(
+                                AWAIT_HOLDING_LOCK, sub,
+                                "await inside a `with <sync lock>` "
+                                "block")
+                            break
+                    else:
+                        continue
+                    break
+
+    # -- REP604 ---------------------------------------------------------
+
+    def _cancelled(self, ctx: FileContext,
+                   func: FunctionNode) -> Iterable[Finding]:
+        for node in _walk_async_body(func):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    continue  # bare except is REP501's business
+                if _catches_cancelled(handler.type) \
+                        and not _reraises(handler):
+                    yield ctx.finding(
+                        CANCELLED_SWALLOWED, handler,
+                        "handler catches asyncio.CancelledError and "
+                        "never re-raises")
+            for stmt in node.finalbody:
+                if isinstance(stmt, (ast.Return, ast.Break,
+                                     ast.Continue)):
+                    yield ctx.finding(
+                        CANCELLED_SWALLOWED, stmt,
+                        f"{type(stmt).__name__.lower()} in finally "
+                        f"swallows an in-flight CancelledError",
+                        hint="Move the control flow out of finally; a "
+                             "finally return discards the "
+                             "cancellation the deadline relies on.")
+
+
+def _statements(func: FunctionNode) -> Iterable[ast.stmt]:
+    """Every statement of a function's own body (no nested scopes)."""
+    for stmt in func.body:
+        for node in _walk_in_scope(stmt):
+            if isinstance(node, ast.stmt):
+                yield node
+
+
+def _walk_async_body(func: FunctionNode) -> Iterable[ast.AST]:
+    for stmt in func.body:
+        yield from _walk_in_scope(stmt)
+
+
+def _catches_cancelled(node: ast.expr) -> bool:
+    """True for handlers able to catch asyncio.CancelledError.
+
+    That is an explicit ``CancelledError`` name (dotted or not) or the
+    ``BaseException`` root; plain ``except Exception`` cannot catch it
+    on Python 3.8+ and stays allowed.
+    """
+    if isinstance(node, ast.Name):
+        return node.id in ("CancelledError", "BaseException")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("CancelledError", "BaseException")
+    if isinstance(node, ast.Tuple):
+        return any(_catches_cancelled(item) for item in node.elts)
+    return False
+
+
+def _in_executor_dispatch(call: ast.Call) -> bool:
+    """True when ``call`` is itself the executor-dispatch idiom.
+
+    ``loop.run_in_executor(executor, fn, *args)`` passes ``fn``
+    uncalled, so the blocking work runs off-loop; the dispatch call is
+    the sanctioned pattern, not a violation.
+    """
+    return (isinstance(call.func, ast.Attribute)
+            and call.func.attr == "run_in_executor")
+
+
+# Re-exported for fixture-facing tests.
+__all__ = [
+    "AsyncSafetyChecker",
+    "BLOCKING_IN_ASYNC", "UNAWAITED_CORO", "AWAIT_HOLDING_LOCK",
+    "CANCELLED_SWALLOWED",
+]

@@ -8,14 +8,23 @@ change between platforms (Windows defaults ``int32``) or silently
 upcast when a literal changes — so the kernel modules are held to
 explicit-dtype discipline, and mixed-width scalar arithmetic is
 flagged where it would trigger an implicit upcast.
+
+REP202 rides on the :mod:`repro.analysis.flow` dataflow tier: a
+value's width is tracked through assignments via reaching definitions,
+so ``x = np.int64(n)`` two statements (or one loop join) before
+``x + np.int32(m)`` is the same finding as writing the two
+constructors side by side.  A name only carries a width when *every*
+definition reaching the use agrees on it — disagreeing or opaque
+definitions make the width unknown, never a guess.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional
+from typing import FrozenSet, Iterable, List, Optional
 
 from ..core import Checker, FileContext, Finding, ImportMap, RuleSpec
+from ..flow import FunctionFlow, _walk_in_scope
 
 MISSING_DTYPE = RuleSpec(
     id="REP201",
@@ -56,21 +65,38 @@ class DtypeChecker(Checker):
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         if ctx.module not in self.config.dtype_modules:
             return ()
-        imports = ImportMap(ctx.tree)
+        flow = ctx.flow()
+        imports = flow.imports
         findings: List[Finding] = []
+        # REP201 is a per-callsite contract; the whole tree is fair
+        # game regardless of scope.
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
                 self._check_ctor(ctx, node, imports, findings)
-            elif isinstance(node, ast.BinOp):
-                self._check_mix(ctx, node, node.left, node.right,
-                                imports, findings)
-            elif isinstance(node, ast.Compare):
-                left = node.left
-                for comparator in node.comparators:
-                    self._check_mix(ctx, node, left, comparator,
-                                    imports, findings)
-                    left = comparator
+        # REP202 inside functions rides on reaching definitions.
+        for func_flow in flow.functions.values():
+            for stmt in func_flow.func.body:
+                for node in _walk_in_scope(stmt):
+                    self._dispatch_mix(ctx, node, imports, findings,
+                                       func_flow)
+        # Module/class level code has no local dataflow; widths are
+        # judged syntactically as before.
+        for node in _walk_outside_functions(ctx.tree):
+            self._dispatch_mix(ctx, node, imports, findings, None)
         return findings
+
+    def _dispatch_mix(self, ctx: FileContext, node: ast.AST,
+                      imports: ImportMap, findings: List[Finding],
+                      flow: Optional[FunctionFlow]) -> None:
+        if isinstance(node, ast.BinOp):
+            self._check_mix(ctx, node, node.left, node.right,
+                            imports, findings, flow)
+        elif isinstance(node, ast.Compare):
+            left = node.left
+            for comparator in node.comparators:
+                self._check_mix(ctx, node, left, comparator,
+                                imports, findings, flow)
+                left = comparator
 
     def _check_ctor(self, ctx: FileContext, node: ast.Call,
                     imports: ImportMap,
@@ -98,9 +124,10 @@ class DtypeChecker(Checker):
 
     def _check_mix(self, ctx: FileContext, node: ast.AST,
                    left: ast.expr, right: ast.expr, imports: ImportMap,
-                   findings: List[Finding]) -> None:
-        lw = _explicit_width(left, imports)
-        rw = _explicit_width(right, imports)
+                   findings: List[Finding],
+                   flow: Optional[FunctionFlow]) -> None:
+        lw = _explicit_width(left, imports, flow)
+        rw = _explicit_width(right, imports, flow)
         if lw is not None and rw is not None and lw != rw:
             findings.append(ctx.finding(
                 MIXED_WIDTH, node,
@@ -108,13 +135,66 @@ class DtypeChecker(Checker):
                 f"(implicit upcast decides the result width)"))
 
 
-def _explicit_width(node: ast.expr,
-                    imports: ImportMap) -> Optional[str]:
-    """Dtype name when ``node`` is ``np.<width>(...)``, else None."""
-    if not isinstance(node, ast.Call):
+def _walk_outside_functions(tree: ast.Module) -> Iterable[ast.AST]:
+    """Walk the tree skipping function bodies (class bodies stay)."""
+    stack: List[ast.AST] = [tree]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _explicit_width(node: ast.expr, imports: ImportMap,
+                    flow: Optional[FunctionFlow] = None,
+                    seen: FrozenSet[int] = frozenset()
+                    ) -> Optional[str]:
+    """The provable numpy width of an expression, or None.
+
+    Widths come from ``np.<width>(...)`` constructor calls and
+    ``x.astype(np.<width>)`` casts; with ``flow``, a bare name carries
+    a width when every definition reaching the use resolves to the
+    same one (the ``seen`` set breaks self-referential definition
+    cycles like ``x = x`` — a cycle proves nothing, so it resolves to
+    unknown).
+    """
+    if isinstance(node, ast.Call):
+        dotted = imports.resolve(node.func)
+        if dotted is not None and dotted.startswith("numpy."):
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf in _WIDTH_CTORS:
+                return leaf
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "astype" and node.args:
+            target = imports.resolve(node.args[0])
+            if target is not None and target.startswith("numpy."):
+                leaf = target.rsplit(".", 1)[-1]
+                if leaf in _WIDTH_CTORS:
+                    return leaf
         return None
-    dotted = imports.resolve(node.func)
-    if dotted is None or not dotted.startswith("numpy."):
-        return None
-    leaf = dotted.rsplit(".", 1)[-1]
-    return leaf if leaf in _WIDTH_CTORS else None
+    if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+            and flow is not None:
+        definitions = flow.reaching(node)
+        if not definitions:
+            return None
+        width: Optional[str] = None
+        for definition in definitions:
+            if definition.index in seen or definition.value is None:
+                return None
+            def_width = _explicit_width(
+                definition.value, imports, flow,
+                seen | {definition.index})
+            if def_width is None or \
+                    (width is not None and def_width != width):
+                return None
+            width = def_width
+        return width
+    return None
+
+
+#: Re-exported for the flow-engine unit tests.
+__all__ = ["DtypeChecker", "MISSING_DTYPE", "MIXED_WIDTH",
+           "_explicit_width"]

@@ -81,6 +81,12 @@ class LintConfig:
     #: Modules allowed to catch BaseException (resilience wrappers).
     exception_sanctioned: Tuple[str, ...] = ("repro.runtime.resilience",)
 
+    # -- async safety (REP6xx) -----------------------------------------
+    #: Packages whose ``async def`` bodies are held to the event-loop
+    #: discipline rules (blocking calls, lock-held awaits, swallowed
+    #: cancellation).
+    async_packages: Tuple[str, ...] = ("repro.serve",)
+
 
 def _str_tuple(value: object, key: str) -> Tuple[str, ...]:
     if not isinstance(value, list) or \
@@ -121,6 +127,7 @@ def _apply_table(config: LintConfig, table: Mapping[str, object],
         ("parity", "exempt"): "parity_exempt",
         ("env", "docs"): "env_docs",
         ("exceptions", "sanctioned"): "exception_sanctioned",
+        ("async", "packages"): "async_packages",
     }
     for (section, key), attr in nested.items():
         sub = table.get(section)

@@ -11,21 +11,45 @@ tables, and per-line ``# reprolint: disable=RULE`` pragmas.
 
 Rule identifiers are ``REP`` + three digits; the hundreds digit groups
 them by checker (1xx determinism, 2xx dtype-safety, 3xx parity
-contract, 4xx env registry, 5xx exception hygiene).  Selection matches
-by prefix, so ``--select REP1`` enables every determinism rule.
+contract, 4xx env registry, 5xx exception hygiene, 6xx async-safety,
+7xx generated-kernel contract).  Selection matches by prefix, so
+``--select REP1`` enables every determinism rule.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 from .config import LintConfig
 
+if TYPE_CHECKING:
+    from .flow import ModuleFlow
+
 SEVERITY_ERROR = "error"
+
+#: Human-readable family label per hundreds digit of the rule id.
+FAMILIES: Dict[str, str] = {
+    "0": "framework",
+    "1": "determinism",
+    "2": "dtype",
+    "3": "parity",
+    "4": "env",
+    "5": "exceptions",
+    "6": "async",
+    "7": "kernel",
+}
+
+
+def rule_family(rule: str) -> str:
+    """Family label of a rule id (``REP601`` → ``async``)."""
+    digit = rule[3:4] if rule.startswith("REP") else ""
+    return FAMILIES.get(digit, "unknown")
 
 
 @dataclass(frozen=True)
@@ -62,9 +86,14 @@ class Finding:
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
+    @property
+    def family(self) -> str:
+        return rule_family(self.rule)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "rule": self.rule,
+            "family": self.family,
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -90,6 +119,19 @@ class FileContext:
     module: str
     tree: ast.Module
     lines: Tuple[str, ...]
+    _flow: Optional["ModuleFlow"] = field(default=None, repr=False,
+                                          compare=False)
+
+    def flow(self) -> "ModuleFlow":
+        """This file's dataflow analysis, built once and shared.
+
+        Every checker that needs CFG/reaching-defs/call-summary data
+        calls this; the first caller pays the construction cost.
+        """
+        if self._flow is None:
+            from .flow import ModuleFlow
+            self._flow = ModuleFlow(self.tree, self.module)
+        return self._flow
 
     def finding(self, rule: RuleSpec, node: ast.AST, message: str,
                 hint: Optional[str] = None) -> Finding:
@@ -125,11 +167,16 @@ class ImportMap:
     Tracks ``import x``, ``import x as y`` and ``from x import y [as z]``
     at any nesting level, so attribute chains like ``np.random.rand``
     resolve to canonical dotted names (``numpy.random.rand``) no matter
-    how the module was aliased.  Relative imports and unknown heads
-    resolve to ``None`` — checkers only act on names they can prove.
+    how the module was aliased.  When the owning module's dotted name is
+    supplied, relative imports resolve against it (``from ..runtime
+    import resilience`` inside ``repro.serve.service`` resolves to
+    ``repro.runtime.resilience``); without it, relative imports and
+    unknown heads resolve to ``None`` — checkers only act on names they
+    can prove.
     """
 
-    def __init__(self, tree: ast.AST) -> None:
+    def __init__(self, tree: ast.AST,
+                 module: Optional[str] = None) -> None:
         self.names: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -140,13 +187,17 @@ class ImportMap:
                         head = alias.name.split(".")[0]
                         self.names[head] = head
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
+                base = node.module
+                if node.level:
+                    base = _resolve_relative(module, node.level,
+                                             node.module)
+                if base is None:
                     continue
                 for alias in node.names:
                     if alias.name == "*":
                         continue
                     local = alias.asname or alias.name
-                    self.names[local] = f"{node.module}.{alias.name}"
+                    self.names[local] = f"{base}.{alias.name}"
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted name of an attribute/name chain, or None."""
@@ -161,6 +212,30 @@ class ImportMap:
             return None
         parts.append(head)
         return ".".join(reversed(parts))
+
+
+def _resolve_relative(module: Optional[str], level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Base package of a relative import seen from ``module``.
+
+    ``module`` is the importing module's dotted name (not its package):
+    one leading dot strips the module's own last component, each extra
+    dot strips one more.  Packages analysed through their ``__init__``
+    lose a level here (the dotted name does not say it is a package);
+    the resulting miss resolves to ``None``-like unknown names, never a
+    wrong positive for the dotted-prefix rules.
+    """
+    if module is None:
+        return None
+    parts = module.split(".")
+    if level > len(parts):
+        return None
+    base_parts = parts[:len(parts) - level]
+    if target:
+        base_parts.append(target)
+    if not base_parts:
+        return None
+    return ".".join(base_parts)
 
 
 def module_name(relpath: str) -> str:
@@ -269,6 +344,9 @@ class AnalysisResult:
 
     findings: List[Finding]
     n_files: int
+    #: Cumulative checker wall-time per rule family, for the JSON
+    #: report footer (checker regressions show up in CI logs).
+    timings_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -276,6 +354,41 @@ class AnalysisResult:
         for finding in self.findings:
             out[finding.rule] = out.get(finding.rule, 0) + 1
         return dict(sorted(out.items()))
+
+
+def filter_findings(raw: Iterable[Finding], config: LintConfig,
+                    select: Sequence[str], ignore: Sequence[str],
+                    lines_by_rel: Dict[str, Tuple[str, ...]]
+                    ) -> List[Finding]:
+    """Post-filter raw findings: selection, per-path tables, pragmas.
+
+    One code path for every finding source — files on disk and
+    generated kernel sources alike — so ``--select``/``--ignore``
+    prefixes and ``# reprolint: disable=RULE`` pragmas behave
+    uniformly.  ``lines_by_rel`` supplies source lines for paths that
+    do not exist on disk (synthetic ``<generated:...>`` names).
+    """
+    findings: List[Finding] = []
+    for finding in raw:
+        if not rule_enabled(finding.rule, select, ignore):
+            continue
+        if any(finding.path.startswith(prefix)
+               and rule_matches(finding.rule, rules)
+               for prefix, rules in config.per_path_ignores.items()):
+            continue
+        if _suppressed(finding, lines_by_rel.get(finding.path),
+                       config.project_root):
+            continue
+        findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def checker_family(checker: Checker) -> str:
+    """Rule family a checker's wall-time is attributed to."""
+    if checker.rules:
+        return rule_family(checker.rules[0].id)
+    return "unknown"
 
 
 def run_analysis(paths: Sequence[Path], config: LintConfig,
@@ -295,6 +408,14 @@ def run_analysis(paths: Sequence[Path], config: LintConfig,
     checkers: List[Checker] = [cls(config) for cls in ALL_CHECKERS]
     raw: List[Finding] = []
     lines_by_rel: Dict[str, Tuple[str, ...]] = {}
+    timings: Dict[str, float] = {}
+
+    def timed(checker: Checker, produce: Iterable[Finding]) -> None:
+        start = time.perf_counter()
+        raw.extend(produce)
+        family = checker_family(checker)
+        timings[family] = (timings.get(family, 0.0)
+                           + time.perf_counter() - start)
 
     for path in files:
         rel = _relpath(path, config.project_root)
@@ -312,22 +433,13 @@ def run_analysis(paths: Sequence[Path], config: LintConfig,
                           tree=tree, lines=tuple(source.splitlines()))
         lines_by_rel[rel] = ctx.lines
         for checker in checkers:
-            raw.extend(checker.check_file(ctx))
+            timed(checker, checker.check_file(ctx))
 
     for checker in checkers:
-        raw.extend(checker.finish())
+        timed(checker, checker.finish())
 
-    findings: List[Finding] = []
-    for finding in raw:
-        if not rule_enabled(finding.rule, chosen_select, chosen_ignore):
-            continue
-        if any(finding.path.startswith(prefix)
-               and rule_matches(finding.rule, rules)
-               for prefix, rules in config.per_path_ignores.items()):
-            continue
-        if _suppressed(finding, lines_by_rel.get(finding.path),
-                       config.project_root):
-            continue
-        findings.append(finding)
-    findings.sort(key=Finding.sort_key)
-    return AnalysisResult(findings=findings, n_files=len(files))
+    findings = filter_findings(raw, config, chosen_select, chosen_ignore,
+                               lines_by_rel)
+    return AnalysisResult(
+        findings=findings, n_files=len(files),
+        timings_s={k: round(v, 4) for k, v in sorted(timings.items())})

@@ -1,0 +1,801 @@
+"""Per-function dataflow: CFG, reaching definitions, call summaries.
+
+The original reprolint checkers are syntactic — they judge one AST node
+at a time.  That is enough for "``np.zeros`` without a dtype" but blind
+to anything that flows *between* statements: a width pinned on one line
+and lost two assignments later, a lock acquired in one block and held
+across an ``await`` in another, a sync helper that buries a
+``time.sleep`` three calls deep under an ``async def``.
+
+This module is the shared dataflow tier those judgements run on:
+
+* :func:`build_cfg` — a per-function control-flow graph of basic
+  blocks with explicit edges for branches, loops (including back
+  edges), ``break``/``continue``, and the may-raise edges from every
+  ``try``-body statement into its handlers;
+* :class:`FunctionFlow` — classic reaching-definitions over that CFG
+  (worklist to fixpoint) plus def-use chains: for every ``Name`` load,
+  which definitions may reach it, and for every definition, where it
+  is used;
+* :class:`ModuleFlow` — one object per file, built lazily by
+  :meth:`repro.analysis.core.FileContext.flow` and shared by every
+  checker, carrying a per-function call-context summary
+  (:class:`FunctionSummary`: ``is_async`` / ``may_block`` /
+  ``acquires_lock``) with ``may_block`` closed transitively over the
+  module-local call graph.
+
+Nested function bodies are analysed as their own functions; the
+enclosing function's graph treats the ``def`` as a single definition
+of the name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+from .core import ImportMap
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Dotted callables that block the calling thread (event-loop poison
+#: under ``async def``).  Extended per-project via config.
+BLOCKING_CALLS: FrozenSet[str] = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.waitpid", "os.wait",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+})
+
+#: Dotted-prefix package roots whose entry points run whole sweeps —
+#: never to be called directly from an event loop.
+BLOCKING_PREFIXES: Tuple[str, ...] = (
+    "repro.runtime.resilience.",
+    "repro.runtime.executor.",
+    "repro.workloads.",
+)
+
+#: Method names that block regardless of receiver type.  ``result`` is
+#: concurrent.futures / asyncio Future; ``shutdown`` and ``join`` wait
+#: for worker threads; a bare builtin ``open`` is sync file IO.
+BLOCKING_METHODS: FrozenSet[str] = frozenset({
+    "result", "shutdown", "join",
+    "read_text", "read_bytes", "write_text", "write_bytes",
+})
+
+#: Constructors whose instances are thread locks (sync acquire).
+LOCK_CTORS: FrozenSet[str] = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Semaphore",
+    "threading.BoundedSemaphore", "threading.Condition",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition of a local name."""
+
+    index: int
+    name: str
+    #: AST node the definition anchors to (target, arg, or statement).
+    node: ast.AST
+    #: Right-hand side when the definition is a single-name assignment
+    #: (``x = <expr>``); None for opaque defs (args, loops, del, ...).
+    value: Optional[ast.expr] = None
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with explicit CFG edges."""
+
+    index: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Definition extraction
+# ----------------------------------------------------------------------
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+
+
+def _walk_in_scope(node: ast.AST) -> Iterable[ast.AST]:
+    """``ast.walk`` that does not descend into nested function scopes."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _SCOPE_BARRIERS):
+                continue
+            stack.append(child)
+
+
+def _target_names(target: ast.expr) -> List[ast.expr]:
+    """The ``Name`` nodes a (possibly nested) assignment target binds."""
+    if isinstance(target, ast.Name):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[ast.expr] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []  # Attribute / Subscript stores bind no local name
+
+
+def _stmt_definitions(stmt: ast.stmt) -> List[Tuple[str, ast.AST,
+                                                    Optional[ast.expr]]]:
+    """(name, anchor, value) triples this statement defines, in order."""
+    defs: List[Tuple[str, ast.AST, Optional[ast.expr]]] = []
+    if isinstance(stmt, ast.Assign):
+        single = (len(stmt.targets) == 1
+                  and isinstance(stmt.targets[0], ast.Name))
+        for target in stmt.targets:
+            for name_node in _target_names(target):
+                assert isinstance(name_node, ast.Name)
+                defs.append((name_node.id, name_node,
+                             stmt.value if single else None))
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+            defs.append((stmt.target.id, stmt.target, stmt.value))
+        elif isinstance(stmt.target, ast.Name):
+            return []  # bare annotation binds nothing
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            defs.append((stmt.target.id, stmt.target, None))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name_node in _target_names(stmt.target):
+            assert isinstance(name_node, ast.Name)
+            defs.append((name_node.id, name_node, None))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name_node in _target_names(item.optional_vars):
+                    assert isinstance(name_node, ast.Name)
+                    defs.append((name_node.id, name_node,
+                                 item.context_expr
+                                 if isinstance(item.optional_vars,
+                                               ast.Name) else None))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        defs.append((stmt.name, stmt, None))
+    elif isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            local = alias.asname or alias.name.split(".")[0]
+            defs.append((local, stmt, None))
+    elif isinstance(stmt, ast.ImportFrom):
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            defs.append((alias.asname or alias.name, stmt, None))
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            for name_node in _target_names(target):
+                assert isinstance(name_node, ast.Name)
+                defs.append((name_node.id, name_node, None))
+    # Walrus definitions anywhere in the statement's expressions.
+    for node in _walk_in_scope(stmt):
+        if isinstance(node, ast.NamedExpr) \
+                and isinstance(node.target, ast.Name):
+            defs.append((node.target.id, node.target, node.value))
+    return defs
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+
+class _CFGBuilder:
+    """Builds the block graph for one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = [BasicBlock(0), BasicBlock(1)]
+        self.entry = 0
+        self.exit = 1
+        self.current = self._new_block()
+        self._link(self.entry, self.current)
+        self.reachable = True
+        #: (continue_target, break_targets-accumulator) per open loop.
+        self._loops: List[Tuple[int, List[int]]] = []
+        #: Handler-entry block lists of enclosing try statements.
+        self._handlers: List[List[int]] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def _new_block(self) -> int:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _link(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def _start_block(self, *preds: int) -> int:
+        block = self._new_block()
+        for pred in preds:
+            self._link(pred, block)
+        return block
+
+    def _append(self, stmt: ast.stmt) -> None:
+        """Place one straight-line statement, splitting inside try."""
+        if not self.reachable:
+            self.current = self._new_block()  # dead code: no preds
+            self.reachable = True
+        if self._handlers:
+            # Statements inside a try body may raise after any prefix:
+            # give each its own block with an edge into every handler.
+            if self.blocks[self.current].stmts:
+                self.current = self._start_block(self.current)
+            self.blocks[self.current].stmts.append(stmt)
+            for handler_entry in self._handlers[-1]:
+                self._link(self.current, handler_entry)
+        else:
+            self.blocks[self.current].stmts.append(stmt)
+
+    # -- statements -----------------------------------------------------
+
+    def build(self, body: Sequence[ast.stmt]) -> None:
+        self._visit_body(body)
+        if self.reachable:
+            self._link(self.current, self.exit)
+
+    def _visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._visit_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._append(stmt)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._link(self.current, self.exit)
+            self.reachable = False
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)  # may-raise edges added by _append
+            if not self._handlers:
+                self._link(self.current, self.exit)
+            self.reachable = False
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            if self._loops:
+                self._loops[-1][1].append(self.current)
+            self.reachable = False
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            if self._loops:
+                self._link(self.current, self._loops[-1][0])
+            self.reachable = False
+        else:
+            self._append(stmt)
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._append(stmt)  # the test evaluates in the current block
+        cond_block = self.current
+        cond_reachable = self.reachable
+
+        self.current = self._start_block(cond_block)
+        self.reachable = cond_reachable
+        self._visit_body(stmt.body)
+        then_end = self.current if self.reachable else None
+
+        else_end: Optional[int]
+        if stmt.orelse:
+            self.current = self._start_block(cond_block)
+            self.reachable = cond_reachable
+            self._visit_body(stmt.orelse)
+            else_end = self.current if self.reachable else None
+        else:
+            else_end = cond_block
+
+        join = self._new_block()
+        for end in (then_end, else_end):
+            if end is not None:
+                self._link(end, join)
+        self.current = join
+        self.reachable = bool(self.blocks[join].preds)
+
+    def _visit_while(self, stmt: ast.While) -> None:
+        header = self._start_block(self.current)
+        self.blocks[header].stmts.append(stmt)  # test re-evaluates here
+        if self._handlers:
+            for handler_entry in self._handlers[-1]:
+                self._link(header, handler_entry)
+        breaks: List[int] = []
+        self._loops.append((header, breaks))
+        self.current = self._start_block(header)
+        self.reachable = True
+        self._visit_body(stmt.body)
+        if self.reachable:
+            self._link(self.current, header)  # back edge
+        self._loops.pop()
+
+        after = self._new_block()
+        self._link(header, after)  # loop test goes false
+        if stmt.orelse:
+            self.current = after
+            self.reachable = True
+            self._visit_body(stmt.orelse)
+            after = self.current
+        for brk in breaks:
+            self._link(brk, after if not stmt.orelse else after)
+        if stmt.orelse:
+            # break skips the else clause: link breaks past it.
+            post = self._new_block()
+            self._link(after, post)
+            for brk in breaks:
+                self._link(brk, post)
+            after = post
+        self.current = after
+        self.reachable = bool(self.blocks[after].preds)
+
+    def _visit_for(self, stmt: Union[ast.For, ast.AsyncFor]) -> None:
+        header = self._start_block(self.current)
+        self.blocks[header].stmts.append(stmt)  # iter + target binding
+        if self._handlers:
+            for handler_entry in self._handlers[-1]:
+                self._link(header, handler_entry)
+        breaks: List[int] = []
+        self._loops.append((header, breaks))
+        self.current = self._start_block(header)
+        self.reachable = True
+        self._visit_body(stmt.body)
+        if self.reachable:
+            self._link(self.current, header)
+        self._loops.pop()
+
+        after = self._new_block()
+        self._link(header, after)  # iterator exhausted
+        if stmt.orelse:
+            self.current = after
+            self.reachable = True
+            self._visit_body(stmt.orelse)
+            post = self._new_block()
+            if self.reachable:
+                self._link(self.current, post)
+            for brk in breaks:
+                self._link(brk, post)
+            after = post
+        else:
+            for brk in breaks:
+                self._link(brk, after)
+        self.current = after
+        self.reachable = bool(self.blocks[after].preds)
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        pre = self.current
+        pre_reachable = self.reachable
+        # An exception may fire before any try-body statement runs.
+        for handler_entry in handler_entries:
+            self._link(pre, handler_entry)
+
+        self._handlers.append(handler_entries)
+        self.current = self._start_block(pre)
+        self.reachable = pre_reachable
+        self._visit_body(stmt.body)
+        body_end = self.current if self.reachable else None
+        self._handlers.pop()
+
+        ends: List[int] = []
+        if body_end is not None:
+            if stmt.orelse:
+                self.current = self._start_block(body_end)
+                self.reachable = True
+                self._visit_body(stmt.orelse)
+                if self.reachable:
+                    ends.append(self.current)
+            else:
+                ends.append(body_end)
+
+        for handler, handler_entry in zip(stmt.handlers, handler_entries):
+            self.current = handler_entry
+            self.reachable = True
+            if handler.name is not None:
+                # The bound exception name is a definition anchored at
+                # the handler itself.
+                self.blocks[handler_entry].stmts.append(handler)
+            self._visit_body(handler.body)
+            if self.reachable:
+                ends.append(self.current)
+
+        join = self._new_block()
+        for end in ends:
+            self._link(end, join)
+        self.current = join
+        self.reachable = bool(self.blocks[join].preds)
+        if stmt.finalbody:
+            # Approximation: the finally body runs on the normal paths;
+            # its statements land after the join.
+            if not self.reachable:
+                # finally still runs on the exceptional path.
+                self.reachable = True
+                self._link(pre, join)
+            self._visit_body(stmt.finalbody)
+
+
+def build_cfg(func: FunctionNode) -> Tuple[List[BasicBlock], int, int]:
+    """(blocks, entry index, exit index) for one function body."""
+    builder = _CFGBuilder()
+    builder.build(func.body)
+    return builder.blocks, builder.entry, builder.exit
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+
+class FunctionFlow:
+    """Reaching definitions and def-use chains for one function."""
+
+    def __init__(self, func: FunctionNode, qualname: str) -> None:
+        self.func = func
+        self.qualname = qualname
+        self.is_async = isinstance(func, ast.AsyncFunctionDef)
+        self.blocks, self.entry, self.exit = build_cfg(func)
+
+        self.definitions: List[Definition] = []
+        self._params: List[int] = []
+        for arg in self._all_args(func.args):
+            self._params.append(self._add_def(arg.arg, arg, None))
+
+        #: block index -> ordered (def ids defined by each statement).
+        self._block_defs: List[List[List[int]]] = []
+        for block in self.blocks:
+            per_stmt: List[List[int]] = []
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.ExceptHandler):
+                    ids = ([self._add_def(stmt.name, stmt, None)]
+                           if stmt.name else [])
+                else:
+                    ids = [self._add_def(name, node, value)
+                           for name, node, value
+                           in _stmt_definitions(stmt)]
+                per_stmt.append(ids)
+            self._block_defs.append(per_stmt)
+
+        self.block_in: List[Dict[str, FrozenSet[int]]] = \
+            self._solve_reaching()
+        #: id(ast.Name load) -> reaching definition ids.
+        self.use_defs: Dict[int, FrozenSet[int]] = {}
+        #: definition id -> Name loads it reaches.
+        self.def_uses: Dict[int, List[ast.Name]] = {
+            d.index: [] for d in self.definitions}
+        #: id(statement) -> containing block index.
+        self.stmt_block: Dict[int, int] = {}
+        self._chain_uses()
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def _all_args(args: ast.arguments) -> List[ast.arg]:
+        every: List[ast.arg] = []
+        every.extend(getattr(args, "posonlyargs", []))
+        every.extend(args.args)
+        if args.vararg:
+            every.append(args.vararg)
+        every.extend(args.kwonlyargs)
+        if args.kwarg:
+            every.append(args.kwarg)
+        return every
+
+    def _add_def(self, name: str, node: ast.AST,
+                 value: Optional[ast.expr]) -> int:
+        definition = Definition(len(self.definitions), name, node, value)
+        self.definitions.append(definition)
+        return definition.index
+
+    # -- dataflow -------------------------------------------------------
+
+    def _transfer(self, state: Dict[str, FrozenSet[int]],
+                  block_index: int) -> Dict[str, FrozenSet[int]]:
+        out = dict(state)
+        for def_ids in self._block_defs[block_index]:
+            for def_id in def_ids:
+                out[self.definitions[def_id].name] = frozenset({def_id})
+        return out
+
+    def _solve_reaching(self) -> List[Dict[str, FrozenSet[int]]]:
+        n = len(self.blocks)
+        entry_state: Dict[str, FrozenSet[int]] = {}
+        for def_id in self._params:
+            entry_state[self.definitions[def_id].name] = \
+                frozenset({def_id})
+        block_in: List[Dict[str, FrozenSet[int]]] = [{} for _ in range(n)]
+        block_out: List[Dict[str, FrozenSet[int]]] = [{} for _ in range(n)]
+        block_in[self.entry] = entry_state
+        block_out[self.entry] = self._transfer(entry_state, self.entry)
+
+        work = list(range(n))
+        while work:
+            index = work.pop(0)
+            if index != self.entry:
+                merged: Dict[str, FrozenSet[int]] = {}
+                for pred in self.blocks[index].preds:
+                    for name, ids in block_out[pred].items():
+                        merged[name] = merged.get(name, frozenset()) | ids
+                block_in[index] = merged
+            new_out = self._transfer(block_in[index], index)
+            if new_out != block_out[index]:
+                block_out[index] = new_out
+                for succ in self.blocks[index].succs:
+                    if succ not in work:
+                        work.append(succ)
+        return block_in
+
+    def _chain_uses(self) -> None:
+        for block in self.blocks:
+            state = dict(self.block_in[block.index])
+            for stmt, def_ids in zip(block.stmts,
+                                     self._block_defs[block.index]):
+                self.stmt_block[id(stmt)] = block.index
+                if not isinstance(stmt, ast.ExceptHandler):
+                    for node in _walk_in_scope(stmt):
+                        if isinstance(node, ast.Name) \
+                                and isinstance(node.ctx, ast.Load):
+                            ids = state.get(node.id)
+                            if ids is not None:
+                                self.use_defs[id(node)] = ids
+                                for def_id in ids:
+                                    self.def_uses[def_id].append(node)
+                for def_id in def_ids:
+                    state[self.definitions[def_id].name] = \
+                        frozenset({def_id})
+
+    # -- public queries -------------------------------------------------
+
+    def reaching(self, name_node: ast.Name) -> Tuple[Definition, ...]:
+        """Definitions that may reach this ``Name`` load."""
+        ids = self.use_defs.get(id(name_node), frozenset())
+        return tuple(self.definitions[i] for i in sorted(ids))
+
+    def uses_of(self, def_id: int) -> Tuple[ast.Name, ...]:
+        """Every ``Name`` load a definition may reach."""
+        return tuple(self.def_uses.get(def_id, ()))
+
+    def reachable_from(self, block_index: int) -> Set[int]:
+        """Blocks reachable from ``block_index`` (inclusive)."""
+        seen: Set[int] = set()
+        stack = [block_index]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.blocks[current].succs)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Call-context summaries
+# ----------------------------------------------------------------------
+
+@dataclass
+class FunctionSummary:
+    """What a caller needs to know about one function."""
+
+    qualname: str
+    name: str
+    is_async: bool
+    #: Dotted blocking calls made directly (human-readable evidence).
+    direct_blocking: Tuple[str, ...] = ()
+    #: Local callee names (module functions or Class.method).
+    local_calls: Tuple[str, ...] = ()
+    acquires_lock: bool = False
+    #: Closed transitively over the module-local call graph.
+    may_block: bool = False
+
+    @property
+    def blocking_evidence(self) -> str:
+        return ", ".join(self.direct_blocking)
+
+
+def _is_blocking_dotted(dotted: str,
+                        extra: Sequence[str] = ()) -> bool:
+    if dotted in BLOCKING_CALLS or dotted in extra:
+        return True
+    return any(dotted.startswith(prefix) for prefix in BLOCKING_PREFIXES)
+
+
+class ModuleFlow:
+    """Every function's :class:`FunctionFlow` plus call summaries."""
+
+    def __init__(self, tree: ast.Module, module: str,
+                 extra_blocking: Sequence[str] = ()) -> None:
+        self.module = module
+        self.imports = ImportMap(tree, module=module)
+        #: id(function node) -> its flow analysis.
+        self.functions: Dict[int, FunctionFlow] = {}
+        #: qualname -> summary.
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self._extra_blocking = tuple(extra_blocking)
+        self._collect(tree.body, prefix="")
+        self._close_may_block()
+
+    # -- collection -----------------------------------------------------
+
+    def _collect(self, body: Sequence[ast.stmt], prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + stmt.name
+                flow = FunctionFlow(stmt, qualname)
+                self.functions[id(stmt)] = flow
+                self.summaries[qualname] = self._summarize(stmt, qualname)
+                self._collect(stmt.body, prefix=qualname + ".")
+            elif isinstance(stmt, ast.ClassDef):
+                self._collect(stmt.body, prefix=stmt.name + ".")
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With,
+                                   ast.For, ast.While)):
+                self._collect(_nested_stmts(stmt), prefix=prefix)
+
+    def _summarize(self, func: FunctionNode,
+                   qualname: str) -> FunctionSummary:
+        blocking: List[str] = []
+        calls: List[str] = []
+        acquires = False
+        class_prefix = (qualname.rsplit(".", 1)[0] + "."
+                        if "." in qualname else "")
+        for node in _walk_in_scope_body(func):
+            if isinstance(node, ast.Call):
+                dotted = self.imports.resolve(node.func)
+                if dotted is not None:
+                    if _is_blocking_dotted(dotted, self._extra_blocking):
+                        blocking.append(dotted)
+                    if dotted in LOCK_CTORS:
+                        acquires = True
+                local = self._local_callee(node.func, class_prefix)
+                if local is not None:
+                    calls.append(local)
+                if _is_blocking_method(node):
+                    blocking.append(_method_label(node))
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "acquire":
+                    acquires = True
+            elif isinstance(node, (ast.With,)):
+                if any(self.lock_like(item.context_expr, func)
+                       for item in node.items):
+                    acquires = True
+        return FunctionSummary(
+            qualname=qualname,
+            name=qualname.rsplit(".", 1)[-1],
+            is_async=isinstance(func, ast.AsyncFunctionDef),
+            direct_blocking=tuple(blocking),
+            local_calls=tuple(dict.fromkeys(calls)),
+            acquires_lock=acquires,
+        )
+
+    def _local_callee(self, func_expr: ast.expr,
+                      class_prefix: str) -> Optional[str]:
+        """Qualname of a module-local callee, when resolvable."""
+        if isinstance(func_expr, ast.Name):
+            return func_expr.id
+        if isinstance(func_expr, ast.Attribute) \
+                and isinstance(func_expr.value, ast.Name) \
+                and func_expr.value.id in ("self", "cls"):
+            return class_prefix + func_expr.attr if class_prefix else None
+        return None
+
+    def _close_may_block(self) -> None:
+        for summary in self.summaries.values():
+            summary.may_block = bool(summary.direct_blocking)
+        changed = True
+        while changed:
+            changed = False
+            for summary in self.summaries.values():
+                if summary.may_block:
+                    continue
+                for callee in summary.local_calls:
+                    target = self.summaries.get(callee)
+                    if target is not None and target.may_block \
+                            and not target.is_async:
+                        summary.may_block = True
+                        changed = True
+                        break
+
+    # -- queries --------------------------------------------------------
+
+    def flow_of(self, func: FunctionNode) -> FunctionFlow:
+        """The per-function analysis for a function node."""
+        return self.functions[id(func)]
+
+    def summary_for_call(self, call: ast.Call,
+                         enclosing: str) -> Optional[FunctionSummary]:
+        """Module-local summary of a call's target, when resolvable."""
+        class_prefix = (enclosing.rsplit(".", 1)[0] + "."
+                        if "." in enclosing else "")
+        local = self._local_callee(call.func, class_prefix)
+        if local is None:
+            return None
+        return self.summaries.get(local)
+
+    def lock_like(self, expr: ast.expr,
+                  func: Optional[FunctionNode] = None) -> bool:
+        """True when ``expr`` evaluates to a (sync) thread lock.
+
+        Direct constructor calls are recognised syntactically; a bare
+        name is resolved through the function's reaching definitions,
+        so ``lock = threading.Lock()`` two statements earlier still
+        counts — the dataflow half of the judgement.
+        """
+        if isinstance(expr, ast.Call):
+            dotted = self.imports.resolve(expr.func)
+            return dotted is not None and dotted in LOCK_CTORS
+        if isinstance(expr, ast.Name) and func is not None:
+            flow = self.functions.get(id(func))
+            if flow is None:
+                return False
+            reaching = flow.reaching(expr)
+            if not reaching:
+                return False
+            values = [d.value for d in reaching]
+            return all(value is not None and self.lock_like(value)
+                       for value in values)
+        return False
+
+
+def _nested_stmts(stmt: ast.stmt) -> List[ast.stmt]:
+    """Statement bodies directly nested under a compound statement."""
+    out: List[ast.stmt] = []
+    for name in ("body", "orelse", "finalbody"):
+        out.extend(getattr(stmt, name, []) or [])
+    for handler in getattr(stmt, "handlers", []) or []:
+        out.extend(handler.body)
+    return out
+
+
+def _walk_in_scope_body(func: FunctionNode) -> Iterable[ast.AST]:
+    """Walk a function's own body, skipping nested function scopes."""
+    for stmt in func.body:
+        yield from _walk_in_scope(stmt)
+
+
+def _is_blocking_method(call: ast.Call) -> bool:
+    """Heuristic: a method call that blocks the calling thread.
+
+    ``open(...)`` (sync file IO), ``fut.result()``, ``pool.shutdown()``
+    with ``wait=True`` (the default), ``thread.join()`` and the
+    ``pathlib`` read/write helpers.  ``shutdown(wait=False)`` does not
+    block and is not flagged.
+    """
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        return True
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    attr = call.func.attr
+    if attr not in BLOCKING_METHODS:
+        return False
+    if attr == "join" and call.args:
+        return False  # str.join(iterable); thread/queue join take none
+    if attr == "shutdown":
+        for kw in call.keywords:
+            if kw.arg == "wait" \
+                    and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value is False:
+                return False
+    return True
+
+
+def _method_label(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return f"{call.func.id}(...)"
+    assert isinstance(call.func, ast.Attribute)
+    return f".{call.func.attr}(...)"

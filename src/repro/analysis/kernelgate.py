@@ -1,0 +1,435 @@
+"""Generated-kernel verification gate (REP7xx).
+
+The compiled backend exec-compiles shape-specialized kernel source at
+runtime (:mod:`repro.core.backends.codegen`), which means that source
+never passes through the on-disk lint walk: a template bug could ship
+an implicit-dtype constructor or a data-dependent Python branch that
+drifts from the numpy reference residual, and no checker would see it.
+
+This module closes the hole from both ends:
+
+* **generation time** — :func:`gate_generated_kernel` is called by the
+  kernel loader for every source it is about to ``exec``.  Results are
+  memoized by the kernel digest (a digest names immutable content, so
+  one verdict is forever).  Under ``REPRO_KERNEL_GATE=enforce`` (the
+  default) a dirty kernel raises :class:`KernelGateError` instead of
+  compiling; ``warn`` reports to stderr and continues; ``off``
+  disables the gate.
+* **sweep time** — ``python -m repro.analysis --kernels <cache>``
+  re-lints every persisted kernel artifact, so CI can audit a cache
+  populated by a real warm sweep.
+
+Findings are reported under a synthetic ``<generated:digest>`` path
+and flow through the same post-filter as file findings, so
+``--select``/``--ignore`` prefixes and ``# reprolint: disable=RULE``
+pragmas behave uniformly.
+
+The rules enforce the template contract rather than general style:
+generated kernels execute in an injected namespace (``np`` *is* numpy
+by construction — no import resolution needed) and may only use the
+template op set, because every op in that set has a proven-bit-exact
+counterpart in the reference residual.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import LintConfig
+from .core import Finding, RuleSpec, filter_findings
+
+KERNEL_UNPARSEABLE = RuleSpec(
+    id="REP701",
+    name="kernel-unparseable",
+    summary="Generated kernel source cannot be parsed.",
+    hint="The codegen template emitted invalid Python; fix the "
+         "template and bump KERNEL_VERSION.",
+)
+
+KERNEL_OP_WHITELIST = RuleSpec(
+    id="REP702",
+    name="kernel-op-whitelist",
+    summary="Generated kernel uses an operation outside the template "
+            "op set.",
+    hint="Every op in a generated kernel needs a proven-bit-exact "
+         "counterpart in the reference residual; extend the whitelist "
+         "in repro.analysis.kernelgate only together with the "
+         "template and its parity tests.",
+)
+
+KERNEL_DATA_BRANCH = RuleSpec(
+    id="REP703",
+    name="kernel-data-branch",
+    summary="Data-dependent Python branching in a generated kernel.",
+    hint="Branch only on folded constants or emptiness guards "
+         "(x.shape[0] == 0); data-dependent control flow belongs in "
+         "vectorized masks, where it cannot drift from the reference "
+         "residual.",
+)
+
+KERNEL_DTYPE = RuleSpec(
+    id="REP704",
+    name="kernel-implicit-dtype",
+    summary="Array constructor without an explicit dtype in a "
+            "generated kernel.",
+    hint="Fold the dtype into the template (dtype=np.int64 / "
+         "dtype=bool); platform-dependent default widths break "
+         "bit-exactness across hosts.",
+)
+
+KERNEL_IMPORT = RuleSpec(
+    id="REP705",
+    name="kernel-import",
+    summary="Import statement in a generated kernel.",
+    hint="Kernels execute in an injected namespace (np, PenaltyKind, "
+         "seed helpers); an import reaches outside that contract and "
+         "escapes the determinism audit.",
+)
+
+KERNEL_RULES: Tuple[RuleSpec, ...] = (
+    KERNEL_UNPARSEABLE, KERNEL_OP_WHITELIST, KERNEL_DATA_BRANCH,
+    KERNEL_DTYPE, KERNEL_IMPORT,
+)
+
+# ----------------------------------------------------------------------
+# The template contract
+# ----------------------------------------------------------------------
+
+#: ``np.<name>`` calls the templates may emit.  np.random/np.datetime
+#: and friends are unreachable by construction.
+ALLOWED_NP = frozenset({
+    "nonzero", "concatenate", "arange", "count_nonzero", "ones",
+    "array", "zeros",
+})
+
+#: Backend replay primitives (each has a scalar reference twin).
+ALLOWED_BACKEND = frozenset({"replay", "charge", "decode_select_entry"})
+
+#: Injected helpers and plain builtins the templates use.
+ALLOWED_NAME_CALLS = frozenset({
+    "seed_targets", "seed_combined", "DualSelectEntry",
+    "int", "zip", "range", "dict",
+})
+
+#: Method calls allowed on arbitrary receivers.
+ALLOWED_METHODS = frozenset({"tolist", "astype", "sum", "items",
+                             "append"})
+
+#: ``np`` constructors that infer a platform-dependent dtype when none
+#: is given (the generated-code mirror of the REP201 table).
+INFERRING_NP = frozenset({
+    "array", "asarray", "ascontiguousarray", "zeros", "ones", "empty",
+    "full", "arange", "fromiter", "frombuffer",
+})
+
+
+def synthetic_path(digest: str) -> str:
+    """The report path for a generated kernel's findings."""
+    return f"<generated:{digest}>"
+
+
+def _np_attr(node: ast.expr) -> Optional[str]:
+    """``name`` for an ``np.name`` chain (namespace contract)."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "np":
+        return node.attr
+    return None
+
+
+def _finding(rule: RuleSpec, path: str, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(
+        rule=rule.id, path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message, hint=rule.hint)
+
+
+def _call_allowed(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in ALLOWED_NAME_CALLS
+    np_name = _np_attr(func)
+    if np_name is not None:
+        return np_name in ALLOWED_NP
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name) \
+                and func.value.id == "backend":
+            return func.attr in ALLOWED_BACKEND
+        return func.attr in ALLOWED_METHODS
+    return False
+
+
+def _call_label(call: ast.Call) -> str:
+    try:
+        return ast.unparse(call.func)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return "<call>"
+
+
+def _branch_test_allowed(test: ast.expr) -> bool:
+    """Sanctioned branch forms: constant compares and empties.
+
+    The templates branch only on (a) emptiness guards
+    (``x.shape[0] == 0``), (b) loop-index routing against folded
+    constants (``k < HALF``), (c) a bare count name in a conditional
+    expression (``... if n_imm else 0``), and (d) ``e is None`` inside
+    seed comprehensions.  Everything else is data-dependent control
+    flow that can drift from the vectorized reference.
+    """
+    if isinstance(test, ast.Name):
+        return True
+    if isinstance(test, ast.Compare):
+        if not all(isinstance(cmp, ast.Constant)
+                   for cmp in test.comparators):
+            return False
+        left = test.left
+        if isinstance(left, ast.Name):
+            return True
+        # x.shape[0] == 0 — the emptiness guard.
+        if isinstance(left, ast.Subscript) \
+                and isinstance(left.value, ast.Attribute) \
+                and left.value.attr == "shape":
+            return True
+    return False
+
+
+def _comprehension_iter_allowed(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return True
+    if isinstance(node, ast.Call):
+        return _call_allowed(node)
+    return False
+
+
+def _structural_findings(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # Top level: a docstring and exactly one `def kernel`.
+    body = list(tree.body)
+    if body and isinstance(body[0], ast.Expr) \
+            and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        body = body[1:]
+    for stmt in body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            findings.append(_finding(
+                KERNEL_IMPORT, path, stmt,
+                "import statement in generated kernel"))
+        elif not (isinstance(stmt, ast.FunctionDef)
+                  and stmt.name == "kernel"):
+            findings.append(_finding(
+                KERNEL_OP_WHITELIST, path, stmt,
+                f"unexpected top-level "
+                f"{type(stmt).__name__.lower()} statement "
+                f"(template emits a docstring and one `def kernel`)"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) \
+                and node not in tree.body:
+            findings.append(_finding(
+                KERNEL_IMPORT, path, node,
+                "import statement in generated kernel"))
+        elif isinstance(node, ast.Call):
+            if not _call_allowed(node):
+                findings.append(_finding(
+                    KERNEL_OP_WHITELIST, path, node,
+                    f"call to {_call_label(node)}() is outside the "
+                    f"template op set"))
+            else:
+                np_name = _np_attr(node.func)
+                if np_name in INFERRING_NP and not any(
+                        kw.arg == "dtype" for kw in node.keywords):
+                    findings.append(_finding(
+                        KERNEL_DTYPE, path, node,
+                        f"np.{np_name} without an explicit dtype"))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda, ast.ClassDef)):
+            if not (isinstance(node, ast.FunctionDef)
+                    and node.name == "kernel"
+                    and node in tree.body):
+                findings.append(_finding(
+                    KERNEL_OP_WHITELIST, path, node,
+                    "nested definition is outside the template op "
+                    "set"))
+        elif isinstance(node, ast.While):
+            findings.append(_finding(
+                KERNEL_DATA_BRANCH, path, node,
+                "while loop in generated kernel"))
+        elif isinstance(node, (ast.If, ast.IfExp)):
+            if not _branch_test_allowed(node.test):
+                findings.append(_finding(
+                    KERNEL_DATA_BRANCH, path, node,
+                    "branch condition is not a folded-constant "
+                    "compare or emptiness guard"))
+        elif isinstance(node, (ast.For,)):
+            if not _comprehension_iter_allowed(node.iter):
+                findings.append(_finding(
+                    KERNEL_DATA_BRANCH, path, node,
+                    "for loop over a non-template iterable"))
+        elif isinstance(node, ast.comprehension):
+            if not _comprehension_iter_allowed(node.iter):
+                findings.append(_finding(
+                    KERNEL_DATA_BRANCH, path, node,
+                    "comprehension over a non-template iterable"))
+            for cond in node.ifs:
+                if not _branch_test_allowed(cond):
+                    findings.append(_finding(
+                        KERNEL_DATA_BRANCH, path, cond,
+                        "comprehension filter is not a "
+                        "folded-constant compare"))
+    return findings
+
+
+def lint_kernel_source(source: str, digest: str,
+                       config: Optional[LintConfig] = None,
+                       select: Sequence[str] = (),
+                       ignore: Sequence[str] = ()) -> List[Finding]:
+    """Lint one generated kernel source, post-filtered uniformly.
+
+    Findings carry the synthetic ``<generated:digest>`` path;
+    ``select``/``ignore`` prefixes and per-line pragmas in the
+    generated source are honored exactly as for on-disk files.
+    """
+    path = synthetic_path(digest)
+    cfg = config if config is not None else LintConfig()
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        raw: List[Finding] = [Finding(
+            rule=KERNEL_UNPARSEABLE.id, path=path,
+            line=int(line), col=1,
+            message=f"cannot parse generated kernel: {exc}",
+            hint=KERNEL_UNPARSEABLE.hint)]
+    else:
+        raw = _structural_findings(tree, path)
+    return filter_findings(raw, cfg, tuple(select), tuple(ignore),
+                           {path: lines})
+
+
+# ----------------------------------------------------------------------
+# The generation-time gate
+# ----------------------------------------------------------------------
+
+class KernelGateError(RuntimeError):
+    """A generated kernel failed the REP7xx verification gate."""
+
+    def __init__(self, digest: str,
+                 findings: Sequence[Finding]) -> None:
+        self.digest = digest
+        self.findings = tuple(findings)
+        rendered = "\n".join(f.render() for f in self.findings)
+        super().__init__(
+            f"generated kernel {digest} failed the lint gate "
+            f"({len(self.findings)} finding"
+            f"{'s' if len(self.findings) != 1 else ''}):\n{rendered}")
+
+
+#: (digest, content-hash) -> verdict memo.  The spec digest names the
+#: *intended* content; hashing the actual source as well means a
+#: tampered disk artifact and its clean regeneration never share a
+#: verdict even though they share a digest.
+_GATE_MEMO: Dict[Tuple[str, str], Tuple[Finding, ...]] = {}
+
+GATE_MODES = ("off", "warn", "enforce")
+
+
+def gate_generated_kernel(source: str, digest: str,
+                          mode: str = "enforce") -> Tuple[Finding, ...]:
+    """Lint a kernel about to be exec-compiled; memoized by digest.
+
+    Returns the findings (empty for a clean kernel).  ``enforce``
+    raises :class:`KernelGateError` on any finding; ``warn`` prints
+    them to stderr and continues; ``off`` skips linting entirely.
+    """
+    if mode not in GATE_MODES:
+        raise ValueError(f"unknown kernel gate mode: {mode!r} "
+                         f"(expected one of {GATE_MODES})")
+    if mode == "off":
+        return ()
+    import hashlib
+    key = (digest,
+           hashlib.sha256(source.encode("utf-8")).hexdigest()[:16])
+    findings = _GATE_MEMO.get(key)
+    if findings is None:
+        findings = tuple(lint_kernel_source(source, digest))
+        _GATE_MEMO[key] = findings
+    if findings:
+        if mode == "enforce":
+            raise KernelGateError(digest, findings)
+        import sys
+        for finding in findings:
+            print(f"reprolint: {finding.render()}", file=sys.stderr)
+    return findings
+
+
+def clear_gate_memo() -> None:
+    """Reset the digest memo (tests only)."""
+    _GATE_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# The --kernels sweep over persisted artifacts
+# ----------------------------------------------------------------------
+
+def iter_kernel_artifacts(root: Path) -> List[Path]:
+    """Persisted kernel sources under ``root``.
+
+    Accepts either a cache root (``<cache>/compiled/kernels`` is
+    searched) or the kernel directory itself.
+    """
+    kernel_dir = root / "compiled" / "kernels"
+    if not kernel_dir.is_dir():
+        kernel_dir = root
+    if not kernel_dir.is_dir():
+        return []
+    return sorted(p for p in kernel_dir.glob("*.py") if p.is_file())
+
+
+def _artifact_digest(path: Path) -> str:
+    """Digest part of a ``<kind>-<digest>.py`` artifact name."""
+    stem = path.stem
+    if "-" in stem:
+        return stem.rsplit("-", 1)[1]
+    return stem
+
+
+def lint_kernel_cache(root: Path,
+                      config: Optional[LintConfig] = None,
+                      select: Sequence[str] = (),
+                      ignore: Sequence[str] = ()
+                      ) -> Tuple[List[Finding], int]:
+    """Re-lint every persisted kernel artifact under ``root``.
+
+    Returns ``(findings, n_kernels)``.  Unreadable artifacts surface
+    as REP701 — a cache that cannot be audited is not a clean cache.
+    """
+    findings: List[Finding] = []
+    artifacts = iter_kernel_artifacts(root)
+    for path in artifacts:
+        digest = _artifact_digest(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(Finding(
+                rule=KERNEL_UNPARSEABLE.id,
+                path=synthetic_path(digest), line=1, col=1,
+                message=f"cannot read kernel artifact {path}: {exc}",
+                hint=KERNEL_UNPARSEABLE.hint))
+            continue
+        findings.extend(lint_kernel_source(
+            source, digest, config=config, select=select,
+            ignore=ignore))
+    findings.sort(key=Finding.sort_key)
+    return findings, len(artifacts)
+
+
+def _kernel_sources_digest_ordered(root: Path) -> Iterable[Tuple[str, str]]:
+    """(digest, source) pairs for tests and tooling."""
+    for path in iter_kernel_artifacts(root):
+        yield _artifact_digest(path), path.read_text(encoding="utf-8")

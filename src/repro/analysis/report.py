@@ -7,7 +7,9 @@ import json
 from .core import AnalysisResult
 
 #: Schema version for the JSON report (CI artifacts parse this).
-JSON_SCHEMA_VERSION = 1
+#: v2: findings carry a ``family`` field; the payload footer carries
+#: per-family checker wall-time under ``timings_s``.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_human(result: AnalysisResult) -> str:
@@ -20,7 +22,12 @@ def render_human(result: AnalysisResult) -> str:
 
 
 def render_json(result: AnalysisResult) -> str:
-    """Stable machine-readable report (sorted findings, rule counts)."""
+    """Stable machine-readable report (sorted findings, rule counts).
+
+    The ``timings_s`` footer records cumulative checker wall-time per
+    rule family so a checker performance regression is visible by
+    diffing two CI artifacts.
+    """
     payload = {
         "schema_version": JSON_SCHEMA_VERSION,
         "tool": "reprolint",
@@ -28,5 +35,6 @@ def render_json(result: AnalysisResult) -> str:
         "counts": result.counts,
         "findings": [finding.to_dict()
                      for finding in result.findings],
+        "timings_s": result.timings_s,
     }
     return json.dumps(payload, indent=2, sort_keys=False)

@@ -362,6 +362,37 @@ def generate_source(spec: KernelSpec) -> str:
 # Loading: in-process memo + on-disk persistence
 # ----------------------------------------------------------------------
 
+#: Gate mode knob for generated kernels (off / warn / enforce).
+GATE_ENV = "REPRO_KERNEL_GATE"
+
+
+def gate_mode() -> str:
+    """Resolve REPRO_KERNEL_GATE: 'off' | 'warn' | 'enforce'."""
+    from ...envvars import read
+    value = read(GATE_ENV)
+    if value is None or not value.strip():
+        return "enforce"
+    mode = value.strip().lower()
+    if mode not in ("off", "warn", "enforce"):
+        raise ValueError(
+            f"REPRO_KERNEL_GATE={value!r}: expected 'off', 'warn' "
+            f"or 'enforce'")
+    return mode
+
+
+def _gate_source(source: str, digest: str, mode: str) -> bool:
+    """Run the REP7xx lint gate on one kernel source.
+
+    Returns True when the source may be compiled.  In enforce mode a
+    dirty source raises KernelGateError (generation) — callers loading
+    a *persisted* artifact catch it and regenerate, exactly like any
+    other corrupt artifact.
+    """
+    from ...analysis.kernelgate import gate_generated_kernel
+    gate_generated_kernel(source, digest, mode)
+    return True
+
+
 def _kernel_namespace() -> Dict[str, Any]:
     import numpy as np
 
@@ -428,19 +459,26 @@ class KernelLoader:
         if fn is not None:
             self.last_origin = "memo"
             return fn
+        from ...analysis.kernelgate import KernelGateError
+        mode = gate_mode()
         directory = self.kernel_dir()
         path = (directory / f"{spec.kind}-{digest}.py"
                 if directory is not None else None)
         origin = "generated"
         if path is not None and path.exists():
             try:
-                fn = _compile_source(path.read_text(encoding="utf-8"),
-                                     str(path))
+                disk_source = path.read_text(encoding="utf-8")
+                _gate_source(disk_source, digest, mode)
+                fn = _compile_source(disk_source, str(path))
                 origin = "disk"
-            except (OSError, SyntaxError, KeyError):
+            except (OSError, SyntaxError, KeyError, KernelGateError):
                 fn = None  # corrupt artifact: fall through and regenerate
         if fn is None:
             source = generate_source(spec)
+            # A dirty freshly-generated kernel is a template bug:
+            # under enforce the gate raises here rather than letting
+            # the unverified source exec.
+            _gate_source(source, digest, mode)
             fn = _compile_source(
                 source, str(path) if path is not None
                 else f"<kernel {spec.kind}-{digest}>")

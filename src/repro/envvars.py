@@ -92,6 +92,14 @@ REGISTRY: Tuple[EnvVar, ...] = (
         owner="repro.runtime.executor",
     ),
     EnvVar(
+        name="REPRO_KERNEL_GATE",
+        summary="Generated-kernel lint gate in the compiled backend: "
+                "'enforce' (reject kernels with REP7xx findings), "
+                "'warn' (report to stderr and continue) or 'off'.",
+        default="enforce",
+        owner="repro.core.backends.codegen",
+    ),
+    EnvVar(
         name="REPRO_PROFILE",
         summary="When truthy, print per-cell phase timings to stderr "
                 "and record them in sweep reports.",

@@ -220,8 +220,12 @@ class PredictionService:
                 error_type="ServiceShutdown",
                 error="service stopped before the request was batched"))
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            # The dispatcher is already drained, but shutdown(wait=True)
+            # still joins the worker thread — do that join off-loop so a
+            # slow in-flight engine call cannot stall the event loop.
+            executor, self._executor = self._executor, None
+            await asyncio.get_running_loop().run_in_executor(
+                None, executor.shutdown)
 
     async def __aenter__(self) -> "PredictionService":
         await self.start()

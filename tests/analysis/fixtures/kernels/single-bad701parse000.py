@@ -1,0 +1,5 @@
+"""Known-bad fixture: REP701 — the artifact is not parseable."""
+
+
+def kernel(backend, engine, run, stats:
+    return stats

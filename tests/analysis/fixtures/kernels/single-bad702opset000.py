@@ -1,0 +1,9 @@
+"""Known-bad fixture: REP702 — calls outside the template op set."""
+
+
+def kernel(backend, engine, run, stats):
+    todo = np.sort(run.match)  # REP702: np.sort is not whitelisted
+    hook = getattr(engine, "targets")  # REP702: getattr escape hatch
+    backend.replay_exact(todo)  # REP702: unknown backend primitive
+    print(hook)  # REP702: IO in a kernel
+    return stats

@@ -1,0 +1,13 @@
+"""Known-bad fixture: REP703 — data-dependent Python branching."""
+
+
+def kernel(backend, engine, run, stats):
+    todo = np.nonzero(run.match)[0]
+    if todo.sum() > run.n:  # REP703: branch on data, not a constant
+        return stats
+    while todo.shape[0]:  # REP703: while loop
+        todo = todo[:-1]
+    for value in todo[:4]:  # REP703: loop over a data-derived slice
+        stats = value
+    total = int(todo[0]) if todo[0] > todo[1] else 0  # REP703 ifexp
+    return stats

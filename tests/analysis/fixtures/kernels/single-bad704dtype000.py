@@ -1,0 +1,11 @@
+"""Known-bad fixture: REP704 — array constructors inferring dtype."""
+
+
+def kernel(backend, engine, run, stats):
+    ones = np.ones(4)  # REP704: inferred float64
+    idx = np.arange(run.n)  # REP704: platform-dependent int width
+    tab = np.array((1, 2, 3))  # REP704: value-dependent dtype
+    backend.charge(stats, PenaltyKind.MISSELECT,
+                   int(np.count_nonzero(ones)),
+                   int(idx[0]) + int(tab[0]))
+    return stats

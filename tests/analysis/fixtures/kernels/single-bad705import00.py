@@ -1,0 +1,9 @@
+"""Known-bad fixture: REP705 — imports escape the namespace contract."""
+
+import os  # REP705: top-level import
+
+
+def kernel(backend, engine, run, stats):
+    from time import sleep  # REP705: nested import
+    sleep(float(os.environ.get("X", "0")))
+    return stats

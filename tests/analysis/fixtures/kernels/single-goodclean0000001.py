@@ -1,0 +1,34 @@
+"""Generated single residual kernel (do not edit).
+
+Known-good fixture: shaped exactly like the real template — whitelisted
+ops, explicit dtypes, emptiness guard only.
+kernel-version: 1
+spec: {"IMM": 2, "IND": 5, "LS": 16, "NBE": 64, "TLS": 4}
+"""
+
+
+def kernel(backend, engine, run, stats):
+    compiled = run.compiled
+    walk = run.walk
+    todo = np.nonzero(compiled.has_exit & ~run.is_ret)[0]
+    if todo.shape[0] == 0:
+        return stats
+    exit_pc = compiled.exit_pc[todo]
+    keys = (exit_pc // 16 % 64) * 4 + exit_pc % 16
+    values = compiled.exit_target[todo]
+    writes = ~run.near_ok[todo]
+    store = engine.targets._targets
+    observed, fin_k, fin_v = backend.replay(
+        keys, values, writes, seed_targets(store))
+    wrong = (run.match[todo] & (walk.src[todo] != SRC_NEAR)
+             & (observed != values))
+    kind = run.mf[todo]
+    imm = int(np.count_nonzero(wrong & (kind == 1)))
+    ind = int(np.count_nonzero(wrong & (kind == 2)))
+    backend.charge(stats, PenaltyKind.MISFETCH_IMMEDIATE, imm,
+                   imm * 2)
+    backend.charge(stats, PenaltyKind.MISFETCH_INDIRECT, ind,
+                   ind * 5)
+    for k, v in zip(fin_k.tolist(), fin_v.tolist()):
+        store[k] = v
+    return stats

@@ -1,0 +1,58 @@
+"""Async-safety fixture (maps to ``repro.serve.async_bad``).
+
+Every marked statement is an event-loop hazard the REP6xx rules must
+report.  The sync helpers at the top are clean on their own — they
+exist so the transitive may-block summary has something to find.
+"""
+
+import asyncio
+import threading
+import time
+
+
+def _sync_sweep():
+    time.sleep(0.01)  # clean: sync helper (the *call site* is the bug)
+
+
+def _sync_indirect():
+    _sync_sweep()  # clean: still sync; may-block closes transitively
+
+
+async def bad_sleep():
+    time.sleep(0.5)  # REP601: blocking call in async def
+
+
+async def bad_file_io():
+    return open("config.json").read()  # REP601: sync file IO
+
+
+async def bad_future(fut):
+    return fut.result()  # REP601: Future.result() blocks the loop
+
+
+async def bad_transitive():
+    _sync_indirect()  # REP601: un-executor'd may-block helper
+
+
+async def bad_unawaited():
+    bad_sleep()  # REP602: coroutine never awaited
+
+
+async def bad_locked_await():
+    lock = threading.Lock()
+    with lock:
+        await asyncio.sleep(0)  # REP603: await holding a sync lock
+
+
+async def bad_swallow():
+    try:
+        await asyncio.sleep(0)
+    except asyncio.CancelledError:  # REP604: cancellation swallowed
+        return None
+
+
+async def bad_finally_return():
+    try:
+        await asyncio.sleep(0)
+    finally:
+        return None  # REP604: finally return eats CancelledError

@@ -1,0 +1,51 @@
+"""Async-safety fixture (maps to ``repro.serve.async_good``).
+
+The sanctioned idioms from the real prediction service: executor
+dispatch for sync work, asyncio primitives for sleeping and locking,
+re-raised cancellation.  Must produce zero findings.
+"""
+
+import asyncio
+import time
+
+
+def _sync_sweep():
+    time.sleep(0.01)
+
+
+async def good_executor_dispatch(executor):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(executor, _sync_sweep)
+
+
+async def good_async_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def good_awaited():
+    await good_async_sleep()
+
+
+async def good_task():
+    return asyncio.create_task(good_async_sleep())
+
+
+async def good_async_lock():
+    lock = asyncio.Lock()
+    async with lock:
+        await asyncio.sleep(0)
+
+
+async def good_reraise():
+    try:
+        await asyncio.sleep(0)
+    except asyncio.CancelledError:
+        raise
+
+
+async def good_exception_only():
+    try:
+        await asyncio.sleep(0)
+    except Exception:  # cannot catch CancelledError on 3.8+
+        return None
+    return None

@@ -1,0 +1,70 @@
+"""REP6xx async-safety checker tests (corpus + scoping)."""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import run_analysis
+
+from .conftest import REPO_ROOT
+
+
+def _rules_by_line(findings):
+    return sorted((f.line, f.rule) for f in findings)
+
+
+class TestAsyncBadCorpus:
+    def test_every_marked_hazard_fires(self, findings_at):
+        assert _rules_by_line(findings_at("async_bad.py")) == [
+            (22, "REP601"),   # time.sleep in async def
+            (26, "REP601"),   # open().read() sync file IO
+            (30, "REP601"),   # Future.result()
+            (34, "REP601"),   # transitive may-block helper
+            (38, "REP602"),   # coroutine never awaited
+            (44, "REP603"),   # await holding threading.Lock
+            (50, "REP604"),   # CancelledError swallowed
+            (58, "REP604"),   # return in finally
+        ]
+
+    def test_transitive_finding_names_the_callee(self, findings_at):
+        transitive = [f for f in findings_at("async_bad.py")
+                      if f.line == 34]
+        assert len(transitive) == 1
+        assert "_sync_indirect" in transitive[0].message
+
+    def test_hints_point_at_serve_idioms(self, findings_at):
+        by_rule = {f.rule: f for f in findings_at("async_bad.py")}
+        assert "run_in_executor" in by_rule["REP601"].hint
+        assert "create_task" in by_rule["REP602"].hint
+        assert "asyncio.Lock" in by_rule["REP603"].hint
+        assert "cancellation" in by_rule["REP604"].hint
+
+
+class TestAsyncGoodCorpus:
+    def test_good_file_is_clean(self, findings_at):
+        assert findings_at("async_good.py") == []
+
+
+class TestScoping:
+    SOURCE = ("import time\n"
+              "\n"
+              "async def handler():\n"
+              "    time.sleep(1)\n")
+
+    def _run(self, tmp_path, relpath, **config_kw):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.SOURCE)
+        config = LintConfig(project_root=REPO_ROOT, **config_kw)
+        return run_analysis([tmp_path], config)
+
+    def test_outside_async_packages_is_silent(self, tmp_path):
+        result = self._run(tmp_path, "repro/core/loopy.py")
+        assert not any(f.rule.startswith("REP6")
+                       for f in result.findings)
+
+    def test_inside_default_scope_fires(self, tmp_path):
+        result = self._run(tmp_path, "repro/serve/loopy.py")
+        assert any(f.rule == "REP601" for f in result.findings)
+
+    def test_custom_async_packages(self, tmp_path):
+        result = self._run(tmp_path, "repro/core/loopy.py",
+                           async_packages=("repro.core",))
+        assert any(f.rule == "REP601" for f in result.findings)

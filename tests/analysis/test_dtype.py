@@ -70,3 +70,74 @@ def test_mixed_width_arithmetic_flagged(tmp_path):
         "    ok = np.int64(1) + np.int64(2)\n"
         "    return bad, ok\n"))
     assert [f.rule for f in result.findings] == ["REP202"]
+
+
+# -- flow-aware REP202: widths tracked through assignments --------------
+
+
+def test_mixed_width_through_assignment(tmp_path):
+    # The widths collide two statements after they were pinned; only
+    # the dataflow rebase can see it.
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f():\n"
+        "    a = np.int32(1)\n"
+        "    b = np.int64(2)\n"
+        "    return a + b\n"))
+    assert [f.rule for f in result.findings] == ["REP202"]
+
+
+def test_same_width_through_assignment_is_clean(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f():\n"
+        "    a = np.int64(1)\n"
+        "    b = np.int64(2)\n"
+        "    return a + b\n"))
+    assert result.findings == []
+
+
+def test_astype_pins_width(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f(xs):\n"
+        "    a = xs.astype(np.int32)\n"
+        "    b = np.int64(2)\n"
+        "    return a + b\n"))
+    assert [f.rule for f in result.findings] == ["REP202"]
+
+
+def test_disagreeing_defs_stay_silent(tmp_path):
+    # a is int32 on one path and int64 on the other: the width is
+    # ambiguous, and an ambiguous width is not a *known* mix.
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f(c):\n"
+        "    if c:\n"
+        "        a = np.int32(1)\n"
+        "    else:\n"
+        "        a = np.int64(1)\n"
+        "    return a + np.int64(2)\n"))
+    assert result.findings == []
+
+
+def test_opaque_def_stays_silent(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f(xs):\n"
+        "    a = xs\n"
+        "    return a + np.int64(2)\n"))
+    assert result.findings == []
+
+
+def test_self_assignment_cycle_does_not_crash(tmp_path):
+    result = _lint_module(tmp_path, "repro/core/kernels.py", (
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    x = np.int32(0)\n"
+        "    for _ in range(n):\n"
+        "        x = x\n"
+        "    return x + np.int64(1)\n"))
+    # The loop-carried x = x must terminate resolution; whether the
+    # width survives the cycle is secondary to not hanging.
+    assert all(f.rule in ("REP202",) for f in result.findings)

@@ -1,0 +1,403 @@
+"""Unit tests for the dataflow tier (repro.analysis.flow).
+
+Covers CFG shape (branch joins, loop back edges, try/except may-raise
+edges), reaching definitions over that graph, def-use chains, and the
+call-context summaries (is_async / may_block / acquires_lock) the
+REP6xx checker consumes.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    FunctionFlow,
+    ModuleFlow,
+    _is_blocking_method,
+    build_cfg,
+)
+
+MODULE = "repro.serve.mod"
+
+
+def _parse(source):
+    return ast.parse(textwrap.dedent(source))
+
+
+def _func(tree, name):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == name:
+            return node
+    raise AssertionError(f"no function {name!r}")
+
+
+def _flow(source, name="f"):
+    tree = _parse(source)
+    module_flow = ModuleFlow(tree, MODULE)
+    func = _func(tree, name)
+    return module_flow, module_flow.flow_of(func)
+
+
+def _load(func, name, occurrence=0):
+    """The nth ``Name`` load of ``name`` inside the function body."""
+    loads = [node for node in ast.walk(func)
+             if isinstance(node, ast.Name)
+             and isinstance(node.ctx, ast.Load) and node.id == name]
+    return loads[occurrence]
+
+
+class TestCFG:
+    def test_straight_line_shape(self):
+        tree = _parse("def f():\n    x = 1\n    return x\n")
+        blocks, entry, exit_ = build_cfg(_func(tree, "f"))
+        assert entry == 0 and exit_ == 1
+        assert not blocks[entry].stmts and not blocks[exit_].stmts
+        # Entry reaches exit through the statement block.
+        reachable = {entry}
+        frontier = [entry]
+        while frontier:
+            for succ in blocks[frontier.pop()].succs:
+                if succ not in reachable:
+                    reachable.add(succ)
+                    frontier.append(succ)
+        assert exit_ in reachable
+
+    def test_if_join_has_two_preds(self):
+        tree = _parse(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n")
+        blocks, _, _ = build_cfg(_func(tree, "f"))
+        returns = [b for b in blocks
+                   if b.stmts and isinstance(b.stmts[0], ast.Return)]
+        assert len(returns) == 1
+        assert len(returns[0].preds) == 2
+
+    def test_while_has_back_edge(self):
+        tree = _parse(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    return n\n")
+        blocks, _, _ = build_cfg(_func(tree, "f"))
+        header = next(b for b in blocks
+                      if b.stmts and isinstance(b.stmts[0], ast.While))
+        body = next(b for b in blocks
+                    if b.stmts and isinstance(b.stmts[0], ast.Assign))
+        assert header.index in body.succs  # the back edge
+        assert body.index in header.succs
+
+    def test_break_exits_loop(self):
+        tree = _parse(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        break\n"
+            "    return xs\n")
+        blocks, _, _ = build_cfg(_func(tree, "f"))
+        brk = next(b for b in blocks
+                   if b.stmts and isinstance(b.stmts[0], ast.Break))
+        ret = next(b for b in blocks
+                   if b.stmts and isinstance(b.stmts[0], ast.Return))
+        assert ret.index in brk.succs
+
+    def test_try_body_edges_into_handler(self):
+        tree = _parse(
+            "def f():\n"
+            "    try:\n"
+            "        x = 1\n"
+            "        y = 2\n"
+            "    except ValueError:\n"
+            "        z = 3\n"
+            "    return 0\n")
+        blocks, _, _ = build_cfg(_func(tree, "f"))
+        # With no `as e` binding the handler-entry block starts with the
+        # handler body's first statement.
+        handler = next(b for b in blocks if b.stmts
+                       and isinstance(b.stmts[0], ast.Assign)
+                       and b.stmts[0].targets[0].id == "z")
+        assign_blocks = [b for b in blocks if b.stmts
+                         and isinstance(b.stmts[0], ast.Assign)
+                         and b.stmts[0].targets[0].id in ("x", "y")]
+        # Each try-body statement sits in its own block and may raise
+        # into the handler after any prefix has executed.
+        assert len(assign_blocks) == 2
+        for block in assign_blocks:
+            assert handler.index in block.succs
+
+    def test_return_stops_fallthrough(self):
+        tree = _parse(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    return 2\n")
+        blocks, _, exit_ = build_cfg(_func(tree, "f"))
+        first = next(b for b in blocks if b.stmts
+                     and isinstance(b.stmts[0], ast.Return)
+                     and b.stmts[0].value.value == 1)
+        assert first.succs == [exit_]
+
+
+class TestReachingDefs:
+    def test_param_reaches_use(self):
+        _, flow = _flow("def f(a):\n    return a\n")
+        defs = flow.reaching(_load(flow.func, "a"))
+        assert len(defs) == 1
+        assert defs[0].name == "a"
+        assert isinstance(defs[0].node, ast.arg)
+
+    def test_redefinition_kills(self):
+        _, flow = _flow(
+            "def f():\n"
+            "    x = 1\n"
+            "    x = 2\n"
+            "    return x\n")
+        defs = flow.reaching(_load(flow.func, "x"))
+        assert len(defs) == 1
+        assert defs[0].value.value == 2
+
+    def test_branch_join_merges_defs(self):
+        _, flow = _flow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n")
+        defs = flow.reaching(_load(flow.func, "x"))
+        assert sorted(d.value.value for d in defs) == [1, 2]
+
+    def test_no_else_keeps_outer_def(self):
+        _, flow = _flow(
+            "def f(c):\n"
+            "    x = 1\n"
+            "    if c:\n"
+            "        x = 2\n"
+            "    return x\n")
+        defs = flow.reaching(_load(flow.func, "x"))
+        assert sorted(d.value.value for d in defs) == [1, 2]
+
+    def test_loop_carried_def_reaches_header_use(self):
+        _, flow = _flow(
+            "def f(n):\n"
+            "    x = 0\n"
+            "    while n:\n"
+            "        y = x\n"
+            "        x = 1\n"
+            "    return x\n")
+        # Inside the loop body the use of x sees both the initial def
+        # (first iteration) and the loop-carried redefinition.
+        defs = flow.reaching(_load(flow.func, "x"))
+        assert sorted(d.value.value for d in defs) == [0, 1]
+
+    def test_try_except_defs_merge_at_join(self):
+        _, flow = _flow(
+            "def f():\n"
+            "    try:\n"
+            "        z = 1\n"
+            "    except ValueError:\n"
+            "        z = 2\n"
+            "    return z\n")
+        defs = flow.reaching(_load(flow.func, "z"))
+        assert sorted(d.value.value for d in defs) == [1, 2]
+
+    def test_handler_sees_partial_try_body(self):
+        _, flow = _flow(
+            "def f():\n"
+            "    w = 0\n"
+            "    try:\n"
+            "        w = 1\n"
+            "        w = 2\n"
+            "    except ValueError:\n"
+            "        out = w\n"
+            "    return 0\n")
+        # The handler may run after zero, one, or two try-body
+        # assignments: all three defs of w reach the handler's use.
+        defs = flow.reaching(_load(flow.func, "w"))
+        assert sorted(d.value.value for d in defs) == [0, 1, 2]
+
+    def test_walrus_defines(self):
+        _, flow = _flow(
+            "def f(xs):\n"
+            "    if (n := len(xs)):\n"
+            "        return n\n"
+            "    return 0\n")
+        defs = flow.reaching(_load(flow.func, "n"))
+        assert len(defs) == 1 and defs[0].name == "n"
+
+    def test_def_use_chain_roundtrip(self):
+        _, flow = _flow(
+            "def f():\n"
+            "    x = 1\n"
+            "    a = x\n"
+            "    b = x\n"
+            "    return a + b\n")
+        defs = flow.reaching(_load(flow.func, "x", 0))
+        assert len(defs) == 1
+        uses = flow.uses_of(defs[0].index)
+        assert len(uses) == 2
+        assert all(use.id == "x" for use in uses)
+
+
+class TestSummaries:
+    SOURCE = (
+        "import time\n"
+        "import asyncio\n"
+        "\n"
+        "def sync_sleeper():\n"
+        "    time.sleep(1)\n"
+        "\n"
+        "def sync_indirect():\n"
+        "    sync_sleeper()\n"
+        "\n"
+        "def harmless():\n"
+        "    return 1\n"
+        "\n"
+        "async def async_helper():\n"
+        "    time.sleep(1)\n"
+        "\n"
+        "async def caller():\n"
+        "    await async_helper()\n"
+        "\n"
+        "class Svc:\n"
+        "    def _inner(self):\n"
+        "        time.sleep(1)\n"
+        "\n"
+        "    async def handler(self):\n"
+        "        self._inner()\n")
+
+    def test_async_flag(self):
+        module_flow = ModuleFlow(_parse(self.SOURCE), MODULE)
+        assert module_flow.summaries["async_helper"].is_async
+        assert not module_flow.summaries["sync_sleeper"].is_async
+
+    def test_direct_blocking(self):
+        module_flow = ModuleFlow(_parse(self.SOURCE), MODULE)
+        summary = module_flow.summaries["sync_sleeper"]
+        assert summary.may_block
+        assert "time.sleep" in summary.direct_blocking
+
+    def test_transitive_may_block(self):
+        module_flow = ModuleFlow(_parse(self.SOURCE), MODULE)
+        assert module_flow.summaries["sync_indirect"].may_block
+        assert not module_flow.summaries["harmless"].may_block
+
+    def test_self_method_resolves_to_class_qualname(self):
+        module_flow = ModuleFlow(_parse(self.SOURCE), MODULE)
+        handler = module_flow.summaries["Svc.handler"]
+        assert "Svc._inner" in handler.local_calls
+        assert handler.may_block
+
+    def test_async_callee_does_not_propagate(self):
+        # An awaited async callee suspends rather than blocking the
+        # loop thread; may_block must not leak through it.
+        module_flow = ModuleFlow(_parse(self.SOURCE), MODULE)
+        assert not module_flow.summaries["caller"].may_block
+
+    def test_acquires_lock_via_with(self):
+        source = (
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "def f():\n"
+            "    with threading.Lock():\n"
+            "        pass\n")
+        module_flow = ModuleFlow(_parse(source), MODULE)
+        assert module_flow.summaries["f"].acquires_lock
+
+
+class TestLockLike:
+    def test_direct_ctor(self):
+        source = (
+            "import threading\n"
+            "def f():\n"
+            "    with threading.Lock():\n"
+            "        pass\n")
+        tree = _parse(source)
+        module_flow = ModuleFlow(tree, MODULE)
+        with_stmt = next(node for node in ast.walk(tree)
+                         if isinstance(node, ast.With))
+        assert module_flow.lock_like(
+            with_stmt.items[0].context_expr, _func(tree, "f"))
+
+    def test_name_resolved_through_reaching_defs(self):
+        source = (
+            "import threading\n"
+            "def f():\n"
+            "    lock = threading.Lock()\n"
+            "    with lock:\n"
+            "        pass\n")
+        tree = _parse(source)
+        module_flow = ModuleFlow(tree, MODULE)
+        with_stmt = next(node for node in ast.walk(tree)
+                         if isinstance(node, ast.With))
+        assert module_flow.lock_like(
+            with_stmt.items[0].context_expr, _func(tree, "f"))
+
+    def test_disagreeing_defs_are_not_lock_like(self):
+        source = (
+            "import threading\n"
+            "def f(c):\n"
+            "    if c:\n"
+            "        lock = threading.Lock()\n"
+            "    else:\n"
+            "        lock = open('x')\n"
+            "    with lock:\n"
+            "        pass\n")
+        tree = _parse(source)
+        module_flow = ModuleFlow(tree, MODULE)
+        with_stmt = next(node for node in ast.walk(tree)
+                         if isinstance(node, ast.With))
+        assert not module_flow.lock_like(
+            with_stmt.items[0].context_expr, _func(tree, "f"))
+
+    def test_unknown_name_is_not_lock_like(self):
+        source = (
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        pass\n")
+        tree = _parse(source)
+        module_flow = ModuleFlow(tree, MODULE)
+        with_stmt = next(node for node in ast.walk(tree)
+                         if isinstance(node, ast.With))
+        assert not module_flow.lock_like(
+            with_stmt.items[0].context_expr, _func(tree, "f"))
+
+
+class TestBlockingMethodHeuristics:
+    def _call(self, source):
+        return _parse(source).body[0].value
+
+    def test_str_join_is_not_blocking(self):
+        assert not _is_blocking_method(self._call("','.join(parts)"))
+
+    def test_thread_join_is_blocking(self):
+        assert _is_blocking_method(self._call("worker.join()"))
+
+    def test_shutdown_wait_false_is_not_blocking(self):
+        assert not _is_blocking_method(
+            self._call("pool.shutdown(wait=False)"))
+
+    def test_shutdown_default_is_blocking(self):
+        assert _is_blocking_method(self._call("pool.shutdown()"))
+
+    def test_bare_open_is_blocking(self):
+        assert _is_blocking_method(self._call("open('f')"))
+
+
+class TestFunctionFlowDirect:
+    def test_flow_standalone_construction(self):
+        tree = _parse("def f(a, *rest, k=1, **kw):\n    return a\n")
+        flow = FunctionFlow(_func(tree, "f"), "f")
+        names = {d.name for d in flow.definitions}
+        assert {"a", "rest", "k", "kw"} <= names
+
+    def test_reachable_from_entry_covers_graph(self):
+        _, flow = _flow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    return 0\n")
+        reachable = flow.reachable_from(flow.entry)
+        assert flow.exit in reachable

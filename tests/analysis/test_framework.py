@@ -132,14 +132,33 @@ class TestParseErrors:
 class TestReports:
     def test_json_schema(self, corpus_result):
         payload = json.loads(render_json(corpus_result))
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["tool"] == "reprolint"
         assert payload["n_files"] == corpus_result.n_files
         assert sum(payload["counts"].values()) == \
             len(payload["findings"])
         first = payload["findings"][0]
-        assert set(first) == {"rule", "path", "line", "col", "severity",
-                              "message", "hint"}
+        assert set(first) == {"rule", "family", "path", "line", "col",
+                              "severity", "message", "hint"}
+
+    def test_json_family_matches_rule(self, corpus_result):
+        payload = json.loads(render_json(corpus_result))
+        families = {"1": "determinism", "2": "dtype", "3": "parity",
+                    "4": "env", "5": "exceptions", "6": "async",
+                    "7": "kernel", "0": "framework"}
+        for finding in payload["findings"]:
+            assert finding["family"] == families[finding["rule"][3]]
+
+    def test_json_per_family_timings(self, corpus_result):
+        payload = json.loads(render_json(corpus_result))
+        timings = payload["timings_s"]
+        # One entry per registered checker family; times are small
+        # non-negative floats (the self-time budget lives in
+        # test_self_clean).
+        for family in ("determinism", "dtype", "parity", "env",
+                       "exceptions", "async"):
+            assert family in timings, family
+            assert timings[family] >= 0.0
 
     def test_human_summary_line(self, corpus_result):
         report = render_human(corpus_result)
@@ -168,7 +187,7 @@ class TestCli:
         assert proc.returncode == 1, proc.stderr
         payload = json.loads(proc.stdout)
         assert payload["findings"]
-        for family in ("REP1", "REP2", "REP3", "REP4", "REP5"):
+        for family in ("REP1", "REP2", "REP3", "REP4", "REP5", "REP6"):
             assert any(rule.startswith(family)
                        for rule in payload["counts"]), family
 
@@ -188,7 +207,7 @@ class TestCli:
         proc = _cli("--list-rules")
         assert proc.returncode == 0
         for rule in ("REP001", "REP101", "REP201", "REP301", "REP401",
-                     "REP501"):
+                     "REP501", "REP601", "REP701"):
             assert rule in proc.stdout
 
     def test_missing_path_is_usage_error(self):

@@ -1,0 +1,324 @@
+"""REP7xx generated-kernel gate tests.
+
+Three layers: the fixture corpus under ``fixtures/kernels`` (one
+known-bad artifact per rule plus a known-good one), the generation-time
+gate (modes, memoization, loader integration), and a live regression
+that generates real fig8 kernels through the compiled backend under
+``REPRO_KERNEL_GATE=enforce`` and re-lints the populated cache.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.kernelgate import (
+    KernelGateError,
+    clear_gate_memo,
+    gate_generated_kernel,
+    lint_kernel_cache,
+    lint_kernel_source,
+    synthetic_path,
+)
+from repro.core.backends import BACKEND_ENV
+from repro.core.backends.codegen import (
+    GATE_ENV,
+    KernelLoader,
+    KernelSpec,
+    generate_source,
+)
+from repro.core.engine_mode import ENGINE_ENV
+
+from .conftest import REPO_ROOT, SRC_DIR
+
+KERNEL_FIXTURES = Path(__file__).resolve().parent / "fixtures" / "kernels"
+
+DIRTY_SOURCE = ('"""Generated kernel."""\n'
+                "def kernel(backend, engine, run, stats):\n"
+                "    x = np.ones(4)\n"
+                "    return stats\n")
+
+CLEAN_SOURCE = ('"""Generated kernel."""\n'
+                "def kernel(backend, engine, run, stats):\n"
+                "    return stats\n")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_gate_memo()
+    yield
+    clear_gate_memo()
+
+
+def _by_digest(findings):
+    out = {}
+    for finding in findings:
+        digest = finding.path[len("<generated:"):-1]
+        out.setdefault(digest, []).append(finding)
+    return out
+
+
+class TestFixtureCorpus:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return lint_kernel_cache(KERNEL_FIXTURES)
+
+    def test_counts_all_artifacts(self, sweep):
+        _, n_kernels = sweep
+        assert n_kernels == 6
+
+    def test_good_kernel_is_clean(self, sweep):
+        findings, _ = sweep
+        assert "goodclean0000001" not in _by_digest(findings)
+
+    def test_each_rule_fires_on_its_fixture(self, sweep):
+        findings, _ = sweep
+        by_digest = _by_digest(findings)
+        assert {f.rule for f in by_digest["bad701parse000"]} == \
+            {"REP701"}
+        assert {f.rule for f in by_digest["bad702opset000"]} == \
+            {"REP702"}
+        assert {f.rule for f in by_digest["bad703branch00"]} == \
+            {"REP703"}
+        assert {f.rule for f in by_digest["bad704dtype000"]} == \
+            {"REP704"}
+        # The import fixture also calls the imported names, which are
+        # (correctly) outside the op set.
+        assert "REP705" in {f.rule for f in by_digest["bad705import00"]}
+
+    def test_findings_use_synthetic_paths(self, sweep):
+        findings, _ = sweep
+        assert findings
+        for finding in findings:
+            assert finding.path.startswith("<generated:")
+            assert finding.path.endswith(">")
+
+    def test_select_filters_sweep(self):
+        findings, _ = lint_kernel_cache(KERNEL_FIXTURES,
+                                        select=("REP705",))
+        assert findings
+        assert {f.rule for f in findings} == {"REP705"}
+
+    def test_ignore_filters_sweep(self):
+        findings, _ = lint_kernel_cache(KERNEL_FIXTURES,
+                                        ignore=("REP702",))
+        assert findings
+        assert "REP702" not in {f.rule for f in findings}
+
+    def test_family_is_kernel(self, sweep):
+        findings, _ = sweep
+        assert {f.family for f in findings} == {"kernel"}
+
+    def test_missing_directory_is_empty_sweep(self, tmp_path):
+        findings, n_kernels = lint_kernel_cache(tmp_path / "nope")
+        assert findings == [] and n_kernels == 0
+
+
+class TestLintKernelSource:
+    def test_clean_source(self):
+        assert lint_kernel_source(CLEAN_SOURCE, "d" * 16) == []
+
+    def test_dirty_source_reports_synthetic_path(self):
+        findings = lint_kernel_source(DIRTY_SOURCE, "d" * 16)
+        assert [f.rule for f in findings] == ["REP704"]
+        assert findings[0].path == synthetic_path("d" * 16)
+
+    def test_pragma_suppresses_generated_finding(self):
+        source = DIRTY_SOURCE.replace(
+            "np.ones(4)",
+            "np.ones(4)  # reprolint: disable=REP704")
+        assert lint_kernel_source(source, "d" * 16) == []
+
+    def test_select_and_ignore_are_uniform(self):
+        assert lint_kernel_source(DIRTY_SOURCE, "d" * 16,
+                                  select=("REP705",)) == []
+        assert lint_kernel_source(DIRTY_SOURCE, "d" * 16,
+                                  ignore=("REP7",)) == []
+
+    def test_config_per_path_ignores_do_not_crash(self):
+        # Synthetic paths do not exist on disk; the shared post-filter
+        # must handle them without touching the filesystem.
+        config = LintConfig(project_root=REPO_ROOT,
+                            per_path_ignores={"src/": ("REP1",)})
+        findings = lint_kernel_source(DIRTY_SOURCE, "d" * 16,
+                                      config=config)
+        assert [f.rule for f in findings] == ["REP704"]
+
+
+class TestGate:
+    def test_clean_kernel_passes_enforce(self):
+        assert gate_generated_kernel(CLEAN_SOURCE, "a" * 16,
+                                     "enforce") == ()
+
+    def test_enforce_raises_with_findings(self):
+        with pytest.raises(KernelGateError) as exc_info:
+            gate_generated_kernel(DIRTY_SOURCE, "a" * 16, "enforce")
+        err = exc_info.value
+        assert err.digest == "a" * 16
+        assert [f.rule for f in err.findings] == ["REP704"]
+        assert "REP704" in str(err)
+
+    def test_warn_reports_and_continues(self, capsys):
+        findings = gate_generated_kernel(DIRTY_SOURCE, "a" * 16, "warn")
+        assert [f.rule for f in findings] == ["REP704"]
+        assert "REP704" in capsys.readouterr().err
+
+    def test_off_skips_linting(self):
+        assert gate_generated_kernel(DIRTY_SOURCE, "a" * 16, "off") == ()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="kernel gate mode"):
+            gate_generated_kernel(CLEAN_SOURCE, "a" * 16, "strict")
+
+    def test_memo_reuses_verdict(self):
+        first = gate_generated_kernel(DIRTY_SOURCE, "a" * 16, "warn")
+        second = gate_generated_kernel(DIRTY_SOURCE, "a" * 16, "warn")
+        assert first is second
+
+    def test_tampered_artifact_does_not_poison_clean_regeneration(self):
+        # Same digest, different content: the dirty disk artifact's
+        # verdict must not be replayed for the clean regeneration.
+        digest = "b" * 16
+        with pytest.raises(KernelGateError):
+            gate_generated_kernel(DIRTY_SOURCE, digest, "enforce")
+        assert gate_generated_kernel(CLEAN_SOURCE, digest,
+                                     "enforce") == ()
+
+
+class TestLoaderIntegration:
+    def _spec(self):
+        consts = {"LS": 16, "NBE": 64, "TLS": 16, "IMM": 2, "IND": 4}
+        return KernelSpec("single", tuple(sorted(consts.items())))
+
+    def test_tampered_artifact_regenerated_under_enforce(
+            self, tmp_path, monkeypatch):
+        monkeypatch.delenv(GATE_ENV, raising=False)
+        spec = self._spec()
+        path = tmp_path / f"single-{spec.digest()}.py"
+        path.write_text(DIRTY_SOURCE)  # parses, but REP704-dirty
+        loader = KernelLoader(cache_root=tmp_path)
+        assert callable(loader.load(spec))
+        assert loader.last_origin == "generated"
+        # The rewrite healed the artifact: a fresh sweep is clean.
+        findings, n_kernels = lint_kernel_cache(tmp_path)
+        assert n_kernels == 1 and findings == []
+
+    def test_gate_off_loads_tampered_artifact(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv(GATE_ENV, "off")
+        spec = self._spec()
+        path = tmp_path / f"single-{spec.digest()}.py"
+        path.write_text(CLEAN_SOURCE)  # not the real kernel, but clean
+        loader = KernelLoader(cache_root=tmp_path)
+        assert callable(loader.load(spec))
+        assert loader.last_origin == "disk"
+
+    def test_bogus_gate_mode_is_a_hard_error(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv(GATE_ENV, "bogus")
+        loader = KernelLoader(cache_root=tmp_path)
+        with pytest.raises(ValueError, match="REPRO_KERNEL_GATE"):
+            loader.load(self._spec())
+
+
+class TestLiveFig8Kernels:
+    """Real generated kernels must pass their own gate."""
+
+    def test_all_template_kinds_gate_clean(self, tmp_path,
+                                           monkeypatch):
+        monkeypatch.delenv(GATE_ENV, raising=False)
+        loader = KernelLoader(cache_root=tmp_path)
+        specs = _all_template_specs()
+        for spec in specs:
+            assert callable(loader.load(spec))  # enforce: raises if dirty
+        findings, n_kernels = lint_kernel_cache(tmp_path)
+        assert n_kernels == len(specs)
+        assert findings == []
+
+    def test_engine_populated_cache_lints_clean(self, tmp_path,
+                                                monkeypatch):
+        # The live regression: run a real engine through the compiled
+        # backend (kernels generated + persisted under enforce), then
+        # audit the populated cache exactly like CI does.
+        from repro.core import EngineConfig, SingleBlockEngine
+        from repro.icache import CacheGeometry
+        from repro.workloads import load_fetch_input
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv(ENGINE_ENV, "fast")
+        monkeypatch.setenv(BACKEND_ENV, "compiled")
+        monkeypatch.delenv(GATE_ENV, raising=False)
+        geometry = CacheGeometry.self_aligned(8)
+        engine = SingleBlockEngine(
+            EngineConfig(geometry=geometry, n_select_tables=4))
+        engine.run(load_fetch_input("li", geometry, 4_000))
+
+        findings, n_kernels = lint_kernel_cache(tmp_path)
+        assert n_kernels >= 1
+        assert findings == []
+
+
+def _all_template_specs():
+    """One spec per kernel template variant (mirrors codegen use)."""
+    base = {"LS": 16, "NBE": 64, "TLS": 16, "IMM": 2, "IND": 4}
+    dual = {"TOTAL": 64, "W": 4, "PAYL": 16, "IMM": 2, "IND": 4,
+            "LS": 16, "NBE": 64, "TLS": 16}
+    specs = []
+    for kind, consts in (("single", base),
+                         ("dual_double", dual),
+                         ("dual_single", dual),
+                         ("multi", dict(base, T=3)),
+                         ("multi", dict(base, T=0)),
+                         ("two_ahead", base)):
+        spec = KernelSpec(kind, tuple(sorted(consts.items())))
+        try:
+            generate_source(spec)
+        except (ValueError, KeyError):
+            continue  # constant set mismatch: skip, not a gate concern
+        specs.append(spec)
+    assert specs, "no template variant produced source"
+    return specs
+
+
+class TestKernelsCli:
+    def _cli(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+
+    def test_sweep_fixture_corpus_fails(self):
+        proc = self._cli("--kernels", "tests/analysis/fixtures/kernels",
+                         "--format", "json")
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["n_files"] == 6
+        for rule in ("REP701", "REP702", "REP703", "REP704", "REP705"):
+            assert rule in payload["counts"], rule
+        assert all(f["family"] == "kernel" for f in payload["findings"])
+
+    def test_sweep_select_filters(self):
+        proc = self._cli("--kernels", "tests/analysis/fixtures/kernels",
+                         "--select", "REP704", "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert set(payload["counts"]) == {"REP704"}
+
+    def test_sweep_missing_cache_is_usage_error(self):
+        proc = self._cli("--kernels", "no/such/cache")
+        assert proc.returncode == 2
+
+    def test_sweep_clean_cache_exits_zero(self, tmp_path):
+        KernelLoader(cache_root=tmp_path).load(KernelSpec(
+            "single", tuple(sorted(
+                {"LS": 16, "NBE": 64, "TLS": 16, "IMM": 2,
+                 "IND": 4}.items()))))
+        proc = self._cli("--kernels", str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout

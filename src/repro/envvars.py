@@ -163,6 +163,22 @@ REGISTRY: Tuple[EnvVar, ...] = (
         owner="repro.serve.config",
     ),
     EnvVar(
+        name="REPRO_SHARDS",
+        summary="Shard count for sweep fan-out (integer or 'auto'); "
+                ">1 routes sweeps through the work-stealing shard "
+                "scheduler with per-shard journal checkpoints.",
+        default="unsharded",
+        owner="repro.runtime.shard",
+    ),
+    EnvVar(
+        name="REPRO_SHARD_POLICY",
+        summary="Cell->shard partition policy for sharded sweeps: "
+                "'hash' (stable digest), 'range' (contiguous blocks) "
+                "or 'size' (cost-balanced LPT greedy).",
+        default="size",
+        owner="repro.runtime.shard",
+    ),
+    EnvVar(
         name="REPRO_TRACER",
         summary="Trace-capture tier: 'fast' (vectorized tiered tracer) "
                 "or 'scalar' (reference interpreter), bit-identical.",

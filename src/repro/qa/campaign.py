@@ -6,7 +6,9 @@ only on ``(seed, i)``, cycling engines ``single -> dual -> multi ->
 two_ahead``.  Each case goes through the engine differential oracle
 (``REPRO_ENGINE`` scalar vs fast, stats + full state), the trace-capture
 parity oracle (``REPRO_TRACER`` scalar vs fast, every record plus the
-architectural end state) and the metamorphic invariants;
+architectural end state), the metamorphic invariants and the
+shard-equivalence oracle (the case's derived sweep replayed through the
+shard scheduler under simulated schedules, bit-exact against serial);
 the first failure is shrunk to a minimal case and written to the corpus
 directory, and the campaign stops so CI surfaces exactly one readable
 artifact per run.
@@ -28,6 +30,7 @@ from .cases import ENGINE_KINDS, QACase
 from .generators import CaseStream
 from .invariants import check_case_invariants
 from .oracle import check_case, check_tracer_parity
+from .sharding import check_shard_equivalence
 from .shrink import shrink_case
 
 __all__ = ["CampaignResult", "Finding", "run_campaign", "check_full",
@@ -76,7 +79,13 @@ def check_full(case: QACase) -> Optional[str]:
     scalar_stats = None
     if verdict.scalar is not None and verdict.scalar.stats:
         scalar_stats = verdict.scalar.stats[0]
-    return check_case_invariants(case, stats=scalar_stats)
+    invariant_reason = check_case_invariants(case, stats=scalar_stats)
+    if invariant_reason is not None:
+        return invariant_reason
+    shard_reason = check_shard_equivalence(case)
+    if shard_reason is not None:
+        return f"shard: {shard_reason}"
+    return None
 
 
 def run_campaign(seed: int, budget_seconds: float,

@@ -18,6 +18,14 @@ Three pieces:
   :class:`~repro.runtime.resilience.SweepReport` record of what
   degraded.  :mod:`repro.runtime.faults` injects deterministic faults
   (``REPRO_FAULT_SPEC``) so every recovery path stays testable.
+* :mod:`repro.runtime.shard` — the work-stealing shard scheduler
+  (``REPRO_SHARDS``/``REPRO_SHARD_POLICY``): cells partition into
+  shards, workers drain their home shards and steal from stragglers,
+  and journaled sweeps checkpoint per shard while staying bit-exact
+  with the serial path under any shard count.
+  :mod:`repro.runtime.sim` drives the same scheduler through a seeded
+  discrete-event simulation so scheduling invariants are fast,
+  deterministic tests.
 
 The executor is re-exported lazily: the workload registry imports
 :mod:`repro.runtime.cache` at module load, and eagerly importing the
@@ -38,8 +46,15 @@ _RESILIENCE_NAMES = ("CellOutcome", "Journal", "SweepError", "SweepReport",
                      "SweepResult", "cell_timeout", "drain_reports",
                      "resume_enabled", "retry_limit", "run_resilient")
 
+_SHARD_NAMES = ("SHARDS_ENV", "ShardPlan", "ShardScheduler", "partition",
+                "shard_count", "shard_policy")
+
+_SIM_NAMES = ("SimSpec", "simulate", "verify_invariants")
+
 __all__ = ["cache", "executor", "faults", "profile", "resilience",
-           *_EXECUTOR_NAMES, *_RESILIENCE_NAMES]
+           "shard", "sim",
+           *_EXECUTOR_NAMES, *_RESILIENCE_NAMES, *_SHARD_NAMES,
+           *_SIM_NAMES]
 
 
 def __getattr__(name: str):
@@ -57,4 +72,14 @@ def __getattr__(name: str):
         if name == "resilience":
             return resilience
         return getattr(resilience, name)
+    if name == "shard" or name in _SHARD_NAMES:
+        shard = importlib.import_module(".shard", __name__)
+        if name == "shard":
+            return shard
+        return getattr(shard, name)
+    if name == "sim" or name in _SIM_NAMES:
+        sim = importlib.import_module(".sim", __name__)
+        if name == "sim":
+            return sim
+        return getattr(sim, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -91,7 +91,8 @@ def unpicklable_reason(fn: Callable, cells: Sequence) -> Optional[str]:
 def execute(fn: Callable, cells: Iterable, jobs: Optional[int] = None,
             warm: Optional[Callable[[Sequence], None]] = None,
             label: Optional[str] = None,
-            inject_faults: bool = True) -> List:
+            inject_faults: bool = True,
+            shards: Optional[int] = None) -> List:
     """Order-preserving map of ``fn`` over ``cells``.
 
     With one job (or one cell) this is a plain serial loop.  Otherwise
@@ -109,12 +110,17 @@ def execute(fn: Callable, cells: Iterable, jobs: Optional[int] = None,
     pickled — e.g. an ad-hoc lambda engine factory — falls back to the
     serial loop with an explicit ``RuntimeWarning`` naming the
     unpicklable object.
+
+    ``shards`` (default ``REPRO_SHARDS``) > 1 dispatches through the
+    work-stealing shard scheduler of :mod:`repro.runtime.shard` — same
+    results, sharded wall-clock.
     """
     from . import resilience
 
     return resilience.run_resilient(fn, cells, jobs=jobs, warm=warm,
                                     label=label,
-                                    inject_faults=inject_faults).results
+                                    inject_faults=inject_faults,
+                                    shards=shards).results
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +206,10 @@ def warm_fetch_inputs(triples: Iterable[Tuple[str, object, int]],
     worker, pool-level failures are caught here, and either way the main
     pass recomputes whatever warming missed.  Injected faults do not
     apply — they target sweep cells, whose indexes would otherwise alias
-    warm cells.
+    warm cells.  Warming always runs on one flat pool (``shards=1``):
+    the warm cells are deduplicated inputs, not sweep cells, so an
+    ambient ``REPRO_SHARDS`` must neither shard them nor skew the main
+    sweep's per-shard accounting with warm-up attempts.
     """
     from . import cache
 
@@ -209,7 +218,8 @@ def warm_fetch_inputs(triples: Iterable[Tuple[str, object, int]],
     unique = list(dict.fromkeys(triples))
     try:
         failures = [f for f in execute(_warm_fetch_cell, unique, jobs,
-                                       inject_faults=False) if f]
+                                       inject_faults=False, shards=1)
+                    if f]
     except Exception as exc:
         warnings.warn(
             f"cache warm-up aborted ({exc!r}); sweep cells will compute "

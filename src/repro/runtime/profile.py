@@ -34,6 +34,10 @@ _TRUE = {"1", "on", "yes", "true"}
 
 _totals: Dict[str, float] = {}
 
+#: Shard id labelling this process's per-cell output (sharded sweeps
+#: set it worker-side so stderr lines stay attributable per shard).
+_shard: int | None = None
+
 
 def enabled() -> bool:
     """Whether phase timing is on (``REPRO_PROFILE``).
@@ -92,9 +96,22 @@ def delta_since(base: Dict[str, float]) -> Dict[str, float]:
     return out
 
 
+def set_shard(shard: int | None) -> None:
+    """Label this process's subsequent per-cell output with a shard id."""
+    global _shard
+    _shard = shard
+
+
+def current_shard() -> int | None:
+    """Shard id labelling this process's profile output, if any."""
+    return _shard
+
+
 def reset() -> None:
-    """Drop all accumulated totals (tests)."""
+    """Drop all accumulated totals and the shard label (tests)."""
+    global _shard
     _totals.clear()
+    _shard = None
 
 
 def format_phases(phases: Dict[str, float]) -> str:
@@ -105,5 +122,12 @@ def format_phases(phases: Dict[str, float]) -> str:
 
 
 def emit_cell(label: str, phases: Dict[str, float]) -> None:
-    """Print one cell's phase breakdown to stderr."""
+    """Print one cell's phase breakdown to stderr.
+
+    Under a sharded sweep the line carries the worker's shard label
+    (``s<k>/``), so interleaved worker stderr still attributes every
+    cell to its shard.
+    """
+    if _shard is not None:
+        label = f"s{_shard}/{label}"
     print(f"[profile] {label}: {format_phases(phases)}", file=sys.stderr)

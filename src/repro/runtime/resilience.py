@@ -46,10 +46,13 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
-                    Sequence, Tuple)
+from typing import (TYPE_CHECKING, Callable, Dict, Iterator, List,
+                    Mapping, Optional, Sequence, Tuple)
 
 from . import cache, faults, profile
+
+if TYPE_CHECKING:
+    from .shard import ShardInfo
 
 #: Environment variable: per-cell deadline in seconds (parallel sweeps).
 TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
@@ -177,6 +180,8 @@ class CellOutcome:
     timeouts: int = 0     #: attempts killed by the cell deadline
     resumed: bool = False  #: result loaded from the sweep journal
     error: str = ""       #: last failure, for failed cells
+    shard: Optional[int] = None  #: home shard under a sharded sweep
+    stolen: bool = False  #: some attempt ran on a stealing worker
 
     def finish(self) -> None:
         """Set the final status after a successful attempt."""
@@ -198,6 +203,9 @@ class SweepReport:
     outcomes: List[CellOutcome] = field(default_factory=list)
     degraded_serial: bool = False  #: parallel execution was abandoned
     pool_respawns: int = 0         #: worker pools killed and respawned
+    #: Shard-scheduler account (:class:`repro.runtime.shard.ShardInfo`)
+    #: when the sweep ran sharded; ``None`` for flat sweeps.
+    shards: Optional["ShardInfo"] = None
     #: Wall-clock per phase accumulated in this process during the sweep
     #: (``REPRO_PROFILE=1``); empty when profiling is off.  Parallel
     #: sweeps only see the parent's phases — per-cell breakdowns come
@@ -238,6 +246,8 @@ class SweepReport:
         """One-line human summary, printed by the CLI on degradation."""
         name = self.label or "<sweep>"
         bits = [f"sweep {name}: {self.n_ok}/{self.n_cells} cells ok"]
+        if self.shards is not None:
+            bits.append(self.shards.describe())
         if self.resumed_cells:
             bits.append(f"{len(self.resumed_cells)} resumed from journal")
         if self.retried_cells:
@@ -304,6 +314,12 @@ class Journal:
     (a SHA-256 header followed by the pickled result), so an interrupted
     sweep can resume: entries are self-verifying, torn writes are
     impossible, and a corrupt entry is simply recomputed.
+
+    Sharded sweeps checkpoint into per-shard subdirectories
+    (``shard-<k>/cell-<index>.pkl``); entries stay keyed by the *global*
+    cell index, so :meth:`load` merges flat and shard entries alike and
+    a resume may use a different shard count (or none) and still merge
+    bit-exact.
     """
 
     def __init__(self, directory: Path, n_cells: int):
@@ -340,15 +356,19 @@ class Journal:
             return None
         return cls(root / "journal" / f"{label}-{key}", len(cells))
 
-    def _entry(self, index: int) -> Path:
-        return self.directory / f"cell-{index}.pkl"
+    def _entry(self, index: int, shard: Optional[int] = None) -> Path:
+        if shard is None:
+            return self.directory / f"cell-{index}.pkl"
+        return self.directory / f"shard-{shard:02d}" / f"cell-{index}.pkl"
 
     def load(self) -> Dict[int, object]:
         """Verified completed-cell results from a previous run."""
         if not self.directory.is_dir():
             return {}
         loaded: Dict[int, object] = {}
-        for path in sorted(self.directory.glob("cell-*.pkl")):
+        entries = (sorted(self.directory.glob("cell-*.pkl"))
+                   + sorted(self.directory.glob("shard-*/cell-*.pkl")))
+        for path in entries:
             try:
                 index = int(path.stem.split("-", 1)[1])
             except (IndexError, ValueError):
@@ -366,14 +386,15 @@ class Journal:
                 path.unlink(missing_ok=True)
         return loaded
 
-    def record(self, index: int, result: object) -> None:
+    def record(self, index: int, result: object,
+               shard: Optional[int] = None) -> None:
         """Atomically append one completed cell to the journal."""
         try:
             payload = pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
         except Exception:
             return  # unjournalable result: resume simply recomputes it
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._entry(index)
+        path = self._entry(index, shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             tmp.write_bytes(hashlib.sha256(payload).digest() + payload)
@@ -391,8 +412,14 @@ class Journal:
 # ----------------------------------------------------------------------
 
 def _pool_cell(fn: Callable, cell, index: int, attempt: int,
-               inject: bool):
-    """Worker-side shim: apply injected faults, then run the cell."""
+               inject: bool, shard: Optional[int] = None):
+    """Worker-side shim: apply injected faults, then run the cell.
+
+    Under a sharded sweep ``shard`` labels the worker's profile output,
+    so per-cell phase lines on stderr stay attributable per shard.
+    """
+    if shard is not None:
+        profile.set_shard(shard)
     if inject:
         faults.apply_cell_faults(index, attempt, isolated=True)
     return fn(cell)
@@ -456,7 +483,8 @@ class _Slot:
 def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
                   warm: Optional[Callable[[Sequence], None]] = None,
                   label: Optional[str] = None,
-                  inject_faults: bool = True) -> SweepResult:
+                  inject_faults: bool = True,
+                  shards: Optional[int] = None) -> SweepResult:
     """Order-preserving resilient map of ``fn`` over ``cells``.
 
     Semantics match :func:`repro.runtime.executor.execute` — results in
@@ -464,7 +492,15 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
     behaviour documented in the module docstring.  Raises
     :class:`SweepError` when a cell fails after exhausting its retries;
     completed cells stay journaled so a rerun resumes.
+
+    ``shards`` (default ``REPRO_SHARDS``) > 1 routes dispatch through
+    the work-stealing shard scheduler of :mod:`repro.runtime.shard`:
+    cells are partitioned by ``REPRO_SHARD_POLICY``, workers drain their
+    home shards and steal from stragglers, and journaled sweeps
+    checkpoint per shard.  Results and recovery semantics are identical
+    either way — sharding only moves wall-clock, never numbers.
     """
+    from . import shard as shard_mod
     from .executor import n_jobs, unpicklable_reason
 
     cells = list(cells)
@@ -478,6 +514,9 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
         faults.validate()
 
     jobs = n_jobs() if jobs is None else jobs
+    n_shards = shard_mod.shard_count() if shards is None else shards
+    n_shards = max(1, n_shards)
+    policy = shard_mod.shard_policy()  # validated even when unsharded
     report = SweepReport(label=label, n_cells=len(cells), jobs=jobs,
                          outcomes=[CellOutcome(i)
                                    for i in range(len(cells))])
@@ -495,9 +534,10 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
 
     pending = [i for i in range(len(cells)) if not done[i]]
     effective = min(jobs, len(pending)) if pending else 1
+    use_shards = n_shards > 1 and len(pending) > 1
 
     try:
-        if effective > 1:
+        if effective > 1 or use_shards:
             reason = unpicklable_reason(fn, cells)
             if reason is not None:
                 warnings.warn(
@@ -505,15 +545,26 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
                     f"serial execution: {reason}",
                     RuntimeWarning, stacklevel=3)
                 effective = 1
-        if effective > 1:
-            if warm is not None:
-                try:
-                    warm(cells)
-                except Exception as exc:
-                    warnings.warn(
-                        f"sweep warm-up failed ({exc!r}); cells will "
-                        f"compute their own inputs", RuntimeWarning,
-                        stacklevel=3)
+                use_shards = False
+        if (effective > 1 or use_shards) and warm is not None:
+            try:
+                warm(cells)
+            except Exception as exc:
+                warnings.warn(
+                    f"sweep warm-up failed ({exc!r}); cells will "
+                    f"compute their own inputs", RuntimeWarning,
+                    stacklevel=3)
+        if use_shards:
+            plan = shard_mod.partition(cells, n_shards, policy)
+            workers = jobs if jobs > 1 else plan.n_shards
+            workers = min(workers, len(pending))
+            report.shards = shard_mod.ShardInfo(
+                n_shards=plan.n_shards, policy=plan.policy,
+                n_workers=workers)
+            pending = shard_mod.run_sharded_loop(
+                fn, cells, pending, results, done, report, plan,
+                workers, retries, timeout, inject_faults, journal)
+        elif effective > 1:
             pending = _run_parallel(fn, cells, pending, results, done,
                                     report, effective, retries, timeout,
                                     inject_faults, journal)
@@ -538,13 +589,13 @@ def run_resilient(fn: Callable, cells, jobs: Optional[int] = None,
 
 
 def _record_success(index: int, value, results, done, report, journal,
-                    ) -> None:
+                    shard: Optional[int] = None) -> None:
     results[index] = value
     done[index] = True
     outcome = report.outcomes[index]
     outcome.finish()
     if journal is not None:
-        journal.record(index, value)
+        journal.record(index, value, shard=shard)
 
 
 def _run_serial(fn, cells, pending, results, done, report, retries,

@@ -1,0 +1,97 @@
+"""The shard-equivalence oracle: sharded QA sweeps match serial.
+
+Positive coverage (real cases pass under every shard count) plus a
+mutation canary: a scheduler that misplaces one result must be caught,
+proving the oracle actually compares payloads rather than schedules.
+"""
+
+import pytest
+
+from repro.qa.campaign import check_full
+from repro.qa.cases import QACase
+from repro.qa import sharding
+from repro.qa.sharding import (
+    SHARD_COUNTS,
+    check_shard_equivalence,
+    equivalence_cells,
+)
+from repro.runtime import sim
+
+
+def _case(engine="dual", **kw):
+    defaults = dict(budget=2000, config={"history_length": 8})
+    defaults.update(kw)
+    return QACase(engine=engine, **defaults)
+
+
+class TestEquivalenceCells:
+    def test_derives_multiple_distinct_cells(self):
+        cells = equivalence_cells(_case())
+        assert len(cells) >= 2
+        lengths = [c.config["history_length"] for c in cells]
+        assert len(set(lengths)) == len(lengths)
+        assert 8 in lengths, "the case's own history length is covered"
+
+    def test_cells_are_clamped_and_single_run(self):
+        cells = equivalence_cells(_case(budget=50_000, repeats=3,
+                                        track_recovery=False))
+        for cell in cells:
+            assert cell.budget <= sharding._EQUIV_BUDGET
+            assert cell.repeats == 1
+            assert not cell.track_recovery
+            assert not cell.record_timeline
+
+
+class TestOraclePasses:
+    @pytest.mark.parametrize("engine", ["dual", "multi"])
+    def test_real_cases_pass_every_shard_count(self, engine):
+        case = _case(engine=engine)
+        assert check_shard_equivalence(case) is None
+
+    def test_wired_into_check_full(self):
+        assert check_full(_case(budget=1000)) is None
+
+
+class TestOracleDetects:
+    def test_misplaced_result_is_a_finding(self, monkeypatch):
+        # Mutation canary: a scheduler that nulls one cell's result
+        # (lost delivery) must surface as a shard finding.
+        real_simulate = sim.simulate
+
+        def lossy_simulate(spec, **kw):
+            result = real_simulate(spec, **kw)
+            if spec.n_shards > 1:
+                result.results[0] = None
+            return result
+
+        monkeypatch.setattr(sharding.sim, "simulate", lossy_simulate)
+        reason = check_shard_equivalence(_case())
+        assert reason is not None
+        assert "no result" in reason
+
+    def test_swapped_results_are_a_finding(self, monkeypatch):
+        real_simulate = sim.simulate
+
+        def swapping_simulate(spec, **kw):
+            result = real_simulate(spec, **kw)
+            if spec.n_shards > 1:
+                result.results[0], result.results[1] = \
+                    result.results[1], result.results[0]
+            return result
+
+        monkeypatch.setattr(sharding.sim, "simulate",
+                            swapping_simulate)
+        reason = check_shard_equivalence(_case())
+        assert reason is not None
+
+    def test_invariant_violations_are_findings(self, monkeypatch):
+        monkeypatch.setattr(
+            sharding.sim, "verify_invariants",
+            lambda result: ["cell 0 duplicated: completed 2 times"])
+        reason = check_shard_equivalence(_case())
+        assert reason is not None
+        assert "invariant" in reason
+
+    def test_shard_counts_cover_one_and_many(self):
+        assert 1 in SHARD_COUNTS
+        assert any(n > 1 for n in SHARD_COUNTS)

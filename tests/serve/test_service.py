@@ -289,3 +289,50 @@ class TestAdmission:
         assert response.status == SHED
         assert response.error_type == "ServiceShutdown"
         assert shed == 1
+
+
+class TestShardRouting:
+    def test_unsharded_by_default(self):
+        async def body():
+            async with _service() as svc:
+                response = await svc.submit(REQUEST)
+                return response, svc.summary(), svc.metrics
+
+        response, summary, metrics = _run(body())
+        assert response.status == SERVED
+        assert summary["shards"] == 1
+        assert metrics.sharded_batches == 0
+
+    def test_sharded_batch_matches_unsharded(self):
+        requests = [
+            ServeRequest(workload="kmp", engine="dual", budget=1500),
+            ServeRequest(workload="compress", engine="dual",
+                         budget=1500),
+            ServeRequest(workload="kmp", engine="single", budget=1500),
+            ServeRequest(workload="compress", engine="multi",
+                         budget=1500),
+        ]
+
+        def run_with(shards):
+            async def body():
+                async with _service(shards=shards) as svc:
+                    responses = await asyncio.gather(
+                        *(svc.submit(r) for r in requests))
+                    return responses, svc.metrics
+            return _run(body())
+
+        flat, flat_metrics = run_with(1)
+        sharded, shard_metrics = run_with(2)
+        assert flat_metrics.sharded_batches == 0
+        assert shard_metrics.sharded_batches >= 1
+        for a, b in zip(flat, sharded):
+            assert a.status == b.status == SERVED
+            assert a.payload_digest == b.payload_digest, \
+                "sharded dispatch must not change any payload"
+
+    def test_shards_env_snapshot_at_construction(self, monkeypatch):
+        from repro.runtime import shard
+
+        monkeypatch.setenv(shard.SHARDS_ENV, "3")
+        svc = _service()
+        assert svc.summary()["shards"] == 3
